@@ -1,0 +1,100 @@
+//! Engine micro-benchmarks: the raw cost of SiMany's primitive operations
+//! (the ingredients of its 10^2–10^4 speed advantage over cycle-level
+//! simulation).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use simany::prelude::*;
+use std::hint::black_box;
+
+/// Throughput of timing annotations on a lone core (no sync interactions).
+fn bench_advance(c: &mut Criterion) {
+    c.bench_function("engine/advance_10k_blocks", |b| {
+        b.iter(|| {
+            let out = run_program(ProgramSpec::new(simany::topology::mesh_2d(1)), |tc| {
+                for _ in 0..10_000 {
+                    tc.work(black_box(7));
+                }
+            })
+            .unwrap();
+            black_box(out.vtime_cycles())
+        })
+    });
+}
+
+/// Cost of block annotations with branch prediction.
+fn bench_compute_block(c: &mut Criterion) {
+    let block = BlockCost::new().int_alu(20).fp_mul(2).cond_branches(5);
+    c.bench_function("engine/compute_block_x2000", |b| {
+        b.iter(|| {
+            let block = block.clone();
+            let out = run_program(ProgramSpec::new(simany::topology::mesh_2d(1)), move |tc| {
+                for _ in 0..2000 {
+                    tc.compute(&block);
+                }
+            })
+            .unwrap();
+            black_box(out.vtime_cycles())
+        })
+    });
+}
+
+/// Full spawn/join round trips: probe + spawn + task start + end + join
+/// notification, the runtime's hot protocol path.
+fn bench_spawn_join(c: &mut Criterion) {
+    c.bench_function("engine/spawn_join_x100", |b| {
+        b.iter(|| {
+            let out = run_program(simany::presets::uniform_mesh_sm(4), |tc| {
+                let g = tc.make_group();
+                for _ in 0..100 {
+                    tc.spawn_or_run(g, |tc: &mut TaskCtx<'_>| tc.work(1));
+                }
+                tc.join(g);
+            })
+            .unwrap();
+            black_box(out.vtime_cycles())
+        })
+    });
+}
+
+/// Simulated memory-access timing path (scoped L1 + bank model).
+fn bench_memory_path(c: &mut Criterion) {
+    c.bench_function("engine/sm_loads_x5000", |b| {
+        b.iter(|| {
+            let out = run_program(ProgramSpec::new(simany::topology::mesh_2d(1)), |tc| {
+                for i in 0..5000u64 {
+                    tc.load(black_box(0x1000 + i * 8));
+                }
+            })
+            .unwrap();
+            black_box(out.vtime_cycles())
+        })
+    });
+}
+
+/// Machine construction (topology + routing tables + engine state) for a
+/// 1024-core mesh — the fixed setup cost of every experiment point.
+fn bench_machine_setup(c: &mut Criterion) {
+    c.bench_function("engine/setup_1024_core_machine", |b| {
+        b.iter_batched(
+            || (),
+            |()| {
+                let out = run_program(simany::presets::uniform_mesh_sm(1024), |tc| {
+                    tc.work(1);
+                })
+                .unwrap();
+                black_box(out.vtime_cycles())
+            },
+            BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_advance,
+    bench_compute_block,
+    bench_spawn_join,
+    bench_memory_path,
+    bench_machine_setup
+);
+criterion_main!(benches);

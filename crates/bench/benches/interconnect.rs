@@ -1,0 +1,83 @@
+//! Interconnect micro-benchmarks: routing-table construction, contended
+//! transits and inbox operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simany::net::{NetworkModel, NetworkParams, Payload};
+use simany::time::VirtualTime;
+use simany::topology::{clustered_mesh, mesh_2d, ClusterParams, CoreId, RoutingTable};
+use std::hint::black_box;
+
+fn bench_routing_build(c: &mut Criterion) {
+    let mesh256 = mesh_2d(256);
+    let mesh1024 = mesh_2d(1024);
+    let clustered = clustered_mesh(1024, ClusterParams::paper(4));
+    c.bench_function("net/routing_build_mesh256", |b| {
+        b.iter(|| black_box(RoutingTable::build(&mesh256)))
+    });
+    c.bench_function("net/routing_build_mesh1024", |b| {
+        b.iter(|| black_box(RoutingTable::build(&mesh1024)))
+    });
+    c.bench_function("net/routing_build_clustered1024", |b| {
+        b.iter(|| black_box(RoutingTable::build(&clustered)))
+    });
+}
+
+fn bench_transit(c: &mut Criterion) {
+    c.bench_function("net/transit_corner_to_corner_x1000", |b| {
+        let mut net = NetworkModel::new(mesh_2d(64), NetworkParams::default());
+        let mut t = VirtualTime::ZERO;
+        b.iter(|| {
+            for _ in 0..1000 {
+                t = net.transit(CoreId(0), CoreId(63), 64, t);
+            }
+            black_box(t)
+        })
+    });
+}
+
+fn bench_send_deliver(c: &mut Criterion) {
+    c.bench_function("net/send_x1000", |b| {
+        let mut net = NetworkModel::new(mesh_2d(64), NetworkParams::default());
+        b.iter(|| {
+            for i in 0..1000u32 {
+                let e = net.send(
+                    CoreId(i % 64),
+                    CoreId((i * 7) % 64),
+                    32,
+                    VirtualTime::from_cycles(u64::from(i)),
+                    Payload::none(),
+                );
+                black_box(e.arrival);
+            }
+        })
+    });
+}
+
+fn bench_inbox(c: &mut Criterion) {
+    use simany::net::{Envelope, Inbox, MsgId};
+    c.bench_function("net/inbox_push_pop_x1000", |b| {
+        b.iter(|| {
+            let mut ib = Inbox::new();
+            for i in 0..1000u64 {
+                ib.push(Envelope {
+                    id: MsgId(i),
+                    src: CoreId((i % 7) as u32),
+                    dst: CoreId(0),
+                    sent: VirtualTime::from_cycles(i),
+                    arrival: VirtualTime::from_cycles((i * 13) % 997),
+                    size_bytes: 8,
+                    seq: i,
+                    payload: Payload::none(),
+                });
+            }
+            let mut last = VirtualTime::ZERO;
+            while let Some(e) = ib.pop() {
+                last = e.arrival;
+            }
+            black_box(last)
+        })
+    });
+}
+
+criterion_group!(benches, bench_routing_build, bench_transit, bench_send_deliver, bench_inbox);
+criterion_main!(benches);

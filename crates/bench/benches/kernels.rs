@@ -1,0 +1,68 @@
+//! End-to-end kernel simulation throughput: how long a full simulated
+//! benchmark run takes on the host (small workloads; the figure-scale runs
+//! live in the `repro` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simany::kernels::{all_kernels, Scale};
+use simany::presets;
+use std::hint::black_box;
+
+fn bench_kernels_sm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/sm_16cores");
+    g.sample_size(10);
+    for kernel in all_kernels() {
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let r = kernel
+                    .run_sim(presets::uniform_mesh_sm(16), Scale(0.05), 1)
+                    .unwrap();
+                assert!(r.verified);
+                black_box(r.cycles())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_kernels_dm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels/dm_16cores");
+    g.sample_size(10);
+    for kernel in all_kernels() {
+        g.bench_function(kernel.name(), |b| {
+            b.iter(|| {
+                let r = kernel
+                    .run_sim(presets::uniform_mesh_dm(16), Scale(0.05), 1)
+                    .unwrap();
+                assert!(r.verified);
+                black_box(r.cycles())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_quicksort_vs_cycle_level(c: &mut Criterion) {
+    let kernel = simany::kernels::kernel_by_name("Quicksort").unwrap();
+    let mut g = c.benchmark_group("kernels/vt_vs_cl_8cores");
+    g.sample_size(10);
+    g.bench_function("SiMany (VT)", |b| {
+        b.iter(|| {
+            let r = kernel
+                .run_sim(presets::uniform_mesh_sm_coherent(8), Scale(0.05), 1)
+                .unwrap();
+            black_box(r.cycles())
+        })
+    });
+    g.bench_function("cycle-level (CL)", |b| {
+        b.iter(|| {
+            let r = kernel
+                .run_sim(presets::cycle_level(8), Scale(0.05), 1)
+                .unwrap();
+            black_box(r.cycles())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels_sm, bench_kernels_dm, bench_quicksort_vs_cycle_level);
+criterion_main!(benches);

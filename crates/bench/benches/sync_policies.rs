@@ -1,0 +1,39 @@
+//! Synchronization-policy ablation bench: host-side cost of each policy on
+//! an identical workload (the wall-clock side of the accuracy/speed
+//! trade-off; virtual-time effects are in `repro fig10`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simany::core::{SyncPolicy, VDuration};
+use simany::kernels::Scale;
+use simany::presets;
+use std::hint::black_box;
+
+fn bench_policies(c: &mut Criterion) {
+    let kernel = simany::kernels::kernel_by_name("Octree").unwrap();
+    let policies: Vec<(&str, SyncPolicy)> = vec![
+        ("spatial_t50", SyncPolicy::Spatial { t: VDuration::from_cycles(50) }),
+        ("spatial_t100", SyncPolicy::Spatial { t: VDuration::from_cycles(100) }),
+        ("spatial_t1000", SyncPolicy::Spatial { t: VDuration::from_cycles(1000) }),
+        ("bounded_slack_100", SyncPolicy::BoundedSlack { window: VDuration::from_cycles(100) }),
+        ("random_referee_100", SyncPolicy::RandomReferee { slack: VDuration::from_cycles(100) }),
+        ("conservative", SyncPolicy::Conservative),
+        ("unbounded", SyncPolicy::Unbounded),
+    ];
+    let mut g = c.benchmark_group("sync/octree_16cores");
+    g.sample_size(10);
+    for (name, policy) in policies {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut spec = presets::uniform_mesh_sm(16);
+                spec.engine.sync = policy;
+                let r = kernel.run_sim(spec, Scale(0.25), 1).unwrap();
+                assert!(r.verified);
+                black_box(r.cycles())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,223 @@
+//! `simulate` — run one benchmark on one machine from the command line.
+//!
+//! ```sh
+//! cargo run --release -p simany-bench --bin simulate -- \
+//!     --kernel dijkstra --cores 64 --arch sm --scale 1.0
+//! cargo run --release -p simany-bench --bin simulate -- \
+//!     --kernel spmxv --topology my_chip.cfg --arch dm --drift 500 --trace
+//! ```
+//!
+//! Prints completion virtual time, run-time statistics and (with
+//! `--trace`) a per-core activity timeline.
+
+use simany::core::{CoreId, MemoryTracer};
+use simany::kernels::{kernel_by_name, Scale};
+use simany::prelude::*;
+use simany::presets;
+
+struct Args {
+    kernel: String,
+    cores: u32,
+    arch: String,
+    machine: String,
+    clusters: u32,
+    scale: f64,
+    seed: u64,
+    drift: Option<u64>,
+    topology_file: Option<String>,
+    trace: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            kernel: "quicksort".into(),
+            cores: 16,
+            arch: "sm".into(),
+            machine: "mesh".into(),
+            clusters: 4,
+            scale: 0.5,
+            seed: 1,
+            drift: None,
+            topology_file: None,
+            trace: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: simulate [OPTIONS]
+
+options:
+  --kernel NAME       quicksort | connected | dijkstra | barnes | spmxv | octree
+  --cores N           core count (default 16)
+  --machine KIND      mesh | mesh3d | clustered | polymorphic | cycle-level (default mesh)
+  --arch sm|dm|smc    shared / distributed / shared+coherence (default sm)
+  --clusters N        clusters for --machine clustered (default 4)
+  --scale F           workload scale (default 0.5)
+  --seed N            workload seed
+  --drift T           spatial drift bound in cycles (default 100)
+  --topology FILE     adjacency-matrix config file (overrides --machine)
+  --trace             collect and print an event timeline
+";
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut val = || {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("missing value for {a}\n{USAGE}");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match a.as_str() {
+            "--kernel" => args.kernel = val(),
+            "--cores" => args.cores = val().parse().expect("--cores"),
+            "--machine" => args.machine = val(),
+            "--arch" => args.arch = val(),
+            "--clusters" => args.clusters = val().parse().expect("--clusters"),
+            "--scale" => args.scale = val().parse().expect("--scale"),
+            "--seed" => args.seed = val().parse().expect("--seed"),
+            "--drift" => args.drift = Some(val().parse().expect("--drift")),
+            "--topology" => args.topology_file = Some(val()),
+            "--trace" => args.trace = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn build_spec(args: &Args) -> ProgramSpec {
+    if args.cores == 0 {
+        eprintln!("--cores must be at least 1\n{USAGE}");
+        std::process::exit(2);
+    }
+    let mut spec = match args.machine.as_str() {
+        "mesh" => presets::uniform_mesh_sm(args.cores),
+        "mesh3d" => presets::mesh3d_sm(args.cores),
+        "clustered" => presets::clustered_dm(args.cores, args.clusters),
+        "polymorphic" => presets::polymorphic_sm(args.cores),
+        "cycle-level" => presets::cycle_level(args.cores),
+        other => {
+            eprintln!("unknown machine '{other}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    if args.machine != "cycle-level" {
+        spec.runtime = match args.arch.as_str() {
+            "sm" => RuntimeParams::shared_memory(),
+            "dm" => RuntimeParams::distributed_memory(),
+            "smc" => RuntimeParams::shared_memory_coherent(),
+            other => {
+                eprintln!("unknown arch '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+    }
+    if let Some(path) = &args.topology_file {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read topology file {path}: {e}");
+            std::process::exit(2);
+        });
+        spec.topo = simany::topology::parse_topology(&text).unwrap_or_else(|e| {
+            eprintln!("bad topology config {path}: {e}");
+            std::process::exit(2);
+        });
+    }
+    if let Some(t) = args.drift {
+        spec.engine = spec.engine.with_drift_cycles(t);
+    }
+    spec.engine = spec.engine.with_seed(args.seed);
+    spec
+}
+
+fn main() {
+    let args = parse_args();
+    let kernel = kernel_by_name(&args.kernel).unwrap_or_else(|| {
+        eprintln!("unknown kernel '{}'; available:", args.kernel);
+        for k in simany::kernels::all_kernels() {
+            eprintln!("  {}", k.name());
+        }
+        std::process::exit(2);
+    });
+    let mut spec = build_spec(&args);
+    let tracer = if args.trace {
+        let t = MemoryTracer::new();
+        spec.engine.tracer = Some(t.clone());
+        Some(t)
+    } else {
+        None
+    };
+    let n_cores = spec.topo.n_cores();
+
+    println!(
+        "running {} on {} cores ({} / {}), scale {}, seed {}",
+        kernel.name(),
+        n_cores,
+        args.machine,
+        args.arch,
+        args.scale,
+        args.seed
+    );
+    let r = kernel
+        .run_sim(spec, Scale(args.scale), args.seed)
+        .unwrap_or_else(|e| {
+            eprintln!("simulation failed: {e}");
+            std::process::exit(1);
+        });
+
+    println!("\nvirtual time      : {} cycles", r.cycles());
+    println!("verified          : {}", if r.verified { "yes" } else { "NO" });
+    println!("work items        : {}", r.work_items);
+    println!("wall time         : {:?}", r.out.stats.wall);
+    println!("tasks started     : {}", r.out.stats.activities_started);
+    println!("spawns / fallbacks: {} / {}", r.out.rt.spawns, r.out.rt.sequential_fallbacks);
+    println!("task migrations   : {}", r.out.rt.task_migrations);
+    println!("messages          : {} ({} bytes)", r.out.stats.net.messages, r.out.stats.net.bytes);
+    println!(
+        "late messages     : {} / {}",
+        r.out.stats.late_messages,
+        r.out.stats.late_messages + r.out.stats.on_time_messages
+    );
+    println!("sync stalls       : {}", r.out.stats.stall_events);
+    println!("core utilization  : {:.2}", r.out.stats.utilization());
+
+    if !r.out.stats.hot_links.is_empty() {
+        println!("\nNoC hotspots (busiest links):");
+        for (src, dst, busy) in &r.out.stats.hot_links {
+            println!("  {src} -> {dst}: {busy} transmitting");
+        }
+    }
+
+    if let Some(tracer) = tracer {
+        println!("\nactivity timeline ({} events):", tracer.len());
+        print!("{}", tracer.timeline(n_cores, 72));
+        println!("\nbusiest cores:");
+        let mut busy: Vec<(usize, u64)> = r
+            .out
+            .stats
+            .core_busy
+            .iter()
+            .map(|d| d.cycles())
+            .enumerate()
+            .collect();
+        busy.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
+        for (i, b) in busy.iter().take(8) {
+            let (starts, stalls, sends, late) = tracer.core_summary(CoreId(*i as u32));
+            println!(
+                "  core{i:<4} busy {b:>9} cy  tasks {starts:>4}  stalls {stalls:>5}  sends {sends:>5}  late {late:>4}"
+            );
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Engine configuration: synchronization policy, scheduling policy, core
+//! speeds and run-time cost knobs.
+
+use simany_net::NetworkParams;
+use simany_time::{CoreSpeed, CostModel, VDuration};
+
+/// Virtual-time synchronization policy.
+///
+/// The paper's contribution is [`SyncPolicy::Spatial`]; the other variants
+/// reproduce the schemes of the related work (§VII) for ablation studies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// **Spatial synchronization** (paper §II.A): a core may run ahead of
+    /// the most-late of its *topological neighbors* by at most `t`;
+    /// otherwise it stalls until the laggard catches up. Purely local: the
+    /// drift between any two cores is bounded by `distance × t`.
+    Spatial {
+        /// Maximum local drift `T`.
+        t: VDuration,
+    },
+    /// Bounded slack against the *global* minimum virtual time (SlackSim's
+    /// bounded-slack scheme): a core stalls whenever it is more than
+    /// `window` ahead of the slowest active core anywhere in the machine.
+    BoundedSlack {
+        /// Global window size.
+        window: VDuration,
+    },
+    /// Random-referee scheme in the spirit of Graphite's LaxP2P: each core
+    /// periodically checks itself against a randomly chosen other core and
+    /// stalls while it is more than `slack` ahead of that referee.
+    RandomReferee {
+        /// Allowed lead over the chosen referee.
+        slack: VDuration,
+    },
+    /// Conservative global order: only the core(s) holding the minimum
+    /// virtual time may advance. Exact event ordering; this is what the
+    /// cycle-level reference simulator uses.
+    Conservative,
+    /// No synchronization at all: cores free-run (fastest, least accurate).
+    Unbounded,
+}
+
+impl SyncPolicy {
+    /// The paper's reference configuration: spatial synchronization with
+    /// `T = 100` cycles (§V, *Virtual Timing Parameters*).
+    pub fn paper_default() -> Self {
+        SyncPolicy::Spatial {
+            t: VDuration::from_cycles(100),
+        }
+    }
+}
+
+/// How the scheduler chooses among ready cores.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PickPolicy {
+    /// Pick the ready core with the lowest published virtual time
+    /// (default: closest to a conservative discrete-event order, and the
+    /// choice that makes the deadlock-avoidance argument of paper §II.B
+    /// immediate).
+    LowestVtime,
+    /// Round-robin over ready cores.
+    RoundRobin,
+    /// Uniformly random among ready cores (seeded, deterministic).
+    Random,
+}
+
+/// Full engine configuration.
+#[derive(Clone)]
+pub struct EngineConfig {
+    /// Synchronization policy (default: spatial, `T = 100` cycles).
+    pub sync: SyncPolicy,
+    /// Scheduler pick policy.
+    pub pick: PickPolicy,
+    /// Master seed: branch predictors, scheduler randomness and any
+    /// runtime-level randomness all derive from it.
+    pub seed: u64,
+    /// Instruction-class cost model shared by all cores.
+    pub cost_model: CostModel,
+    /// Per-core speed factors. `None` = uniform base speed; otherwise must
+    /// have one entry per core (polymorphic architectures, paper §V).
+    pub speeds: Option<Vec<CoreSpeed>>,
+    /// Network cost parameters.
+    pub net: NetworkParams,
+    /// Cost of switching context to a *resuming* task (paper §V: 15
+    /// cycles). Charged when a woken (e.g. joining) activity regains its
+    /// core.
+    pub resume_cost: VDuration,
+    /// Stack size for task worker threads. Task bodies are real recursive
+    /// Rust code, so this must accommodate the deepest kernel recursion.
+    pub worker_stack_bytes: usize,
+    /// Abort the simulation if total live activities ever exceeds this
+    /// (guards against runaway task explosions in buggy programs).
+    pub max_live_activities: usize,
+    /// Optional event tracer (see [`crate::trace`]).
+    pub tracer: Option<std::sync::Arc<dyn crate::trace::Tracer>>,
+    /// Sample the *available host parallelism* — how many cores have
+    /// independently runnable work at an instant — every this many
+    /// scheduler picks (0 = off). Reproduces the paper's §VIII preliminary
+    /// study: "at least from networks with 64 cores, there are enough
+    /// cores verifying these conditions to keep all cores of current
+    /// multi-core host machines busy."
+    pub parallelism_sample_every: u64,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("sync", &self.sync)
+            .field("pick", &self.pick)
+            .field("seed", &self.seed)
+            .field("speeds", &self.speeds)
+            .field("net", &self.net)
+            .field("resume_cost", &self.resume_cost)
+            .field("worker_stack_bytes", &self.worker_stack_bytes)
+            .field("max_live_activities", &self.max_live_activities)
+            .field("tracer", &self.tracer.as_ref().map(|_| "..."))
+            .field("parallelism_sample_every", &self.parallelism_sample_every)
+            .finish()
+    }
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            sync: SyncPolicy::paper_default(),
+            pick: PickPolicy::LowestVtime,
+            seed: 0x51_3A_17,
+            cost_model: CostModel::default(),
+            speeds: None,
+            net: NetworkParams::default(),
+            resume_cost: VDuration::from_cycles(15),
+            worker_stack_bytes: 1 << 20,
+            max_live_activities: 1 << 20,
+            tracer: None,
+            parallelism_sample_every: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with a specific spatial drift bound `T` (in cycles).
+    pub fn with_drift_cycles(mut self, t: u64) -> Self {
+        self.sync = SyncPolicy::Spatial {
+            t: VDuration::from_cycles(t),
+        };
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Set per-core speeds (polymorphic architecture).
+    pub fn with_speeds(mut self, speeds: Vec<CoreSpeed>) -> Self {
+        self.speeds = Some(speeds);
+        self
+    }
+
+    /// The paper's polymorphic speed pattern for `n` cores: cores alternate
+    /// between half speed and 1.5× speed, preserving aggregate computing
+    /// power (§V, *Architecture Exploration*).
+    pub fn polymorphic_speeds(n: u32) -> Vec<CoreSpeed> {
+        (0..n)
+            .map(|i| {
+                if i % 2 == 0 {
+                    CoreSpeed::HALF
+                } else {
+                    CoreSpeed::THREE_HALVES
+                }
+            })
+            .collect()
+    }
+
+    /// Speed of core `i` under this configuration.
+    pub fn speed_of(&self, i: u32) -> CoreSpeed {
+        match &self.speeds {
+            Some(v) => v[i as usize],
+            None => CoreSpeed::BASE,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = EngineConfig::default();
+        assert_eq!(
+            c.sync,
+            SyncPolicy::Spatial {
+                t: VDuration::from_cycles(100)
+            }
+        );
+        assert_eq!(c.resume_cost, VDuration::from_cycles(15));
+        assert_eq!(c.pick, PickPolicy::LowestVtime);
+    }
+
+    #[test]
+    fn polymorphic_pattern() {
+        let speeds = EngineConfig::polymorphic_speeds(4);
+        assert_eq!(
+            speeds,
+            vec![
+                CoreSpeed::HALF,
+                CoreSpeed::THREE_HALVES,
+                CoreSpeed::HALF,
+                CoreSpeed::THREE_HALVES
+            ]
+        );
+        // Aggregate power equals uniform.
+        let sum: f64 = speeds.iter().map(|s| s.as_f64()).sum();
+        assert!((sum - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = EngineConfig::default()
+            .with_drift_cycles(500)
+            .with_seed(7)
+            .with_speeds(EngineConfig::polymorphic_speeds(2));
+        assert_eq!(
+            c.sync,
+            SyncPolicy::Spatial {
+                t: VDuration::from_cycles(500)
+            }
+        );
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.speed_of(0), CoreSpeed::HALF);
+        assert_eq!(c.speed_of(1), CoreSpeed::THREE_HALVES);
+    }
+
+    #[test]
+    fn uniform_speed_when_unset() {
+        let c = EngineConfig::default();
+        assert_eq!(c.speed_of(5), CoreSpeed::BASE);
+    }
+}

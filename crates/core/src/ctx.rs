@@ -1,0 +1,267 @@
+//! `ExecCtx` — the interaction API available to task code.
+//!
+//! A task body is ordinary Rust code that runs natively between
+//! interactions. Each `ExecCtx` method briefly acquires the simulation
+//! lock, performs the interaction (advance the clock, send a message,
+//! block...), applies the synchronization policy and returns — possibly
+//! after parking the calling worker thread while the core is stalled or
+//! blocked. All waiting happens here; runtime hooks never block.
+
+use crate::activity::{ActivityId, ActivityState};
+use crate::engine::{is_ready, push_ready, Shared, ShutdownSignal, Sim, Token};
+use crate::ops::Ops;
+use crate::sync;
+use parking_lot::{Condvar, MutexGuard};
+use simany_net::Payload;
+use simany_time::{BlockCost, VDuration, VirtualTime};
+use simany_topology::CoreId;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Per-activity execution context handed to task bodies.
+pub struct ExecCtx {
+    shared: Arc<Shared>,
+    aid: ActivityId,
+    core: CoreId,
+    my_cv: Arc<Condvar>,
+}
+
+impl ExecCtx {
+    pub(crate) fn new(
+        shared: Arc<Shared>,
+        aid: ActivityId,
+        core: CoreId,
+        my_cv: Arc<Condvar>,
+    ) -> Self {
+        ExecCtx {
+            shared,
+            aid,
+            core,
+            my_cv,
+        }
+    }
+
+    /// The core this task runs on.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// This activity's id.
+    pub fn id(&self) -> ActivityId {
+        self.aid
+    }
+
+    /// Current virtual time of this core.
+    pub fn now(&self) -> VirtualTime {
+        self.shared.sim.lock().cores[self.core.index()].vtime
+    }
+
+    /// Number of simulated cores.
+    pub fn n_cores(&self) -> u32 {
+        self.shared.topo.n_cores()
+    }
+
+    /// Topological neighbors of this core.
+    pub fn neighbors(&self) -> Vec<CoreId> {
+        self.shared
+            .topo
+            .neighbors(self.core)
+            .iter()
+            .map(|&(n, _)| n)
+            .collect()
+    }
+
+    /// Execute a timing annotation: charge the block's instruction-class
+    /// costs plus branch-prediction penalties, speed-scaled, then apply the
+    /// synchronization policy (possibly stalling).
+    pub fn compute(&mut self, block: &BlockCost) {
+        let mut sim = self.shared.sim.lock();
+        let mut cycles = self.shared.config.cost_model.block_cycles(block);
+        let branches = block.cond_branch_count();
+        if branches > 0 {
+            cycles += sim.cores[self.core.index()].predictor.predict_many(branches);
+        }
+        let d = sim.cores[self.core.index()].speed.scale_cycles(cycles);
+        sim.cores[self.core.index()].advance(d);
+        sync::publish(&mut sim, &self.shared, self.core);
+        crate::engine::drain_due_messages(&mut sim, &self.shared, self.core);
+        self.maybe_stall(&mut sim);
+    }
+
+    /// Advance this core's clock by `base_cycles` of work (speed-scaled),
+    /// then apply the synchronization policy.
+    pub fn advance_cycles(&mut self, base_cycles: u64) {
+        let mut sim = self.shared.sim.lock();
+        let d = sim.cores[self.core.index()].speed.scale_cycles(base_cycles);
+        sim.cores[self.core.index()].advance(d);
+        sync::publish(&mut sim, &self.shared, self.core);
+        crate::engine::drain_due_messages(&mut sim, &self.shared, self.core);
+        self.maybe_stall(&mut sim);
+    }
+
+    /// Advance by an exact duration (no speed scaling), then apply the
+    /// synchronization policy.
+    pub fn advance_raw(&mut self, d: VDuration) {
+        let mut sim = self.shared.sim.lock();
+        sim.cores[self.core.index()].advance(d);
+        sync::publish(&mut sim, &self.shared, self.core);
+        crate::engine::drain_due_messages(&mut sim, &self.shared, self.core);
+        self.maybe_stall(&mut sim);
+    }
+
+    /// Send a message stamped with this core's current clock.
+    pub fn send(&mut self, dst: CoreId, size_bytes: u32, payload: Payload) {
+        let mut sim = self.shared.sim.lock();
+        let sent = sim.cores[self.core.index()].vtime;
+        let env = sim.net.send(self.core, dst, size_bytes, sent, payload);
+        crate::engine::deliver(&mut sim, &self.shared, env);
+    }
+
+    /// Run `f` with full simulator access ([`Ops`]) while holding the run
+    /// token. The runtime layer uses this to implement compound primitives
+    /// (probe, spawn, data requests) atomically.
+    pub fn with_ops<R>(&mut self, f: impl FnOnce(&mut Ops<'_>) -> R) -> R {
+        let mut sim = self.shared.sim.lock();
+        let mut ops = Ops::new(&mut sim, &self.shared);
+        f(&mut ops)
+    }
+
+    /// Like [`Self::with_ops`] followed by a synchronization check: use
+    /// when `f` advances this core's clock.
+    pub fn with_ops_synced<R>(&mut self, f: impl FnOnce(&mut Ops<'_>) -> R) -> R {
+        let mut sim = self.shared.sim.lock();
+        let r = {
+            let mut ops = Ops::new(&mut sim, &self.shared);
+            f(&mut ops)
+        };
+        crate::engine::drain_due_messages(&mut sim, &self.shared, self.core);
+        self.maybe_stall(&mut sim);
+        r
+    }
+
+    /// Suspend this task until another party calls `Ops::wake` on it;
+    /// returns the wake value. The core is freed meanwhile: it can process
+    /// messages, resume other parked tasks or start queued ones (the
+    /// "execution context is saved" semantics of paper §IV).
+    pub fn block(&mut self, reason: &'static str) -> Box<dyn Any + Send> {
+        self.block_with(reason, false)
+    }
+
+    /// [`Self::block`] with control over the resume context-switch charge:
+    /// pass `true` for full task suspensions (join), `false` for
+    /// lightweight protocol waits whose handler costs already account for
+    /// the runtime's work.
+    pub fn block_with(&mut self, reason: &'static str, charge_resume: bool) -> Box<dyn Any + Send> {
+        let mut sim = self.shared.sim.lock();
+        {
+            let core = self.core;
+            debug_assert_eq!(sim.cores[core.index()].current, Some(self.aid));
+            sim.act_mut(self.aid).charge_resume = charge_resume;
+            sim.act_mut(self.aid).state = ActivityState::Blocked(reason);
+            crate::engine::trace(&self.shared, || crate::trace::TraceEvent::Block {
+                t: sim.cores[core.index()].vtime,
+                core,
+                reason,
+            });
+            sim.cores[core.index()].current = None;
+            sim.floor_dirty = true;
+            // The core may have become idle: switch it to shadow time so
+            // its neighborhood is not stalled on a frozen clock.
+            sync::publish(&mut sim, &self.shared, core);
+            if is_ready(&sim, core) {
+                push_ready(&mut sim, core);
+            }
+        }
+        self.yield_token(&mut sim);
+        self.wait_for_grant(&mut sim);
+        // We are current again (make_current charged the context switch and
+        // applied the wake time). Apply the synchronization policy before
+        // resuming user code.
+        self.maybe_stall(&mut sim);
+        sim.act_mut(self.aid)
+            .wake_value
+            .take()
+            .expect("woken without a wake value")
+    }
+
+    /// Enter a critical section / take a simulated lock: while at least one
+    /// is held, the synchronization policy never stalls this core, so it
+    /// can always reach the release (the deadlock-avoidance waiver of paper
+    /// §II.B).
+    pub fn critical_enter(&mut self) {
+        let mut sim = self.shared.sim.lock();
+        sim.cores[self.core.index()].lock_depth += 1;
+    }
+
+    /// Leave a critical section; when the depth reaches zero the policy
+    /// applies again immediately.
+    pub fn critical_exit(&mut self) {
+        let mut sim = self.shared.sim.lock();
+        let depth = &mut sim.cores[self.core.index()].lock_depth;
+        assert!(*depth > 0, "critical_exit without critical_enter");
+        *depth -= 1;
+        if *depth == 0 {
+            self.maybe_stall(&mut sim);
+        }
+    }
+
+    /// Explicit synchronization point: stall here if the policy requires it
+    /// (useful inside long native computations).
+    pub fn check_sync(&mut self) {
+        let mut sim = self.shared.sim.lock();
+        self.maybe_stall(&mut sim);
+    }
+
+    /// Stall while the synchronization policy forbids this core to run.
+    fn maybe_stall(&self, sim: &mut MutexGuard<'_, Sim>) {
+        let mut stalled = false;
+        loop {
+            if sync::sync_ok(sim, &self.shared, self.core) {
+                if stalled {
+                    crate::engine::trace(&self.shared, || {
+                        crate::trace::TraceEvent::Resume {
+                            t: sim.cores[self.core.index()].vtime,
+                            core: self.core,
+                        }
+                    });
+                }
+                return;
+            }
+            sim.stats.stall_events += 1;
+            if !stalled {
+                crate::engine::trace(&self.shared, || crate::trace::TraceEvent::Stall {
+                    t: sim.cores[self.core.index()].vtime,
+                    core: self.core,
+                });
+                stalled = true;
+            }
+            sim.act_mut(self.aid).state = ActivityState::Stalled;
+            self.yield_token(sim);
+            self.wait_for_grant(sim);
+        }
+    }
+
+    /// Return the run token to the scheduler.
+    fn yield_token(&self, sim: &mut MutexGuard<'_, Sim>) {
+        debug_assert_eq!(sim.token, Token::Act(self.aid));
+        sim.token = Token::Scheduler;
+        self.shared.sched_cv.notify_one();
+    }
+
+    /// Park until the scheduler grants the token back to this activity.
+    fn wait_for_grant(&self, sim: &mut MutexGuard<'_, Sim>) {
+        loop {
+            if sim.shutdown {
+                // Unwind through user code; the worker loop recognizes the
+                // signal and exits quietly.
+                std::panic::panic_any(ShutdownSignal);
+            }
+            if sim.token == Token::Act(self.aid)
+                && matches!(sim.act(self.aid).state, ActivityState::Granted)
+            {
+                return;
+            }
+            self.my_cv.wait(sim);
+        }
+    }
+}

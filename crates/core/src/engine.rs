@@ -1,0 +1,761 @@
+//! The simulation engine: shared state, the scheduler loop and the worker
+//! threads that execute task code natively.
+//!
+//! ## Run-token protocol
+//!
+//! Exactly one thread executes simulation work at any instant, mirroring
+//! the paper's single-process, non-preemptive userland scheduling (§III).
+//! All simulator state lives in one mutex; a *run token* designates who may
+//! proceed — the scheduler or exactly one activity. Handoffs:
+//!
+//! * scheduler → activity: the scheduler sets the token, notifies the
+//!   activity's worker condvar and waits on its own condvar until the token
+//!   comes back;
+//! * activity → scheduler: at a stall, a block or task completion, the
+//!   activity returns the token and waits on its worker condvar until
+//!   re-granted.
+//!
+//! Between `ExecCtx` calls task code runs natively without holding the
+//! mutex — that is the "sequential pieces of code are executed natively for
+//! maximal speed" of the paper — but since no other simulation thread can
+//! hold the token concurrently, the simulation stays sequential and
+//! deterministic.
+
+use crate::activity::{Activity, ActivityId, ActivityMeta, ActivityState, TaskFn};
+use crate::config::{EngineConfig, SyncPolicy};
+use crate::hooks::RuntimeHooks;
+use crate::ops::Ops;
+use crate::ready::ReadyQueue;
+use crate::state::CoreState;
+use crate::stats::SimStats;
+use crate::sync;
+use crate::trace::TraceEvent;
+use parking_lot::{Condvar, Mutex};
+use simany_net::{Envelope, NetworkModel};
+use simany_time::{ProbBranchPredictor, VirtualTime, Xoshiro256StarStar};
+use simany_topology::{CoreId, Topology};
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Who currently holds the run token.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Token {
+    Scheduler,
+    Act(ActivityId),
+}
+
+/// Panic payload used to unwind parked activities at simulation teardown.
+pub(crate) struct ShutdownSignal;
+
+/// Record a trace event if a tracer is installed.
+pub(crate) fn trace(shared: &Shared, make: impl FnOnce() -> TraceEvent) {
+    if let Some(tr) = &shared.config.tracer {
+        tr.record(make());
+    }
+}
+
+/// Immutable run-wide context shared by the scheduler and all workers.
+pub(crate) struct Shared {
+    pub(crate) sim: Mutex<Sim>,
+    pub(crate) sched_cv: Condvar,
+    pub(crate) hooks: Arc<dyn RuntimeHooks>,
+    pub(crate) config: EngineConfig,
+    pub(crate) topo: Topology,
+}
+
+/// All mutable simulator state.
+pub(crate) struct Sim {
+    pub(crate) cores: Vec<CoreState>,
+    pub(crate) net: NetworkModel,
+    pub(crate) acts: HashMap<u64, Activity>,
+    pub(crate) next_act: u64,
+    pub(crate) next_birth: u64,
+    pub(crate) token: Token,
+    pub(crate) ready: ReadyQueue,
+    pub(crate) stats: SimStats,
+    pub(crate) worker_cvs: Vec<Arc<Condvar>>,
+    pub(crate) worker_assigned: Vec<Option<ActivityId>>,
+    pub(crate) free_workers: Vec<usize>,
+    pub(crate) shutdown: bool,
+    pub(crate) failure: Option<String>,
+    pub(crate) live_activities: usize,
+    pub(crate) floor_dirty: bool,
+    /// Largest clock any core has reached (monotone). Bounds shadow-time
+    /// propagation: shadows above `max_vtime + T` cannot influence any
+    /// stall decision, so relaxation stops there instead of diverging in
+    /// fully idle regions.
+    pub(crate) max_vtime: VirtualTime,
+    pub(crate) rng: Xoshiro256StarStar,
+    /// Per core: cores currently using it as their random referee.
+    pub(crate) referee_watchers: Vec<Vec<u32>>,
+}
+
+impl Sim {
+    pub(crate) fn act(&self, aid: ActivityId) -> &Activity {
+        self.acts.get(&aid.0).expect("unknown activity")
+    }
+
+    pub(crate) fn act_mut(&mut self, aid: ActivityId) -> &mut Activity {
+        self.acts.get_mut(&aid.0).expect("unknown activity")
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Run statistics (final virtual time, counters, network stats...).
+    pub stats: SimStats,
+}
+
+/// Why a simulation failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// No core could make progress while work remained (a program bug: the
+    /// engine itself is deadlock-free by the argument of paper §II.B).
+    Deadlock(String),
+    /// A task panicked.
+    TaskPanic(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock(d) => write!(f, "simulation deadlock: {d}"),
+            SimError::TaskPanic(m) => write!(f, "task panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// True iff the scheduler has (or may have) work to perform on `c`.
+pub(crate) fn is_ready(sim: &Sim, c: CoreId) -> bool {
+    let core = &sim.cores[c.index()];
+    if !core.inbox.is_empty() {
+        return true;
+    }
+    match core.current {
+        Some(a) => sim.act(a).grantable(),
+        None => !core.resumables.is_empty() || core.queue_hint > 0,
+    }
+}
+
+/// Scheduling priority of core `c`: its next-event time — the earlier of
+/// its pending messages' first arrival and its own clock. Using the raw
+/// published time would starve blocked cores (whose shadow time is high by
+/// construction) of their pending replies behind running neighbors.
+fn ready_priority(sim: &Sim, c: CoreId) -> VirtualTime {
+    let core = &sim.cores[c.index()];
+    match core.inbox.earliest_arrival() {
+        Some(a) => a.min(core.vtime),
+        None => core.vtime,
+    }
+}
+
+/// Queue `c` for scheduling if it is not already queued.
+pub(crate) fn push_ready(sim: &mut Sim, c: CoreId) {
+    if !sim.cores[c.index()].in_ready {
+        sim.cores[c.index()].in_ready = true;
+        let t = ready_priority(sim, c);
+        sim.ready.push(c, t);
+    }
+}
+
+/// Deposit a routed envelope into its destination inbox and requeue the
+/// destination core. If the core is already queued at a later priority,
+/// push a second entry so the new message's arrival takes effect now
+/// (stale duplicates are skipped by the pop-revalidate loop).
+pub(crate) fn deliver(sim: &mut Sim, shared: &Shared, env: Envelope) {
+    trace(shared, || TraceEvent::Send {
+        t: env.sent,
+        src: env.src,
+        dst: env.dst,
+        bytes: env.size_bytes,
+    });
+    let dst = env.dst;
+    let arrival = env.arrival;
+    sim.cores[dst.index()].inbox.push(env);
+    if sim.cores[dst.index()].in_ready {
+        // Possible priority raise: re-push with the (possibly earlier)
+        // next-event time.
+        if arrival < sim.cores[dst.index()].vtime {
+            let t = ready_priority(sim, dst);
+            sim.ready.push(dst, t);
+        }
+    } else {
+        push_ready(sim, dst);
+    }
+}
+
+/// Make `aid` the current activity of its core, charging the context-switch
+/// cost if it is resuming from a wake.
+pub(crate) fn make_current(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
+    let c = sim.act(aid).core;
+    debug_assert!(sim.cores[c.index()].current.is_none());
+    sim.cores[c.index()].current = Some(aid);
+    sim.floor_dirty = true;
+    let woken = matches!(sim.act(aid).state, ActivityState::Woken);
+    if woken {
+        let wake_time = sim
+            .act_mut(aid)
+            .wake_time
+            .take()
+            .unwrap_or(VirtualTime::ZERO);
+        let charge = sim.act(aid).charge_resume;
+        let core = &mut sim.cores[c.index()];
+        core.advance_to(wake_time);
+        if charge {
+            let cost = core.speed.scale_duration(shared.config.resume_cost);
+            core.advance(cost);
+        }
+    }
+    sim.act_mut(aid).state = ActivityState::Resumable;
+    if woken {
+        sync::publish(sim, shared, c);
+    }
+}
+
+/// Create a new activity as the current activity of `core` (engine-level;
+/// the runtime's `Ops::start_activity` wraps this).
+pub(crate) fn start_activity_impl(
+    sim: &mut Sim,
+    shared: &Shared,
+    core: CoreId,
+    name: &'static str,
+    meta: ActivityMeta,
+    job: TaskFn,
+) -> ActivityId {
+    assert!(
+        sim.cores[core.index()].current.is_none(),
+        "start_activity on a busy core {core}"
+    );
+    let was_idle = sim.cores[core.index()].is_idle();
+    let aid = ActivityId(sim.next_act);
+    sim.next_act += 1;
+    sim.acts.insert(
+        aid.0,
+        Activity {
+            id: aid,
+            core,
+            state: ActivityState::Pending,
+            job: Some(job),
+            worker: None,
+            wake_value: None,
+            wake_time: None,
+            charge_resume: false,
+            meta: Some(meta),
+            name,
+        },
+    );
+    sim.cores[core.index()].current = Some(aid);
+    sim.cores[core.index()].resident += 1;
+    sim.live_activities += 1;
+    sim.floor_dirty = true;
+    sim.stats.activities_started += 1;
+    trace(shared, || TraceEvent::ActivityStart {
+        t: sim.cores[core.index()].vtime,
+        core,
+        aid: aid.0,
+        name,
+    });
+    if sim.live_activities > sim.stats.peak_live_activities {
+        sim.stats.peak_live_activities = sim.live_activities;
+    }
+    assert!(
+        sim.live_activities <= shared.config.max_live_activities,
+        "activity explosion: more than {} live tasks",
+        shared.config.max_live_activities
+    );
+    if was_idle {
+        // The core transitions from shadow time back to a real clock.
+        sync::publish(sim, shared, core);
+    }
+    push_ready(sim, core);
+    aid
+}
+
+/// Wake a blocked activity with a value available at virtual time `at`.
+pub(crate) fn wake_impl(
+    sim: &mut Sim,
+    shared: &Shared,
+    aid: ActivityId,
+    value: Box<dyn std::any::Any + Send>,
+    at: VirtualTime,
+) {
+    let act = sim.act_mut(aid);
+    assert!(
+        matches!(act.state, ActivityState::Blocked(_)),
+        "wake of non-blocked activity {aid:?} in state {:?}",
+        act.state
+    );
+    act.state = ActivityState::Woken;
+    act.wake_value = Some(value);
+    act.wake_time = Some(at);
+    let c = act.core;
+    trace(shared, || TraceEvent::Wake { t: at, core: c });
+    if sim.cores[c.index()].current.is_none() {
+        make_current(sim, shared, aid);
+    } else {
+        sim.cores[c.index()].resumables.push_back(aid);
+    }
+    push_ready(sim, c);
+}
+
+/// Bookkeeping when an activity's closure returns (worker thread, under the
+/// simulation lock).
+pub(crate) fn finish_activity(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
+    let mut act = sim.acts.remove(&aid.0).expect("finishing unknown activity");
+    let c = act.core;
+    debug_assert_eq!(sim.cores[c.index()].current, Some(aid));
+    sim.cores[c.index()].current = None;
+    sim.cores[c.index()].resident -= 1;
+    sim.live_activities -= 1;
+    // The working set changed: global-policy floors must be recomputed.
+    sim.floor_dirty = true;
+    let meta = act.meta.take().expect("activity meta missing at end");
+    trace(shared, || TraceEvent::ActivityEnd {
+        t: sim.cores[c.index()].vtime,
+        core: c,
+        aid: aid.0,
+        name: act.name,
+    });
+    {
+        let mut ops = Ops::new(sim, shared);
+        shared.hooks.on_activity_end(&mut ops, c, meta);
+    }
+    // Possible idle transition; also the hooks may have advanced the clock.
+    sync::publish(sim, shared, c);
+    if is_ready(sim, c) {
+        push_ready(sim, c);
+    }
+}
+
+/// Process every message whose virtual arrival time has already passed on
+/// core `c`. Called from `ExecCtx` at each timing-annotation boundary: a
+/// running task's core handles due protocol requests (probes, lock
+/// requests, occupancy updates...) at its runtime entry points instead of
+/// making senders wait until the task yields. Handlers may advance the
+/// clock, making further messages due — the loop keeps going until none
+/// remain.
+pub(crate) fn drain_due_messages(sim: &mut Sim, shared: &Shared, c: CoreId) {
+    loop {
+        let now = sim.cores[c.index()].vtime;
+        let Some(env) = sim.cores[c.index()].inbox.pop_arrived(now) else {
+            return;
+        };
+        let late = now.saturating_since(env.arrival);
+        if env.arrival < now {
+            sim.stats.late_messages += 1;
+            sim.stats.late_by_total += now - env.arrival;
+        } else {
+            sim.stats.on_time_messages += 1;
+        }
+        trace(shared, || TraceEvent::Process {
+            arrival: env.arrival,
+            t: now,
+            core: c,
+            late_by: late.ticks(),
+        });
+        let mut ops = Ops::new(sim, shared);
+        shared.hooks.on_message(&mut ops, env);
+    }
+}
+
+/// One message-processing step on core `c`.
+///
+/// A message is processed at `max(core clock, arrival)`: the clock records
+/// how long the core has been busy in virtual time, so work cannot start
+/// before the core frees up; a message whose arrival stamp is already in
+/// the core's past is processed late (the accuracy-loss mechanism of paper
+/// §II.A — replies still carry request-relative stamps, so the lateness
+/// does not leak into the requester's timeline).
+fn process_message(sim: &mut Sim, shared: &Shared, c: CoreId) {
+    let env = sim.cores[c.index()].inbox.pop().expect("no message");
+    let pre = sim.cores[c.index()].vtime;
+    if env.arrival < pre {
+        sim.stats.late_messages += 1;
+        sim.stats.late_by_total += pre - env.arrival;
+    } else {
+        sim.stats.on_time_messages += 1;
+    }
+    sim.cores[c.index()].advance_to(env.arrival);
+    trace(shared, || TraceEvent::Process {
+        arrival: env.arrival,
+        t: sim.cores[c.index()].vtime,
+        core: c,
+        late_by: pre.saturating_since(env.arrival).ticks(),
+    });
+    sync::publish(sim, shared, c);
+    let mut ops = Ops::new(sim, shared);
+    shared.hooks.on_message(&mut ops, env);
+}
+
+/// What the scheduler decided to do with a popped ready core.
+enum Action {
+    Message,
+    Grant(ActivityId),
+    ResumeParked,
+    Idle,
+    Nothing,
+}
+
+fn decide(sim: &Sim, c: CoreId) -> Action {
+    let core = &sim.cores[c.index()];
+    let cur_grantable = core.current.map(|a| sim.act(a).grantable());
+    if let Some(arr) = core.inbox.earliest_arrival() {
+        // Prefer the message unless something runnable on this core is
+        // earlier in virtual time than the message's arrival: the current
+        // activity's clock, or the front resumable's wake time (processing
+        // a future-stamped message first would needlessly inflate the
+        // resumed task's clock to the message's arrival).
+        let prefer_msg = match cur_grantable {
+            Some(true) => arr <= core.vtime,
+            Some(false) => true,
+            None => match core.resumables.front().and_then(|&a| sim.act(a).wake_time) {
+                Some(wake) => arr <= wake.max(core.vtime),
+                None => true,
+            },
+        };
+        if prefer_msg {
+            return Action::Message;
+        }
+    }
+    match core.current {
+        Some(a) if cur_grantable == Some(true) => Action::Grant(a),
+        Some(_) => Action::Nothing, // stalled current; wait for drift event
+        None => {
+            if !core.resumables.is_empty() {
+                Action::ResumeParked
+            } else if core.queue_hint > 0 {
+                Action::Idle
+            } else {
+                Action::Nothing
+            }
+        }
+    }
+}
+
+fn deadlock_report(sim: &Sim) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("no runnable core but work remains;");
+    let _ = write!(s, " live_activities={}", sim.live_activities);
+    for (idx, core) in sim.cores.iter().enumerate() {
+        if core.resident > 0 || core.queue_hint > 0 || !core.inbox.is_empty() {
+            let _ = write!(
+                s,
+                "\n  core{idx}: vtime={} inbox={} queued={} lock_depth={}",
+                core.vtime,
+                core.inbox.len(),
+                core.queue_hint,
+                core.lock_depth
+            );
+            if let Some(a) = core.current {
+                let act = sim.act(a);
+                let _ = write!(s, " current={:?}({}) {:?}", act.id, act.name, act.state);
+            }
+        }
+    }
+    for act in sim.acts.values() {
+        if let ActivityState::Blocked(reason) = act.state {
+            let _ = write!(s, "\n  blocked {:?}({}) on {} @{}", act.id, act.name, reason, act.core);
+        }
+    }
+    s
+}
+
+/// Run a simulation.
+///
+/// * `topo` — the interconnect (see `simany-topology`).
+/// * `config` — engine configuration (synchronization policy, seeds,
+///   per-core speeds, cost model...).
+/// * `hooks` — the task run-time system (see [`RuntimeHooks`]).
+/// * `setup` — runs once before the first scheduler pick, with full [`Ops`]
+///   access; typically starts the root task on core 0.
+///
+/// Returns run statistics, or an error if the program deadlocked or a task
+/// panicked.
+pub fn simulate(
+    topo: Topology,
+    config: EngineConfig,
+    hooks: Arc<dyn RuntimeHooks>,
+    setup: impl FnOnce(&mut Ops<'_>),
+) -> Result<SimStats, SimError> {
+    let n = topo.n_cores();
+    if let Some(speeds) = &config.speeds {
+        assert_eq!(
+            speeds.len(),
+            n as usize,
+            "speeds length must match core count"
+        );
+    }
+    let start_wall = std::time::Instant::now();
+    let cores: Vec<CoreState> = (0..n)
+        .map(|i| {
+            let pred = ProbBranchPredictor::new(
+                config.cost_model.branch_accuracy,
+                config.cost_model.pipeline_depth,
+                Xoshiro256StarStar::stream(config.seed, 0x1000_0000 + u64::from(i)),
+            );
+            CoreState::new(config.speed_of(i), pred)
+        })
+        .collect();
+    let sim = Sim {
+        cores,
+        net: NetworkModel::new(topo.clone(), config.net),
+        acts: HashMap::new(),
+        next_act: 0,
+        next_birth: 0,
+        token: Token::Scheduler,
+        ready: ReadyQueue::new(config.pick, config.seed),
+        stats: SimStats::default(),
+        worker_cvs: Vec::new(),
+        worker_assigned: Vec::new(),
+        free_workers: Vec::new(),
+        shutdown: false,
+        failure: None,
+        live_activities: 0,
+        floor_dirty: false,
+        max_vtime: VirtualTime::ZERO,
+        rng: Xoshiro256StarStar::stream(config.seed, 0x5EED),
+        referee_watchers: vec![Vec::new(); n as usize],
+    };
+    let shared = Arc::new(Shared {
+        sim: Mutex::new(sim),
+        sched_cv: Condvar::new(),
+        hooks,
+        config,
+        topo,
+    });
+
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    {
+        let mut sim = shared.sim.lock();
+        {
+            let mut ops = Ops::new(&mut sim, &shared);
+            setup(&mut ops);
+        }
+
+        // Policies whose stall conditions depend on machine-wide state
+        // (the global floor, or an arbitrary referee core) get a full
+        // stalled-recheck whenever that state may have changed. Spatial
+        // synchronization needs no such sweep: its wake conditions are
+        // purely local and handled by neighbor publishes.
+        let global_policy = matches!(
+            shared.config.sync,
+            SyncPolicy::BoundedSlack { .. }
+                | SyncPolicy::Conservative
+                | SyncPolicy::RandomReferee { .. }
+        );
+
+        loop {
+            if sim.failure.is_some() {
+                break;
+            }
+            if global_policy && sim.floor_dirty {
+                sim.floor_dirty = false;
+                sync::recheck_all_stalled(&mut sim, &shared);
+            }
+            // Pop a valid ready core (skipping stale entries).
+            let mut picked = None;
+            while let Some(c) = sim.ready.pop() {
+                sim.cores[c.index()].in_ready = false;
+                if is_ready(&sim, c) {
+                    picked = Some(c);
+                    break;
+                }
+            }
+            let Some(c) = picked else {
+                let quiet = sim.live_activities == 0
+                    && sim
+                        .cores
+                        .iter()
+                        .all(|k| k.inbox.is_empty() && k.queue_hint == 0);
+                if quiet {
+                    break; // normal completion
+                }
+                sim.failure = Some(format!("DEADLOCK {}", deadlock_report(&sim)));
+                break;
+            };
+            sim.stats.scheduler_picks += 1;
+            let sample_every = shared.config.parallelism_sample_every;
+            if sample_every != 0 && sim.stats.scheduler_picks.is_multiple_of(sample_every) {
+                let avail = (0..sim.cores.len() as u32)
+                    .filter(|&i| is_ready(&sim, CoreId(i)))
+                    .count() as u32;
+                sim.stats.parallelism_samples.push(avail);
+            }
+
+            match decide(&sim, c) {
+                Action::Message => process_message(&mut sim, &shared, c),
+                Action::Grant(aid) => {
+                    grant(&mut sim, &shared, &mut handles, aid);
+                    while sim.token != Token::Scheduler {
+                        shared.sched_cv.wait(&mut sim);
+                    }
+                }
+                Action::ResumeParked => {
+                    let aid = sim.cores[c.index()].resumables.pop_front().unwrap();
+                    make_current(&mut sim, &shared, aid);
+                    // Grant immediately if still allowed (it may have become
+                    // stalled by the resume-cost advance).
+                    if sim.act(aid).grantable() {
+                        grant(&mut sim, &shared, &mut handles, aid);
+                        while sim.token != Token::Scheduler {
+                            shared.sched_cv.wait(&mut sim);
+                        }
+                    }
+                }
+                Action::Idle => {
+                    let before_hint = sim.cores[c.index()].queue_hint;
+                    {
+                        let mut ops = Ops::new(&mut sim, &shared);
+                        shared.hooks.on_idle(&mut ops, c);
+                    }
+                    assert!(
+                        sim.cores[c.index()].queue_hint < before_hint
+                            || sim.cores[c.index()].current.is_some(),
+                        "on_idle made no progress (runtime bug)"
+                    );
+                }
+                Action::Nothing => {}
+            }
+            if is_ready(&sim, c) {
+                push_ready(&mut sim, c);
+            }
+        }
+
+        // Teardown: release every parked worker.
+        sim.shutdown = true;
+        for cv in &sim.worker_cvs {
+            cv.notify_one();
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let shared = Arc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("worker threads still hold the engine"));
+    let sim = shared.sim.into_inner();
+    if let Some(f) = sim.failure {
+        return Err(if let Some(msg) = f.strip_prefix("DEADLOCK ") {
+            SimError::Deadlock(msg.to_string())
+        } else {
+            SimError::TaskPanic(f)
+        });
+    }
+    let mut stats = sim.stats;
+    stats.final_vtime = sim
+        .cores
+        .iter()
+        .map(|c| c.vtime)
+        .max()
+        .unwrap_or(VirtualTime::ZERO);
+    stats.core_busy = sim.cores.iter().map(|c| c.busy).collect();
+    stats.net = sim.net.stats().clone();
+    stats.hot_links = sim
+        .net
+        .busiest_links(8)
+        .into_iter()
+        .map(|(props, busy)| (props.src, props.dst, busy))
+        .collect();
+    stats.wall = start_wall.elapsed();
+    Ok(stats)
+}
+
+/// Hand the run token to `aid`, binding it to a worker thread first if it
+/// has never run.
+fn grant(
+    sim: &mut Sim,
+    shared: &Arc<Shared>,
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+    aid: ActivityId,
+) {
+    let worker = match sim.act(aid).worker {
+        Some(w) => w,
+        None => {
+            let w = match sim.free_workers.pop() {
+                Some(w) => w,
+                None => spawn_worker(sim, shared, handles),
+            };
+            sim.worker_assigned[w] = Some(aid);
+            sim.act_mut(aid).worker = Some(w);
+            w
+        }
+    };
+    sim.act_mut(aid).state = ActivityState::Granted;
+    sim.token = Token::Act(aid);
+    sim.stats.activity_resumes += 1;
+    sim.worker_cvs[worker].notify_one();
+}
+
+fn spawn_worker(
+    sim: &mut Sim,
+    shared: &Arc<Shared>,
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+) -> usize {
+    let idx = sim.worker_cvs.len();
+    let cv = Arc::new(Condvar::new());
+    sim.worker_cvs.push(cv.clone());
+    sim.worker_assigned.push(None);
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("simany-worker-{idx}"))
+        .stack_size(shared.config.worker_stack_bytes)
+        .spawn(move || worker_main(shared2, idx, cv))
+        .expect("failed to spawn worker thread");
+    handles.push(handle);
+    idx
+}
+
+fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
+    loop {
+        // Wait for an assignment with a granted token.
+        let (aid, core, job) = {
+            let mut sim = shared.sim.lock();
+            loop {
+                if sim.shutdown {
+                    return;
+                }
+                if let Some(aid) = sim.worker_assigned[idx] {
+                    if sim.token == Token::Act(aid)
+                        && matches!(sim.act(aid).state, ActivityState::Granted)
+                    {
+                        break;
+                    }
+                }
+                cv.wait(&mut sim);
+            }
+            let aid = sim.worker_assigned[idx].unwrap();
+            let job = sim.act_mut(aid).job.take().expect("granted without job");
+            (aid, sim.act(aid).core, job)
+        };
+
+        let mut ctx = crate::ctx::ExecCtx::new(Arc::clone(&shared), aid, core, cv.clone());
+        let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
+
+        let mut sim = shared.sim.lock();
+        match result {
+            Ok(()) => finish_activity(&mut sim, &shared, aid),
+            Err(payload) => {
+                if payload.downcast_ref::<ShutdownSignal>().is_none() && sim.failure.is_none() {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                    sim.failure = Some(format!("task '{}' panicked: {msg}", "activity"));
+                }
+            }
+        }
+        sim.worker_assigned[idx] = None;
+        sim.free_workers.push(idx);
+        sim.token = Token::Scheduler;
+        shared.sched_cv.notify_one();
+        if sim.shutdown {
+            return;
+        }
+    }
+}

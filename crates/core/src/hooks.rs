@@ -1,0 +1,51 @@
+//! The interface between the engine and the task run-time system.
+//!
+//! The engine simulates cores, clocks, drift and message transport; it
+//! knows nothing about probes, task queues, joins, locks or data cells.
+//! That protocol lives above, in an implementation of [`RuntimeHooks`]
+//! (`simany-runtime` provides the paper's Capsule/TBB-like model).
+//!
+//! Hook implementations own their own state (typically behind a
+//! `parking_lot::Mutex` inside the hooks object): every hook invocation and
+//! every task-side `ExecCtx` call is serialized by the engine's simulation
+//! lock, so a runtime mutex is uncontended and only exists to satisfy the
+//! borrow checker across the two entry paths.
+//!
+//! Hooks run on the scheduler (or finishing worker) thread under the
+//! simulation lock and **must never block**; anything that needs to wait
+//! belongs in task code (`ExecCtx::block`).
+
+use crate::ops::Ops;
+use simany_net::Envelope;
+use simany_topology::CoreId;
+use std::any::Any;
+
+/// Runtime-layer callbacks driven by the engine.
+pub trait RuntimeHooks: Send + Sync + 'static {
+    /// A message has been scheduled for processing on its destination core.
+    /// The engine has already advanced the core's clock to at least the
+    /// arrival time; the handler performs the protocol action (reply,
+    /// enqueue task, wake a blocked activity, ...) and charges any
+    /// processing time via [`Ops::advance_core`]. Must not block.
+    fn on_message(&self, ops: &mut Ops<'_>, env: Envelope);
+
+    /// `core` has no current activity and declared queued work
+    /// (`queue_hint > 0`): start the next task (via
+    /// [`Ops::start_activity`]) and update the hint. Must not block.
+    fn on_idle(&self, ops: &mut Ops<'_>, core: CoreId);
+
+    /// An activity's closure returned. `meta` is the descriptor passed at
+    /// `start_activity`; typical duties: decrement the task group counter,
+    /// notify joiners, broadcast queue occupancy. Must not block.
+    fn on_activity_end(&self, ops: &mut Ops<'_>, core: CoreId, meta: Box<dyn Any + Send>);
+}
+
+/// A do-nothing hooks implementation for engine-level tests that only use
+/// plain activities and raw messages.
+pub struct NullHooks;
+
+impl RuntimeHooks for NullHooks {
+    fn on_message(&self, _ops: &mut Ops<'_>, _env: Envelope) {}
+    fn on_idle(&self, _ops: &mut Ops<'_>, _core: CoreId) {}
+    fn on_activity_end(&self, _ops: &mut Ops<'_>, _core: CoreId, _meta: Box<dyn Any + Send>) {}
+}

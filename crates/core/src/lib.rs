@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # simany-core — the SiMany discrete-event engine
+//!
+//! This crate is the paper's primary contribution: a discrete-event
+//! simulator for many-core architectures whose virtual clocks are kept
+//! approximately coherent by **spatial synchronization** (paper §II):
+//!
+//! > "Cores are allowed to advance to different virtual times, but they are
+//! > not allowed to drift from their neighbors by more than T."
+//!
+//! ## Execution model
+//!
+//! The simulator runs a *program* — a set of dynamically created tasks
+//! written as ordinary Rust closures — on `n` simulated cores. Exactly one
+//! simulated entity executes at any instant (the paper runs in "a single
+//! system process and uses non-preemptive userland scheduling"); here a run
+//! token is handed between the scheduler and pooled worker threads under a
+//! single mutex, which keeps the simulation deterministic and data-race
+//! free while letting task bodies be ordinary (even recursive) native code.
+//!
+//! Between interaction points task code runs natively at host speed;
+//! virtual time advances only through timing annotations
+//! ([`ExecCtx::compute`]) and simulator-computed communication delays.
+//!
+//! ## Synchronization policies
+//!
+//! [`SyncPolicy::Spatial`] is the paper's contribution; the crate also
+//! implements the schemes the paper compares against (global bounded slack
+//! à la SlackSim, random-referee à la Graphite's LaxP2P, conservative
+//! global order, and free-running) so that the accuracy/speed trade-off can
+//! be measured within one code base.
+//!
+//! ## Layering
+//!
+//! The engine knows nothing about tasks' protocol (probes, joins, locks,
+//! data cells): that lives in `simany-runtime`, which implements the
+//! [`RuntimeHooks`] trait. The engine provides cores, clocks, drift
+//! control, message transport and activity scheduling.
+
+pub mod activity;
+pub mod config;
+pub mod ctx;
+pub mod engine;
+pub mod hooks;
+pub mod ops;
+pub mod ready;
+pub mod state;
+pub mod stats;
+pub mod sync;
+pub mod trace;
+
+pub use activity::{ActivityId, ActivityMeta};
+pub use state::BirthId;
+pub use config::{EngineConfig, PickPolicy, SyncPolicy};
+pub use ctx::ExecCtx;
+pub use engine::{simulate, SimError, SimResult};
+pub use hooks::RuntimeHooks;
+pub use ops::Ops;
+pub use stats::SimStats;
+pub use trace::{MemoryTracer, TraceEvent, Tracer};
+
+// Re-export the vocabulary types users constantly need together with the
+// engine.
+pub use simany_net::{Envelope, Payload};
+pub use simany_time::{BlockCost, CoreSpeed, CostModel, VDuration, VirtualTime};
+pub use simany_topology::{CoreId, Topology};

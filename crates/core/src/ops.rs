@@ -1,0 +1,233 @@
+//! `Ops` — the full simulator API available to runtime hooks (and, through
+//! `ExecCtx::with_ops`, to task code while it holds the run token).
+//!
+//! Everything here executes under the simulation lock and never blocks.
+
+use crate::activity::{ActivityId, ActivityMeta, TaskFn};
+use crate::engine::{deliver, start_activity_impl, wake_impl, Shared, Sim};
+use crate::state::BirthId;
+use crate::sync;
+use simany_net::Payload;
+use simany_time::{BlockCost, CoreSpeed, CostModel, VDuration, VirtualTime};
+use simany_topology::CoreId;
+
+/// Handle over the full simulator state, passed to [`crate::RuntimeHooks`]
+/// callbacks.
+pub struct Ops<'a> {
+    pub(crate) sim: &'a mut Sim,
+    pub(crate) shared: &'a Shared,
+}
+
+impl<'a> Ops<'a> {
+    pub(crate) fn new(sim: &'a mut Sim, shared: &'a Shared) -> Self {
+        Ops { sim, shared }
+    }
+
+    /// Number of simulated cores.
+    pub fn n_cores(&self) -> u32 {
+        self.shared.topo.n_cores()
+    }
+
+    /// Virtual clock of `core`.
+    pub fn now(&self, core: CoreId) -> VirtualTime {
+        self.sim.cores[core.index()].vtime
+    }
+
+    /// Published (neighbor-visible) time of `core` — its clock while
+    /// working, its shadow time while idle.
+    pub fn published(&self, core: CoreId) -> VirtualTime {
+        self.sim.cores[core.index()].published
+    }
+
+    /// Topological neighbors of `core`.
+    pub fn neighbors(&self, core: CoreId) -> Vec<CoreId> {
+        self.shared
+            .topo
+            .neighbors(core)
+            .iter()
+            .map(|&(n, _)| n)
+            .collect()
+    }
+
+    /// Speed factor of `core`.
+    pub fn speed(&self, core: CoreId) -> CoreSpeed {
+        self.sim.cores[core.index()].speed
+    }
+
+    /// The shared instruction cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.shared.config.cost_model
+    }
+
+    /// The engine's master seed (for deriving runtime-level PRNG streams).
+    pub fn seed(&self) -> u64 {
+        self.shared.config.seed
+    }
+
+    /// True iff `core` hosts no work at all.
+    pub fn is_idle(&self, core: CoreId) -> bool {
+        self.sim.cores[core.index()].is_idle()
+    }
+
+    /// The activity currently scheduled on `core`, if any.
+    pub fn current_activity(&self, core: CoreId) -> Option<ActivityId> {
+        self.sim.cores[core.index()].current
+    }
+
+    /// Advance `core`'s clock by `base_cycles` of work, scaled by the
+    /// core's speed (polymorphic cores take longer).
+    pub fn advance_core(&mut self, core: CoreId, base_cycles: u64) {
+        let d = self.sim.cores[core.index()].speed.scale_cycles(base_cycles);
+        self.sim.cores[core.index()].advance(d);
+        sync::publish(self.sim, self.shared, core);
+    }
+
+    /// Advance `core`'s clock by an exact duration (no speed scaling).
+    pub fn advance_core_raw(&mut self, core: CoreId, d: VDuration) {
+        self.sim.cores[core.index()].advance(d);
+        sync::publish(self.sim, self.shared, core);
+    }
+
+    /// Advance `core`'s clock forward to `t` if it is later (waiting, not
+    /// busy time).
+    pub fn advance_core_to(&mut self, core: CoreId, t: VirtualTime) {
+        self.sim.cores[core.index()].advance_to(t);
+        sync::publish(self.sim, self.shared, core);
+    }
+
+    /// Charge `core` for a block annotation: instruction-class costs plus
+    /// probabilistic branch-prediction penalties, speed-scaled.
+    pub fn charge_block(&mut self, core: CoreId, block: &BlockCost) {
+        let mut cycles = self.shared.config.cost_model.block_cycles(block);
+        let branches = block.cond_branch_count();
+        if branches > 0 {
+            cycles += self.sim.cores[core.index()].predictor.predict_many(branches);
+        }
+        self.advance_core(core, cycles);
+    }
+
+    /// Send a message from `src` (stamped with `src`'s current clock) to
+    /// `dst` through the interconnect model; it lands in `dst`'s inbox with
+    /// a simulator-computed arrival time.
+    pub fn send(&mut self, src: CoreId, dst: CoreId, size_bytes: u32, payload: Payload) {
+        let sent = self.sim.cores[src.index()].vtime;
+        let env = self.sim.net.send(src, dst, size_bytes, sent, payload);
+        deliver(self.sim, self.shared, env);
+    }
+
+    /// Send a message with an explicit departure stamp instead of the
+    /// sender's clock. This implements the paper's reply rule: "If a
+    /// request requires a reply, the reply message is dated with the
+    /// request time augmented with a local processing time" (§II.A) — a
+    /// responder whose own clock has drifted must not leak that drift into
+    /// the requester's timeline.
+    pub fn send_at(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        size_bytes: u32,
+        at: VirtualTime,
+        payload: Payload,
+    ) {
+        let env = self.sim.net.send(src, dst, size_bytes, at, payload);
+        deliver(self.sim, self.shared, env);
+    }
+
+    /// Pure route latency estimate (no contention) — used by memory models.
+    pub fn uncontended_latency(&self, src: CoreId, dst: CoreId, size: u32) -> VDuration {
+        self.sim.net.uncontended_latency(src, dst, size)
+    }
+
+    /// Simulate a payload-less transfer on the interconnect departing at
+    /// `depart`: walks the route updating per-link contention and returns
+    /// the arrival time. The cycle-level reference uses this for coherence
+    /// protocol legs, which contend for links like any other traffic but
+    /// need no envelope/handler machinery.
+    pub fn transit(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        size: u32,
+        depart: VirtualTime,
+    ) -> VirtualTime {
+        self.sim.net.transit(src, dst, size, depart)
+    }
+
+    /// Start a new activity as the current activity of `core` (which must
+    /// have none). The task body runs with the core's clock as it stands —
+    /// charge any task-start overhead *before* calling.
+    pub fn start_activity(
+        &mut self,
+        core: CoreId,
+        name: &'static str,
+        meta: ActivityMeta,
+        job: TaskFn,
+    ) -> ActivityId {
+        start_activity_impl(self.sim, self.shared, core, name, meta, job)
+    }
+
+    /// Wake a blocked activity, delivering `value` (available at virtual
+    /// time `at`) to its pending `ExecCtx::block` call.
+    pub fn wake(&mut self, aid: ActivityId, value: Box<dyn std::any::Any + Send>, at: VirtualTime) {
+        wake_impl(self.sim, self.shared, aid, value, at);
+    }
+
+    /// Declare `n` additional queued-but-unstarted work items on `core`
+    /// (the engine will call `on_idle` while the hint is positive and the
+    /// core has no current activity).
+    pub fn queue_hint_add(&mut self, core: CoreId, n: u32) {
+        let was_idle = self.sim.cores[core.index()].is_idle();
+        self.sim.cores[core.index()].queue_hint += n;
+        self.sim.floor_dirty = true;
+        if was_idle {
+            sync::publish(self.sim, self.shared, core);
+        }
+        crate::engine::push_ready(self.sim, core);
+    }
+
+    /// Remove `n` queued work items from `core`'s hint.
+    pub fn queue_hint_sub(&mut self, core: CoreId, n: u32) {
+        let hint = &mut self.sim.cores[core.index()].queue_hint;
+        assert!(*hint >= n, "queue_hint underflow on {core}");
+        *hint -= n;
+        self.sim.floor_dirty = true;
+        if self.sim.cores[core.index()].is_idle() {
+            sync::publish(self.sim, self.shared, core);
+        }
+    }
+
+    /// Record the birth of an in-flight spawned task: until discarded, the
+    /// birth time bounds `core`'s drift as if the new task were a neighbor
+    /// (paper §II.A, *Time drift of dynamically created tasks*).
+    pub fn record_birth(&mut self, core: CoreId, birth: VirtualTime) -> BirthId {
+        let id = BirthId(self.sim.next_birth);
+        self.sim.next_birth += 1;
+        self.sim.cores[core.index()].births.push((id, birth));
+        self.sim.floor_dirty = true;
+        id
+    }
+
+    /// Discard a birth entry (the spawned task landed on its destination);
+    /// the spawning core may become unstalled.
+    pub fn discard_birth(&mut self, core: CoreId, id: BirthId) {
+        let births = &mut self.sim.cores[core.index()].births;
+        let pos = births
+            .iter()
+            .position(|&(b, _)| b == id)
+            .expect("unknown birth id");
+        births.swap_remove(pos);
+        self.sim.floor_dirty = true;
+        sync::recheck_stall(self.sim, self.shared, core);
+    }
+
+    /// Sum of the per-link latencies on the route `src -> dst` (reporting /
+    /// placement heuristics).
+    pub fn path_latency(&self, src: CoreId, dst: CoreId) -> VDuration {
+        self.sim.net.routing().path_latency(src, dst)
+    }
+
+    /// Mutable access to the run statistics (runtime-layer counters).
+    pub fn stats_mut(&mut self) -> &mut crate::stats::SimStats {
+        &mut self.sim.stats
+    }
+}

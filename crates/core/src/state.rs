@@ -1,0 +1,161 @@
+//! Per-core simulator state.
+
+use crate::activity::ActivityId;
+use simany_net::Inbox;
+use simany_time::{CoreSpeed, ProbBranchPredictor, VDuration, VirtualTime};
+use std::collections::VecDeque;
+
+/// Identifier of a birth-ledger entry (an in-flight spawned task whose start
+/// time still bounds its parent core's drift, paper §II.A *Time drift of
+/// dynamically created tasks*).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BirthId(pub u64);
+
+/// All engine state attached to one simulated core.
+pub struct CoreState {
+    /// The core's private virtual clock. Meaningful only while the core is
+    /// working; retains its last value when the core goes idle.
+    pub vtime: VirtualTime,
+    /// The value this core exposes to its neighbors: its clock while
+    /// working, its *shadow virtual time* while idle (paper §II.A
+    /// *Non-connected sets of active cores*). Monotonically non-decreasing.
+    pub published: VirtualTime,
+    /// Speed factor (polymorphic architectures).
+    pub speed: CoreSpeed,
+    /// Activity that runs when this core is scheduled, if any.
+    pub current: Option<ActivityId>,
+    /// Woken activities waiting to become current again (FIFO).
+    pub resumables: VecDeque<ActivityId>,
+    /// Number of activities resident on this core (current + blocked +
+    /// woken). Zero together with `queue_hint == 0` means the core is idle.
+    pub resident: u32,
+    /// Runtime-declared count of queued-but-unstarted work items; the
+    /// engine calls `RuntimeHooks::on_idle` while this is non-zero and the
+    /// core has no current activity.
+    pub queue_hint: u32,
+    /// Nesting depth of held locks / critical sections. While non-zero the
+    /// synchronization policy never stalls this core (the lock waiver of
+    /// paper §II.B, *Locks and critical sections*).
+    pub lock_depth: u32,
+    /// Birth ledger: `(id, birth virtual time)` of tasks this core spawned
+    /// that have not yet landed on their destination core.
+    pub births: Vec<(BirthId, VirtualTime)>,
+    /// Incoming messages not yet processed.
+    pub inbox: Inbox,
+    /// This core's probabilistic branch predictor.
+    pub predictor: ProbBranchPredictor,
+    /// Accumulated busy virtual time (for utilization statistics).
+    pub busy: VDuration,
+    /// Scheduling flag: true while the core sits in the ready queue.
+    pub in_ready: bool,
+    /// Random-referee policy: the core currently used as referee, if any.
+    pub referee: Option<simany_topology::CoreId>,
+}
+
+impl CoreState {
+    /// Fresh core state.
+    pub fn new(speed: CoreSpeed, predictor: ProbBranchPredictor) -> Self {
+        CoreState {
+            vtime: VirtualTime::ZERO,
+            published: VirtualTime::ZERO,
+            speed,
+            current: None,
+            resumables: VecDeque::new(),
+            resident: 0,
+            queue_hint: 0,
+            lock_depth: 0,
+            births: Vec::new(),
+            inbox: Inbox::new(),
+            predictor,
+            busy: VDuration::ZERO,
+            in_ready: false,
+            referee: None,
+        }
+    }
+
+    /// True iff the core is not executing and has nothing runnable: no
+    /// current activity, no woken activities waiting to resume, and no
+    /// queued tasks. Idle cores expose a shadow time instead of a clock.
+    ///
+    /// Activities *blocked* on a wake do not make a core busy: their clock
+    /// is frozen and their resume time will come from the waking message,
+    /// exactly like a fresh task spawn — so the core must relay shadow time
+    /// meanwhile, or it would stall its whole neighborhood on a clock that
+    /// cannot advance (cf. paper §II.A, idle cores "do not have a virtual
+    /// time of their own").
+    pub fn is_idle(&self) -> bool {
+        self.current.is_none() && self.resumables.is_empty() && self.queue_hint == 0
+    }
+
+    /// Earliest birth time in the ledger, if any.
+    pub fn min_birth(&self) -> Option<VirtualTime> {
+        self.births.iter().map(|&(_, t)| t).min()
+    }
+
+    /// Advance the clock by `d`, accounting busy time.
+    pub fn advance(&mut self, d: VDuration) {
+        self.vtime += d;
+        self.busy += d;
+    }
+
+    /// Jump the clock forward to `t` if it is later (e.g. to a message
+    /// arrival time); the jumped-over span is waiting, not busy time.
+    pub fn advance_to(&mut self, t: VirtualTime) {
+        self.vtime = self.vtime.max(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simany_time::Xoshiro256StarStar;
+
+    fn core() -> CoreState {
+        CoreState::new(
+            CoreSpeed::BASE,
+            ProbBranchPredictor::new(0.9, 5, Xoshiro256StarStar::seeded(1)),
+        )
+    }
+
+    #[test]
+    fn idle_definition() {
+        let mut c = core();
+        assert!(c.is_idle());
+        c.queue_hint = 1;
+        assert!(!c.is_idle());
+        c.queue_hint = 0;
+        c.current = Some(crate::activity::ActivityId(0));
+        assert!(!c.is_idle());
+        c.current = None;
+        c.resumables.push_back(crate::activity::ActivityId(1));
+        assert!(!c.is_idle());
+        // Blocked-only residents leave the core idle (shadow time).
+        c.resumables.clear();
+        c.resident = 1;
+        assert!(c.is_idle());
+    }
+
+    #[test]
+    fn advance_tracks_busy_time() {
+        let mut c = core();
+        c.advance(VDuration::from_cycles(10));
+        assert_eq!(c.vtime, VirtualTime::from_cycles(10));
+        assert_eq!(c.busy, VDuration::from_cycles(10));
+        // advance_to does not add busy time.
+        c.advance_to(VirtualTime::from_cycles(50));
+        assert_eq!(c.vtime, VirtualTime::from_cycles(50));
+        assert_eq!(c.busy, VDuration::from_cycles(10));
+        // advance_to never rewinds.
+        c.advance_to(VirtualTime::from_cycles(20));
+        assert_eq!(c.vtime, VirtualTime::from_cycles(50));
+    }
+
+    #[test]
+    fn min_birth() {
+        let mut c = core();
+        assert_eq!(c.min_birth(), None);
+        c.births.push((BirthId(0), VirtualTime::from_cycles(30)));
+        c.births.push((BirthId(1), VirtualTime::from_cycles(10)));
+        assert_eq!(c.min_birth(), Some(VirtualTime::from_cycles(10)));
+    }
+}

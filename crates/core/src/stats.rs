@@ -1,0 +1,129 @@
+//! Simulation statistics and instrumentation counters.
+
+use simany_net::NetStats;
+use simany_time::{VDuration, VirtualTime};
+
+/// Counters accumulated during one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Final virtual time: the largest clock any core reached (program
+    /// completion time; the numerator/denominator of virtual speedups).
+    pub final_vtime: VirtualTime,
+    /// Number of activities (tasks) ever started.
+    pub activities_started: u64,
+    /// Number of simulated context switches (token handoffs to activities).
+    pub activity_resumes: u64,
+    /// Times a core stalled due to the synchronization policy.
+    pub stall_events: u64,
+    /// Messages processed after their virtual arrival time had already
+    /// passed on the receiving core ("out-of-order" processing; the paper's
+    /// accuracy-loss source, §II.A).
+    pub late_messages: u64,
+    /// Total virtual lateness of late messages (how far in the receiver's
+    /// past their arrival stamps were).
+    pub late_by_total: VDuration,
+    /// Messages processed in order (arrival time >= receiver clock).
+    pub on_time_messages: u64,
+    /// Per-core busy virtual time (time spent advancing, not waiting).
+    pub core_busy: Vec<VDuration>,
+    /// Network statistics (messages, bytes, hops, link contention).
+    pub net: NetStats,
+    /// Wall-clock duration of the run.
+    pub wall: std::time::Duration,
+    /// Largest observed instantaneous neighbor drift (ticks), for checking
+    /// the spatial-synchronization bound.
+    pub max_neighbor_drift: VDuration,
+    /// Largest number of live activities at any point.
+    pub peak_live_activities: usize,
+    /// Number of scheduler picks.
+    pub scheduler_picks: u64,
+    /// Sampled available host parallelism (cores with independently
+    /// runnable work at sampling instants); empty unless
+    /// `EngineConfig::parallelism_sample_every` is set.
+    pub parallelism_samples: Vec<u32>,
+    /// The busiest directed links of the run — NoC hotspots —
+    /// as `(src, dst, busy transmission time)`, descending.
+    pub hot_links: Vec<(simany_topology::CoreId, simany_topology::CoreId, VDuration)>,
+}
+
+impl SimStats {
+    /// Fraction of processed messages that were late (0 when none).
+    pub fn late_fraction(&self) -> f64 {
+        let total = self.late_messages + self.on_time_messages;
+        if total == 0 {
+            0.0
+        } else {
+            self.late_messages as f64 / total as f64
+        }
+    }
+
+    /// Average busy time across cores, in cycles.
+    pub fn mean_busy_cycles(&self) -> f64 {
+        if self.core_busy.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.core_busy.iter().map(|d| d.ticks()).sum();
+        total as f64 / self.core_busy.len() as f64 / simany_time::TICKS_PER_CYCLE as f64
+    }
+
+    /// Mean of the available-parallelism samples (0 when not sampled).
+    pub fn mean_parallelism(&self) -> f64 {
+        if self.parallelism_samples.is_empty() {
+            return 0.0;
+        }
+        self.parallelism_samples.iter().map(|&x| f64::from(x)).sum::<f64>()
+            / self.parallelism_samples.len() as f64
+    }
+
+    /// Percentile (0..=100) of the available-parallelism samples.
+    pub fn parallelism_percentile(&self, p: f64) -> u32 {
+        if self.parallelism_samples.is_empty() {
+            return 0;
+        }
+        let mut v = self.parallelism_samples.clone();
+        v.sort_unstable();
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+
+    /// Core utilization: mean busy time divided by final time (0..1).
+    pub fn utilization(&self) -> f64 {
+        if self.final_vtime.ticks() == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.core_busy.iter().map(|d| d.ticks()).sum();
+        total as f64 / (self.final_vtime.ticks() as f64 * self.core_busy.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_fraction_handles_zero() {
+        let s = SimStats::default();
+        assert_eq!(s.late_fraction(), 0.0);
+    }
+
+    #[test]
+    fn late_fraction_ratio() {
+        let s = SimStats {
+            late_messages: 1,
+            on_time_messages: 3,
+            ..Default::default()
+        };
+        assert!((s.late_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utilization_computation() {
+        let s = SimStats {
+            final_vtime: VirtualTime::from_cycles(100),
+            core_busy: vec![VDuration::from_cycles(50), VDuration::from_cycles(100)],
+            ..Default::default()
+        };
+        assert!((s.utilization() - 0.75).abs() < 1e-12);
+        assert!((s.mean_busy_cycles() - 75.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,231 @@
+//! Virtual-time synchronization: the paper's spatial scheme and the
+//! comparison policies.
+//!
+//! Spatial synchronization (paper §II.A):
+//!
+//! * Every working core exposes (publishes) its clock to its topological
+//!   neighbors; every idle core exposes a *shadow virtual time* — the
+//!   minimum over its neighbors plus `T`, "as if they were executing and
+//!   had advanced to the maximum virtual time allowed by the local time
+//!   window before stalling" — so that drift control spreads through
+//!   non-connected sets of active cores.
+//! * A core whose clock exceeds its most-late neighbor's published time by
+//!   more than `T` stalls until the neighbor catches up.
+//! * The birth times of in-flight spawned tasks count as neighbor clocks of
+//!   the spawning core so that a parent cannot run away from a task it just
+//!   created (§II.A, *Time drift of dynamically created tasks*).
+//! * A core holding a lock or executing a critical section is never
+//!   stalled (§II.B, *Locks and critical sections*).
+
+use crate::activity::ActivityState;
+use crate::config::SyncPolicy;
+use crate::engine::{push_ready, Shared, Sim};
+use simany_time::{VDuration, VirtualTime};
+use simany_topology::CoreId;
+
+/// Recompute and propagate the value core `c` exposes to its neighbors.
+/// Call after any change to `c`'s clock or idle status. Triggers stall
+/// re-checks on every core whose published value changed.
+pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
+    if sim.cores[c.index()].vtime > sim.max_vtime {
+        sim.max_vtime = sim.cores[c.index()].vtime;
+    }
+    let spatial_t = match shared.config.sync {
+        SyncPolicy::Spatial { t } => Some(t),
+        _ => None,
+    };
+    let newval = match spatial_t {
+        Some(t) if sim.cores[c.index()].is_idle() => shadow_value(sim, shared, c, t),
+        _ => sim.cores[c.index()].vtime,
+    };
+    if newval == sim.cores[c.index()].published {
+        return;
+    }
+    sim.cores[c.index()].published = newval;
+    sim.floor_dirty = true;
+
+    let mut changed = vec![c];
+    if let Some(t) = spatial_t {
+        // Relax shadow values through idle regions until fixed point. The
+        // shadow function is monotone in its inputs, so a worklist
+        // relaxation converges; waves are short in practice (idle cores
+        // adjacent to activity frontiers).
+        let mut work: Vec<CoreId> = shared
+            .topo
+            .neighbors(c)
+            .iter()
+            .map(|&(n, _)| n)
+            .filter(|n| sim.cores[n.index()].is_idle())
+            .collect();
+        while let Some(i) = work.pop() {
+            let v = shadow_value(sim, shared, i, t);
+            if v != sim.cores[i.index()].published {
+                sim.cores[i.index()].published = v;
+                changed.push(i);
+                for &(n, _) in shared.topo.neighbors(i) {
+                    if sim.cores[n.index()].is_idle() {
+                        work.push(n);
+                    }
+                }
+            }
+        }
+    }
+
+    // Stall re-checks: neighbors of every changed core, plus any core using
+    // a changed core as its random referee.
+    for &x in &changed {
+        for &(n, _) in shared.topo.neighbors(x) {
+            recheck_stall(sim, shared, n);
+        }
+        let watchers = std::mem::take(&mut sim.referee_watchers[x.index()]);
+        for w in watchers {
+            recheck_stall(sim, shared, CoreId(w));
+        }
+    }
+}
+
+/// The shadow virtual time of idle core `i`: its own last clock maxed with
+/// the minimum of its neighbors' published times plus `t`.
+///
+/// The `min + t` term is capped at `max_vtime + t`: no core's clock exceeds
+/// `max_vtime`, so a published value at or above it can never be the
+/// binding entry of a stall check — and without the cap the min-plus
+/// relaxation has no fixed point in regions with no working core (idle
+/// cores would push each other's shadows up forever).
+fn shadow_value(sim: &Sim, shared: &Shared, i: CoreId, t: VDuration) -> VirtualTime {
+    let min_neigh = shared
+        .topo
+        .neighbors(i)
+        .iter()
+        .map(|&(n, _)| sim.cores[n.index()].published)
+        .min();
+    match min_neigh {
+        Some(m) => sim.cores[i.index()]
+            .vtime
+            .max((m + t).min(sim.max_vtime + t)),
+        None => sim.cores[i.index()].vtime,
+    }
+}
+
+/// If `c`'s current activity is stalled and the synchronization condition
+/// now holds, make it resumable and requeue the core.
+pub(crate) fn recheck_stall(sim: &mut Sim, shared: &Shared, c: CoreId) {
+    let Some(aid) = sim.cores[c.index()].current else {
+        return;
+    };
+    if !sim.act(aid).is_stalled() {
+        return;
+    }
+    if sync_ok(sim, shared, c) {
+        sim.act_mut(aid).state = ActivityState::Resumable;
+        push_ready(sim, c);
+    }
+}
+
+/// Re-check every stalled activity in the machine (used by the global
+/// policies when the global floor may have moved).
+pub(crate) fn recheck_all_stalled(sim: &mut Sim, shared: &Shared) {
+    for i in 0..sim.cores.len() {
+        recheck_stall(sim, shared, CoreId(i as u32));
+    }
+}
+
+/// The local synchronization floor of core `c` under spatial
+/// synchronization: the most-late neighbor's published time, also counting
+/// the birth times of `c`'s in-flight spawned tasks as if they were
+/// neighbors.
+pub(crate) fn local_floor(sim: &Sim, shared: &Shared, c: CoreId) -> VirtualTime {
+    let mut floor = VirtualTime::MAX;
+    for &(n, _) in shared.topo.neighbors(c) {
+        floor = floor.min(sim.cores[n.index()].published);
+    }
+    if let Some(b) = sim.cores[c.index()].min_birth() {
+        floor = floor.min(b);
+    }
+    floor
+}
+
+/// Global floor: the minimum published time over all working cores, also
+/// counting every birth-ledger entry. Used by the BoundedSlack and
+/// Conservative policies.
+pub(crate) fn global_floor(sim: &Sim) -> VirtualTime {
+    let mut floor = VirtualTime::MAX;
+    for core in &sim.cores {
+        if !core.is_idle() {
+            floor = floor.min(core.published);
+        }
+        if let Some(b) = core.min_birth() {
+            floor = floor.min(b);
+        }
+    }
+    floor
+}
+
+/// Does the synchronization policy allow core `c` to execute task code
+/// right now?
+///
+/// Also maintains the max-drift statistic and the random-referee state.
+pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
+    // Lock waiver: a core holding a lock or inside a critical section is
+    // temporarily exempt so it can release its resources (paper §II.B).
+    if sim.cores[c.index()].lock_depth > 0 {
+        return true;
+    }
+    let vtime = sim.cores[c.index()].vtime;
+    match shared.config.sync {
+        SyncPolicy::Spatial { t } => {
+            let floor = local_floor(sim, shared, c);
+            if floor == VirtualTime::MAX {
+                return true; // no neighbors, no births: nothing to drift from
+            }
+            let drift = vtime.saturating_since(floor);
+            if drift > sim.stats.max_neighbor_drift {
+                sim.stats.max_neighbor_drift = drift;
+            }
+            drift <= t
+        }
+        SyncPolicy::BoundedSlack { window } => {
+            let floor = global_floor(sim);
+            if floor == VirtualTime::MAX {
+                return true;
+            }
+            vtime.saturating_since(floor) <= window
+        }
+        SyncPolicy::Conservative => {
+            let floor = global_floor(sim);
+            floor == VirtualTime::MAX || vtime <= floor
+        }
+        SyncPolicy::RandomReferee { slack } => loop {
+            match sim.cores[c.index()].referee {
+                None => {
+                    // Choose a random *working* core other than c.
+                    let candidates: Vec<u32> = (0..sim.cores.len() as u32)
+                        .filter(|&i| i != c.0 && !sim.cores[i as usize].is_idle())
+                        .collect();
+                    if candidates.is_empty() {
+                        return true;
+                    }
+                    let pick = candidates[sim.rng.next_index(candidates.len())];
+                    sim.cores[c.index()].referee = Some(CoreId(pick));
+                }
+                Some(r) => {
+                    if sim.cores[r.index()].is_idle() {
+                        // Referee retired; pick another next iteration.
+                        sim.cores[c.index()].referee = None;
+                        continue;
+                    }
+                    if vtime.saturating_since(sim.cores[r.index()].published) <= slack {
+                        sim.cores[c.index()].referee = None;
+                        return true;
+                    }
+                    // Still too far ahead: watch the referee for changes.
+                    if !sim.referee_watchers[r.index()].contains(&c.0) {
+                        sim.referee_watchers[r.index()].push(c.0);
+                    }
+                    return false;
+                }
+            }
+        },
+        SyncPolicy::Unbounded => true,
+    }
+}

@@ -1,0 +1,390 @@
+//! Optional event tracing.
+//!
+//! Architecture exploration lives and dies by visibility: install a
+//! [`Tracer`] in [`crate::EngineConfig`] and the engine reports every
+//! scheduling-relevant event — task starts and ends, synchronization
+//! stalls and resumes, message sends and (possibly out-of-order)
+//! processing, blocks and wakes — stamped with virtual time.
+//!
+//! [`MemoryTracer`] collects events in memory and renders chronological
+//! dumps, per-core summaries and a coarse ASCII activity timeline; custom
+//! tracers (streaming to disk, counting, filtering) implement the
+//! one-method trait.
+
+use parking_lot::Mutex;
+use simany_topology::CoreId;
+use simany_time::VirtualTime;
+use std::fmt;
+use std::sync::Arc;
+
+/// One engine event, stamped with the virtual time at which it happened on
+/// its core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// An activity's closure starts executing.
+    ActivityStart {
+        /// Virtual time on the core.
+        t: VirtualTime,
+        /// Core.
+        core: CoreId,
+        /// Engine activity id.
+        aid: u64,
+        /// Debug name of the activity.
+        name: &'static str,
+    },
+    /// An activity's closure returned.
+    ActivityEnd {
+        /// Virtual time on the core.
+        t: VirtualTime,
+        /// Core.
+        core: CoreId,
+        /// Engine activity id.
+        aid: u64,
+        /// Debug name.
+        name: &'static str,
+    },
+    /// The synchronization policy stalled the core.
+    Stall {
+        /// Core clock at the stall.
+        t: VirtualTime,
+        /// Core.
+        core: CoreId,
+    },
+    /// A stalled core resumed.
+    Resume {
+        /// Core clock at resume.
+        t: VirtualTime,
+        /// Core.
+        core: CoreId,
+    },
+    /// A message entered the network.
+    Send {
+        /// Departure stamp.
+        t: VirtualTime,
+        /// Sender.
+        src: CoreId,
+        /// Receiver.
+        dst: CoreId,
+        /// Architectural size.
+        bytes: u32,
+    },
+    /// A message was processed by its destination. `late_by` is the
+    /// virtual lateness when the receiver's clock had already passed the
+    /// arrival stamp (the paper's out-of-order processing).
+    Process {
+        /// Arrival stamp of the message.
+        arrival: VirtualTime,
+        /// Receiver clock when processed.
+        t: VirtualTime,
+        /// Receiver.
+        core: CoreId,
+        /// Ticks of lateness (0 = in order).
+        late_by: u64,
+    },
+    /// An activity suspended waiting for a wake.
+    Block {
+        /// Core clock.
+        t: VirtualTime,
+        /// Core.
+        core: CoreId,
+        /// Wait reason (e.g. "probe", "join").
+        reason: &'static str,
+    },
+    /// A blocked activity was woken.
+    Wake {
+        /// Virtual time the wake value became available.
+        t: VirtualTime,
+        /// Core of the woken activity.
+        core: CoreId,
+    },
+}
+
+impl TraceEvent {
+    /// The virtual time stamp of the event.
+    pub fn time(&self) -> VirtualTime {
+        match *self {
+            TraceEvent::ActivityStart { t, .. }
+            | TraceEvent::ActivityEnd { t, .. }
+            | TraceEvent::Stall { t, .. }
+            | TraceEvent::Resume { t, .. }
+            | TraceEvent::Send { t, .. }
+            | TraceEvent::Process { t, .. }
+            | TraceEvent::Block { t, .. }
+            | TraceEvent::Wake { t, .. } => t,
+        }
+    }
+
+    /// The core the event belongs to.
+    pub fn core(&self) -> CoreId {
+        match *self {
+            TraceEvent::ActivityStart { core, .. }
+            | TraceEvent::ActivityEnd { core, .. }
+            | TraceEvent::Stall { core, .. }
+            | TraceEvent::Resume { core, .. }
+            | TraceEvent::Process { core, .. }
+            | TraceEvent::Block { core, .. }
+            | TraceEvent::Wake { core, .. } => core,
+            TraceEvent::Send { src, .. } => src,
+        }
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TraceEvent::ActivityStart { t, core, aid, name } => {
+                write!(f, "{t} {core} START {name}#{aid}")
+            }
+            TraceEvent::ActivityEnd { t, core, aid, name } => {
+                write!(f, "{t} {core} END {name}#{aid}")
+            }
+            TraceEvent::Stall { t, core } => write!(f, "{t} {core} STALL"),
+            TraceEvent::Resume { t, core } => write!(f, "{t} {core} RESUME"),
+            TraceEvent::Send { t, src, dst, bytes } => {
+                write!(f, "{t} {src} SEND -> {dst} ({bytes}B)")
+            }
+            TraceEvent::Process {
+                arrival,
+                t,
+                core,
+                late_by,
+            } => {
+                if late_by > 0 {
+                    write!(f, "{t} {core} PROCESS (arrived {arrival}, late)")
+                } else {
+                    write!(f, "{t} {core} PROCESS (arrived {arrival})")
+                }
+            }
+            TraceEvent::Block { t, core, reason } => write!(f, "{t} {core} BLOCK on {reason}"),
+            TraceEvent::Wake { t, core } => write!(f, "{t} {core} WAKE"),
+        }
+    }
+}
+
+/// Event sink installed in the engine configuration.
+pub trait Tracer: Send + Sync {
+    /// Record one event. Called under the simulation lock: keep it cheap.
+    fn record(&self, event: TraceEvent);
+}
+
+/// In-memory tracer with reporting helpers.
+#[derive(Default)]
+pub struct MemoryTracer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemoryTracer {
+    /// Fresh, empty tracer (wrap in an `Arc` for the engine config).
+    pub fn new() -> Arc<Self> {
+        Arc::new(MemoryTracer::default())
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True iff nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Snapshot of all events in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Chronological text dump (sorted by virtual time, stable on ties).
+    pub fn dump(&self) -> String {
+        let mut evs = self.events();
+        evs.sort_by_key(|e| e.time());
+        let mut out = String::new();
+        for e in evs {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-core event counts: `(starts, stalls, sends, late_processes)`.
+    pub fn core_summary(&self, core: CoreId) -> (u64, u64, u64, u64) {
+        let mut starts = 0;
+        let mut stalls = 0;
+        let mut sends = 0;
+        let mut late = 0;
+        for e in self.events().iter().filter(|e| e.core() == core) {
+            match e {
+                TraceEvent::ActivityStart { .. } => starts += 1,
+                TraceEvent::Stall { .. } => stalls += 1,
+                TraceEvent::Send { .. } => sends += 1,
+                TraceEvent::Process { late_by, .. } if *late_by > 0 => late += 1,
+                _ => {}
+            }
+        }
+        (starts, stalls, sends, late)
+    }
+
+    /// Coarse ASCII activity timeline: one row per core, `columns` buckets
+    /// of virtual time; `#` = activity started in the bucket, `~` = stall,
+    /// `.` = other events, space = quiet.
+    pub fn timeline(&self, n_cores: u32, columns: usize) -> String {
+        let evs = self.events();
+        let horizon = evs.iter().map(|e| e.time().ticks()).max().unwrap_or(0);
+        let bucket = (horizon / columns as u64).max(1);
+        let mut grid = vec![vec![b' '; columns]; n_cores as usize];
+        for e in &evs {
+            let c = e.core().index();
+            if c >= grid.len() {
+                continue;
+            }
+            let col = ((e.time().ticks() / bucket) as usize).min(columns - 1);
+            let glyph = match e {
+                TraceEvent::ActivityStart { .. } | TraceEvent::ActivityEnd { .. } => b'#',
+                TraceEvent::Stall { .. } => b'~',
+                _ => {
+                    if grid[c][col] == b' ' {
+                        b'.'
+                    } else {
+                        grid[c][col]
+                    }
+                }
+            };
+            // Priority: '#' > '~' > '.'.
+            let cur = grid[c][col];
+            let rank = |g: u8| match g {
+                b'#' => 3,
+                b'~' => 2,
+                b'.' => 1,
+                _ => 0,
+            };
+            if rank(glyph) > rank(cur) {
+                grid[c][col] = glyph;
+            }
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            out.push_str(&format!("core{i:<4}|"));
+            out.push_str(std::str::from_utf8(row).expect("ascii"));
+            out.push_str("|\n");
+        }
+        out
+    }
+}
+
+/// One executed activity: name, core, start and end virtual times.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ActivitySpan {
+    /// Engine activity id.
+    pub aid: u64,
+    /// Debug name.
+    pub name: &'static str,
+    /// Core the activity ran on.
+    pub core: CoreId,
+    /// Clock at first execution.
+    pub start: VirtualTime,
+    /// Clock at completion.
+    pub end: VirtualTime,
+}
+
+impl ActivitySpan {
+    /// Wall-to-wall virtual length of the span (includes waits).
+    pub fn length(&self) -> simany_time::VDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+impl MemoryTracer {
+    /// Pair start/end events into per-activity spans (activities still
+    /// running at teardown are omitted).
+    pub fn activity_spans(&self) -> Vec<ActivitySpan> {
+        use std::collections::HashMap;
+        let mut open: HashMap<u64, (VirtualTime, CoreId, &'static str)> = HashMap::new();
+        let mut spans = Vec::new();
+        for e in self.events() {
+            match e {
+                TraceEvent::ActivityStart { t, core, aid, name } => {
+                    open.insert(aid, (t, core, name));
+                }
+                TraceEvent::ActivityEnd { t, aid, .. } => {
+                    if let Some((start, core, name)) = open.remove(&aid) {
+                        spans.push(ActivitySpan {
+                            aid,
+                            name,
+                            core,
+                            start,
+                            end: t,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        spans
+    }
+
+    /// The longest single activity span — a lower bound on the program's
+    /// critical path and the first place to look when a run stops scaling.
+    pub fn longest_activity(&self) -> Option<ActivitySpan> {
+        self.activity_spans()
+            .into_iter()
+            .max_by_key(|s| (s.length(), std::cmp::Reverse(s.aid)))
+    }
+}
+
+impl Tracer for MemoryTracer {
+    fn record(&self, event: TraceEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(c: u64) -> VirtualTime {
+        VirtualTime::from_cycles(c)
+    }
+
+    #[test]
+    fn records_and_dumps_in_time_order() {
+        let tr = MemoryTracer::new();
+        tr.record(TraceEvent::Stall { t: t(30), core: CoreId(1) });
+        tr.record(TraceEvent::ActivityStart { t: t(10), core: CoreId(0), aid: 0, name: "a" });
+        assert_eq!(tr.len(), 2);
+        let dump = tr.dump();
+        let first = dump.lines().next().unwrap();
+        assert!(first.contains("START"), "dump not time-sorted: {dump}");
+    }
+
+    #[test]
+    fn summary_counts_per_core() {
+        let tr = MemoryTracer::new();
+        tr.record(TraceEvent::ActivityStart { t: t(1), core: CoreId(0), aid: 0, name: "a" });
+        tr.record(TraceEvent::Stall { t: t(2), core: CoreId(0) });
+        tr.record(TraceEvent::Stall { t: t(3), core: CoreId(1) });
+        tr.record(TraceEvent::Send { t: t(4), src: CoreId(0), dst: CoreId(1), bytes: 8 });
+        tr.record(TraceEvent::Process { arrival: t(4), t: t(9), core: CoreId(1), late_by: 10 });
+        assert_eq!(tr.core_summary(CoreId(0)), (1, 1, 1, 0));
+        assert_eq!(tr.core_summary(CoreId(1)), (0, 1, 0, 1));
+    }
+
+    #[test]
+    fn timeline_shape() {
+        let tr = MemoryTracer::new();
+        tr.record(TraceEvent::ActivityStart { t: t(0), core: CoreId(0), aid: 0, name: "a" });
+        tr.record(TraceEvent::Stall { t: t(99), core: CoreId(1) });
+        let tl = tr.timeline(2, 10);
+        let lines: Vec<&str> = tl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains('#'));
+        assert!(lines[1].contains('~'));
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = TraceEvent::Send { t: t(7), src: CoreId(3), dst: CoreId(4), bytes: 1 };
+        assert_eq!(e.time(), t(7));
+        assert_eq!(e.core(), CoreId(3));
+        assert!(format!("{e}").contains("SEND"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests for the spatial-synchronization invariant.
+//!
+//! The paper's guarantee (§II.A): under spatial synchronization with drift
+//! bound `T`, a core never runs ahead of its most-late neighbor by more
+//! than `T` — up to the granularity of one timing annotation, since the
+//! check happens after the advance. We verify the instantaneous observed
+//! drift never exceeds `T + max_step` across randomized programs, and that
+//! runs are bit-identical for a fixed seed.
+
+use proptest::prelude::*;
+use simany_core::{
+    simulate, CoreId, EngineConfig, Envelope, ExecCtx, Ops, RuntimeHooks, SimStats, VDuration,
+    VirtualTime,
+};
+use simany_topology::{mesh_2d, ring, Topology};
+use std::sync::Arc;
+
+struct NoHooks;
+impl RuntimeHooks for NoHooks {
+    fn on_message(&self, _: &mut Ops<'_>, _: Envelope) {}
+    fn on_idle(&self, _: &mut Ops<'_>, _: CoreId) {}
+    fn on_activity_end(&self, _: &mut Ops<'_>, _: CoreId, _: Box<dyn std::any::Any + Send>) {}
+}
+
+fn run_program(
+    topo: Topology,
+    t_cycles: u64,
+    seed: u64,
+    plans: Vec<Vec<u64>>,
+) -> SimStats {
+    let config = EngineConfig::default()
+        .with_drift_cycles(t_cycles)
+        .with_seed(seed);
+    simulate(topo, config, Arc::new(NoHooks), move |ops| {
+        for (i, plan) in plans.into_iter().enumerate() {
+            if plan.is_empty() {
+                continue;
+            }
+            ops.start_activity(
+                CoreId(i as u32),
+                "plan",
+                Box::new(()),
+                Box::new(move |ctx: &mut ExecCtx| {
+                    for step in plan {
+                        ctx.advance_cycles(step);
+                    }
+                }),
+            );
+        }
+    })
+    .expect("simulation must complete")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn drift_never_exceeds_t_plus_step(
+        n in 2u32..10,
+        use_ring in any::<bool>(),
+        t_cycles in prop::sample::select(vec![20u64, 50, 100]),
+        seed in 0u64..1000,
+        plans in prop::collection::vec(
+            prop::collection::vec(1u64..40, 0..30), 2..10),
+    ) {
+        let topo = if use_ring { ring(n) } else { mesh_2d(n) };
+        let mut plans = plans;
+        plans.truncate(n as usize);
+        let max_step = plans.iter().flatten().copied().max().unwrap_or(0);
+        let expected_final = plans.iter()
+            .map(|p| p.iter().sum::<u64>())
+            .max()
+            .unwrap_or(0);
+        let stats = run_program(topo, t_cycles, seed, plans);
+        prop_assert_eq!(stats.final_vtime, VirtualTime::from_cycles(expected_final));
+        prop_assert!(
+            stats.max_neighbor_drift <= VDuration::from_cycles(t_cycles + max_step),
+            "drift {} > T({}) + step({})",
+            stats.max_neighbor_drift, t_cycles, max_step
+        );
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs(
+        n in 2u32..7,
+        seed in 0u64..1000,
+        plans in prop::collection::vec(
+            prop::collection::vec(1u64..40, 1..20), 2..7),
+    ) {
+        let mut plans = plans;
+        plans.truncate(n as usize);
+        let a = run_program(mesh_2d(n), 100, seed, plans.clone());
+        let b = run_program(mesh_2d(n), 100, seed, plans);
+        prop_assert_eq!(a.final_vtime, b.final_vtime);
+        prop_assert_eq!(a.stall_events, b.stall_events);
+        prop_assert_eq!(a.scheduler_picks, b.scheduler_picks);
+        prop_assert_eq!(a.activities_started, b.activities_started);
+    }
+}

@@ -1,0 +1,450 @@
+//! Deterministic workload generators (and a Matrix-Market-subset parser).
+//!
+//! All generators are seeded and produce identical workloads across runs
+//! and platforms, so virtual-time results are exactly reproducible.
+
+use simany_time::Xoshiro256StarStar;
+
+/// A random array of `n` distinct-ish u64 keys.
+pub fn random_array(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256StarStar::stream(seed, 0xA88A);
+    (0..n).map(|_| rng.next_u64() >> 16).collect()
+}
+
+/// An undirected random graph with `n` nodes and `m` edges (no self loops;
+/// parallel edges possible, as in typical random multigraph generators),
+/// as adjacency lists. A spanning backbone keeps it connected so that
+/// traversal kernels see one large component most of the time.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Adjacency lists; `adj[u]` holds `(v, weight)` pairs.
+    pub adj: Vec<Vec<(u32, u32)>>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Total directed edge entries.
+    pub fn m_directed(&self) -> usize {
+        self.adj.iter().map(|a| a.len()).sum()
+    }
+}
+
+/// Random graph of `n` nodes and ~`m` undirected edges with weights in
+/// `[1, max_w]`. When `connected` is set, a random spanning path is added
+/// first.
+pub fn random_graph(n: usize, m: usize, max_w: u32, connected: bool, seed: u64) -> Graph {
+    assert!(n >= 2);
+    let mut rng = Xoshiro256StarStar::stream(seed, 0x96AF);
+    let mut adj = vec![Vec::new(); n];
+    let add = |adj: &mut Vec<Vec<(u32, u32)>>, a: usize, b: usize, w: u32| {
+        adj[a].push((b as u32, w));
+        adj[b].push((a as u32, w));
+    };
+    let mut edges = 0;
+    if connected {
+        // Random permutation path.
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        for i in 1..n {
+            let w = rng.next_range(1, u64::from(max_w)) as u32;
+            add(&mut adj, order[i - 1], order[i], w);
+            edges += 1;
+        }
+    }
+    while edges < m {
+        let a = rng.next_index(n);
+        let b = rng.next_index(n);
+        if a == b {
+            continue;
+        }
+        let w = rng.next_range(1, u64::from(max_w)) as u32;
+        add(&mut adj, a, b, w);
+        edges += 1;
+    }
+    Graph { adj }
+}
+
+/// Random graph that may be disconnected (several components), for the
+/// connected-components kernel.
+pub fn random_graph_components(n: usize, m: usize, seed: u64) -> Graph {
+    random_graph(n, m, 1, false, seed)
+}
+
+/// 3-D bodies for Barnes-Hut: positions in the unit cube, unit-ish masses.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Mass.
+    pub mass: f64,
+}
+
+/// `n` random bodies.
+pub fn random_bodies(n: usize, seed: u64) -> Vec<Body> {
+    let mut rng = Xoshiro256StarStar::stream(seed, 0xB0D1);
+    (0..n)
+        .map(|_| Body {
+            pos: [rng.next_f64(), rng.next_f64(), rng.next_f64()],
+            mass: 0.5 + rng.next_f64(),
+        })
+        .collect()
+}
+
+/// Compressed-sparse-row matrix.
+#[derive(Clone, Debug)]
+pub struct CsrMatrix {
+    /// Number of rows (== columns; square matrices only).
+    pub n: usize,
+    /// Row start offsets (length n+1).
+    pub row_ptr: Vec<usize>,
+    /// Column indices.
+    pub cols: Vec<u32>,
+    /// Values.
+    pub vals: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// y = A·x (sequential reference).
+    pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        for (r, out) in y.iter_mut().enumerate() {
+            let mut acc = 0.0;
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                acc += self.vals[k] * x[self.cols[k] as usize];
+            }
+            *out = acc;
+        }
+        y
+    }
+}
+
+/// Random square CSR matrix with ~`nnz_per_row` non-zeros per row (the
+/// paper's generated matrices have 50 or 100 per row at size 10^6).
+pub fn random_csr(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = Xoshiro256StarStar::stream(seed, 0xC58);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for _ in 0..n {
+        // Poisson-ish variation: nnz/2 .. 3*nnz/2.
+        let k = rng.next_range((nnz_per_row / 2).max(1) as u64, (nnz_per_row * 3 / 2) as u64)
+            as usize;
+        let mut row: Vec<u32> = (0..k).map(|_| rng.next_index(n) as u32).collect();
+        row.sort_unstable();
+        row.dedup();
+        for c in row {
+            cols.push(c);
+            vals.push(rng.next_f64() * 2.0 - 1.0);
+        }
+        row_ptr.push(cols.len());
+    }
+    CsrMatrix {
+        n,
+        row_ptr,
+        cols,
+        vals,
+    }
+}
+
+/// Symmetric tridiagonal matrix (1-D Laplacian stencil): the structure of
+/// many classic Harwell-Boeing test matrices.
+pub fn tridiagonal(n: usize) -> CsrMatrix {
+    assert!(n >= 2);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for i in 0..n {
+        if i > 0 {
+            cols.push((i - 1) as u32);
+            vals.push(-1.0);
+        }
+        cols.push(i as u32);
+        vals.push(2.0);
+        if i + 1 < n {
+            cols.push((i + 1) as u32);
+            vals.push(-1.0);
+        }
+        row_ptr.push(cols.len());
+    }
+    CsrMatrix { n, row_ptr, cols, vals }
+}
+
+/// Five-point 2-D Poisson stencil on a `g × g` grid (`n = g²` rows) — the
+/// other canonical sparse structure in the Matrix Market collection.
+pub fn stencil_5pt(g: usize) -> CsrMatrix {
+    assert!(g >= 2);
+    let n = g * g;
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    row_ptr.push(0);
+    for y in 0..g {
+        for x in 0..g {
+            let mut push = |xx: isize, yy: isize, v: f64| {
+                if xx >= 0 && yy >= 0 && (xx as usize) < g && (yy as usize) < g {
+                    cols.push((yy as usize * g + xx as usize) as u32);
+                    vals.push(v);
+                }
+            };
+            let (x, y) = (x as isize, y as isize);
+            push(x, y - 1, -1.0);
+            push(x - 1, y, -1.0);
+            push(x, y, 4.0);
+            push(x + 1, y, -1.0);
+            push(x, y + 1, -1.0);
+            row_ptr.push(cols.len());
+        }
+    }
+    CsrMatrix { n, row_ptr, cols, vals }
+}
+
+/// Parse a (coordinate, real, general/symmetric) Matrix Market file — the
+/// format of the collection the paper draws its 30 matrices from.
+pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines.next().ok_or("empty file")?;
+    if !header.starts_with("%%MatrixMarket") {
+        return Err("missing MatrixMarket header".into());
+    }
+    let symmetric = header.contains("symmetric");
+    if !header.contains("coordinate") {
+        return Err("only coordinate format supported".into());
+    }
+    let mut rest = lines.skip_while(|l| l.starts_with('%'));
+    let dims = rest.next().ok_or("missing size line")?;
+    let mut it = dims.split_whitespace();
+    let rows: usize = it.next().ok_or("bad size")?.parse().map_err(|_| "bad rows")?;
+    let cols_n: usize = it.next().ok_or("bad size")?.parse().map_err(|_| "bad cols")?;
+    let nnz: usize = it.next().ok_or("bad size")?.parse().map_err(|_| "bad nnz")?;
+    if rows != cols_n {
+        return Err("only square matrices supported".into());
+    }
+    let mut triples: Vec<(u32, u32, f64)> = Vec::with_capacity(nnz);
+    for line in rest {
+        let mut it = line.split_whitespace();
+        let r: usize = it.next().ok_or("bad entry")?.parse().map_err(|_| "bad row idx")?;
+        let c: usize = it.next().ok_or("bad entry")?.parse().map_err(|_| "bad col idx")?;
+        let v: f64 = match it.next() {
+            Some(s) => s.parse().map_err(|_| "bad value")?,
+            None => 1.0, // pattern matrices
+        };
+        if r == 0 || c == 0 || r > rows || c > rows {
+            return Err(format!("entry ({r},{c}) out of bounds"));
+        }
+        triples.push(((r - 1) as u32, (c - 1) as u32, v));
+        if symmetric && r != c {
+            triples.push(((c - 1) as u32, (r - 1) as u32, v));
+        }
+    }
+    triples.sort_unstable_by_key(|&(r, c, _)| (r, c));
+    let mut row_ptr = vec![0usize; rows + 1];
+    let mut cols = Vec::with_capacity(triples.len());
+    let mut vals = Vec::with_capacity(triples.len());
+    for (r, c, v) in triples {
+        row_ptr[r as usize + 1] += 1;
+        cols.push(c);
+        vals.push(v);
+    }
+    for i in 0..rows {
+        row_ptr[i + 1] += row_ptr[i];
+    }
+    Ok(CsrMatrix {
+        n: rows,
+        row_ptr,
+        cols,
+        vals,
+    })
+}
+
+/// A pointy octree node for the octree-update kernel.
+#[derive(Clone, Debug)]
+pub struct OctreeNode {
+    /// Child indices into the arena (up to 8).
+    pub children: Vec<u32>,
+    /// Payload value the kernel updates.
+    pub value: f64,
+}
+
+/// An octree stored as an arena; node 0 is the root.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    /// Arena of nodes.
+    pub nodes: Vec<OctreeNode>,
+}
+
+/// Random octree of the given depth: each internal node has 1..=8 children
+/// with decreasing probability of fullness (keeps depth-6 trees in the
+/// thousands of nodes, like the paper's scenario).
+pub fn random_octree(depth: u32, seed: u64) -> Octree {
+    let mut rng = Xoshiro256StarStar::stream(seed, 0x0C7);
+    let mut nodes = vec![OctreeNode {
+        children: Vec::new(),
+        value: rng.next_f64(),
+    }];
+    let mut frontier = vec![(0u32, 0u32)]; // (node, depth)
+    while let Some((idx, d)) = frontier.pop() {
+        if d >= depth {
+            continue;
+        }
+        let n_children = 1 + rng.next_index(8);
+        for _ in 0..n_children {
+            // Thin out with depth so the tree doesn't explode to 8^depth.
+            if d > 1 && !rng.chance(0.55) {
+                continue;
+            }
+            let child = nodes.len() as u32;
+            nodes.push(OctreeNode {
+                children: Vec::new(),
+                value: rng.next_f64(),
+            });
+            nodes[idx as usize].children.push(child);
+            frontier.push((child, d + 1));
+        }
+    }
+    Octree { nodes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrays_are_deterministic() {
+        assert_eq!(random_array(100, 7), random_array(100, 7));
+        assert_ne!(random_array(100, 7), random_array(100, 8));
+    }
+
+    #[test]
+    fn graph_shape() {
+        let g = random_graph(100, 200, 10, true, 3);
+        assert_eq!(g.n(), 100);
+        // connected backbone (99 edges) + filled to 200 undirected edges.
+        assert_eq!(g.m_directed(), 2 * 200);
+        for (u, a) in g.adj.iter().enumerate() {
+            for &(v, w) in a {
+                assert_ne!(u as u32, v);
+                assert!((1..=10).contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn csr_multiply_matches_dense() {
+        let m = random_csr(50, 5, 1);
+        assert!(m.nnz() > 0);
+        let x: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let y = m.multiply(&x);
+        // Spot-check one row against manual accumulation.
+        let r = 10;
+        let mut acc = 0.0;
+        for k in m.row_ptr[r]..m.row_ptr[r + 1] {
+            acc += m.vals[k] * x[m.cols[k] as usize];
+        }
+        assert_eq!(y[r], acc);
+    }
+
+    #[test]
+    fn tridiagonal_structure() {
+        let m = tridiagonal(5);
+        assert_eq!(m.n, 5);
+        assert_eq!(m.nnz(), 3 * 5 - 2);
+        // A·1 = [1, 0, 0, 0, 1] for the 1-D Laplacian.
+        let y = m.multiply(&[1.0; 5]);
+        assert_eq!(y, vec![1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn stencil_structure() {
+        let g = 4;
+        let m = stencil_5pt(g);
+        assert_eq!(m.n, 16);
+        // Interior rows have 5 entries; corners 3; edges 4.
+        let row_len = |r: usize| m.row_ptr[r + 1] - m.row_ptr[r];
+        assert_eq!(row_len(0), 3); // corner
+        assert_eq!(row_len(1), 4); // edge
+        assert_eq!(row_len(5), 5); // interior
+        // Row sums: 0 in the interior (Laplacian), positive at borders.
+        let y = m.multiply(&[1.0; 16]);
+        assert_eq!(y[5], 0.0);
+        assert!(y[0] > 0.0);
+    }
+
+    #[test]
+    fn matrix_market_round_trip() {
+        let text = "\
+%%MatrixMarket matrix coordinate real general
+% a comment
+3 3 4
+1 1 2.0
+2 2 3.0
+3 1 -1.0
+3 3 4.0
+";
+        let m = parse_matrix_market(text).unwrap();
+        assert_eq!(m.n, 3);
+        assert_eq!(m.nnz(), 4);
+        let y = m.multiply(&[1.0, 1.0, 1.0]);
+        assert_eq!(y, vec![2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_mirrors() {
+        let text = "\
+%%MatrixMarket matrix coordinate real symmetric
+2 2 2
+1 1 1.0
+2 1 5.0
+";
+        let m = parse_matrix_market(text).unwrap();
+        assert_eq!(m.nnz(), 3);
+        let y = m.multiply(&[1.0, 0.0]);
+        assert_eq!(y, vec![1.0, 5.0]);
+    }
+
+    #[test]
+    fn matrix_market_rejects_garbage() {
+        assert!(parse_matrix_market("").is_err());
+        assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n2 2\n").is_err());
+        assert!(
+            parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n")
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn octree_depth_bounded() {
+        let t = random_octree(6, 42);
+        assert!(t.nodes.len() > 50, "tree too small: {}", t.nodes.len());
+        // Verify it is a tree: each node referenced at most once.
+        let mut seen = vec![false; t.nodes.len()];
+        seen[0] = true;
+        for n in &t.nodes {
+            for &c in &n.children {
+                assert!(!seen[c as usize], "node {c} referenced twice");
+                seen[c as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "orphan nodes");
+    }
+
+    #[test]
+    fn bodies_in_unit_cube() {
+        for b in random_bodies(64, 5) {
+            for c in b.pos {
+                assert!((0.0..1.0).contains(&c));
+            }
+            assert!(b.mass > 0.0);
+        }
+    }
+}

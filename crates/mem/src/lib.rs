@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+
+//! # simany-mem — memory hierarchy models
+//!
+//! SiMany "includes simple models for caches and cores, decreasing the time
+//! required to simulate these components" (paper §I). This crate provides
+//! every memory model the paper's experiments need:
+//!
+//! * [`ScopedL1`] — the paper's deliberately simple, pessimistic private L1
+//!   model: 1-cycle hits, and "data do not stay in the cache across function
+//!   boundaries of the executed program" (§V), modeled as a stack of scope
+//!   frames of touched lines.
+//! * [`MemoryArch`] — the two architecture types of §V: an optimistic
+//!   **shared-memory** machine (uniform 10-cycle banks, no coherence
+//!   delays) and a realistic **distributed-memory** machine (per-core
+//!   10-cycle L2, run-time-managed data movement).
+//! * [`DirectoryTiming`] — an MSI directory timing model used when SiMany
+//!   "enable\[s\] the timings of cache coherence effects" for the validation
+//!   against the cycle-level simulator (§V, *Cycle-Level Parameters*).
+//! * [`SetAssocCache`] — a real tag-array set-associative cache with LRU
+//!   replacement, used by the cycle-level reference simulator
+//!   (`simany-cyclelevel`) for its split L1 I/D caches.
+
+pub mod cache;
+pub mod directory;
+pub mod model;
+pub mod scoped_l1;
+
+pub use cache::{AccessResult, SetAssocCache};
+pub use directory::{CoherenceLeg, DirectoryTiming};
+pub use model::{MemoryArch, MemoryParams};
+pub use scoped_l1::ScopedL1;
+
+/// Byte address in the simulated machine's memory space. Kernels fabricate
+/// addresses from data-structure indices; only locality patterns matter.
+pub type Addr = u64;
+
+/// Default cache-line size in bytes.
+pub const DEFAULT_LINE_BYTES: u32 = 32;
+
+/// The cache line containing `addr` for a given line size.
+#[inline]
+pub fn line_of(addr: Addr, line_bytes: u32) -> u64 {
+    addr / u64::from(line_bytes)
+}

@@ -1,0 +1,91 @@
+//! The two architecture types of paper §V, as memory-timing parameter sets.
+
+use simany_time::VDuration;
+
+/// Common memory timing parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct MemoryParams {
+    /// Private L1 hit latency (paper: 1 cycle).
+    pub l1_latency: VDuration,
+    /// Latency of the level behind L1: shared banks (shared-memory type) or
+    /// the per-core L2 (distributed-memory type). Paper: 10 cycles.
+    pub backing_latency: VDuration,
+    /// Cache line size in bytes.
+    pub line_bytes: u32,
+}
+
+impl Default for MemoryParams {
+    fn default() -> Self {
+        MemoryParams {
+            l1_latency: VDuration::from_cycles(1),
+            backing_latency: VDuration::from_cycles(10),
+            line_bytes: crate::DEFAULT_LINE_BYTES,
+        }
+    }
+}
+
+/// Which of the paper's two architecture types is simulated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemoryArch {
+    /// Optimistic shared memory: "all cores, besides their private L1
+    /// cache, access the shared memory banks with a common low latency (10
+    /// cycles). The delays induced by cache coherence effects are not taken
+    /// into account. The purpose of this optimistic architecture model is
+    /// to study inherent program scalability" (§V).
+    SharedUniform {
+        /// Model coherence-effect timings through the MSI directory (used
+        /// for the validation experiments of Fig. 5/6, where the reference
+        /// cycle-level simulator fully simulates coherence).
+        coherence_timings: bool,
+    },
+    /// Realistic distributed memory without hardware coherence: "the
+    /// run-time system manages shared data. A L2 cache with 10-cycle
+    /// latency is added to each core" (§V). Remote cells move via
+    /// DATA_REQUEST / DATA_RESPONSE messages; fetched data lands in the
+    /// requester's L2.
+    Distributed,
+}
+
+impl MemoryArch {
+    /// True for the distributed-memory type.
+    pub fn is_distributed(self) -> bool {
+        matches!(self, MemoryArch::Distributed)
+    }
+
+    /// True when MSI coherence timings must be charged on shared accesses.
+    pub fn coherence_enabled(self) -> bool {
+        matches!(
+            self,
+            MemoryArch::SharedUniform {
+                coherence_timings: true
+            }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let p = MemoryParams::default();
+        assert_eq!(p.l1_latency, VDuration::from_cycles(1));
+        assert_eq!(p.backing_latency, VDuration::from_cycles(10));
+        assert_eq!(p.line_bytes, 32);
+    }
+
+    #[test]
+    fn arch_predicates() {
+        assert!(MemoryArch::Distributed.is_distributed());
+        assert!(!MemoryArch::Distributed.coherence_enabled());
+        assert!(MemoryArch::SharedUniform {
+            coherence_timings: true
+        }
+        .coherence_enabled());
+        assert!(!MemoryArch::SharedUniform {
+            coherence_timings: false
+        }
+        .coherence_enabled());
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-core receive queues.
+//!
+//! A core observes incoming messages ordered by their virtual arrival time,
+//! with ties broken by the global send sequence so results never depend on
+//! heap internals. Per-sender FIFO is guaranteed by construction (fixed
+//! routes plus FIFO links, paper §II.B) and defensively asserted here in
+//! debug builds.
+
+use crate::message::Envelope;
+use simany_time::VirtualTime;
+use std::collections::BinaryHeap;
+
+#[derive(Debug)]
+struct Entry(Envelope);
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.seq == other.0.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        (other.0.arrival, other.0.seq).cmp(&(self.0.arrival, self.0.seq))
+    }
+}
+
+/// A core's inbox: messages not yet processed, earliest arrival first.
+#[derive(Debug, Default)]
+pub struct Inbox {
+    heap: BinaryHeap<Entry>,
+    #[cfg(debug_assertions)]
+    last_seq_per_sender: std::collections::HashMap<u32, u64>,
+}
+
+impl Inbox {
+    /// Empty inbox.
+    pub fn new() -> Self {
+        Inbox::default()
+    }
+
+    /// Number of pending messages.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no message is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Deposit a delivered envelope.
+    pub fn push(&mut self, env: Envelope) {
+        #[cfg(debug_assertions)]
+        {
+            // Per-sender FIFO: sequence numbers from one sender must be
+            // deposited in increasing order.
+            let prev = self
+                .last_seq_per_sender
+                .insert(env.src.0, env.seq)
+                .unwrap_or(0);
+            debug_assert!(
+                prev <= env.seq,
+                "per-sender FIFO violated: {} after {}",
+                env.seq,
+                prev
+            );
+        }
+        self.heap.push(Entry(env));
+    }
+
+    /// Arrival time of the earliest pending message.
+    pub fn earliest_arrival(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|e| e.0.arrival)
+    }
+
+    /// Remove and return the earliest pending message.
+    pub fn pop(&mut self) -> Option<Envelope> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Remove the earliest pending message only if it has arrived by `now`.
+    pub fn pop_arrived(&mut self, now: VirtualTime) -> Option<Envelope> {
+        if self.earliest_arrival()? <= now {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Drain everything (used at simulation teardown).
+    pub fn drain(&mut self) -> Vec<Envelope> {
+        let mut v: Vec<Envelope> = std::mem::take(&mut self.heap)
+            .into_sorted_vec()
+            .into_iter()
+            .map(|e| e.0)
+            .collect();
+        // into_sorted_vec sorts ascending by Ord, which is reversed; flip to
+        // earliest-first.
+        v.reverse();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::{MsgId, Payload};
+    use simany_topology::CoreId;
+
+    fn env(src: u32, seq: u64, arrival_cy: u64) -> Envelope {
+        Envelope {
+            id: MsgId(seq),
+            src: CoreId(src),
+            dst: CoreId(99),
+            sent: VirtualTime::ZERO,
+            arrival: VirtualTime::from_cycles(arrival_cy),
+            size_bytes: 8,
+            seq,
+            payload: Payload::none(),
+        }
+    }
+
+    #[test]
+    fn pops_in_arrival_order() {
+        let mut ib = Inbox::new();
+        ib.push(env(0, 1, 30));
+        ib.push(env(1, 2, 10));
+        ib.push(env(2, 3, 20));
+        assert_eq!(ib.len(), 3);
+        assert_eq!(ib.pop().unwrap().arrival, VirtualTime::from_cycles(10));
+        assert_eq!(ib.pop().unwrap().arrival, VirtualTime::from_cycles(20));
+        assert_eq!(ib.pop().unwrap().arrival, VirtualTime::from_cycles(30));
+        assert!(ib.pop().is_none());
+    }
+
+    #[test]
+    fn ties_broken_by_seq_for_determinism() {
+        let mut ib = Inbox::new();
+        ib.push(env(0, 5, 10));
+        ib.push(env(1, 3, 10));
+        assert_eq!(ib.pop().unwrap().seq, 3);
+        assert_eq!(ib.pop().unwrap().seq, 5);
+    }
+
+    #[test]
+    fn pop_arrived_respects_now() {
+        let mut ib = Inbox::new();
+        ib.push(env(0, 1, 50));
+        assert!(ib.pop_arrived(VirtualTime::from_cycles(49)).is_none());
+        assert!(ib.pop_arrived(VirtualTime::from_cycles(50)).is_some());
+        assert!(ib.is_empty());
+    }
+
+    #[test]
+    fn earliest_arrival_peek() {
+        let mut ib = Inbox::new();
+        assert_eq!(ib.earliest_arrival(), None);
+        ib.push(env(0, 1, 7));
+        ib.push(env(0, 2, 9));
+        assert_eq!(ib.earliest_arrival(), Some(VirtualTime::from_cycles(7)));
+    }
+
+    #[test]
+    fn drain_returns_earliest_first() {
+        let mut ib = Inbox::new();
+        ib.push(env(0, 1, 30));
+        ib.push(env(1, 2, 10));
+        let drained = ib.drain();
+        assert_eq!(drained.len(), 2);
+        assert!(drained[0].arrival <= drained[1].arrival);
+        assert!(ib.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO")]
+    #[cfg(debug_assertions)]
+    fn fifo_violation_detected() {
+        let mut ib = Inbox::new();
+        ib.push(env(0, 5, 10));
+        ib.push(env(0, 4, 12)); // same sender, lower seq: protocol bug
+    }
+}

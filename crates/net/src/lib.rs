@@ -1,0 +1,374 @@
+#![warn(missing_docs)]
+
+//! # simany-net — the interconnect model
+//!
+//! SiMany times every inter-core message itself: "each memory access or
+//! remote request is initially stamped with the initiator core's virtual
+//! time and is increased by a specific delay as it traverses the
+//! architecture's communication components" (paper §II.A). This crate
+//! implements that accounting:
+//!
+//! * [`Envelope`] — a message in flight: source, destination, virtual send
+//!   and arrival times, payload and sequence number.
+//! * [`LinkTraffic`] — per-directed-link occupancy, giving **contention on
+//!   individual links** (paper §VII contrasts this with BigSim's
+//!   contention-free model): a link serializes messages, so a message may
+//!   have to wait for the link to free up before transmission.
+//! * [`NetworkModel`] — routes a message hop by hop over the minimal-latency
+//!   route, charging per-link latency, serialization (size/bandwidth),
+//!   per-hop routing penalty and per-chunk processing (all tunable,
+//!   paper §III "the size of message chunks, the time needed to process
+//!   them or the routing penalty").
+//! * [`Inbox`] — per-core receive queue ordered by arrival time with
+//!   per-sender FIFO delivery ("a core receives all messages coming from
+//!   another given core in the order the latter sent them", §II.B).
+
+pub mod inbox;
+pub mod link;
+pub mod message;
+
+pub use inbox::Inbox;
+pub use link::{LinkTraffic, NetStats};
+pub use message::{Envelope, MsgId, Payload};
+
+use simany_time::{VDuration, VirtualTime};
+use simany_topology::{CoreId, LinkProps, RoutingTable, Topology};
+
+/// Tunable network cost parameters (paper §III, Architecture Variability).
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkParams {
+    /// Messages are cut into chunks of this many bytes; each chunk pays the
+    /// per-chunk processing time at every hop.
+    pub chunk_bytes: u32,
+    /// Processing time per chunk per hop.
+    pub per_chunk_time: VDuration,
+    /// Fixed routing decision penalty per hop.
+    pub routing_penalty: VDuration,
+}
+
+impl Default for NetworkParams {
+    fn default() -> Self {
+        NetworkParams {
+            chunk_bytes: 64,
+            per_chunk_time: VDuration::ZERO,
+            routing_penalty: VDuration::ZERO,
+        }
+    }
+}
+
+impl NetworkParams {
+    /// Number of chunks a message of `size` bytes occupies (at least one,
+    /// even for empty control payloads).
+    pub fn chunks(&self, size: u32) -> u32 {
+        size.div_ceil(self.chunk_bytes).max(1)
+    }
+}
+
+/// The complete network model: topology + routing + per-link traffic +
+/// parameters. Owned by the simulator engine; every message send flows
+/// through [`NetworkModel::send`].
+#[derive(Debug)]
+pub struct NetworkModel {
+    topo: Topology,
+    routing: RoutingTable,
+    traffic: LinkTraffic,
+    params: NetworkParams,
+    next_seq: u64,
+    stats: NetStats,
+}
+
+impl NetworkModel {
+    /// Build the model (computes routing tables).
+    pub fn new(topo: Topology, params: NetworkParams) -> Self {
+        let routing = RoutingTable::build(&topo);
+        let traffic = LinkTraffic::new(topo.n_links());
+        NetworkModel {
+            topo,
+            routing,
+            traffic,
+            params,
+            next_seq: 0,
+            stats: NetStats::default(),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// The routing table.
+    pub fn routing(&self) -> &RoutingTable {
+        &self.routing
+    }
+
+    /// Network parameters.
+    pub fn params(&self) -> &NetworkParams {
+        &self.params
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Pure latency of the route from `src` to `dst` for a message of
+    /// `size` bytes, ignoring current contention. Useful for models that
+    /// need an estimate (e.g. coherence timing).
+    pub fn uncontended_latency(&self, src: CoreId, dst: CoreId, size: u32) -> VDuration {
+        if src == dst {
+            return VDuration::ZERO;
+        }
+        let hops = self.routing.path_hops(src, dst) as u64;
+        let base = self.routing.path_latency(src, dst);
+        let chunks = self.params.chunks(size) as u64;
+        let mut extra = self.params.routing_penalty.scaled(hops);
+        extra += self.params.per_chunk_time.scaled(hops * chunks);
+        // Serialization on each traversed link (exact walk).
+        let mut cur = src;
+        let mut ser = VDuration::ZERO;
+        while cur != dst {
+            let link = self.routing.next_link(cur, dst).expect("connected");
+            let props = self.topo.link(link);
+            ser += serialization_delay(size, props.bandwidth_bytes_per_cycle);
+            cur = props.dst;
+        }
+        base + extra + ser
+    }
+
+    /// Walk the route from `src` to `dst` with a transfer of `size_bytes`
+    /// departing at `depart`: charges every traversed link (latency,
+    /// serialization, per-hop costs) and updates per-link contention state.
+    /// Returns the arrival time at `dst`. This is the timing core of
+    /// [`NetworkModel::send`], also used directly for traffic that carries
+    /// no payload envelope (e.g. coherence protocol legs simulated by the
+    /// cycle-level reference).
+    pub fn transit(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        size_bytes: u32,
+        depart: VirtualTime,
+    ) -> VirtualTime {
+        let mut t = depart;
+        if src != dst {
+            let chunks = self.params.chunks(size_bytes) as u64;
+            let mut cur = src;
+            let mut hops = 0u32;
+            while cur != dst {
+                let link_id = self.routing.next_link(cur, dst).expect("connected");
+                let props = *self.topo.link(link_id);
+                let ser = serialization_delay(size_bytes, props.bandwidth_bytes_per_cycle);
+                let per_hop =
+                    self.params.routing_penalty + self.params.per_chunk_time.scaled(chunks);
+                t = self
+                    .traffic
+                    .traverse(link_id, t, ser, props.latency + per_hop, &mut self.stats);
+                cur = props.dst;
+                hops += 1;
+            }
+            self.stats.total_hops += u64::from(hops);
+        }
+        t
+    }
+
+    /// Send a message: walks the route, charges every traversed component,
+    /// updates link contention state, and returns the stamped envelope whose
+    /// `arrival` is the virtual time at which `dst` can observe it.
+    ///
+    /// A message to self costs nothing and arrives immediately (local
+    /// operations are not network interactions).
+    pub fn send(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        size_bytes: u32,
+        sent: VirtualTime,
+        payload: Payload,
+    ) -> Envelope {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.messages += 1;
+        self.stats.bytes += u64::from(size_bytes);
+        let arrival = self.transit(src, dst, size_bytes, sent);
+        Envelope {
+            id: MsgId(seq),
+            src,
+            dst,
+            sent,
+            arrival,
+            size_bytes,
+            seq,
+            payload,
+        }
+    }
+
+    /// The `k` busiest directed links by accumulated transmission time —
+    /// the NoC hotspots of a run (returns fewer when the topology is
+    /// smaller or links never carried traffic).
+    pub fn busiest_links(&self, k: usize) -> Vec<(LinkProps, VDuration)> {
+        let mut v: Vec<(LinkProps, VDuration)> = (0..self.topo.n_links())
+            .map(simany_topology::LinkId)
+            .map(|l| (*self.topo.link(l), self.traffic.busy_time(l)))
+            .filter(|&(_, busy)| !busy.is_zero())
+            .collect();
+        v.sort_by_key(|&(props, busy)| (std::cmp::Reverse(busy), props.src, props.dst));
+        v.truncate(k);
+        v
+    }
+
+    /// Reset contention state and statistics (e.g. between experiment runs).
+    pub fn reset(&mut self) {
+        self.traffic = LinkTraffic::new(self.topo.n_links());
+        self.stats = NetStats::default();
+        self.next_seq = 0;
+    }
+}
+
+/// Serialization delay of `size` bytes over a link of `bw` bytes/cycle:
+/// `ceil(size / bw)` cycles; zero-byte control payloads are free.
+#[inline]
+pub fn serialization_delay(size: u32, bw: u32) -> VDuration {
+    VDuration::from_cycles(u64::from(size.div_ceil(bw)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simany_topology::mesh_2d;
+
+    fn model() -> NetworkModel {
+        NetworkModel::new(mesh_2d(16), NetworkParams::default())
+    }
+
+    fn payload() -> Payload {
+        Payload::none()
+    }
+
+    #[test]
+    fn self_message_is_free() {
+        let mut m = model();
+        let e = m.send(CoreId(3), CoreId(3), 64, VirtualTime::from_cycles(5), payload());
+        assert_eq!(e.arrival, VirtualTime::from_cycles(5));
+    }
+
+    #[test]
+    fn neighbor_message_pays_latency_and_serialization() {
+        let mut m = model();
+        // 64 bytes over a 128 B/cy link: ceil = 1 cycle; latency 1 cycle.
+        let e = m.send(CoreId(0), CoreId(1), 64, VirtualTime::ZERO, payload());
+        assert_eq!(e.arrival, VirtualTime::from_cycles(2));
+    }
+
+    #[test]
+    fn multi_hop_accumulates() {
+        let mut m = model();
+        // 4x4 mesh: 0 -> 15 is 6 hops; each hop = 1 latency + 1 serialization.
+        let e = m.send(CoreId(0), CoreId(15), 64, VirtualTime::ZERO, payload());
+        assert_eq!(e.arrival, VirtualTime::from_cycles(12));
+        assert_eq!(m.stats().total_hops, 6);
+    }
+
+    #[test]
+    fn contention_delays_second_message() {
+        let mut m = model();
+        let a = m.send(CoreId(0), CoreId(1), 128, VirtualTime::ZERO, payload());
+        let b = m.send(CoreId(0), CoreId(1), 128, VirtualTime::ZERO, payload());
+        // Both want the same link at t=0; the second waits for the first's
+        // serialization slot (1 cycle for 128B at 128B/cy).
+        assert_eq!(a.arrival, VirtualTime::from_cycles(2));
+        assert_eq!(b.arrival, VirtualTime::from_cycles(3));
+        assert!(m.stats().contention_wait > VDuration::ZERO);
+    }
+
+    #[test]
+    fn per_sender_fifo_holds_on_shared_route() {
+        let mut m = model();
+        let mut last = VirtualTime::ZERO;
+        for i in 0..10 {
+            let e = m.send(
+                CoreId(0),
+                CoreId(15),
+                32 + i * 16,
+                VirtualTime::from_cycles(u64::from(i)),
+                payload(),
+            );
+            assert!(e.arrival >= last, "FIFO violated at message {i}");
+            last = e.arrival;
+        }
+    }
+
+    #[test]
+    fn big_messages_serialized_by_bandwidth() {
+        let mut m = model();
+        // 1280 bytes at 128 B/cy = 10 cycles serialization per hop.
+        let e = m.send(CoreId(0), CoreId(1), 1280, VirtualTime::ZERO, payload());
+        assert_eq!(e.arrival, VirtualTime::from_cycles(11));
+    }
+
+    #[test]
+    fn routing_penalty_and_chunk_time_charged_per_hop() {
+        let params = NetworkParams {
+            chunk_bytes: 64,
+            per_chunk_time: VDuration::from_cycles(1),
+            routing_penalty: VDuration::from_cycles(2),
+        };
+        let mut m = NetworkModel::new(mesh_2d(4), params);
+        // 128 bytes = 2 chunks. 1 hop: latency 1 + ser 1 + penalty 2 + chunks 2.
+        let e = m.send(CoreId(0), CoreId(1), 128, VirtualTime::ZERO, payload());
+        assert_eq!(e.arrival, VirtualTime::from_cycles(6));
+    }
+
+    #[test]
+    fn zero_size_control_message() {
+        let mut m = model();
+        let e = m.send(CoreId(0), CoreId(1), 0, VirtualTime::ZERO, payload());
+        // Still one chunk minimum but zero serialization.
+        assert_eq!(e.arrival, VirtualTime::from_cycles(1));
+    }
+
+    #[test]
+    fn uncontended_latency_matches_fresh_send() {
+        let mut m = model();
+        let est = m.uncontended_latency(CoreId(0), CoreId(15), 256);
+        let e = m.send(CoreId(0), CoreId(15), 256, VirtualTime::ZERO, payload());
+        assert_eq!(VirtualTime::ZERO + est, e.arrival);
+    }
+
+    #[test]
+    fn reset_clears_contention() {
+        let mut m = model();
+        m.send(CoreId(0), CoreId(1), 12800, VirtualTime::ZERO, payload());
+        m.reset();
+        let e = m.send(CoreId(0), CoreId(1), 64, VirtualTime::ZERO, payload());
+        assert_eq!(e.arrival, VirtualTime::from_cycles(2));
+        assert_eq!(m.stats().messages, 1);
+    }
+
+    #[test]
+    fn busiest_links_ranking() {
+        let mut m = model();
+        // Hammer one link with big messages, lightly touch another path.
+        for _ in 0..5 {
+            m.send(CoreId(0), CoreId(1), 1280, VirtualTime::ZERO, payload());
+        }
+        m.send(CoreId(2), CoreId(3), 64, VirtualTime::ZERO, payload());
+        let hot = m.busiest_links(3);
+        assert!(!hot.is_empty());
+        assert_eq!(hot[0].0.src, CoreId(0));
+        assert_eq!(hot[0].0.dst, CoreId(1));
+        assert_eq!(hot[0].1, VDuration::from_cycles(50));
+        // Ranked descending.
+        for w in hot.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn seq_numbers_monotonic() {
+        let mut m = model();
+        let a = m.send(CoreId(0), CoreId(1), 8, VirtualTime::ZERO, payload());
+        let b = m.send(CoreId(2), CoreId(3), 8, VirtualTime::ZERO, payload());
+        assert!(b.seq > a.seq);
+    }
+}

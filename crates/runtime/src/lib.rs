@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # simany-runtime — the task-based programming model
+//!
+//! The paper runs its benchmarks on a programming model "in the spirit of
+//! TBB that solves [the task granularity problem] through conditional
+//! spawning" (§IV, citing Capsule). This crate implements that run-time
+//! system on top of the `simany-core` engine:
+//!
+//! * **Conditional spawning** — [`TaskCtx::spawn_or_run`]: the program
+//!   calls `probe`; the run-time system consults its *occupancy proxies*
+//!   of the neighbors' task queues and, only when a free slot is likely,
+//!   sends a `PROBE` reservation message. On `PROBE_ACK` the task is
+//!   shipped with `TASK_SPAWN`; on `PROBE_NACK` (or when no proxy looks
+//!   free) the code runs sequentially in the caller.
+//! * **Task groups and `join`** — tasks decrement their group's counter at
+//!   termination; a joiner's "execution context is saved until it receives
+//!   a notification (`JOINER_REQUEST`) from the last active task".
+//! * **Distributed-memory cells** — shared data live in *cells* referenced
+//!   by *links*; remote access triggers `DATA_REQUEST`/`DATA_RESPONSE` and
+//!   moves the cell into the requester's L2 ("data access as an exclusive
+//!   operation, requiring data transfer to the core that needs them,
+//!   whether the access is a read or a write", §VI).
+//! * **Simulated locks** with home-node queuing and the engine's
+//!   stall-waiver for holders (paper §II.B).
+//! * **Shared-memory accesses** timed by the pessimistic L1 model, the
+//!   uniform-latency banks, and optionally the MSI directory timings used
+//!   for validation.
+//!
+//! Costs follow §V: starting a task costs 10 cycles on top of the spawn
+//! message, resuming a joiner costs 15 (charged by the engine), remote
+//! data lands in the requester's L2 with the usual 10-cycle latency.
+//!
+//! Tasks are ordinary Rust closures over [`TaskCtx`]; everything between
+//! `TaskCtx` calls executes natively.
+
+pub mod msg;
+pub mod params;
+pub mod program;
+pub mod runtime;
+pub mod state;
+pub mod task_ctx;
+
+pub use msg::RtMsg;
+pub use params::{DetailedTiming, RuntimeParams, SpawnPolicy};
+pub use program::{run_program, ProgramSpec, RunOutput};
+pub use runtime::TaskRuntime;
+pub use state::{CellId, GroupId, LockId, RtStats};
+pub use task_ctx::{TaskBody, TaskCtx};
+
+// Common vocabulary re-exports for kernel writers.
+pub use simany_core::{BlockCost, CoreId, SimError, SimStats, VDuration, VirtualTime};
+pub use simany_mem::{Addr, MemoryArch, MemoryParams};

@@ -1,0 +1,452 @@
+//! The run-time system object: protocol message handlers and task
+//! dispatching, as `RuntimeHooks` for the engine.
+
+use crate::msg::RtMsg;
+use crate::params::RuntimeParams;
+use crate::state::{Group, LockState, QueuedTask, RtState, RtStats};
+use crate::task_ctx::{TaskBody, TaskCtx};
+use parking_lot::Mutex;
+use simany_core::activity::TaskFn;
+use simany_core::{Envelope, ExecCtx, Ops, Payload, RuntimeHooks};
+use simany_mem::DirectoryTiming;
+use simany_topology::CoreId;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Activity descriptor: which group the task decrements at termination.
+pub(crate) struct TaskMeta {
+    pub group: Option<crate::state::GroupId>,
+}
+
+/// Outcome delivered to a blocked prober.
+pub(crate) struct ProbeOutcome {
+    pub granted: bool,
+    pub target: CoreId,
+}
+
+/// The task run-time system (paper §IV). One instance drives one
+/// simulation; it owns all protocol state behind an uncontended mutex (the
+/// engine serializes every entry).
+pub struct TaskRuntime {
+    pub(crate) params: RuntimeParams,
+    pub(crate) st: Mutex<RtState>,
+    /// Back-reference to our own Arc so hooks (which receive `&self`) can
+    /// re-wrap queued task bodies into engine closures.
+    me: std::sync::Weak<TaskRuntime>,
+}
+
+impl TaskRuntime {
+    /// Create the run-time system for `n_cores` cores.
+    pub fn new(n_cores: u32, params: RuntimeParams) -> Arc<Self> {
+        let directory = if params.arch.coherence_enabled() {
+            Some(DirectoryTiming::new(n_cores, params.mem.line_bytes))
+        } else {
+            None
+        };
+        Arc::new_cyclic(|me| TaskRuntime {
+            params,
+            st: Mutex::new(RtState::new(n_cores, directory)),
+            me: me.clone(),
+        })
+    }
+
+    fn self_arc(&self) -> Arc<TaskRuntime> {
+        self.me.upgrade().expect("runtime Arc gone")
+    }
+
+    /// Run-time parameters.
+    pub fn params(&self) -> &RuntimeParams {
+        &self.params
+    }
+
+    /// Snapshot of the run-time statistics.
+    pub fn stats(&self) -> RtStats {
+        self.st.lock().stats.clone()
+    }
+
+    /// Wrap a user task body into an engine activity closure.
+    pub(crate) fn wrap(self: &Arc<Self>, body: TaskBody) -> TaskFn {
+        let rt = Arc::clone(self);
+        Box::new(move |ec: &mut ExecCtx| {
+            let mut tc = TaskCtx::new(ec, rt);
+            body(&mut tc);
+        })
+    }
+
+    /// Charge the fixed runtime processing cost on `core`.
+    fn charge_handler(&self, ops: &mut Ops<'_>, core: CoreId) {
+        ops.advance_core(core, self.params.handler_cost.cycles());
+    }
+
+    /// Broadcast `core`'s occupancy to its neighbors (paper §IV: the
+    /// accepting core "broadcasts its new task queue's state to its own
+    /// neighbors").
+    pub(crate) fn broadcast_occupancy(&self, ops: &mut Ops<'_>, st: &mut RtState, core: CoreId) {
+        if !self.params.occupancy_broadcasts {
+            return;
+        }
+        let occ = st.cores[core.index()].occupancy();
+        for n in ops.neighbors(core) {
+            st.stats.occupancy_msgs += 1;
+            ops.send(
+                core,
+                n,
+                self.params.ctrl_msg_bytes,
+                Payload::new(RtMsg::Occupancy {
+                    from: core,
+                    occupancy: occ,
+                }),
+            );
+        }
+    }
+}
+
+impl RuntimeHooks for TaskRuntime {
+    fn on_message(&self, ops: &mut Ops<'_>, mut env: Envelope) {
+        let me = env.dst;
+        self.charge_handler(ops, me);
+        // Replies are dated from the request's arrival plus the local
+        // processing time (paper §II.A), never from the responder's own
+        // clock, which may have drifted arbitrarily.
+        let reply_at = env.arrival + self.params.handler_cost;
+        let msg = env.payload.take::<RtMsg>();
+        match msg {
+            RtMsg::Probe { prober, reply_to } => {
+                let mut st = self.st.lock();
+                let granted = {
+                    let core = &mut st.cores[me.index()];
+                    if core.occupancy() < self.params.queue_capacity {
+                        core.reserved += 1;
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if granted {
+                    st.stats.probe_acks += 1;
+                } else {
+                    st.stats.probe_nacks += 1;
+                }
+                let occupancy = st.cores[me.index()].occupancy();
+                drop(st);
+                ops.send_at(
+                    me,
+                    reply_to,
+                    self.params.ctrl_msg_bytes,
+                    reply_at,
+                    Payload::new(RtMsg::ProbeReply {
+                        prober,
+                        granted,
+                        responder: me,
+                        occupancy,
+                    }),
+                );
+            }
+            RtMsg::ProbeReply {
+                prober,
+                granted,
+                responder,
+                occupancy,
+            } => {
+                {
+                    let mut st = self.st.lock();
+                    st.cores[me.index()].proxy.insert(responder, occupancy);
+                }
+                let at = ops.now(me);
+                ops.wake(
+                    prober,
+                    Box::new(ProbeOutcome {
+                        granted,
+                        target: responder,
+                    }),
+                    at,
+                );
+            }
+            RtMsg::TaskSpawn {
+                body,
+                group,
+                birth,
+                parent,
+                name,
+                reserved,
+                hops,
+            } => {
+                ops.discard_birth(parent, birth);
+                let mut st = self.st.lock();
+                if reserved {
+                    let core = &mut st.cores[me.index()];
+                    assert!(core.reserved > 0, "TASK_SPAWN without reservation");
+                    core.reserved -= 1;
+                }
+                // Progressive task migration (paper §IV: tasks "migrate to
+                // other cores if the local ones are overloaded"): if this
+                // task would wait behind queued work and a neighbor looks
+                // idle, pass it along instead of enqueueing.
+                const MAX_MIGRATION_HOPS: u32 = 16;
+                let busy = ops.current_activity(me).is_some()
+                    || !st.cores[me.index()].queue.is_empty();
+                if busy && hops < MAX_MIGRATION_HOPS {
+                    let target = ops
+                        .neighbors(me)
+                        .into_iter()
+                        .filter(|&n| n != env.src)
+                        .find(|n| *st.cores[me.index()].proxy.get(n).unwrap_or(&0) == 0);
+                    if let Some(t) = target {
+                        st.stats.task_migrations += 1;
+                        // Optimistically bump the proxy so repeated arrivals
+                        // do not all pile onto the same neighbor before its
+                        // occupancy broadcast comes back.
+                        st.cores[me.index()].proxy.insert(t, 1);
+                        drop(st);
+                        let birth2 = ops.record_birth(me, reply_at);
+                        ops.send_at(
+                            me,
+                            t,
+                            self.params.spawn_msg_bytes,
+                            reply_at,
+                            Payload::new(RtMsg::TaskSpawn {
+                                body,
+                                group,
+                                birth: birth2,
+                                parent: me,
+                                name,
+                                reserved: false,
+                                hops: hops + 1,
+                            }),
+                        );
+                        return;
+                    }
+                }
+                st.cores[me.index()]
+                    .queue
+                    .push_back(QueuedTask { body, group, name });
+                ops.queue_hint_add(me, 1);
+                self.broadcast_occupancy(ops, &mut st, me);
+            }
+            RtMsg::Occupancy { from, occupancy } => {
+                let mut st = self.st.lock();
+                st.cores[me.index()].proxy.insert(from, occupancy);
+                // Progressive migration, pull-triggered: a neighbor just
+                // announced an empty queue while we have more than one task
+                // waiting — hand one over (paper §IV: tasks migrate when
+                // the local cores are overloaded).
+                if occupancy == 0 && st.cores[me.index()].queue.len() > 1 {
+                    let task = st.cores[me.index()].queue.pop_back().expect("len > 1");
+                    st.stats.task_migrations += 1;
+                    st.cores[me.index()].proxy.insert(from, 1);
+                    drop(st);
+                    ops.queue_hint_sub(me, 1);
+                    let birth = ops.record_birth(me, reply_at);
+                    ops.send_at(
+                        me,
+                        from,
+                        self.params.spawn_msg_bytes,
+                        reply_at,
+                        Payload::new(RtMsg::TaskSpawn {
+                            body: task.body,
+                            group: task.group,
+                            birth,
+                            parent: me,
+                            name: task.name,
+                            reserved: false,
+                            hops: 0,
+                        }),
+                    );
+                    // Our own occupancy changed: tell the neighborhood.
+                    let mut st = self.st.lock();
+                    self.broadcast_occupancy(ops, &mut st, me);
+                }
+            }
+            RtMsg::JoinerRequest { joiner } => {
+                let at = ops.now(me);
+                ops.wake(joiner, Box::new(()), at);
+            }
+            RtMsg::DataRequest {
+                cell,
+                requester,
+                activity,
+                hops,
+            } => {
+                let mut st = self.st.lock();
+                let info = st.cells.get_mut(&cell.0).expect("unknown cell");
+                if info.location == me {
+                    info.location = requester;
+                    let size = info.size_bytes;
+                    drop(st);
+                    ops.send_at(
+                        me,
+                        requester,
+                        size,
+                        reply_at,
+                        Payload::new(RtMsg::DataResponse { activity }),
+                    );
+                } else {
+                    // Stale location: chase the cell.
+                    let loc = info.location;
+                    st.stats.cell_forwards += 1;
+                    drop(st);
+                    ops.send_at(
+                        me,
+                        loc,
+                        self.params.ctrl_msg_bytes,
+                        reply_at,
+                        Payload::new(RtMsg::DataRequest {
+                            cell,
+                            requester,
+                            activity,
+                            hops: hops + 1,
+                        }),
+                    );
+                }
+            }
+            RtMsg::DataResponse { activity } => {
+                let at = ops.now(me);
+                ops.wake(activity, Box::new(()), at);
+            }
+            RtMsg::LockRequest {
+                lock,
+                activity,
+                requester,
+            } => {
+                let mut st = self.st.lock();
+                let ls = st.locks.get_mut(&lock.0).expect("unknown lock");
+                debug_assert_eq!(ls.home, me);
+                if ls.held {
+                    ls.waiters.push_back((activity, requester));
+                    st.stats.lock_waits += 1;
+                } else {
+                    ls.held = true;
+                    // Grants never predate the previous release.
+                    let grant_at = reply_at.max(ls.free_at);
+                    st.stats.lock_fast += 1;
+                    drop(st);
+                    ops.send_at(
+                        me,
+                        requester,
+                        self.params.ctrl_msg_bytes,
+                        grant_at,
+                        Payload::new(RtMsg::LockAck { activity }),
+                    );
+                }
+            }
+            RtMsg::LockAck { activity } => {
+                let at = ops.now(me);
+                ops.wake(activity, Box::new(()), at);
+            }
+            RtMsg::LockRelease { lock } => {
+                let mut st = self.st.lock();
+                let ls = st.locks.get_mut(&lock.0).expect("unknown lock");
+                debug_assert_eq!(ls.home, me);
+                ls.free_at = ls.free_at.max(env.arrival);
+                if let Some((activity, core)) = ls.waiters.pop_front() {
+                    // Hand over directly; the lock stays held.
+                    drop(st);
+                    ops.send_at(
+                        me,
+                        core,
+                        self.params.ctrl_msg_bytes,
+                        reply_at,
+                        Payload::new(RtMsg::LockAck { activity }),
+                    );
+                } else {
+                    ls.held = false;
+                }
+            }
+        }
+    }
+
+    fn on_idle(&self, ops: &mut Ops<'_>, core: CoreId) {
+        let task = {
+            let mut st = self.st.lock();
+            let task = st.cores[core.index()]
+                .queue
+                .pop_front()
+                .expect("on_idle with empty queue");
+            self.broadcast_occupancy(ops, &mut st, core);
+            task
+        };
+        ops.queue_hint_sub(core, 1);
+        // "Starting a task on a core has an overhead of 10 cycles in
+        // addition to the time to receive the spawn message" (§V).
+        ops.advance_core(core, self.params.task_start_cost.cycles());
+        let meta = TaskMeta { group: task.group };
+        let body = task.body;
+        let this = self.self_arc();
+        ops.start_activity(core, task.name, Box::new(meta), this.wrap(body));
+    }
+
+    fn on_activity_end(&self, ops: &mut Ops<'_>, core: CoreId, meta: Box<dyn Any + Send>) {
+        let meta = meta.downcast::<TaskMeta>().expect("foreign activity meta");
+        if let Some(g) = meta.group {
+            let joiners = {
+                let mut st = self.st.lock();
+                let group = st.groups.get_mut(&g.0).expect("unknown group");
+                assert!(group.active > 0, "group counter underflow");
+                group.active -= 1;
+                if group.active == 0 {
+                    std::mem::take(&mut group.joiners)
+                } else {
+                    Vec::new()
+                }
+            };
+            for (joiner, jcore) in joiners {
+                self.st.lock().stats.joiner_notifies += 1;
+                ops.send(
+                    core,
+                    jcore,
+                    self.params.ctrl_msg_bytes,
+                    Payload::new(RtMsg::JoinerRequest { joiner }),
+                );
+            }
+        }
+    }
+}
+
+/// Group / lock / cell creation helpers shared by `TaskCtx` and
+/// `run_program`.
+impl TaskRuntime {
+    pub(crate) fn create_group(&self) -> crate::state::GroupId {
+        let mut st = self.st.lock();
+        let id = st.next_group;
+        st.next_group += 1;
+        st.groups.insert(
+            id,
+            Group {
+                active: 0,
+                joiners: Vec::new(),
+            },
+        );
+        crate::state::GroupId(id)
+    }
+
+    pub(crate) fn create_lock(&self, home: CoreId) -> crate::state::LockId {
+        let mut st = self.st.lock();
+        let id = st.next_lock;
+        st.next_lock += 1;
+        st.locks.insert(
+            id,
+            LockState {
+                home,
+                held: false,
+                free_at: simany_core::VirtualTime::ZERO,
+                waiters: std::collections::VecDeque::new(),
+            },
+        );
+        crate::state::LockId(id)
+    }
+
+    pub(crate) fn create_cell(&self, location: CoreId, size_bytes: u32) -> crate::state::CellId {
+        let mut st = self.st.lock();
+        let id = st.next_cell;
+        st.next_cell += 1;
+        st.cells.insert(
+            id,
+            crate::state::CellInfo {
+                location,
+                size_bytes,
+            },
+        );
+        crate::state::CellId(id)
+    }
+
+}

@@ -1,0 +1,180 @@
+//! Run-time system state: task queues, occupancy proxies, groups, cells,
+//! locks and statistics.
+
+use crate::task_ctx::TaskBody;
+use simany_core::ActivityId;
+use simany_topology::CoreId;
+use std::collections::{HashMap, VecDeque};
+
+/// Identifier of a task group (coarse synchronization unit, paper §IV).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GroupId(pub u64);
+
+/// Identifier of a distributed-memory cell.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct CellId(pub u64);
+
+/// Identifier of a simulated lock.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LockId(pub u64);
+
+/// A task waiting in a core's queue.
+pub(crate) struct QueuedTask {
+    pub body: TaskBody,
+    pub group: Option<GroupId>,
+    pub name: &'static str,
+}
+
+/// Per-core run-time state.
+pub(crate) struct RtCore {
+    /// Tasks accepted but not yet started.
+    pub queue: VecDeque<QueuedTask>,
+    /// Slots promised to in-flight probes.
+    pub reserved: u32,
+    /// Occupancy proxies: believed queue occupation of each neighbor
+    /// (paper §IV: "the run-time system maintains proxies to neighbors'
+    /// occupation status").
+    pub proxy: HashMap<CoreId, u32>,
+}
+
+impl RtCore {
+    pub fn new() -> Self {
+        RtCore {
+            queue: VecDeque::new(),
+            reserved: 0,
+            proxy: HashMap::new(),
+        }
+    }
+
+    /// Occupation counted against the queue capacity.
+    pub fn occupancy(&self) -> u32 {
+        self.queue.len() as u32 + self.reserved
+    }
+}
+
+/// A task group: active-task counter plus registered joiners.
+pub(crate) struct Group {
+    pub active: u32,
+    pub joiners: Vec<(ActivityId, CoreId)>,
+}
+
+/// A distributed-memory cell: current location and architectural size.
+pub(crate) struct CellInfo {
+    pub location: CoreId,
+    pub size_bytes: u32,
+}
+
+/// A simulated lock living on its home core.
+pub(crate) struct LockState {
+    pub home: CoreId,
+    pub held: bool,
+    /// Virtual time at which the lock was last released. Grants are never
+    /// stamped earlier: even when the simulator processes a request after
+    /// the previous critical section completed in *simulation* order, the
+    /// virtual serialization of the resource is preserved (the paper's
+    /// out-of-order biases apply to message timing, but a lock cannot be
+    /// virtually free before its holder released it).
+    pub free_at: simany_core::VirtualTime,
+    /// Blocked requesters in arrival order.
+    pub waiters: VecDeque<(ActivityId, CoreId)>,
+}
+
+/// Run-time–level statistics, complementing `simany_core::SimStats`.
+#[derive(Clone, Debug, Default)]
+pub struct RtStats {
+    /// PROBE messages sent.
+    pub probes: u64,
+    /// Probes granted (PROBE_ACK).
+    pub probe_acks: u64,
+    /// Probes denied (PROBE_NACK).
+    pub probe_nacks: u64,
+    /// Probes never sent because no proxy looked free.
+    pub probe_skips: u64,
+    /// Tasks shipped with TASK_SPAWN.
+    pub spawns: u64,
+    /// Conditional spawns that fell back to sequential execution.
+    pub sequential_fallbacks: u64,
+    /// Queued tasks forwarded to an idle-looking neighbor (the paper's
+    /// progressive task migration under overload, §IV).
+    pub task_migrations: u64,
+    /// OCCUPANCY broadcasts sent.
+    pub occupancy_msgs: u64,
+    /// JOINER_REQUEST notifications sent.
+    pub joiner_notifies: u64,
+    /// join() calls that found the group already finished.
+    pub joins_immediate: u64,
+    /// join() calls that had to suspend.
+    pub joins_suspended: u64,
+    /// Shared-memory loads / stores timed.
+    pub sm_loads: u64,
+    /// Shared-memory stores timed.
+    pub sm_stores: u64,
+    /// L1 hits across all tasks.
+    pub l1_hits: u64,
+    /// L1 misses across all tasks.
+    pub l1_misses: u64,
+    /// Coherence protocol legs charged (validation mode).
+    pub coherence_legs: u64,
+    /// Cell accesses satisfied locally.
+    pub cell_local: u64,
+    /// Cell accesses that required a data transfer.
+    pub cell_remote: u64,
+    /// DATA_REQUEST forwards due to stale location.
+    pub cell_forwards: u64,
+    /// Lock acquisitions granted immediately.
+    pub lock_fast: u64,
+    /// Lock acquisitions that had to wait.
+    pub lock_waits: u64,
+}
+
+/// All mutable run-time state, owned by the hooks object behind a mutex
+/// (uncontended: the engine serializes every entry path).
+pub(crate) struct RtState {
+    pub cores: Vec<RtCore>,
+    pub groups: HashMap<u64, Group>,
+    pub next_group: u64,
+    pub cells: HashMap<u64, CellInfo>,
+    pub next_cell: u64,
+    pub locks: HashMap<u64, LockState>,
+    pub next_lock: u64,
+    pub directory: Option<simany_mem::DirectoryTiming>,
+    pub stats: RtStats,
+    /// Round-robin cursor per core for `SpawnPolicy::RoundRobin`.
+    pub spawn_cursor: Vec<u32>,
+}
+
+impl RtState {
+    pub fn new(n_cores: u32, directory: Option<simany_mem::DirectoryTiming>) -> Self {
+        RtState {
+            cores: (0..n_cores).map(|_| RtCore::new()).collect(),
+            groups: HashMap::new(),
+            next_group: 0,
+            cells: HashMap::new(),
+            next_cell: 0,
+            locks: HashMap::new(),
+            next_lock: 0,
+            directory,
+            stats: RtStats::default(),
+            spawn_cursor: vec![0; n_cores as usize],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn occupancy_counts_queue_and_reservations() {
+        let mut c = RtCore::new();
+        assert_eq!(c.occupancy(), 0);
+        c.reserved = 2;
+        assert_eq!(c.occupancy(), 2);
+        c.queue.push_back(QueuedTask {
+            body: Box::new(|_| {}),
+            group: None,
+            name: "t",
+        });
+        assert_eq!(c.occupancy(), 3);
+    }
+}

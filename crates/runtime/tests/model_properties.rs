@@ -1,0 +1,134 @@
+//! Property tests for the task programming model: arbitrary task trees
+//! complete, verify, stay deterministic and never deadlock — across
+//! machine shapes, memory architectures and drift bounds.
+
+use proptest::prelude::*;
+use simany_runtime::{run_program, ProgramSpec, RuntimeParams, TaskCtx};
+use simany_topology::{mesh_2d, ring};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A randomized task-tree shape: at each node, some work, some children.
+#[derive(Clone, Debug)]
+struct TreeShape {
+    work: u64,
+    children: Vec<TreeShape>,
+}
+
+fn tree_strategy(depth: u32) -> BoxedStrategy<TreeShape> {
+    let leaf = (1u64..200).prop_map(|work| TreeShape {
+        work,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(depth, 24, 3, |inner| {
+        ((1u64..200), prop::collection::vec(inner, 0..3)).prop_map(|(work, children)| TreeShape {
+            work,
+            children,
+        })
+    })
+    .boxed()
+}
+
+fn count_nodes(t: &TreeShape) -> u64 {
+    1 + t.children.iter().map(count_nodes).sum::<u64>()
+}
+
+fn total_work(t: &TreeShape) -> u64 {
+    t.work + t.children.iter().map(total_work).sum::<u64>()
+}
+
+fn run_tree(
+    tc: &mut TaskCtx<'_>,
+    shape: &TreeShape,
+    group: simany_runtime::GroupId,
+    visited: &Arc<AtomicU64>,
+) {
+    // Work in small chunks so spatial sync sees fine-grained annotations.
+    let mut left = shape.work;
+    while left > 0 {
+        let step = left.min(32);
+        tc.work(step);
+        left -= step;
+    }
+    visited.fetch_add(1, Ordering::SeqCst);
+    for child in shape.children.clone() {
+        let visited = Arc::clone(visited);
+        tc.spawn_or_run(group, move |tc: &mut TaskCtx<'_>| {
+            run_tree(tc, &child, group, &visited);
+        });
+    }
+}
+
+fn execute(shape: &TreeShape, spec: ProgramSpec) -> (u64, u64, u64) {
+    let visited = Arc::new(AtomicU64::new(0));
+    let visited2 = Arc::clone(&visited);
+    let shape = shape.clone();
+    let out = run_program(spec, move |tc| {
+        let group = tc.make_group();
+        run_tree(tc, &shape, group, &visited2);
+        tc.join(group);
+    })
+    .expect("simulation must complete");
+    (
+        visited.load(Ordering::SeqCst),
+        out.vtime_cycles(),
+        out.stats.scheduler_picks,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every node of an arbitrary task tree runs exactly once, on any
+    /// machine, and the virtual time is at least the critical path and at
+    /// most the sequential sum (plus overheads).
+    #[test]
+    fn arbitrary_task_trees_complete(
+        shape in tree_strategy(4),
+        cores in prop::sample::select(vec![1u32, 4, 9, 16]),
+        use_ring in any::<bool>(),
+        distributed in any::<bool>(),
+    ) {
+        let topo = if use_ring && cores >= 2 { ring(cores) } else { mesh_2d(cores) };
+        let mut spec = ProgramSpec::new(topo);
+        if distributed {
+            spec.runtime = RuntimeParams::distributed_memory();
+        }
+        let (visited, cycles, _) = execute(&shape, spec);
+        prop_assert_eq!(visited, count_nodes(&shape));
+        // Lower bound: someone had to do the root's own work.
+        prop_assert!(cycles >= shape.work);
+        // Upper bound: sequential work plus generous per-task overhead.
+        let bound = total_work(&shape) + count_nodes(&shape) * 400;
+        prop_assert!(cycles <= bound, "cycles {} > bound {}", cycles, bound);
+    }
+
+    /// Same seed, same machine => bit-identical timing and scheduling.
+    #[test]
+    fn task_trees_are_deterministic(
+        shape in tree_strategy(3),
+        seed in 0u64..500,
+    ) {
+        let mk = || {
+            let mut spec = ProgramSpec::new(mesh_2d(9));
+            spec.engine = spec.engine.with_seed(seed);
+            spec
+        };
+        let a = execute(&shape, mk());
+        let b = execute(&shape, mk());
+        prop_assert_eq!(a, b);
+    }
+
+    /// The drift bound never affects correctness, only timing: any T
+    /// produces the same completed-task count.
+    #[test]
+    fn drift_bound_is_timing_only(
+        shape in tree_strategy(3),
+        t_cycles in prop::sample::select(vec![25u64, 100, 2000]),
+    ) {
+        let mut spec = ProgramSpec::new(mesh_2d(8));
+        spec.engine = spec.engine.with_drift_cycles(t_cycles);
+        let (visited, _, _) = execute(&shape, spec);
+        prop_assert_eq!(visited, count_nodes(&shape));
+    }
+}

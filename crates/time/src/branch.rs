@@ -1,0 +1,310 @@
+//! Branch prediction models.
+//!
+//! SiMany models branch prediction probabilistically (paper §V): statically
+//! unknown conditional branches are predicted correctly with probability
+//! ≥ 0.9; a misprediction costs one pipeline depth (5 cycles). The
+//! cycle-level reference simulator instead uses a classic table of two-bit
+//! saturating counters indexed by (hashed) branch address.
+
+use crate::prng::Xoshiro256StarStar;
+
+/// Outcome of submitting one branch to a predictor.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BranchOutcome {
+    /// Correctly predicted; no penalty.
+    Hit,
+    /// Mispredicted; the pipeline-depth penalty applies.
+    Miss,
+}
+
+/// Probabilistic branch predictor: each statically unknown conditional branch
+/// is an independent Bernoulli trial with success probability `accuracy`.
+#[derive(Clone, Debug)]
+pub struct ProbBranchPredictor {
+    accuracy: f64,
+    penalty_cycles: u32,
+    rng: Xoshiro256StarStar,
+    hits: u64,
+    misses: u64,
+}
+
+impl ProbBranchPredictor {
+    /// Batch size above which [`Self::predict_many`] switches from sampled
+    /// Bernoulli trials to the deterministic expectation.
+    pub const EXACT_LIMIT: u64 = 4096;
+
+    /// Create a predictor with the given accuracy, penalty and PRNG stream.
+    pub fn new(accuracy: f64, penalty_cycles: u32, rng: Xoshiro256StarStar) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&accuracy),
+            "branch accuracy must be a probability"
+        );
+        ProbBranchPredictor {
+            accuracy,
+            penalty_cycles,
+            rng,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Submit one branch; returns the penalty in cycles (0 on a hit).
+    #[inline]
+    pub fn predict(&mut self) -> u32 {
+        if self.rng.chance(self.accuracy) {
+            self.hits += 1;
+            0
+        } else {
+            self.misses += 1;
+            self.penalty_cycles
+        }
+    }
+
+    /// Total penalty cycles for a run of `n` branches.
+    ///
+    /// Above [`Self::EXACT_LIMIT`] branches the per-branch Bernoulli trials
+    /// are replaced by the deterministic expectation (`n × (1 − accuracy)`
+    /// misses, rounded): for coarse annotations covering huge loop nests the
+    /// law of large numbers makes the sampled count indistinguishable from
+    /// its mean, and skipping the per-branch PRNG calls keeps very coarse
+    /// blocks O(1).
+    pub fn predict_many(&mut self, n: u64) -> u64 {
+        if n > Self::EXACT_LIMIT {
+            let misses = ((n as f64) * (1.0 - self.accuracy)).round() as u64;
+            self.misses += misses;
+            self.hits += n - misses;
+            return misses * u64::from(self.penalty_cycles);
+        }
+        let mut total = 0u64;
+        for _ in 0..n {
+            total += u64::from(self.predict());
+        }
+        total
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Observed accuracy so far (1.0 when nothing predicted yet).
+    pub fn observed_accuracy(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Two-bit saturating counter states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(clippy::enum_variant_names)]
+enum TwoBit {
+    StrongNotTaken,
+    WeakNotTaken,
+    WeakTaken,
+    StrongTaken,
+}
+
+impl TwoBit {
+    #[inline]
+    fn predicts_taken(self) -> bool {
+        matches!(self, TwoBit::WeakTaken | TwoBit::StrongTaken)
+    }
+
+    #[inline]
+    fn update(self, taken: bool) -> TwoBit {
+        use TwoBit::*;
+        match (self, taken) {
+            (StrongNotTaken, false) => StrongNotTaken,
+            (StrongNotTaken, true) => WeakNotTaken,
+            (WeakNotTaken, false) => StrongNotTaken,
+            (WeakNotTaken, true) => WeakTaken,
+            (WeakTaken, false) => WeakNotTaken,
+            (WeakTaken, true) => StrongTaken,
+            (StrongTaken, false) => WeakTaken,
+            (StrongTaken, true) => StrongTaken,
+        }
+    }
+}
+
+/// Table of two-bit saturating counters, indexed by hashed branch address.
+/// Used by the cycle-level reference simulator (`simany-cyclelevel`).
+#[derive(Clone, Debug)]
+pub struct TwoBitPredictor {
+    table: Vec<TwoBit>,
+    mask: u64,
+    penalty_cycles: u32,
+    hits: u64,
+    misses: u64,
+}
+
+impl TwoBitPredictor {
+    /// Create a predictor with `entries` counters (rounded up to a power of
+    /// two) and the given misprediction penalty.
+    pub fn new(entries: usize, penalty_cycles: u32) -> Self {
+        let n = entries.next_power_of_two().max(2);
+        TwoBitPredictor {
+            table: vec![TwoBit::WeakTaken; n],
+            mask: (n - 1) as u64,
+            penalty_cycles,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    #[inline]
+    fn slot(&self, addr: u64) -> usize {
+        // Cheap avalanche so nearby addresses spread over the table.
+        let mut h = addr;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h & self.mask) as usize
+    }
+
+    /// Submit one resolved branch (`addr`, actual `taken` outcome); returns
+    /// the penalty in cycles (0 on a correct prediction) and trains the
+    /// counter.
+    #[inline]
+    pub fn predict_and_train(&mut self, addr: u64, taken: bool) -> u32 {
+        let i = self.slot(addr);
+        let state = self.table[i];
+        let correct = state.predicts_taken() == taken;
+        self.table[i] = state.update(taken);
+        if correct {
+            self.hits += 1;
+            0
+        } else {
+            self.misses += 1;
+            self.penalty_cycles
+        }
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Observed accuracy so far (1.0 when nothing predicted yet).
+    pub fn observed_accuracy(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seeded(99)
+    }
+
+    #[test]
+    fn prob_predictor_rate_near_accuracy() {
+        let mut p = ProbBranchPredictor::new(0.9, 5, rng());
+        let penalty = p.predict_many(20_000);
+        let (hits, misses) = p.stats();
+        assert_eq!(hits + misses, 20_000);
+        assert_eq!(penalty, misses * 5);
+        let acc = p.observed_accuracy();
+        assert!((0.88..=0.92).contains(&acc), "accuracy {acc}");
+    }
+
+    #[test]
+    fn prob_predictor_deterministic_per_seed() {
+        let mut a = ProbBranchPredictor::new(0.9, 5, Xoshiro256StarStar::seeded(1));
+        let mut b = ProbBranchPredictor::new(0.9, 5, Xoshiro256StarStar::seeded(1));
+        assert_eq!(a.predict_many(1000), b.predict_many(1000));
+    }
+
+    #[test]
+    fn prob_predictor_extremes() {
+        let mut always = ProbBranchPredictor::new(1.0, 5, rng());
+        assert_eq!(always.predict_many(100), 0);
+        let mut never = ProbBranchPredictor::new(0.0, 5, rng());
+        assert_eq!(never.predict_many(100), 500);
+    }
+
+    #[test]
+    fn predict_many_large_batch_uses_expectation() {
+        let mut p = ProbBranchPredictor::new(0.9, 5, rng());
+        let n = ProbBranchPredictor::EXACT_LIMIT * 10;
+        let penalty = p.predict_many(n);
+        // Deterministic: exactly 10% misses.
+        assert_eq!(penalty, (n / 10) * 5);
+        let (hits, misses) = p.stats();
+        assert_eq!(misses, n / 10);
+        assert_eq!(hits + misses, n);
+    }
+
+    #[test]
+    fn two_bit_learns_biased_branch() {
+        let mut p = TwoBitPredictor::new(256, 5);
+        // Always-taken branch: after warm-up, no more penalties.
+        let mut late_penalty = 0;
+        for i in 0..100 {
+            let pen = p.predict_and_train(0xABCD, true);
+            if i >= 2 {
+                late_penalty += pen;
+            }
+        }
+        assert_eq!(late_penalty, 0);
+        assert!(p.observed_accuracy() > 0.9);
+    }
+
+    #[test]
+    fn two_bit_hysteresis_tolerates_single_flip() {
+        let mut p = TwoBitPredictor::new(16, 5);
+        for _ in 0..10 {
+            p.predict_and_train(7, true);
+        }
+        // One not-taken blip...
+        p.predict_and_train(7, false);
+        // ...should not flip the prediction: next taken is still a hit.
+        assert_eq!(p.predict_and_train(7, true), 0);
+    }
+
+    #[test]
+    fn two_bit_alternating_worst_case() {
+        let mut p = TwoBitPredictor::new(16, 5);
+        let mut taken = true;
+        let mut penalties = 0u32;
+        for _ in 0..100 {
+            penalties += p.predict_and_train(3, taken);
+            taken = !taken;
+        }
+        // Alternation defeats a two-bit counter about half the time or worse.
+        assert!(penalties >= 200, "penalties {penalties}");
+    }
+
+    #[test]
+    fn two_bit_distinct_addresses_do_not_interfere_much() {
+        let mut p = TwoBitPredictor::new(1024, 5);
+        for _ in 0..50 {
+            p.predict_and_train(1, true);
+            p.predict_and_train(2, false);
+        }
+        assert_eq!(p.predict_and_train(1, true), 0);
+        assert_eq!(p.predict_and_train(2, false), 0);
+    }
+
+    #[test]
+    fn table_size_rounds_to_power_of_two() {
+        let p = TwoBitPredictor::new(1000, 5);
+        assert_eq!(p.table.len(), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_accuracy_rejected() {
+        let _ = ProbBranchPredictor::new(1.5, 5, rng());
+    }
+}

@@ -1,0 +1,305 @@
+//! Virtual time primitives.
+//!
+//! Every simulated core and hardware component in SiMany maintains a private
+//! virtual clock (paper §II.A "Distributed timing"). The clock is a plain
+//! monotonic counter of *ticks*; one processor cycle is [`TICKS_PER_CYCLE`]
+//! ticks. Sub-cycle quantities appear in the paper (the clustered
+//! architectures use 0.5-cycle intra-cluster link latency), so a tick is half
+//! a cycle and all arithmetic stays exact and integral.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+/// Number of ticks per processor cycle.
+pub const TICKS_PER_CYCLE: u64 = 2;
+
+/// An absolute point in virtual time (ticks since simulation start).
+///
+/// `VirtualTime` is totally ordered; the simulator compares clocks of
+/// different cores to implement spatial synchronization and to timestamp
+/// messages.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualTime(pub u64);
+
+/// A span of virtual time (ticks).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VDuration(pub u64);
+
+impl VirtualTime {
+    /// Time zero, the simulation start.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Largest representable time; used as "+infinity" sentinel when taking
+    /// minima over sets of clocks.
+    pub const MAX: VirtualTime = VirtualTime(u64::MAX);
+
+    /// Construct from whole processor cycles.
+    #[inline]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        VirtualTime(cycles * TICKS_PER_CYCLE)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed in cycles, rounding down.
+    #[inline]
+    pub const fn cycles(self) -> u64 {
+        self.0 / TICKS_PER_CYCLE
+    }
+
+    /// Time in cycles as a float (for reporting only; never used in the
+    /// simulation itself).
+    #[inline]
+    pub fn cycles_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_CYCLE as f64
+    }
+
+    /// Saturating difference `self - earlier`, zero if `earlier` is later.
+    #[inline]
+    pub fn saturating_since(self, earlier: VirtualTime) -> VDuration {
+        VDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: VirtualTime) -> VirtualTime {
+        VirtualTime(self.0.min(other.0))
+    }
+}
+
+impl VDuration {
+    /// Zero-length span.
+    pub const ZERO: VDuration = VDuration(0);
+
+    /// Construct from whole processor cycles.
+    #[inline]
+    pub const fn from_cycles(cycles: u64) -> Self {
+        VDuration(cycles * TICKS_PER_CYCLE)
+    }
+
+    /// Construct from half cycles (1 half-cycle = 1 tick).
+    #[inline]
+    pub const fn from_half_cycles(half_cycles: u64) -> Self {
+        VDuration(half_cycles)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Span expressed in cycles, rounding down.
+    #[inline]
+    pub const fn cycles(self) -> u64 {
+        self.0 / TICKS_PER_CYCLE
+    }
+
+    /// Span in cycles as a float (reporting only).
+    #[inline]
+    pub fn cycles_f64(self) -> f64 {
+        self.0 as f64 / TICKS_PER_CYCLE as f64
+    }
+
+    /// True iff the span is empty.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The longer of two spans.
+    #[inline]
+    pub fn max(self, other: VDuration) -> VDuration {
+        VDuration(self.0.max(other.0))
+    }
+
+    /// Scale by an integer factor (used e.g. for the global drift bound
+    /// `diameter × T`).
+    #[inline]
+    pub const fn scaled(self, factor: u64) -> VDuration {
+        VDuration(self.0 * factor)
+    }
+}
+
+impl Add<VDuration> for VirtualTime {
+    type Output = VirtualTime;
+    #[inline]
+    fn add(self, rhs: VDuration) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VDuration> for VirtualTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: VDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = VDuration;
+    /// Exact difference; panics in debug builds when `rhs` is later.
+    #[inline]
+    fn sub(self, rhs: VirtualTime) -> VDuration {
+        debug_assert!(self.0 >= rhs.0, "VirtualTime subtraction underflow");
+        VDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add for VDuration {
+    type Output = VDuration;
+    #[inline]
+    fn add(self, rhs: VDuration) -> VDuration {
+        VDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: VDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VDuration {
+    type Output = VDuration;
+    #[inline]
+    fn sub(self, rhs: VDuration) -> VDuration {
+        debug_assert!(self.0 >= rhs.0, "VDuration subtraction underflow");
+        VDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for VDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: VDuration) {
+        debug_assert!(self.0 >= rhs.0, "VDuration subtraction underflow");
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for VDuration {
+    type Output = VDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> VDuration {
+        VDuration(self.0 * rhs)
+    }
+}
+
+impl Sum for VDuration {
+    fn sum<I: Iterator<Item = VDuration>>(iter: I) -> Self {
+        VDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Debug for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            write!(f, "t=+inf")
+        } else if self.0.is_multiple_of(TICKS_PER_CYCLE) {
+            write!(f, "t={}cy", self.cycles())
+        } else {
+            write!(f, "t={:.1}cy", self.cycles_f64())
+        }
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for VDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(TICKS_PER_CYCLE) {
+            write!(f, "{}cy", self.cycles())
+        } else {
+            write!(f, "{:.1}cy", self.cycles_f64())
+        }
+    }
+}
+
+impl fmt::Display for VDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_tick_round_trip() {
+        let t = VirtualTime::from_cycles(100);
+        assert_eq!(t.ticks(), 200);
+        assert_eq!(t.cycles(), 100);
+        assert_eq!(t.cycles_f64(), 100.0);
+    }
+
+    #[test]
+    fn half_cycle_durations_are_exact() {
+        let half = VDuration::from_half_cycles(1);
+        let t = VirtualTime::ZERO + half + half;
+        assert_eq!(t, VirtualTime::from_cycles(1));
+        assert_eq!(half.cycles_f64(), 0.5);
+    }
+
+    #[test]
+    fn ordering_and_max_min() {
+        let a = VirtualTime::from_cycles(5);
+        let b = VirtualTime::from_cycles(7);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn saturating_since_never_underflows() {
+        let a = VirtualTime::from_cycles(5);
+        let b = VirtualTime::from_cycles(7);
+        assert_eq!(b.saturating_since(a), VDuration::from_cycles(2));
+        assert_eq!(a.saturating_since(b), VDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = VDuration::from_cycles(3) + VDuration::from_cycles(4);
+        assert_eq!(d.cycles(), 7);
+        assert_eq!((d - VDuration::from_cycles(2)).cycles(), 5);
+        assert_eq!(d.scaled(2).cycles(), 14);
+        assert_eq!((d * 3).cycles(), 21);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: VDuration = (1..=4).map(VDuration::from_cycles).sum();
+        assert_eq!(total.cycles(), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", VirtualTime::from_cycles(42)), "t=42cy");
+        assert_eq!(format!("{}", VDuration::from_half_cycles(3)), "1.5cy");
+        assert_eq!(format!("{}", VirtualTime::MAX), "t=+inf");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    #[cfg(debug_assertions)]
+    fn exact_subtraction_underflow_panics() {
+        let _ = VirtualTime::from_cycles(1) - VirtualTime::from_cycles(2);
+    }
+}

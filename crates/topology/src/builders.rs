@@ -1,0 +1,413 @@
+//! Ready-made topology shapes.
+//!
+//! The paper's experiments use uniform 2D meshes of 8, 64, 256 and 1024
+//! cores, clustered variants with 4 or 8 clusters, and polymorphic meshes
+//! (which reuse the mesh shape and differ only in per-core speed, see
+//! `simany_time::CoreSpeed`). A handful of extra classic shapes (torus,
+//! ring, star, hypercube, fully-connected) round out the exploration space —
+//! the paper stresses that "SiMany can handle arbitrary network
+//! organizations".
+
+use crate::graph::{CoreId, Topology, DEFAULT_LINK_BANDWIDTH, DEFAULT_LINK_LATENCY};
+use simany_time::VDuration;
+
+/// Nearly square factorization of `n`: `(w, h)` with `w * h == n` and
+/// `w >= h`, `w - h` minimal. Used to lay out `n`-core meshes even when `n`
+/// is not a perfect square (e.g. 8 cores -> 4×2).
+pub fn mesh_dims(n: u32) -> (u32, u32) {
+    assert!(n > 0);
+    let mut best = (n, 1);
+    let mut h = 1;
+    while h * h <= n {
+        if n.is_multiple_of(h) {
+            best = (n / h, h);
+        }
+        h += 1;
+    }
+    best
+}
+
+/// Uniform 2D mesh of `n` cores with default link parameters (1-cycle
+/// latency, 128 B/cy). `n` is factored into the most-square grid.
+pub fn mesh_2d(n: u32) -> Topology {
+    mesh_2d_with(n, DEFAULT_LINK_LATENCY, DEFAULT_LINK_BANDWIDTH)
+}
+
+/// Uniform 2D mesh with explicit link parameters.
+pub fn mesh_2d_with(n: u32, latency: VDuration, bandwidth: u32) -> Topology {
+    let (w, h) = mesh_dims(n);
+    let mut t = Topology::new(n);
+    let id = |x: u32, y: u32| CoreId(y * w + x);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                t.add_link(id(x, y), id(x + 1, y), latency, bandwidth);
+            }
+            if y + 1 < h {
+                t.add_link(id(x, y), id(x, y + 1), latency, bandwidth);
+            }
+        }
+    }
+    t
+}
+
+/// 2D torus (mesh with wrap-around links).
+pub fn torus_2d(n: u32) -> Topology {
+    let (w, h) = mesh_dims(n);
+    let mut t = Topology::new(n);
+    let id = |x: u32, y: u32| CoreId(y * w + x);
+    for y in 0..h {
+        for x in 0..w {
+            let right = id((x + 1) % w, y);
+            let down = id(x, (y + 1) % h);
+            if right != id(x, y) && !t.are_neighbors(id(x, y), right) {
+                t.add_default_link(id(x, y), right);
+            }
+            if down != id(x, y) && !t.are_neighbors(id(x, y), down) {
+                t.add_default_link(id(x, y), down);
+            }
+        }
+    }
+    t
+}
+
+/// Bidirectional ring of `n` cores.
+pub fn ring(n: u32) -> Topology {
+    assert!(n >= 2, "a ring needs at least two cores");
+    let mut t = Topology::new(n);
+    for i in 0..n {
+        let next = (i + 1) % n;
+        if !t.are_neighbors(CoreId(i), CoreId(next)) {
+            t.add_default_link(CoreId(i), CoreId(next));
+        }
+    }
+    t
+}
+
+/// Star: core 0 is the hub, all others are leaves.
+pub fn star(n: u32) -> Topology {
+    assert!(n >= 2, "a star needs at least two cores");
+    let mut t = Topology::new(n);
+    for i in 1..n {
+        t.add_default_link(CoreId(0), CoreId(i));
+    }
+    t
+}
+
+/// Fully connected graph (every pair directly linked).
+pub fn fully_connected(n: u32) -> Topology {
+    let mut t = Topology::new(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            t.add_default_link(CoreId(a), CoreId(b));
+        }
+    }
+    t
+}
+
+/// Hypercube of dimension `dim` (`2^dim` cores).
+pub fn hypercube(dim: u32) -> Topology {
+    assert!(dim <= 16, "hypercube dimension too large");
+    let n = 1u32 << dim;
+    let mut t = Topology::new(n);
+    for a in 0..n {
+        for bit in 0..dim {
+            let b = a ^ (1 << bit);
+            if a < b {
+                t.add_default_link(CoreId(a), CoreId(b));
+            }
+        }
+    }
+    t
+}
+
+/// Nearly cubic factorization of `n`: `(x, y, z)` with `x·y·z == n`,
+/// minimizing the largest dimension.
+pub fn mesh_dims_3d(n: u32) -> (u32, u32, u32) {
+    assert!(n > 0);
+    let mut best = (n, 1, 1);
+    let score = |d: (u32, u32, u32)| d.0.max(d.1).max(d.2);
+    let mut a = 1;
+    while a * a * a <= n {
+        if n.is_multiple_of(a) {
+            let rest = n / a;
+            let mut b = a;
+            while b * b <= rest {
+                if rest.is_multiple_of(b) {
+                    let cand = (rest / b, b, a);
+                    if score(cand) < score(best) {
+                        best = cand;
+                    }
+                }
+                b += 1;
+            }
+        }
+        a += 1;
+    }
+    best
+}
+
+/// Uniform 3D mesh of `n` cores (default link parameters). Many-core
+/// proposals beyond the paper's 2D meshes commonly assume stacked 3D
+/// grids; `n` is factored into the most-cubic shape.
+pub fn mesh_3d(n: u32) -> Topology {
+    let (w, h, d) = mesh_dims_3d(n);
+    let mut t = Topology::new(n);
+    let id = |x: u32, y: u32, z: u32| CoreId(z * w * h + y * w + x);
+    for z in 0..d {
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    t.add_default_link(id(x, y, z), id(x + 1, y, z));
+                }
+                if y + 1 < h {
+                    t.add_default_link(id(x, y, z), id(x, y + 1, z));
+                }
+                if z + 1 < d {
+                    t.add_default_link(id(x, y, z), id(x, y, z + 1));
+                }
+            }
+        }
+    }
+    t
+}
+
+/// Parameters for clustered meshes (paper §V, *Architecture Exploration*).
+///
+/// The paper splits the same number of cores into 4 or 8 clusters; links
+/// *between* clusters are slow (4× the base latency = 4 cycles) while links
+/// *inside* a cluster are fast (half a cycle).
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterParams {
+    /// Number of clusters; must divide the core count.
+    pub n_clusters: u32,
+    /// Latency of links inside a cluster (default: 0.5 cycles).
+    pub intra_latency: VDuration,
+    /// Latency of links between clusters (default: 4 cycles).
+    pub inter_latency: VDuration,
+    /// Bandwidth of every link (default: 128 B/cy).
+    pub bandwidth: u32,
+}
+
+impl ClusterParams {
+    /// The paper's parameters with the given number of clusters.
+    pub fn paper(n_clusters: u32) -> Self {
+        ClusterParams {
+            n_clusters,
+            intra_latency: VDuration::from_half_cycles(1),
+            inter_latency: VDuration::from_cycles(4),
+            bandwidth: DEFAULT_LINK_BANDWIDTH,
+        }
+    }
+}
+
+/// Clustered 2D mesh: `n` cores arranged as a global 2D mesh whose links are
+/// classified as intra- or inter-cluster.
+///
+/// Clusters are contiguous sub-meshes: the global `w × h` grid is cut into a
+/// `cw × ch` grid of cluster tiles. A mesh link whose endpoints fall in the
+/// same tile gets `intra_latency`; a link crossing a tile boundary gets
+/// `inter_latency`. This preserves the paper's setup: same core count and
+/// mesh shape as the uniform machine, only link latencies change.
+pub fn clustered_mesh(n: u32, params: ClusterParams) -> Topology {
+    assert!(params.n_clusters > 0 && n.is_multiple_of(params.n_clusters),
+        "cluster count {} must divide core count {n}", params.n_clusters);
+    let (w, h) = mesh_dims(n);
+    let (cw, ch) = mesh_dims(params.n_clusters);
+    assert!(
+        w % cw == 0 && h % ch == 0,
+        "cluster grid {cw}x{ch} must tile mesh {w}x{h}"
+    );
+    let tile_w = w / cw;
+    let tile_h = h / ch;
+    let cluster_of = |x: u32, y: u32| (y / tile_h) * cw + (x / tile_w);
+
+    let mut t = Topology::new(n);
+    let id = |x: u32, y: u32| CoreId(y * w + x);
+    let connect = |t: &mut Topology, x0: u32, y0: u32, x1: u32, y1: u32| {
+        let lat = if cluster_of(x0, y0) == cluster_of(x1, y1) {
+            params.intra_latency
+        } else {
+            params.inter_latency
+        };
+        t.add_link(id(x0, y0), id(x1, y1), lat, params.bandwidth);
+    };
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                connect(&mut t, x, y, x + 1, y);
+            }
+            if y + 1 < h {
+                connect(&mut t, x, y, x, y + 1);
+            }
+        }
+    }
+    t
+}
+
+/// Cluster index of each core for a `clustered_mesh` with the same
+/// parameters (useful for schedulers and reporting).
+pub fn cluster_assignment(n: u32, n_clusters: u32) -> Vec<u32> {
+    let (w, h) = mesh_dims(n);
+    let (cw, ch) = mesh_dims(n_clusters);
+    let tile_w = w / cw;
+    let tile_h = h / ch;
+    let mut out = Vec::with_capacity(n as usize);
+    for y in 0..h {
+        for x in 0..w {
+            out.push((y / tile_h) * cw + (x / tile_w));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_dims_square_and_rectangular() {
+        assert_eq!(mesh_dims(64), (8, 8));
+        assert_eq!(mesh_dims(8), (4, 2));
+        assert_eq!(mesh_dims(1024), (32, 32));
+        assert_eq!(mesh_dims(256), (16, 16));
+        assert_eq!(mesh_dims(1), (1, 1));
+        assert_eq!(mesh_dims(7), (7, 1));
+    }
+
+    #[test]
+    fn mesh_2d_structure() {
+        let t = mesh_2d(64);
+        assert_eq!(t.n_cores(), 64);
+        // 2*w*h - w - h undirected edges, times 2 directions.
+        assert_eq!(t.n_links(), 2 * (2 * 64 - 8 - 8));
+        assert!(t.is_connected());
+        // Mesh diameter = (w-1) + (h-1).
+        assert_eq!(t.diameter_hops(), 14);
+        // Corner degree 2, center degree 4.
+        assert_eq!(t.degree(CoreId(0)), 2);
+        assert_eq!(t.degree(CoreId(9)), 4);
+    }
+
+    #[test]
+    fn rectangular_mesh_8_cores() {
+        let t = mesh_2d(8); // 4x2
+        assert!(t.is_connected());
+        assert_eq!(t.diameter_hops(), 4);
+    }
+
+    #[test]
+    fn torus_has_no_corners() {
+        let t = torus_2d(16); // 4x4
+        assert!(t.is_connected());
+        for c in t.cores() {
+            assert_eq!(t.degree(c), 4);
+        }
+        assert_eq!(t.diameter_hops(), 4); // 2+2
+    }
+
+    #[test]
+    fn ring_structure() {
+        let t = ring(8);
+        assert!(t.is_connected());
+        for c in t.cores() {
+            assert_eq!(t.degree(c), 2);
+        }
+        assert_eq!(t.diameter_hops(), 4);
+        // Tiny ring of 2 degenerates into a single pair.
+        let t2 = ring(2);
+        assert_eq!(t2.degree(CoreId(0)), 1);
+    }
+
+    #[test]
+    fn star_structure() {
+        let t = star(9);
+        assert_eq!(t.degree(CoreId(0)), 8);
+        for i in 1..9 {
+            assert_eq!(t.degree(CoreId(i)), 1);
+        }
+        assert_eq!(t.diameter_hops(), 2);
+    }
+
+    #[test]
+    fn fully_connected_diameter_one() {
+        let t = fully_connected(6);
+        assert_eq!(t.diameter_hops(), 1);
+        assert_eq!(t.n_links(), 6 * 5);
+    }
+
+    #[test]
+    fn hypercube_structure() {
+        let t = hypercube(4);
+        assert_eq!(t.n_cores(), 16);
+        for c in t.cores() {
+            assert_eq!(t.degree(c), 4);
+        }
+        assert_eq!(t.diameter_hops(), 4);
+    }
+
+    #[test]
+    fn mesh_3d_structure() {
+        assert_eq!(mesh_dims_3d(64), (4, 4, 4));
+        assert_eq!(mesh_dims_3d(8), (2, 2, 2));
+        assert_eq!(mesh_dims_3d(12), (3, 2, 2));
+        let t = mesh_3d(64);
+        assert!(t.is_connected());
+        // 4x4x4 mesh: diameter 3+3+3 = 9 (vs 14 for the 8x8 2D mesh).
+        assert_eq!(t.diameter_hops(), 9);
+        // Corner degree 3, interior degree 6.
+        assert_eq!(t.degree(CoreId(0)), 3);
+        let interior = CoreId(16 + 4 + 1); // (1,1,1)
+        assert_eq!(t.degree(interior), 6);
+        // Undirected edges: 3 * 4^2 * 3 = 144; directed = 288.
+        assert_eq!(t.n_links(), 288);
+    }
+
+    #[test]
+    fn clustered_mesh_latencies() {
+        let t = clustered_mesh(64, ClusterParams::paper(4));
+        assert!(t.is_connected());
+        assert_eq!(t.n_links(), mesh_2d(64).n_links());
+        // Count fast and slow links.
+        let fast = t
+            .links()
+            .iter()
+            .filter(|l| l.latency == VDuration::from_half_cycles(1))
+            .count();
+        let slow = t
+            .links()
+            .iter()
+            .filter(|l| l.latency == VDuration::from_cycles(4))
+            .count();
+        assert_eq!(fast + slow, t.n_links() as usize);
+        // 4 clusters on an 8x8 mesh: each 4x4 tile has 24 internal undirected
+        // edges => 96 fast links per tile-set = 4*24*2 = 192 directed fast.
+        assert_eq!(fast, 192);
+        // Boundary: 8 vertical + 8 horizontal crossing edges = 16 undirected.
+        assert_eq!(slow, 32);
+    }
+
+    #[test]
+    fn cluster_assignment_partitions_evenly() {
+        let assign = cluster_assignment(64, 4);
+        for k in 0..4 {
+            assert_eq!(assign.iter().filter(|&&c| c == k).count(), 16);
+        }
+    }
+
+    #[test]
+    fn clustered_mesh_8_clusters() {
+        let t = clustered_mesh(1024, ClusterParams::paper(8));
+        assert!(t.is_connected());
+        let assign = cluster_assignment(1024, 8);
+        for k in 0..8 {
+            assert_eq!(assign.iter().filter(|&&c| c == k).count(), 128);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn clustered_mesh_rejects_bad_cluster_count() {
+        clustered_mesh(10, ClusterParams::paper(3));
+    }
+}

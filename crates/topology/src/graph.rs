@@ -1,0 +1,370 @@
+//! Core identifiers and the interconnect graph.
+//!
+//! The topology is a set of cores connected by *directed* links: every
+//! physical (undirected) wire between two cores is represented as two
+//! directed links so that the network model can account for contention in
+//! each direction independently (paper §VII: "we do model contention on
+//! individual links").
+
+use simany_time::VDuration;
+use std::fmt;
+
+/// Identifier of a simulated core. Cores are numbered `0..n_cores`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CoreId(pub u32);
+
+impl CoreId {
+    /// Index into dense per-core arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Identifier of a *directed* link.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Index into dense per-link arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// Properties of one directed link.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkProps {
+    /// Source core.
+    pub src: CoreId,
+    /// Destination core.
+    pub dst: CoreId,
+    /// Base traversal latency of the link.
+    pub latency: VDuration,
+    /// Bandwidth in bytes per cycle (serialization delay of a message of
+    /// `s` bytes is `ceil(s / bandwidth)` cycles).
+    pub bandwidth_bytes_per_cycle: u32,
+}
+
+/// The interconnect graph: cores plus directed links with per-link latency
+/// and bandwidth.
+///
+/// Construction happens through builder-style `add_*` calls or
+/// the ready-made shapes in [`crate::builders`]; afterwards the topology is
+/// immutable and shared by the network model, the spatial-synchronization
+/// machinery (which needs neighbor sets) and the routing tables.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n_cores: u32,
+    /// Adjacency: for each core, its outgoing `(neighbor, link)` pairs,
+    /// sorted by neighbor id for determinism.
+    adj: Vec<Vec<(CoreId, LinkId)>>,
+    links: Vec<LinkProps>,
+}
+
+/// Default link latency used by builders when none is specified: 1 cycle
+/// (paper §V: "the base link traversal latency between two cores is set to
+/// 1 cycle").
+pub const DEFAULT_LINK_LATENCY: VDuration = VDuration::from_cycles(1);
+
+/// Default link bandwidth used by builders: 128 bytes/cycle (paper §V).
+pub const DEFAULT_LINK_BANDWIDTH: u32 = 128;
+
+impl Topology {
+    /// Create a topology with `n_cores` cores and no links yet.
+    pub fn new(n_cores: u32) -> Self {
+        assert!(n_cores > 0, "a topology needs at least one core");
+        Topology {
+            n_cores,
+            adj: vec![Vec::new(); n_cores as usize],
+            links: Vec::new(),
+        }
+    }
+
+    /// Number of cores.
+    #[inline]
+    pub fn n_cores(&self) -> u32 {
+        self.n_cores
+    }
+
+    /// Iterate over all core ids.
+    pub fn cores(&self) -> impl Iterator<Item = CoreId> {
+        (0..self.n_cores).map(CoreId)
+    }
+
+    /// Number of directed links.
+    #[inline]
+    pub fn n_links(&self) -> u32 {
+        self.links.len() as u32
+    }
+
+    /// Properties of a directed link.
+    #[inline]
+    pub fn link(&self, id: LinkId) -> &LinkProps {
+        &self.links[id.index()]
+    }
+
+    /// All directed links.
+    pub fn links(&self) -> &[LinkProps] {
+        &self.links
+    }
+
+    /// Outgoing `(neighbor, link)` pairs of `core`, sorted by neighbor id.
+    #[inline]
+    pub fn neighbors(&self, core: CoreId) -> &[(CoreId, LinkId)] {
+        &self.adj[core.index()]
+    }
+
+    /// Degree (number of neighbors) of `core`.
+    #[inline]
+    pub fn degree(&self, core: CoreId) -> usize {
+        self.adj[core.index()].len()
+    }
+
+    /// True iff `a` and `b` are directly connected.
+    pub fn are_neighbors(&self, a: CoreId, b: CoreId) -> bool {
+        self.adj[a.index()].binary_search_by_key(&b, |&(n, _)| n).is_ok()
+    }
+
+    /// The directed link from `a` to `b`, if any.
+    pub fn link_between(&self, a: CoreId, b: CoreId) -> Option<LinkId> {
+        self.adj[a.index()]
+            .binary_search_by_key(&b, |&(n, _)| n)
+            .ok()
+            .map(|i| self.adj[a.index()][i].1)
+    }
+
+    /// Add a single directed link; returns its id. Panics on self-loops,
+    /// out-of-range cores or duplicate links.
+    pub fn add_directed_link(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        latency: VDuration,
+        bandwidth: u32,
+    ) -> LinkId {
+        assert!(src != dst, "self-loop link {src}");
+        assert!(src.0 < self.n_cores && dst.0 < self.n_cores, "core out of range");
+        assert!(bandwidth > 0, "link bandwidth must be non-zero");
+        assert!(
+            !self.are_neighbors(src, dst),
+            "duplicate link {src} -> {dst}"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkProps {
+            src,
+            dst,
+            latency,
+            bandwidth_bytes_per_cycle: bandwidth,
+        });
+        let row = &mut self.adj[src.index()];
+        let pos = row.partition_point(|&(n, _)| n < dst);
+        row.insert(pos, (dst, id));
+        id
+    }
+
+    /// Add a bidirectional connection (two directed links with identical
+    /// properties); returns both ids.
+    pub fn add_link(
+        &mut self,
+        a: CoreId,
+        b: CoreId,
+        latency: VDuration,
+        bandwidth: u32,
+    ) -> (LinkId, LinkId) {
+        let ab = self.add_directed_link(a, b, latency, bandwidth);
+        let ba = self.add_directed_link(b, a, latency, bandwidth);
+        (ab, ba)
+    }
+
+    /// Add a bidirectional connection with the paper's default latency
+    /// (1 cycle) and bandwidth (128 B/cy).
+    pub fn add_default_link(&mut self, a: CoreId, b: CoreId) -> (LinkId, LinkId) {
+        self.add_link(a, b, DEFAULT_LINK_LATENCY, DEFAULT_LINK_BANDWIDTH)
+    }
+
+    /// Override the latency/bandwidth of the directed link `a -> b` (and its
+    /// reverse when `both_directions`).
+    pub fn set_link_props(
+        &mut self,
+        a: CoreId,
+        b: CoreId,
+        latency: VDuration,
+        bandwidth: u32,
+        both_directions: bool,
+    ) {
+        assert!(bandwidth > 0, "link bandwidth must be non-zero");
+        let ab = self
+            .link_between(a, b)
+            .unwrap_or_else(|| panic!("no link {a} -> {b}"));
+        self.links[ab.index()].latency = latency;
+        self.links[ab.index()].bandwidth_bytes_per_cycle = bandwidth;
+        if both_directions {
+            let ba = self
+                .link_between(b, a)
+                .unwrap_or_else(|| panic!("no link {b} -> {a}"));
+            self.links[ba.index()].latency = latency;
+            self.links[ba.index()].bandwidth_bytes_per_cycle = bandwidth;
+        }
+    }
+
+    /// True iff every core can reach every other core.
+    pub fn is_connected(&self) -> bool {
+        if self.n_cores == 1 {
+            return true;
+        }
+        let mut seen = vec![false; self.n_cores as usize];
+        let mut stack = vec![CoreId(0)];
+        seen[0] = true;
+        let mut count = 1u32;
+        while let Some(c) = stack.pop() {
+            for &(n, _) in self.neighbors(c) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == self.n_cores
+    }
+
+    /// Hop distances from `src` to every core (BFS, `u32::MAX` when
+    /// unreachable).
+    pub fn hop_distances(&self, src: CoreId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n_cores as usize];
+        dist[src.index()] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src);
+        while let Some(c) = queue.pop_front() {
+            let d = dist[c.index()];
+            for &(n, _) in self.neighbors(c) {
+                if dist[n.index()] == u32::MAX {
+                    dist[n.index()] = d + 1;
+                    queue.push_back(n);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Graph diameter in hops (largest topological distance between two
+    /// cores). This bounds the global drift between any two cores at
+    /// `diameter × T` under spatial synchronization (paper §II.A). Panics if
+    /// the graph is disconnected.
+    pub fn diameter_hops(&self) -> u32 {
+        let mut max = 0;
+        for c in self.cores() {
+            let d = self.hop_distances(c);
+            for &v in &d {
+                assert!(v != u32::MAX, "diameter of a disconnected topology");
+                max = max.max(v);
+            }
+        }
+        max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Topology {
+        let mut t = Topology::new(3);
+        t.add_default_link(CoreId(0), CoreId(1));
+        t.add_default_link(CoreId(1), CoreId(2));
+        t.add_default_link(CoreId(2), CoreId(0));
+        t
+    }
+
+    #[test]
+    fn links_are_directed_pairs() {
+        let t = triangle();
+        assert_eq!(t.n_links(), 6);
+        assert!(t.are_neighbors(CoreId(0), CoreId(1)));
+        assert!(t.are_neighbors(CoreId(1), CoreId(0)));
+        let ab = t.link_between(CoreId(0), CoreId(1)).unwrap();
+        let ba = t.link_between(CoreId(1), CoreId(0)).unwrap();
+        assert_ne!(ab, ba);
+        assert_eq!(t.link(ab).src, CoreId(0));
+        assert_eq!(t.link(ab).dst, CoreId(1));
+    }
+
+    #[test]
+    fn neighbors_sorted_for_determinism() {
+        let mut t = Topology::new(4);
+        t.add_default_link(CoreId(0), CoreId(3));
+        t.add_default_link(CoreId(0), CoreId(1));
+        t.add_default_link(CoreId(0), CoreId(2));
+        let ns: Vec<u32> = t.neighbors(CoreId(0)).iter().map(|&(n, _)| n.0).collect();
+        assert_eq!(ns, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn connectivity_and_bfs() {
+        let t = triangle();
+        assert!(t.is_connected());
+        assert_eq!(t.hop_distances(CoreId(0)), vec![0, 1, 1]);
+        assert_eq!(t.diameter_hops(), 1);
+
+        let mut line = Topology::new(3);
+        line.add_default_link(CoreId(0), CoreId(1));
+        assert!(!line.is_connected());
+        let d = line.hop_distances(CoreId(0));
+        assert_eq!(d[2], u32::MAX);
+    }
+
+    #[test]
+    fn set_link_props_overrides() {
+        let mut t = triangle();
+        t.set_link_props(CoreId(0), CoreId(1), VDuration::from_cycles(9), 64, true);
+        let ab = t.link_between(CoreId(0), CoreId(1)).unwrap();
+        let ba = t.link_between(CoreId(1), CoreId(0)).unwrap();
+        assert_eq!(t.link(ab).latency, VDuration::from_cycles(9));
+        assert_eq!(t.link(ba).bandwidth_bytes_per_cycle, 64);
+        // Other links untouched.
+        let bc = t.link_between(CoreId(1), CoreId(2)).unwrap();
+        assert_eq!(t.link(bc).latency, DEFAULT_LINK_LATENCY);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_link_rejected() {
+        let mut t = triangle();
+        t.add_default_link(CoreId(0), CoreId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut t = Topology::new(2);
+        t.add_default_link(CoreId(0), CoreId(0));
+    }
+
+    #[test]
+    fn single_core_topology_is_connected() {
+        let t = Topology::new(1);
+        assert!(t.is_connected());
+        assert_eq!(t.diameter_hops(), 0);
+        assert_eq!(t.degree(CoreId(0)), 0);
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # simany-topology — interconnect topologies for SiMany
+//!
+//! SiMany treats the on-chip network as a first-class, fully configurable
+//! object: the topology is "specified in a configuration file as an adjacency
+//! matrix", and "the latency and bandwidth of individual links are also
+//! independently tunable" (paper §III, *Architecture Variability*). This
+//! crate provides:
+//!
+//! * [`Topology`] — a directed-link graph over cores with per-link latency
+//!   and bandwidth ([`graph`]).
+//! * Builders for the architectures the paper explores — uniform 2D meshes,
+//!   clustered meshes, plus extras (torus, ring, star, hypercube,
+//!   fully-connected) ([`builders`]).
+//! * Deterministic minimal-latency routing tables and graph metrics such as
+//!   the diameter, which bounds the global virtual-time drift
+//!   (`diameter × T`) ([`routing`]).
+//! * A small text configuration format for adjacency matrices with link
+//!   overrides ([`config`]).
+
+pub mod builders;
+pub mod config;
+pub mod graph;
+pub mod routing;
+
+pub use builders::{
+    clustered_mesh, fully_connected, hypercube, mesh_2d, mesh_3d, ring, star, torus_2d,
+    ClusterParams,
+};
+pub use config::{format_topology, parse_topology, ConfigError};
+pub use graph::{CoreId, LinkId, LinkProps, Topology};
+pub use routing::RoutingTable;

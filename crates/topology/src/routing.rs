@@ -1,0 +1,242 @@
+//! Deterministic minimal-latency routing.
+//!
+//! Messages traverse the interconnect hop by hop; the network model charges
+//! every traversed link (paper §II.A: "the sum of all delays induced by all
+//! the components traversed is added to a core's virtual time"). Routes are
+//! fixed, minimal-total-latency paths with deterministic tie-breaking
+//! (lowest next-hop id), computed once per topology: this mirrors the
+//! deterministic (dimension-ordered-like) routing of real meshes and keeps
+//! simulations reproducible.
+
+use crate::graph::{CoreId, LinkId, Topology};
+use simany_time::VDuration;
+use std::collections::BinaryHeap;
+
+/// All-pairs next-hop routing table.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    n: u32,
+    /// `next_hop[dst][src]` = link to take from `src` toward `dst`
+    /// (`u32::MAX` encodes "src == dst").
+    next_hop: Vec<Vec<u32>>,
+    /// `dist[dst][src]` = total path latency in ticks.
+    dist: Vec<Vec<u64>>,
+    /// Hop counts, same layout.
+    hops: Vec<Vec<u32>>,
+}
+
+impl RoutingTable {
+    /// Build the table with one Dijkstra pass per destination, following
+    /// reverse links (link latencies are symmetric per construction in the
+    /// builders; for asymmetric topologies the route is minimal w.r.t. the
+    /// forward direction because we relax over incoming links).
+    pub fn build(topo: &Topology) -> Self {
+        assert!(topo.is_connected(), "cannot route a disconnected topology");
+        let n = topo.n_cores();
+        let mut next_hop = Vec::with_capacity(n as usize);
+        let mut dist = Vec::with_capacity(n as usize);
+        let mut hops = Vec::with_capacity(n as usize);
+        // Reverse adjacency: incoming (pred, link) pairs per core.
+        let mut rev: Vec<Vec<(CoreId, LinkId)>> = vec![Vec::new(); n as usize];
+        for (i, l) in topo.links().iter().enumerate() {
+            rev[l.dst.index()].push((l.src, LinkId(i as u32)));
+        }
+        for dst in topo.cores() {
+            let (nh, d, h) = dijkstra_to(topo, &rev, dst);
+            next_hop.push(nh);
+            dist.push(d);
+            hops.push(h);
+        }
+        RoutingTable {
+            n,
+            next_hop,
+            dist,
+            hops,
+        }
+    }
+
+    /// The link to take from `src` toward `dst`; `None` when `src == dst`.
+    #[inline]
+    pub fn next_link(&self, src: CoreId, dst: CoreId) -> Option<LinkId> {
+        let v = self.next_hop[dst.index()][src.index()];
+        if v == u32::MAX {
+            None
+        } else {
+            Some(LinkId(v))
+        }
+    }
+
+    /// Total path latency from `src` to `dst` (sum of link latencies; no
+    /// contention or serialization).
+    #[inline]
+    pub fn path_latency(&self, src: CoreId, dst: CoreId) -> VDuration {
+        VDuration(self.dist[dst.index()][src.index()])
+    }
+
+    /// Number of hops on the route from `src` to `dst`.
+    #[inline]
+    pub fn path_hops(&self, src: CoreId, dst: CoreId) -> u32 {
+        self.hops[dst.index()][src.index()]
+    }
+
+    /// Materialize the full route as a list of links.
+    pub fn route(&self, topo: &Topology, src: CoreId, dst: CoreId) -> Vec<LinkId> {
+        let mut out = Vec::with_capacity(self.path_hops(src, dst) as usize);
+        let mut cur = src;
+        while cur != dst {
+            let link = self
+                .next_link(cur, dst)
+                .expect("route must make progress");
+            out.push(link);
+            cur = topo.link(link).dst;
+        }
+        out
+    }
+
+    /// Weighted diameter: the largest path latency between any two cores.
+    pub fn weighted_diameter(&self) -> VDuration {
+        let mut max = 0u64;
+        for row in &self.dist {
+            for &v in row {
+                max = max.max(v);
+            }
+        }
+        VDuration(max)
+    }
+
+    /// Number of cores covered by this table.
+    pub fn n_cores(&self) -> u32 {
+        self.n
+    }
+}
+
+/// Dijkstra from every core *to* `dst` over incoming links. Returns, per
+/// source core: the outgoing link toward `dst`, the distance in ticks, and
+/// the hop count. Ties broken by (hops, next-hop link id) for determinism.
+fn dijkstra_to(
+    topo: &Topology,
+    rev: &[Vec<(CoreId, LinkId)>],
+    dst: CoreId,
+) -> (Vec<u32>, Vec<u64>, Vec<u32>) {
+    let n = topo.n_cores() as usize;
+    let mut dist = vec![u64::MAX; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut next = vec![u32::MAX; n];
+    dist[dst.index()] = 0;
+    hops[dst.index()] = 0;
+
+    // Max-heap of Reverse((dist, hops, core)).
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u32, u32)>> = BinaryHeap::new();
+    heap.push(std::cmp::Reverse((0, 0, dst.0)));
+    while let Some(std::cmp::Reverse((d, h, c))) = heap.pop() {
+        let c = CoreId(c);
+        if d > dist[c.index()] || (d == dist[c.index()] && h > hops[c.index()]) {
+            continue;
+        }
+        for &(pred, link) in &rev[c.index()] {
+            let w = topo.link(link).latency.ticks();
+            let nd = d + w;
+            let nh = h + 1;
+            let better = nd < dist[pred.index()]
+                || (nd == dist[pred.index()] && nh < hops[pred.index()])
+                || (nd == dist[pred.index()]
+                    && nh == hops[pred.index()]
+                    && link.0 < next[pred.index()]);
+            if better {
+                dist[pred.index()] = nd;
+                hops[pred.index()] = nh;
+                next[pred.index()] = link.0;
+                heap.push(std::cmp::Reverse((nd, nh, pred.0)));
+            }
+        }
+    }
+    (next, dist, hops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{clustered_mesh, mesh_2d, ring, ClusterParams};
+
+    #[test]
+    fn mesh_routes_are_minimal() {
+        let topo = mesh_2d(16); // 4x4
+        let rt = RoutingTable::build(&topo);
+        // Opposite corners: 3+3 hops, 6 cycles at 1 cy/link.
+        assert_eq!(rt.path_hops(CoreId(0), CoreId(15)), 6);
+        assert_eq!(rt.path_latency(CoreId(0), CoreId(15)), VDuration::from_cycles(6));
+        assert_eq!(rt.path_hops(CoreId(5), CoreId(5)), 0);
+        assert!(rt.next_link(CoreId(5), CoreId(5)).is_none());
+    }
+
+    #[test]
+    fn route_materialization_is_valid() {
+        let topo = mesh_2d(64);
+        let rt = RoutingTable::build(&topo);
+        for (s, d) in [(0u32, 63u32), (7, 56), (12, 12), (1, 62)] {
+            let route = rt.route(&topo, CoreId(s), CoreId(d));
+            assert_eq!(route.len() as u32, rt.path_hops(CoreId(s), CoreId(d)));
+            let mut cur = CoreId(s);
+            let mut total = VDuration::ZERO;
+            for link in route {
+                let props = topo.link(link);
+                assert_eq!(props.src, cur, "route must chain");
+                cur = props.dst;
+                total += props.latency;
+            }
+            assert_eq!(cur, CoreId(d), "route must reach destination");
+            assert_eq!(total, rt.path_latency(CoreId(s), CoreId(d)));
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let topo = mesh_2d(36);
+        let a = RoutingTable::build(&topo);
+        let b = RoutingTable::build(&topo);
+        for s in topo.cores() {
+            for d in topo.cores() {
+                assert_eq!(a.next_link(s, d), b.next_link(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_routing_prefers_low_latency() {
+        // On a clustered mesh, a path through the cluster interior (0.5
+        // cy/link) can beat a hop-shorter path crossing boundaries (4 cy).
+        let topo = clustered_mesh(64, ClusterParams::paper(4));
+        let rt = RoutingTable::build(&topo);
+        // Within one 4x4 tile: corner (0,0) to (3,3) = 6 fast hops = 3 cy.
+        let inside = rt.path_latency(CoreId(0), CoreId(27)); // (3,3) = 3*8+3
+        assert_eq!(inside, VDuration::from_cycles(3));
+        // Crossing: (0,0) to (4,0) requires exactly one slow link plus three
+        // fast hops along the row: 3 * 0.5 + 4 = 5.5 cycles.
+        let crossing = rt.path_latency(CoreId(0), CoreId(4));
+        assert_eq!(crossing, VDuration::from_half_cycles(11));
+    }
+
+    #[test]
+    fn weighted_diameter_mesh() {
+        let topo = mesh_2d(16);
+        let rt = RoutingTable::build(&topo);
+        assert_eq!(rt.weighted_diameter(), VDuration::from_cycles(6));
+    }
+
+    #[test]
+    fn ring_routes_take_short_side() {
+        let topo = ring(8);
+        let rt = RoutingTable::build(&topo);
+        assert_eq!(rt.path_hops(CoreId(0), CoreId(3)), 3);
+        assert_eq!(rt.path_hops(CoreId(0), CoreId(5)), 3); // around the back
+        assert_eq!(rt.path_hops(CoreId(0), CoreId(4)), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "disconnected")]
+    fn disconnected_topology_rejected() {
+        let mut t = Topology::new(3);
+        t.add_default_link(CoreId(0), CoreId(1));
+        let _ = RoutingTable::build(&t);
+    }
+}

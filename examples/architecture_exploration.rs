@@ -1,0 +1,52 @@
+//! Architecture exploration: run one benchmark across the paper's machine
+//! classes (uniform / clustered / polymorphic meshes, shared vs.
+//! distributed memory) and compare completion times — the §VI workflow.
+//!
+//! ```sh
+//! cargo run --release --example architecture_exploration [kernel] [scale]
+//! ```
+
+use simany::kernels::{kernel_by_name, Scale};
+use simany::presets;
+use simany::stats::Table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let kernel_name = args.get(1).map(String::as_str).unwrap_or("Dijkstra");
+    let scale = Scale(args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.1));
+    let kernel = kernel_by_name(kernel_name).unwrap_or_else(|| {
+        eprintln!("unknown kernel '{kernel_name}'; available:");
+        for k in simany::kernels::all_kernels() {
+            eprintln!("  {}", k.name());
+        }
+        std::process::exit(1);
+    });
+    let n = 64;
+    let seed = 42;
+
+    println!("exploring {} on {n}-core machines (scale {:.2})\n", kernel.name(), scale.0);
+    let machines: Vec<(&str, simany::runtime::ProgramSpec)> = vec![
+        ("uniform mesh, shared memory", presets::uniform_mesh_sm(n)),
+        ("uniform mesh, distributed memory", presets::uniform_mesh_dm(n)),
+        ("clustered (4), distributed memory", presets::clustered_dm(n, 4)),
+        ("clustered (8), distributed memory", presets::clustered_dm(n, 8)),
+        ("polymorphic mesh, shared memory", presets::polymorphic_sm(n)),
+        ("polymorphic mesh, distributed memory", presets::polymorphic_dm(n)),
+    ];
+
+    let mut table = Table::new(&["machine", "virtual cycles", "messages", "stalls", "verified"]);
+    for (name, spec) in machines {
+        let r = kernel
+            .run_sim(spec, scale, seed)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        table.row(vec![
+            name.to_string(),
+            r.cycles().to_string(),
+            r.out.stats.net.messages.to_string(),
+            r.out.stats.stall_events.to_string(),
+            if r.verified { "yes".into() } else { "NO".into() },
+        ]);
+    }
+    println!("{}", table.to_text());
+    println!("Lower virtual cycles = faster on that architecture.");
+}

@@ -1,0 +1,70 @@
+//! Quickstart: simulate a task-parallel program on a 16-core mesh.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use simany::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The program: recursively split a range of work items, conditionally
+/// spawning one half to a neighbor core at each level (the idiomatic
+/// divide-and-conquer shape for the probe/spawn model — a flat fan-out
+/// from one core would bottleneck on that core's neighborhood).
+fn fan_out(tc: &mut TaskCtx<'_>, lo: u64, hi: u64, group: simany::runtime::GroupId, done: Arc<AtomicU64>) {
+    if hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let done2 = Arc::clone(&done);
+        tc.spawn_or_run(group, move |tc: &mut TaskCtx<'_>| {
+            fan_out(tc, mid, hi, group, done2);
+        });
+        fan_out(tc, lo, mid, group, done);
+        return;
+    }
+    // One work item: annotated compute plus a couple of timed memory
+    // accesses.
+    let i = lo;
+    tc.scope(|tc| {
+        for _ in 0..20 {
+            tc.compute(&BlockCost::new().int_alu(80).cond_branches(20));
+        }
+        tc.load(0x1000 + i * 64);
+        tc.store(0x1000 + i * 64);
+    });
+    done.fetch_add(1, Ordering::SeqCst);
+}
+
+fn run_on(cores: u32) -> (u64, RunOutput) {
+    let done = Arc::new(AtomicU64::new(0));
+    let done2 = Arc::clone(&done);
+    // A machine: `cores` cores in a 2D mesh, shared memory, the paper's
+    // default parameters (T = 100 cycles, 1-cycle links, 10-cycle banks).
+    let out = run_program(simany::presets::uniform_mesh_sm(cores), move |tc| {
+        let group = tc.make_group();
+        fan_out(tc, 0, 64, group, done2);
+        tc.join(group);
+    })
+    .expect("simulation failed");
+    (done.load(Ordering::SeqCst), out)
+}
+
+fn main() {
+    let (done, out) = run_on(16);
+    println!("tasks completed : {done}");
+    println!("virtual time    : {} cycles", out.vtime_cycles());
+    println!(
+        "tasks spawned   : {} (+ {} run sequentially)",
+        out.rt.spawns, out.rt.sequential_fallbacks
+    );
+    println!("messages        : {}", out.stats.net.messages);
+    println!("sync stalls     : {}", out.stats.stall_events);
+    println!("wall time       : {:?}", out.stats.wall);
+
+    // The same program on 1 core gives the virtual-time speedup.
+    let (_, base) = run_on(1);
+    println!(
+        "speedup on 16 cores: {:.2}x",
+        base.vtime_cycles() as f64 / out.vtime_cycles() as f64
+    );
+}

@@ -1,0 +1,67 @@
+#![warn(missing_docs)]
+
+//! # SiMany — a very fast simulator for exploring the many-core future
+//!
+//! A Rust reproduction of *"A Very Fast Simulator for Exploring the
+//! Many-Core Future"* (Certner, Li, Raman, Temam — IPDPS 2011): a
+//! discrete-event simulator for 1000+-core architectures built around
+//! **spatial synchronization** — cores may drift in virtual time, but
+//! never by more than `T` from their topological neighbors.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use simany::prelude::*;
+//!
+//! // An 16-core 2D mesh, shared memory, paper-default parameters.
+//! let spec = simany::presets::uniform_mesh_sm(16);
+//! let out = run_program(spec, |tc| {
+//!     let group = tc.make_group();
+//!     for _ in 0..8 {
+//!         tc.spawn_or_run(group, |tc: &mut TaskCtx<'_>| {
+//!             tc.work(1_000); // 1000 cycles of annotated computation
+//!         });
+//!     }
+//!     tc.join(group);
+//! })
+//! .unwrap();
+//! assert!(out.vtime_cycles() < 8_000); // parallel speedup
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Layer | Crate |
+//! |---|---|
+//! | virtual time, cost models, PRNGs | [`time`] (`simany-time`) |
+//! | topologies and routing | [`topology`] (`simany-topology`) |
+//! | interconnect with per-link contention | [`net`] (`simany-net`) |
+//! | the discrete-event engine + spatial sync | [`core`] (`simany-core`) |
+//! | probe/spawn/join task model, cells, locks | [`runtime`] (`simany-runtime`) |
+//! | memory models (L1, banks, MSI directory) | [`mem`] (`simany-mem`) |
+//! | cycle-level validation reference | [`cyclelevel`] (`simany-cyclelevel`) |
+//! | the six dwarf benchmarks | [`kernels`] (`simany-kernels`) |
+//! | speedups, errors, tables | [`stats`] (`simany-stats`) |
+
+pub use simany_core as core;
+pub use simany_cyclelevel as cyclelevel;
+pub use simany_kernels as kernels;
+pub use simany_mem as mem;
+pub use simany_net as net;
+pub use simany_runtime as runtime;
+pub use simany_stats as stats;
+pub use simany_time as time;
+pub use simany_topology as topology;
+
+pub mod experiment;
+pub mod presets;
+
+/// The most common imports for writing and running simulated programs.
+pub mod prelude {
+    pub use crate::presets;
+    pub use simany_core::{BlockCost, CoreId, EngineConfig, SyncPolicy, VDuration, VirtualTime};
+    pub use simany_kernels::{all_kernels, DwarfKernel, Scale};
+    pub use simany_runtime::{
+        run_program, MemoryArch, ProgramSpec, RunOutput, RuntimeParams, TaskCtx,
+    };
+    pub use simany_topology::{clustered_mesh, mesh_2d, ClusterParams, Topology};
+}

@@ -1,0 +1,57 @@
+//! Golden virtual-time regression tests.
+//!
+//! Simulations are fully deterministic: a fixed (kernel, machine, scale,
+//! seed) tuple must produce the exact same virtual completion time on
+//! every run, platform and toolchain. These pins guard the whole timing
+//! stack — cost model, branch predictor streams, memory models, network
+//! contention, protocol costs and scheduler order — against accidental
+//! drift. If a timing model changes *intentionally*, regenerate the
+//! values and say so in the commit.
+
+use simany::kernels::{kernel_by_name, Scale};
+use simany::presets;
+
+const GOLDEN: &[(&str, u64, u64)] = &[
+    // (kernel, shared-memory cycles, distributed-memory cycles)
+    // 16-core mesh, Scale(0.1), seed 42.
+    ("Barnes-Hut", 11533, 13321),
+    ("Connected Components", 3930, 6933),
+    ("Dijkstra", 4638, 7088),
+    ("Quicksort", 73655, 41667),
+    ("SpMxV", 11277, 12634),
+    ("Octree", 1537, 1379),
+];
+
+#[test]
+fn golden_virtual_times_shared_memory() {
+    for &(name, sm, _) in GOLDEN {
+        let k = kernel_by_name(name).unwrap();
+        let r = k
+            .run_sim(presets::uniform_mesh_sm(16), Scale(0.1), 42)
+            .unwrap();
+        assert!(r.verified);
+        assert_eq!(
+            r.cycles(),
+            sm,
+            "{name} SM timing drifted (got {}, pinned {sm})",
+            r.cycles()
+        );
+    }
+}
+
+#[test]
+fn golden_virtual_times_distributed_memory() {
+    for &(name, _, dm) in GOLDEN {
+        let k = kernel_by_name(name).unwrap();
+        let r = k
+            .run_sim(presets::uniform_mesh_dm(16), Scale(0.1), 42)
+            .unwrap();
+        assert!(r.verified);
+        assert_eq!(
+            r.cycles(),
+            dm,
+            "{name} DM timing drifted (got {}, pinned {dm})",
+            r.cycles()
+        );
+    }
+}

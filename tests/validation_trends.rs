@@ -1,0 +1,143 @@
+//! Validation-style integration tests: SiMany (VT) against the
+//! cycle-level reference (CL), miniature versions of the paper's Fig. 5
+//! methodology, plus the qualitative benchmark behaviors §VI calls out.
+
+use simany::experiment::{sweep, to_series};
+use simany::kernels::{kernel_by_name, Scale};
+use simany::presets;
+use simany::stats::geomean_error;
+
+const SMALL: Scale = Scale(0.05);
+
+#[test]
+fn vt_and_cl_speedup_trends_agree() {
+    // Paper §VI: "for every benchmark, SiMany correctly captures the
+    // speedup evolution as the number of cores increases". Miniature
+    // check: on 1->4->8 cores, both simulators' speedups increase for a
+    // scalable kernel, and the per-point error stays bounded.
+    let kernel = kernel_by_name("SpMxV").unwrap();
+    let cores = [1u32, 4, 8];
+    let vt = sweep(
+        kernel.as_ref(),
+        &cores,
+        presets::uniform_mesh_sm_coherent,
+        SMALL,
+        2,
+        11,
+    )
+    .unwrap();
+    let cl = sweep(kernel.as_ref(), &cores, presets::cycle_level, SMALL, 2, 11).unwrap();
+    let vts = to_series("vt", &vt);
+    let cls = to_series("cl", &cl);
+    let vt_sp: Vec<f64> = vts.speedups().into_iter().map(|(_, s)| s).collect();
+    let cl_sp: Vec<f64> = cls.speedups().into_iter().map(|(_, s)| s).collect();
+    assert!(vt_sp[2] > vt_sp[0], "VT does not scale: {vt_sp:?}");
+    assert!(cl_sp[2] > cl_sp[0], "CL does not scale: {cl_sp:?}");
+    let err = geomean_error(&vt_sp[1..], &cl_sp[1..]);
+    assert!(
+        err < 0.6,
+        "VT-vs-CL error {err:.2} way out of band: vt={vt_sp:?} cl={cl_sp:?}"
+    );
+}
+
+#[test]
+fn quicksort_speedup_is_bounded_by_log_n_over_2() {
+    // Paper §VI: "the theoretical maximum speedup reachable by Quicksort
+    // is log2(n)/2 for balanced arrays of n elements".
+    let kernel = kernel_by_name("Quicksort").unwrap();
+    let scale = Scale(0.1); // n = 2000 -> bound ~5.5
+    let bound = ((0.1f64 * 20_000.0).log2()) / 2.0;
+    let points = sweep(
+        kernel.as_ref(),
+        &[1, 16, 64],
+        presets::uniform_mesh_sm,
+        scale,
+        3,
+        5,
+    )
+    .unwrap();
+    let series = to_series("qs", &points);
+    for (cores, sp) in series.speedups() {
+        assert!(
+            sp <= bound * 1.5,
+            "quicksort speedup {sp:.2} on {cores} cores exceeds theory bound {bound:.2}"
+        );
+    }
+}
+
+#[test]
+fn connected_components_collapses_on_distributed_memory() {
+    // Paper §VI: "the performance of data-contended benchmarks, Dijkstra
+    // and Connected Components, collapses" on distributed memory.
+    let kernel = kernel_by_name("Connected").unwrap();
+    let sm = kernel
+        .run_sim(presets::uniform_mesh_sm(16), SMALL, 3)
+        .unwrap();
+    let dm = kernel
+        .run_sim(presets::uniform_mesh_dm(16), SMALL, 3)
+        .unwrap();
+    assert!(sm.verified && dm.verified);
+    assert!(
+        dm.cycles() > sm.cycles() * 2,
+        "expected DM collapse: DM {} vs SM {}",
+        dm.cycles(),
+        sm.cycles()
+    );
+}
+
+#[test]
+fn quicksort_insensitive_to_distributed_memory() {
+    // Paper §VI: "Quicksort's and SpMxV's results do not significantly
+    // change, because they cause little data movement".
+    let kernel = kernel_by_name("Quicksort").unwrap();
+    let sm = kernel
+        .run_sim(presets::uniform_mesh_sm(16), SMALL, 3)
+        .unwrap();
+    let dm = kernel
+        .run_sim(presets::uniform_mesh_dm(16), SMALL, 3)
+        .unwrap();
+    let ratio = dm.cycles() as f64 / sm.cycles() as f64;
+    assert!(
+        (0.4..3.0).contains(&ratio),
+        "quicksort DM/SM ratio {ratio:.2} too far from 1"
+    );
+}
+
+#[test]
+fn barnes_hut_scales_through_16_cores() {
+    // Paper §VI: "For Barnes-Hut, the speedup is close to ideal until 16
+    // cores".
+    let kernel = kernel_by_name("Barnes").unwrap();
+    let points = sweep(
+        kernel.as_ref(),
+        &[1, 4, 16],
+        presets::uniform_mesh_sm,
+        Scale(1.0),
+        2,
+        7,
+    )
+    .unwrap();
+    let series = to_series("bh", &points);
+    let sp16 = series.speedup_at(16).unwrap();
+    assert!(sp16 > 5.0, "Barnes-Hut speedup at 16 cores only {sp16:.2}");
+}
+
+#[test]
+fn cl_runs_slower_in_wall_time_than_vt() {
+    // The whole point of SiMany: the abstract simulator is much faster
+    // than the cycle-level reference on the same workload and machine.
+    let kernel = kernel_by_name("SpMxV").unwrap();
+    let vt = kernel
+        .run_sim(presets::uniform_mesh_sm_coherent(8), Scale(0.2), 9)
+        .unwrap();
+    let cl = kernel
+        .run_sim(presets::cycle_level(8), Scale(0.2), 9)
+        .unwrap();
+    assert!(vt.verified && cl.verified);
+    assert!(
+        cl.out.stats.wall >= vt.out.stats.wall,
+        "CL ({:?}) not slower than VT ({:?})",
+        cl.out.stats.wall,
+        vt.out.stats.wall
+    );
+}
