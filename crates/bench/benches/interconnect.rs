@@ -79,5 +79,11 @@ fn bench_inbox(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_routing_build, bench_transit, bench_send_deliver, bench_inbox);
+criterion_group!(
+    benches,
+    bench_routing_build,
+    bench_transit,
+    bench_send_deliver,
+    bench_inbox
+);
 criterion_main!(benches);

@@ -64,5 +64,10 @@ fn bench_quicksort_vs_cycle_level(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernels_sm, bench_kernels_dm, bench_quicksort_vs_cycle_level);
+criterion_group!(
+    benches,
+    bench_kernels_sm,
+    bench_kernels_dm,
+    bench_quicksort_vs_cycle_level
+);
 criterion_main!(benches);

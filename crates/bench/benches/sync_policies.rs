@@ -11,11 +11,36 @@ use std::hint::black_box;
 fn bench_policies(c: &mut Criterion) {
     let kernel = simany::kernels::kernel_by_name("Octree").unwrap();
     let policies: Vec<(&str, SyncPolicy)> = vec![
-        ("spatial_t50", SyncPolicy::Spatial { t: VDuration::from_cycles(50) }),
-        ("spatial_t100", SyncPolicy::Spatial { t: VDuration::from_cycles(100) }),
-        ("spatial_t1000", SyncPolicy::Spatial { t: VDuration::from_cycles(1000) }),
-        ("bounded_slack_100", SyncPolicy::BoundedSlack { window: VDuration::from_cycles(100) }),
-        ("random_referee_100", SyncPolicy::RandomReferee { slack: VDuration::from_cycles(100) }),
+        (
+            "spatial_t50",
+            SyncPolicy::Spatial {
+                t: VDuration::from_cycles(50),
+            },
+        ),
+        (
+            "spatial_t100",
+            SyncPolicy::Spatial {
+                t: VDuration::from_cycles(100),
+            },
+        ),
+        (
+            "spatial_t1000",
+            SyncPolicy::Spatial {
+                t: VDuration::from_cycles(1000),
+            },
+        ),
+        (
+            "bounded_slack_100",
+            SyncPolicy::BoundedSlack {
+                window: VDuration::from_cycles(100),
+            },
+        ),
+        (
+            "random_referee_100",
+            SyncPolicy::RandomReferee {
+                slack: VDuration::from_cycles(100),
+            },
+        ),
         ("conservative", SyncPolicy::Conservative),
         ("unbounded", SyncPolicy::Unbounded),
     ];

@@ -26,6 +26,8 @@ struct Args {
     drift: Option<u64>,
     topology_file: Option<String>,
     trace: bool,
+    fast_path: bool,
+    json: Option<String>,
 }
 
 impl Default for Args {
@@ -41,6 +43,8 @@ impl Default for Args {
             drift: None,
             topology_file: None,
             trace: false,
+            fast_path: true,
+            json: None,
         }
     }
 }
@@ -59,6 +63,8 @@ options:
   --drift T           spatial drift bound in cycles (default 100)
   --topology FILE     adjacency-matrix config file (overrides --machine)
   --trace             collect and print an event timeline
+  --fast-path on|off  drift-headroom fast path (default on; bit-exact)
+  --json FILE         also write wall-clock + counters as JSON to FILE
 ";
 
 fn parse_args() -> Args {
@@ -85,6 +91,17 @@ fn parse_args() -> Args {
             "--drift" => args.drift = Some(val().parse().expect("--drift")),
             "--topology" => args.topology_file = Some(val()),
             "--trace" => args.trace = true,
+            "--fast-path" => {
+                args.fast_path = match val().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("--fast-path must be on or off, got '{other}'\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--json" => args.json = Some(val()),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -138,8 +155,46 @@ fn build_spec(args: &Args) -> ProgramSpec {
     if let Some(t) = args.drift {
         spec.engine = spec.engine.with_drift_cycles(t);
     }
-    spec.engine = spec.engine.with_seed(args.seed);
+    spec.engine = spec
+        .engine
+        .with_seed(args.seed)
+        .with_fast_path(args.fast_path);
     spec
+}
+
+/// Hand-rolled JSON dump of the run's wall clock and counters (kept
+/// dependency-free on purpose).
+fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
+    let s = &r.out.stats;
+    let json = format!(
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {}\n}}\n",
+        args.kernel,
+        args.cores,
+        args.machine,
+        args.arch,
+        args.scale,
+        args.seed,
+        args.fast_path,
+        s.wall.as_nanos(),
+        r.cycles(),
+        r.verified,
+        r.work_items,
+        s.activities_started,
+        s.scheduler_picks,
+        s.stall_events,
+        s.net.messages,
+        s.net.bytes,
+        s.late_messages,
+        s.on_time_messages,
+        s.fast_path_advances,
+        s.full_sync_checks,
+        s.publish_sweeps,
+        s.floor_recomputes,
+    );
+    std::fs::write(path, json).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(1);
+    });
 }
 
 fn main() {
@@ -178,20 +233,38 @@ fn main() {
         });
 
     println!("\nvirtual time      : {} cycles", r.cycles());
-    println!("verified          : {}", if r.verified { "yes" } else { "NO" });
+    println!(
+        "verified          : {}",
+        if r.verified { "yes" } else { "NO" }
+    );
     println!("work items        : {}", r.work_items);
     println!("wall time         : {:?}", r.out.stats.wall);
     println!("tasks started     : {}", r.out.stats.activities_started);
-    println!("spawns / fallbacks: {} / {}", r.out.rt.spawns, r.out.rt.sequential_fallbacks);
+    println!(
+        "spawns / fallbacks: {} / {}",
+        r.out.rt.spawns, r.out.rt.sequential_fallbacks
+    );
     println!("task migrations   : {}", r.out.rt.task_migrations);
-    println!("messages          : {} ({} bytes)", r.out.stats.net.messages, r.out.stats.net.bytes);
+    println!(
+        "messages          : {} ({} bytes)",
+        r.out.stats.net.messages, r.out.stats.net.bytes
+    );
     println!(
         "late messages     : {} / {}",
         r.out.stats.late_messages,
         r.out.stats.late_messages + r.out.stats.on_time_messages
     );
     println!("sync stalls       : {}", r.out.stats.stall_events);
+    println!(
+        "fast-path ratio   : {} fast / {} full",
+        r.out.stats.fast_path_advances, r.out.stats.full_sync_checks
+    );
     println!("core utilization  : {:.2}", r.out.stats.utilization());
+
+    if let Some(path) = &args.json {
+        write_json(path, &args, &r);
+        println!("json dump         : {path}");
+    }
 
     if !r.out.stats.hot_links.is_empty() {
         println!("\nNoC hotspots (busiest links):");

@@ -88,7 +88,10 @@ pub struct Activity {
 impl Activity {
     /// True iff the scheduler may grant the token to this activity.
     pub fn grantable(&self) -> bool {
-        matches!(self.state, ActivityState::Pending | ActivityState::Resumable)
+        matches!(
+            self.state,
+            ActivityState::Pending | ActivityState::Resumable
+        )
     }
 
     /// True iff this activity is stalled by the synchronization policy.

@@ -100,6 +100,13 @@ pub struct EngineConfig {
     /// cores verifying these conditions to keep all cores of current
     /// multi-core host machines busy."
     pub parallelism_sample_every: u64,
+    /// Enable the drift-headroom fast path for spatial synchronization:
+    /// timing annotations that stay within the cached `local_floor + T`
+    /// bound (and have no due messages) skip the publish sweep and policy
+    /// check entirely. Bit-exact with the full path; only active under
+    /// [`PickPolicy::LowestVtime`], whose ready-queue order is independent
+    /// of insertion order. Disable to measure the fast-path win.
+    pub fast_path: bool,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -115,6 +122,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("max_live_activities", &self.max_live_activities)
             .field("tracer", &self.tracer.as_ref().map(|_| "..."))
             .field("parallelism_sample_every", &self.parallelism_sample_every)
+            .field("fast_path", &self.fast_path)
             .finish()
     }
 }
@@ -133,6 +141,7 @@ impl Default for EngineConfig {
             max_live_activities: 1 << 20,
             tracer: None,
             parallelism_sample_every: 0,
+            fast_path: true,
         }
     }
 }
@@ -149,6 +158,13 @@ impl EngineConfig {
     /// Set the master seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enable or disable the drift-headroom fast path (see
+    /// [`Self::fast_path`]).
+    pub fn with_fast_path(mut self, on: bool) -> Self {
+        self.fast_path = on;
         self
     }
 

@@ -79,13 +79,13 @@ impl ExecCtx {
         let mut cycles = self.shared.config.cost_model.block_cycles(block);
         let branches = block.cond_branch_count();
         if branches > 0 {
-            cycles += sim.cores[self.core.index()].predictor.predict_many(branches);
+            cycles += sim.cores[self.core.index()]
+                .predictor
+                .predict_many(branches);
         }
         let d = sim.cores[self.core.index()].speed.scale_cycles(cycles);
         sim.cores[self.core.index()].advance(d);
-        sync::publish(&mut sim, &self.shared, self.core);
-        crate::engine::drain_due_messages(&mut sim, &self.shared, self.core);
-        self.maybe_stall(&mut sim);
+        self.after_advance(&mut sim);
     }
 
     /// Advance this core's clock by `base_cycles` of work (speed-scaled),
@@ -94,9 +94,7 @@ impl ExecCtx {
         let mut sim = self.shared.sim.lock();
         let d = sim.cores[self.core.index()].speed.scale_cycles(base_cycles);
         sim.cores[self.core.index()].advance(d);
-        sync::publish(&mut sim, &self.shared, self.core);
-        crate::engine::drain_due_messages(&mut sim, &self.shared, self.core);
-        self.maybe_stall(&mut sim);
+        self.after_advance(&mut sim);
     }
 
     /// Advance by an exact duration (no speed scaling), then apply the
@@ -104,9 +102,33 @@ impl ExecCtx {
     pub fn advance_raw(&mut self, d: VDuration) {
         let mut sim = self.shared.sim.lock();
         sim.cores[self.core.index()].advance(d);
-        sync::publish(&mut sim, &self.shared, self.core);
-        crate::engine::drain_due_messages(&mut sim, &self.shared, self.core);
-        self.maybe_stall(&mut sim);
+        self.after_advance(&mut sim);
+    }
+
+    /// Post-annotation synchronization: the drift-headroom fast path when
+    /// the new clock stays inside the cached bound and no message is due,
+    /// the full publish + drain + policy check otherwise.
+    ///
+    /// The fast path only *defers* the publish (`publish_pending`): this
+    /// activity holds the run token, so nothing can observe the stale
+    /// published value before one of the flush points
+    /// ([`sync::flush_deferred`]) runs. Folding the skipped intermediate
+    /// publishes into one final publish reaches the same relaxation fixed
+    /// point, so the deferral is bit-exact.
+    fn after_advance(&self, sim: &mut MutexGuard<'_, Sim>) {
+        let core = &sim.cores[self.core.index()];
+        let fast = core.lock_depth == 0
+            && core.headroom_limit.is_some_and(|limit| core.vtime <= limit)
+            && core.inbox.earliest_arrival().is_none_or(|a| a > core.vtime);
+        if fast {
+            sim.cores[self.core.index()].publish_pending = true;
+            sim.stats.fast_path_advances += 1;
+            return;
+        }
+        sim.stats.full_sync_checks += 1;
+        sync::publish(sim, &self.shared, self.core);
+        crate::engine::drain_due_messages(sim, &self.shared, self.core);
+        self.maybe_stall(sim);
     }
 
     /// Send a message stamped with this core's current clock.
@@ -122,6 +144,8 @@ impl ExecCtx {
     /// (probe, spawn, data requests) atomically.
     pub fn with_ops<R>(&mut self, f: impl FnOnce(&mut Ops<'_>) -> R) -> R {
         let mut sim = self.shared.sim.lock();
+        // `f` can observe published values through `Ops`.
+        sync::flush_deferred(&mut sim, &self.shared, self.core);
         let mut ops = Ops::new(&mut sim, &self.shared);
         f(&mut ops)
     }
@@ -130,6 +154,7 @@ impl ExecCtx {
     /// when `f` advances this core's clock.
     pub fn with_ops_synced<R>(&mut self, f: impl FnOnce(&mut Ops<'_>) -> R) -> R {
         let mut sim = self.shared.sim.lock();
+        sync::flush_deferred(&mut sim, &self.shared, self.core);
         let r = {
             let mut ops = Ops::new(&mut sim, &self.shared);
             f(&mut ops)
@@ -214,15 +239,16 @@ impl ExecCtx {
 
     /// Stall while the synchronization policy forbids this core to run.
     fn maybe_stall(&self, sim: &mut MutexGuard<'_, Sim>) {
+        // The policy check reads published values, and a stall yields the
+        // run token: either way a deferred publish must land first.
+        sync::flush_deferred(sim, &self.shared, self.core);
         let mut stalled = false;
         loop {
             if sync::sync_ok(sim, &self.shared, self.core) {
                 if stalled {
-                    crate::engine::trace(&self.shared, || {
-                        crate::trace::TraceEvent::Resume {
-                            t: sim.cores[self.core.index()].vtime,
-                            core: self.core,
-                        }
+                    crate::engine::trace(&self.shared, || crate::trace::TraceEvent::Resume {
+                        t: sim.cores[self.core.index()].vtime,
+                        core: self.core,
                     });
                 }
                 return;

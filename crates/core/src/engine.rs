@@ -88,8 +88,23 @@ pub(crate) struct Sim {
     /// fully idle regions.
     pub(crate) max_vtime: VirtualTime,
     pub(crate) rng: Xoshiro256StarStar,
-    /// Per core: cores currently using it as their random referee.
-    pub(crate) referee_watchers: Vec<Vec<u32>>,
+    /// Per core: waiter set — cores stalled on this one (spatial: blocked
+    /// neighbors registered on their argmin laggard; random-referee: cores
+    /// watching this referee). A rising publish rechecks only these.
+    pub(crate) waiters: Vec<Vec<u32>>,
+    /// Scratch for `sync::publish` relaxation: `(core, published before the
+    /// sweep)` for every core whose value changed. Reused across calls so
+    /// the steady state allocates nothing.
+    pub(crate) scratch_changed: Vec<(CoreId, VirtualTime)>,
+    /// Scratch worklist for the shadow relaxation.
+    pub(crate) scratch_work: Vec<CoreId>,
+    /// Scratch for draining one waiter set without holding a borrow on it.
+    pub(crate) scratch_waiters: Vec<u32>,
+    /// Visit stamps (epoch per core) used to dedup scratch traversals
+    /// without clearing a bitmap each sweep.
+    pub(crate) stamp: Vec<u64>,
+    /// Current stamp epoch; incremented at the start of each traversal.
+    pub(crate) stamp_cur: u64,
 }
 
 impl Sim {
@@ -308,6 +323,9 @@ pub(crate) fn wake_impl(
 pub(crate) fn finish_activity(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
     let mut act = sim.acts.remove(&aid.0).expect("finishing unknown activity");
     let c = act.core;
+    // The end-of-task hooks below observe published values; make any
+    // fast-path deferred publish visible first.
+    sync::flush_deferred(sim, shared, c);
     debug_assert_eq!(sim.cores[c.index()].current, Some(aid));
     sim.cores[c.index()].current = None;
     sim.cores[c.index()].resident -= 1;
@@ -459,7 +477,11 @@ fn deadlock_report(sim: &Sim) -> String {
     }
     for act in sim.acts.values() {
         if let ActivityState::Blocked(reason) = act.state {
-            let _ = write!(s, "\n  blocked {:?}({}) on {} @{}", act.id, act.name, reason, act.core);
+            let _ = write!(
+                s,
+                "\n  blocked {:?}({}) on {} @{}",
+                act.id, act.name, reason, act.core
+            );
         }
     }
     s
@@ -519,7 +541,12 @@ pub fn simulate(
         floor_dirty: false,
         max_vtime: VirtualTime::ZERO,
         rng: Xoshiro256StarStar::stream(config.seed, 0x5EED),
-        referee_watchers: vec![Vec::new(); n as usize],
+        waiters: vec![Vec::new(); n as usize],
+        scratch_changed: Vec::new(),
+        scratch_work: Vec::new(),
+        scratch_waiters: Vec::new(),
+        stamp: vec![0; n as usize],
+        stamp_cur: 0,
     };
     let shared = Arc::new(Shared {
         sim: Mutex::new(sim),
@@ -636,8 +663,8 @@ pub fn simulate(
         let _ = h.join();
     }
 
-    let shared = Arc::try_unwrap(shared)
-        .unwrap_or_else(|_| panic!("worker threads still hold the engine"));
+    let shared =
+        Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("worker threads still hold the engine"));
     let sim = shared.sim.into_inner();
     if let Some(f) = sim.failure {
         return Err(if let Some(msg) = f.strip_prefix("DEADLOCK ") {
@@ -713,7 +740,7 @@ fn spawn_worker(
 fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
     loop {
         // Wait for an assignment with a granted token.
-        let (aid, core, job) = {
+        let (aid, core, name, job) = {
             let mut sim = shared.sim.lock();
             loop {
                 if sim.shutdown {
@@ -730,7 +757,7 @@ fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
             }
             let aid = sim.worker_assigned[idx].unwrap();
             let job = sim.act_mut(aid).job.take().expect("granted without job");
-            (aid, sim.act(aid).core, job)
+            (aid, sim.act(aid).core, sim.act(aid).name, job)
         };
 
         let mut ctx = crate::ctx::ExecCtx::new(Arc::clone(&shared), aid, core, cv.clone());
@@ -746,7 +773,7 @@ fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
                         .map(|s| s.to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                    sim.failure = Some(format!("task '{}' panicked: {msg}", "activity"));
+                    sim.failure = Some(format!("task '{name}' panicked: {msg}"));
                 }
             }
         }

@@ -51,12 +51,12 @@ pub mod sync;
 pub mod trace;
 
 pub use activity::{ActivityId, ActivityMeta};
-pub use state::BirthId;
 pub use config::{EngineConfig, PickPolicy, SyncPolicy};
 pub use ctx::ExecCtx;
 pub use engine::{simulate, SimError, SimResult};
 pub use hooks::RuntimeHooks;
 pub use ops::Ops;
+pub use state::BirthId;
 pub use stats::SimStats;
 pub use trace::{MemoryTracer, TraceEvent, Tracer};
 

@@ -101,7 +101,9 @@ impl<'a> Ops<'a> {
         let mut cycles = self.shared.config.cost_model.block_cycles(block);
         let branches = block.cond_branch_count();
         if branches > 0 {
-            cycles += self.sim.cores[core.index()].predictor.predict_many(branches);
+            cycles += self.sim.cores[core.index()]
+                .predictor
+                .predict_many(branches);
         }
         self.advance_core(core, cycles);
     }
@@ -203,6 +205,8 @@ impl<'a> Ops<'a> {
         let id = BirthId(self.sim.next_birth);
         self.sim.next_birth += 1;
         self.sim.cores[core.index()].births.push((id, birth));
+        // A new birth can lower the spatial floor below any cached bound.
+        self.sim.cores[core.index()].headroom_limit = None;
         self.sim.floor_dirty = true;
         id
     }

@@ -50,6 +50,29 @@ pub struct CoreState {
     pub in_ready: bool,
     /// Random-referee policy: the core currently used as referee, if any.
     pub referee: Option<simany_topology::CoreId>,
+    /// Fast-path bound: virtual times at or below this are guaranteed to
+    /// pass the spatial sync check (`local_floor + T` at the last full
+    /// check). Cleared whenever the floor may drop — a neighbor's published
+    /// value decreasing or a birth being recorded — so a cached value is
+    /// always a conservative lower bound on the true limit. `None` forces
+    /// the next annotation through the full check.
+    pub headroom_limit: Option<VirtualTime>,
+    /// True while this core's clock has advanced past its `published` value
+    /// without a publish (fast-path deferral). Only ever set for the core
+    /// whose activity holds the run token; flushed before the token is
+    /// yielded or any published value can be observed.
+    pub publish_pending: bool,
+    /// Cached minimum over this core's neighbors' published times (the
+    /// neighbor part of the spatial floor; births are always re-read).
+    pub floor_nb: VirtualTime,
+    /// False when `floor_nb` must be recomputed (a neighbor that may have
+    /// been the minimum rose).
+    pub floor_nb_valid: bool,
+    /// The core whose waiter set this core most recently registered in
+    /// (spatial: the argmin blocking neighbor; random-referee: the
+    /// referee). Cleared when the entry is taken; stale list entries whose
+    /// flag moved on are skipped or re-validated at take time.
+    pub waiting_on: Option<simany_topology::CoreId>,
 }
 
 impl CoreState {
@@ -70,6 +93,11 @@ impl CoreState {
             busy: VDuration::ZERO,
             in_ready: false,
             referee: None,
+            headroom_limit: None,
+            publish_pending: false,
+            floor_nb: VirtualTime::ZERO,
+            floor_nb_valid: false,
+            waiting_on: None,
         }
     }
 

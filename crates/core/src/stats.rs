@@ -37,6 +37,20 @@ pub struct SimStats {
     pub peak_live_activities: usize,
     /// Number of scheduler picks.
     pub scheduler_picks: u64,
+    /// Timing annotations that advanced the clock inside the cached drift
+    /// headroom: no publish sweep, no stall recheck, no floor work.
+    pub fast_path_advances: u64,
+    /// Timing annotations that went through the full synchronization path
+    /// (publish + message drain + policy check).
+    pub full_sync_checks: u64,
+    /// Publish calls that actually changed a published value and ran the
+    /// propagation/recheck sweep. Stays flat while a core advances within
+    /// its headroom — the observable proof that fast-path annotations do no
+    /// sweep work (and no heap allocation).
+    pub publish_sweeps: u64,
+    /// Times the cached neighbor-floor minimum had to be recomputed from
+    /// scratch (a neighbor that may have been the minimum rose).
+    pub floor_recomputes: u64,
     /// Sampled available host parallelism (cores with independently
     /// runnable work at sampling instants); empty unless
     /// `EngineConfig::parallelism_sample_every` is set.
@@ -71,7 +85,10 @@ impl SimStats {
         if self.parallelism_samples.is_empty() {
             return 0.0;
         }
-        self.parallelism_samples.iter().map(|&x| f64::from(x)).sum::<f64>()
+        self.parallelism_samples
+            .iter()
+            .map(|&x| f64::from(x))
+            .sum::<f64>()
             / self.parallelism_samples.len() as f64
     }
 

@@ -16,17 +16,74 @@
 //!   created (§II.A, *Time drift of dynamically created tasks*).
 //! * A core holding a lock or executing a critical section is never
 //!   stalled (§II.B, *Locks and critical sections*).
+//!
+//! ## Hot-path structure
+//!
+//! The per-annotation cost is dominated by `publish` (shadow relaxation +
+//! stall rechecks) and the floor computation in `sync_ok`. Three mechanisms
+//! keep the common case O(1) — see `DESIGN.md`, *Hot path & fast-path
+//! invariants*, for the full determinism argument:
+//!
+//! * **Drift headroom** (`CoreState::headroom_limit`): a successful spatial
+//!   check caches `local_floor + T`; annotations below the bound defer the
+//!   publish (`publish_pending`) and skip everything else. The deferral is
+//!   invisible because only the token-holding activity can observe state,
+//!   and every token yield or state read flushes first.
+//! * **Incremental floors** (`CoreState::floor_nb`): the neighbor minimum
+//!   is maintained at publish time and only recomputed when a neighbor that
+//!   may have been the minimum rose.
+//! * **Waiter sets** (`Sim::waiters`): a stalled core registers on its
+//!   argmin blocking neighbor (or its random referee); a rising publish
+//!   rechecks only its registered waiters instead of every neighbor.
+//!   Published *drops* (idle cores waking to an older working clock) are
+//!   rare and sweep all stalled neighbors to re-derive registrations.
 
 use crate::activity::ActivityState;
-use crate::config::SyncPolicy;
+use crate::config::{PickPolicy, SyncPolicy};
 use crate::engine::{push_ready, Shared, Sim};
 use simany_time::{VDuration, VirtualTime};
 use simany_topology::CoreId;
+
+/// Run core `c`'s deferred publish, if any. Call before any code that can
+/// observe published values or before the run token leaves `c`'s activity.
+pub(crate) fn flush_deferred(sim: &mut Sim, shared: &Shared, c: CoreId) {
+    if sim.cores[c.index()].publish_pending {
+        publish(sim, shared, c);
+    }
+}
+
+/// Maintain neighbor floor caches and headroom bounds after core `x`'s
+/// published value changed `old -> new`. Called at every individual
+/// assignment (including intermediate relaxation steps) so the caches are
+/// exact.
+fn note_published_change(
+    sim: &mut Sim,
+    shared: &Shared,
+    x: CoreId,
+    old: VirtualTime,
+    new: VirtualTime,
+) {
+    for &(m, _) in shared.topo.neighbors(x) {
+        let mc = &mut sim.cores[m.index()];
+        if new < old {
+            // A drop can only lower the minimum: the cache stays valid, but
+            // any cached headroom may now overshoot the true floor.
+            if mc.floor_nb_valid && new < mc.floor_nb {
+                mc.floor_nb = new;
+            }
+            mc.headroom_limit = None;
+        } else if mc.floor_nb_valid && mc.floor_nb == old {
+            // x may have been the (possibly tied) minimum; recompute lazily.
+            mc.floor_nb_valid = false;
+        }
+    }
+}
 
 /// Recompute and propagate the value core `c` exposes to its neighbors.
 /// Call after any change to `c`'s clock or idle status. Triggers stall
 /// re-checks on every core whose published value changed.
 pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
+    sim.cores[c.index()].publish_pending = false;
     if sim.cores[c.index()].vtime > sim.max_vtime {
         sim.max_vtime = sim.cores[c.index()].vtime;
     }
@@ -38,50 +95,123 @@ pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
         Some(t) if sim.cores[c.index()].is_idle() => shadow_value(sim, shared, c, t),
         _ => sim.cores[c.index()].vtime,
     };
-    if newval == sim.cores[c.index()].published {
+    let oldval = sim.cores[c.index()].published;
+    if newval == oldval {
         return;
     }
+    sim.stats.publish_sweeps += 1;
     sim.cores[c.index()].published = newval;
     sim.floor_dirty = true;
+    note_published_change(sim, shared, c, oldval, newval);
 
-    let mut changed = vec![c];
-    if let Some(t) = spatial_t {
-        // Relax shadow values through idle regions until fixed point. The
-        // shadow function is monotone in its inputs, so a worklist
-        // relaxation converges; waves are short in practice (idle cores
-        // adjacent to activity frontiers).
-        let mut work: Vec<CoreId> = shared
-            .topo
-            .neighbors(c)
-            .iter()
-            .map(|&(n, _)| n)
-            .filter(|n| sim.cores[n.index()].is_idle())
-            .collect();
-        while let Some(i) = work.pop() {
-            let v = shadow_value(sim, shared, i, t);
-            if v != sim.cores[i.index()].published {
-                sim.cores[i.index()].published = v;
-                changed.push(i);
-                for &(n, _) in shared.topo.neighbors(i) {
-                    if sim.cores[n.index()].is_idle() {
-                        work.push(n);
-                    }
+    let Some(t) = spatial_t else {
+        // Global policies: no shadow relaxation. Recheck c's neighbors and
+        // every core watching c (its referee waiters) — the exact pre-
+        // fast-path sequence, because RandomReferee rechecks consume the
+        // engine RNG and are part of the deterministic schedule.
+        for &(n, _) in shared.topo.neighbors(c) {
+            recheck_stall(sim, shared, n);
+        }
+        take_waiters(sim, shared, c);
+        return;
+    };
+
+    // Relax shadow values through idle regions until fixed point. The
+    // shadow function is monotone in its inputs, so a worklist relaxation
+    // converges; waves are short in practice (idle cores adjacent to
+    // activity frontiers). Scratch buffers + visit stamps: no allocation
+    // once the high-water capacity is reached.
+    let mut changed = std::mem::take(&mut sim.scratch_changed);
+    let mut work = std::mem::take(&mut sim.scratch_work);
+    debug_assert!(changed.is_empty() && work.is_empty());
+    sim.stamp_cur += 1;
+    let stamp = sim.stamp_cur;
+    sim.stamp[c.index()] = stamp;
+    changed.push((c, oldval));
+    for &(n, _) in shared.topo.neighbors(c) {
+        if sim.cores[n.index()].is_idle() {
+            work.push(n);
+        }
+    }
+    while let Some(i) = work.pop() {
+        let v = shadow_value(sim, shared, i, t);
+        let old = sim.cores[i.index()].published;
+        if v != old {
+            sim.cores[i.index()].published = v;
+            note_published_change(sim, shared, i, old, v);
+            if sim.stamp[i.index()] != stamp {
+                sim.stamp[i.index()] = stamp;
+                changed.push((i, old));
+            }
+            for &(n, _) in shared.topo.neighbors(i) {
+                if sim.cores[n.index()].is_idle() {
+                    work.push(n);
                 }
             }
         }
     }
+    sim.scratch_work = work;
 
-    // Stall re-checks: neighbors of every changed core, plus any core using
-    // a changed core as its random referee.
-    for &x in &changed {
-        for &(n, _) in shared.topo.neighbors(x) {
-            recheck_stall(sim, shared, n);
+    // Stall re-checks, post-fixpoint. A net rise of x can only unstall a
+    // core registered on x (any stalled core is registered on its argmin
+    // blocker, and a non-argmin rise cannot lift the minimum). A net drop
+    // invalidates registrations, so it sweeps all of x's neighbors — each
+    // failed recheck re-registers on the now-current argmin.
+    for &(x, old) in &changed {
+        let fin = sim.cores[x.index()].published;
+        if fin == old {
+            continue;
         }
-        let watchers = std::mem::take(&mut sim.referee_watchers[x.index()]);
-        for w in watchers {
-            recheck_stall(sim, shared, CoreId(w));
+        if fin < old {
+            for &(n, _) in shared.topo.neighbors(x) {
+                recheck_stall(sim, shared, n);
+            }
         }
+        take_waiters(sim, shared, x);
     }
+    changed.clear();
+    sim.scratch_changed = changed;
+}
+
+/// Empty core `x`'s waiter set and recheck every member. Duplicate entries
+/// (a core that re-registered on `x` while a stale entry remained) are
+/// skipped within one take via visit stamps, preserving the one-recheck-
+/// per-member behavior of the old `contains`-deduplicated watcher lists.
+fn take_waiters(sim: &mut Sim, shared: &Shared, x: CoreId) {
+    if sim.waiters[x.index()].is_empty() {
+        return;
+    }
+    let mut list = std::mem::take(&mut sim.scratch_waiters);
+    std::mem::swap(&mut list, &mut sim.waiters[x.index()]);
+    sim.stamp_cur += 1;
+    let stamp = sim.stamp_cur;
+    for &wid in &list {
+        let w = CoreId(wid);
+        if sim.stamp[w.index()] == stamp {
+            continue;
+        }
+        sim.stamp[w.index()] = stamp;
+        if sim.cores[w.index()].waiting_on == Some(x) {
+            sim.cores[w.index()].waiting_on = None;
+        }
+        // Recheck stale entries too: under RandomReferee the old watcher
+        // lists rechecked every taken entry regardless of the core's
+        // current referee, and that recheck sequence drives the RNG.
+        recheck_stall(sim, shared, w);
+    }
+    list.clear();
+    sim.scratch_waiters = list;
+}
+
+/// Register `c` in `target`'s waiter set (dedup-free: `waiting_on` mirrors
+/// the most recent registration, so a repeat registration on the same
+/// target is a no-op without scanning the list).
+fn register_waiter(sim: &mut Sim, c: CoreId, target: CoreId) {
+    if sim.cores[c.index()].waiting_on == Some(target) {
+        return;
+    }
+    sim.cores[c.index()].waiting_on = Some(target);
+    sim.waiters[target.index()].push(c.0);
 }
 
 /// The shadow virtual time of idle core `i`: its own last clock maxed with
@@ -133,12 +263,19 @@ pub(crate) fn recheck_all_stalled(sim: &mut Sim, shared: &Shared) {
 /// The local synchronization floor of core `c` under spatial
 /// synchronization: the most-late neighbor's published time, also counting
 /// the birth times of `c`'s in-flight spawned tasks as if they were
-/// neighbors.
-pub(crate) fn local_floor(sim: &Sim, shared: &Shared, c: CoreId) -> VirtualTime {
-    let mut floor = VirtualTime::MAX;
-    for &(n, _) in shared.topo.neighbors(c) {
-        floor = floor.min(sim.cores[n.index()].published);
+/// neighbors. The neighbor minimum comes from the incrementally maintained
+/// cache; it is recomputed only when invalidated by a rising publish.
+pub(crate) fn local_floor(sim: &mut Sim, shared: &Shared, c: CoreId) -> VirtualTime {
+    if !sim.cores[c.index()].floor_nb_valid {
+        sim.stats.floor_recomputes += 1;
+        let mut m = VirtualTime::MAX;
+        for &(n, _) in shared.topo.neighbors(c) {
+            m = m.min(sim.cores[n.index()].published);
+        }
+        sim.cores[c.index()].floor_nb = m;
+        sim.cores[c.index()].floor_nb_valid = true;
     }
+    let mut floor = sim.cores[c.index()].floor_nb;
     if let Some(b) = sim.cores[c.index()].min_birth() {
         floor = floor.min(b);
     }
@@ -161,13 +298,23 @@ pub(crate) fn global_floor(sim: &Sim) -> VirtualTime {
     floor
 }
 
+/// Is the fast path allowed under this configuration? Ready-queue insertion
+/// order changes when unstalls are deferred to a flush point; only the
+/// lowest-vtime heap is insensitive to it, so the other pick policies keep
+/// the always-full path.
+fn fast_path_eligible(shared: &Shared) -> bool {
+    shared.config.fast_path && shared.config.pick == PickPolicy::LowestVtime
+}
+
 /// Does the synchronization policy allow core `c` to execute task code
 /// right now?
 ///
-/// Also maintains the max-drift statistic and the random-referee state.
+/// Also maintains the max-drift statistic, the headroom cache, the waiter
+/// registrations and the random-referee state.
 pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
     // Lock waiver: a core holding a lock or inside a critical section is
     // temporarily exempt so it can release its resources (paper §II.B).
+    // No headroom is cached here — the waiver is not a drift bound.
     if sim.cores[c.index()].lock_depth > 0 {
         return true;
     }
@@ -176,13 +323,41 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
         SyncPolicy::Spatial { t } => {
             let floor = local_floor(sim, shared, c);
             if floor == VirtualTime::MAX {
-                return true; // no neighbors, no births: nothing to drift from
+                // No neighbors, no births: nothing to drift from, ever.
+                if fast_path_eligible(shared) {
+                    sim.cores[c.index()].headroom_limit = Some(VirtualTime::MAX);
+                }
+                return true;
             }
             let drift = vtime.saturating_since(floor);
             if drift > sim.stats.max_neighbor_drift {
                 sim.stats.max_neighbor_drift = drift;
             }
-            drift <= t
+            if drift <= t {
+                if fast_path_eligible(shared) {
+                    sim.cores[c.index()].headroom_limit = Some(floor + t);
+                }
+                true
+            } else {
+                sim.cores[c.index()].headroom_limit = None;
+                // Register on the argmin blocking *neighbor*, whose rise is
+                // the only publish event that can lift the neighbor
+                // minimum. A floor bound by a birth alone needs no
+                // registration: `discard_birth` rechecks directly.
+                let nb_floor = sim.cores[c.index()].floor_nb;
+                if vtime.saturating_since(nb_floor) > t {
+                    let argmin = shared
+                        .topo
+                        .neighbors(c)
+                        .iter()
+                        .map(|&(n, _)| n)
+                        .find(|n| sim.cores[n.index()].published == nb_floor);
+                    if let Some(r) = argmin {
+                        register_waiter(sim, c, r);
+                    }
+                }
+                false
+            }
         }
         SyncPolicy::BoundedSlack { window } => {
             let floor = global_floor(sim);
@@ -219,9 +394,7 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
                         return true;
                     }
                     // Still too far ahead: watch the referee for changes.
-                    if !sim.referee_watchers[r.index()].contains(&c.0) {
-                        sim.referee_watchers[r.index()].push(c.0);
-                    }
+                    register_waiter(sim, c, r);
                     return false;
                 }
             }

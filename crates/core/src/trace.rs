@@ -12,8 +12,8 @@
 //! one-method trait.
 
 use parking_lot::Mutex;
-use simany_topology::CoreId;
 use simany_time::VirtualTime;
+use simany_topology::CoreId;
 use std::fmt;
 use std::sync::Arc;
 
@@ -348,8 +348,16 @@ mod tests {
     #[test]
     fn records_and_dumps_in_time_order() {
         let tr = MemoryTracer::new();
-        tr.record(TraceEvent::Stall { t: t(30), core: CoreId(1) });
-        tr.record(TraceEvent::ActivityStart { t: t(10), core: CoreId(0), aid: 0, name: "a" });
+        tr.record(TraceEvent::Stall {
+            t: t(30),
+            core: CoreId(1),
+        });
+        tr.record(TraceEvent::ActivityStart {
+            t: t(10),
+            core: CoreId(0),
+            aid: 0,
+            name: "a",
+        });
         assert_eq!(tr.len(), 2);
         let dump = tr.dump();
         let first = dump.lines().next().unwrap();
@@ -359,11 +367,32 @@ mod tests {
     #[test]
     fn summary_counts_per_core() {
         let tr = MemoryTracer::new();
-        tr.record(TraceEvent::ActivityStart { t: t(1), core: CoreId(0), aid: 0, name: "a" });
-        tr.record(TraceEvent::Stall { t: t(2), core: CoreId(0) });
-        tr.record(TraceEvent::Stall { t: t(3), core: CoreId(1) });
-        tr.record(TraceEvent::Send { t: t(4), src: CoreId(0), dst: CoreId(1), bytes: 8 });
-        tr.record(TraceEvent::Process { arrival: t(4), t: t(9), core: CoreId(1), late_by: 10 });
+        tr.record(TraceEvent::ActivityStart {
+            t: t(1),
+            core: CoreId(0),
+            aid: 0,
+            name: "a",
+        });
+        tr.record(TraceEvent::Stall {
+            t: t(2),
+            core: CoreId(0),
+        });
+        tr.record(TraceEvent::Stall {
+            t: t(3),
+            core: CoreId(1),
+        });
+        tr.record(TraceEvent::Send {
+            t: t(4),
+            src: CoreId(0),
+            dst: CoreId(1),
+            bytes: 8,
+        });
+        tr.record(TraceEvent::Process {
+            arrival: t(4),
+            t: t(9),
+            core: CoreId(1),
+            late_by: 10,
+        });
         assert_eq!(tr.core_summary(CoreId(0)), (1, 1, 1, 0));
         assert_eq!(tr.core_summary(CoreId(1)), (0, 1, 0, 1));
     }
@@ -371,8 +400,16 @@ mod tests {
     #[test]
     fn timeline_shape() {
         let tr = MemoryTracer::new();
-        tr.record(TraceEvent::ActivityStart { t: t(0), core: CoreId(0), aid: 0, name: "a" });
-        tr.record(TraceEvent::Stall { t: t(99), core: CoreId(1) });
+        tr.record(TraceEvent::ActivityStart {
+            t: t(0),
+            core: CoreId(0),
+            aid: 0,
+            name: "a",
+        });
+        tr.record(TraceEvent::Stall {
+            t: t(99),
+            core: CoreId(1),
+        });
         let tl = tr.timeline(2, 10);
         let lines: Vec<&str> = tl.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -382,7 +419,12 @@ mod tests {
 
     #[test]
     fn event_accessors() {
-        let e = TraceEvent::Send { t: t(7), src: CoreId(3), dst: CoreId(4), bytes: 1 };
+        let e = TraceEvent::Send {
+            t: t(7),
+            src: CoreId(3),
+            dst: CoreId(4),
+            bytes: 1,
+        };
         assert_eq!(e.time(), t(7));
         assert_eq!(e.core(), CoreId(3));
         assert!(format!("{e}").contains("SEND"));

@@ -22,12 +22,7 @@ impl RuntimeHooks for NoHooks {
     fn on_activity_end(&self, _: &mut Ops<'_>, _: CoreId, _: Box<dyn std::any::Any + Send>) {}
 }
 
-fn run_program(
-    topo: Topology,
-    t_cycles: u64,
-    seed: u64,
-    plans: Vec<Vec<u64>>,
-) -> SimStats {
+fn run_program(topo: Topology, t_cycles: u64, seed: u64, plans: Vec<Vec<u64>>) -> SimStats {
     let config = EngineConfig::default()
         .with_drift_cycles(t_cycles)
         .with_seed(seed);

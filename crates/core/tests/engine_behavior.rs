@@ -32,7 +32,13 @@ impl RuntimeHooks for TestHooks {
         }
     }
     fn on_idle(&self, _ops: &mut Ops<'_>, _core: CoreId) {}
-    fn on_activity_end(&self, _ops: &mut Ops<'_>, _core: CoreId, _meta: Box<dyn std::any::Any + Send>) {}
+    fn on_activity_end(
+        &self,
+        _ops: &mut Ops<'_>,
+        _core: CoreId,
+        _meta: Box<dyn std::any::Any + Send>,
+    ) {
+    }
 }
 
 fn pair() -> Topology {
@@ -43,11 +49,7 @@ fn pair() -> Topology {
 
 type TestTasks = Vec<(u32, Box<dyn FnOnce(&mut ExecCtx) + Send>)>;
 
-fn run_with(
-    topo: Topology,
-    config: EngineConfig,
-    tasks: TestTasks,
-) -> simany_core::SimStats {
+fn run_with(topo: Topology, config: EngineConfig, tasks: TestTasks) -> simany_core::SimStats {
     simulate(topo, config, Arc::new(TestHooks), move |ops| {
         for (core, job) in tasks {
             ops.start_activity(CoreId(core), "test", Box::new(()), job);
@@ -76,11 +78,14 @@ fn lone_worker_never_stalls_thanks_to_shadow_time() {
     let stats = run_with(
         mesh_2d(16),
         EngineConfig::default().with_drift_cycles(100),
-        vec![(0, Box::new(|ctx: &mut ExecCtx| {
-            for _ in 0..100 {
-                ctx.advance_cycles(50);
-            }
-        }))],
+        vec![(
+            0,
+            Box::new(|ctx: &mut ExecCtx| {
+                for _ in 0..100 {
+                    ctx.advance_cycles(50);
+                }
+            }),
+        )],
     );
     assert_eq!(stats.final_vtime, VirtualTime::from_cycles(5000));
     assert_eq!(stats.stall_events, 0);
@@ -96,20 +101,29 @@ fn two_workers_respect_drift_bound() {
         pair(),
         EngineConfig::default().with_drift_cycles(t),
         vec![
-            (0, Box::new(move |ctx: &mut ExecCtx| {
-                for _ in 0..250 {
-                    ctx.advance_cycles(step0);
-                }
-            })),
-            (1, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..1000 {
-                    ctx.advance_cycles(10);
-                }
-            })),
+            (
+                0,
+                Box::new(move |ctx: &mut ExecCtx| {
+                    for _ in 0..250 {
+                        ctx.advance_cycles(step0);
+                    }
+                }),
+            ),
+            (
+                1,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..1000 {
+                        ctx.advance_cycles(10);
+                    }
+                }),
+            ),
         ],
     );
     assert_eq!(stats.final_vtime, VirtualTime::from_cycles(10_000));
-    assert!(stats.stall_events > 0, "drift control should have stalled someone");
+    assert!(
+        stats.stall_events > 0,
+        "drift control should have stalled someone"
+    );
     // Instantaneous drift can overshoot by at most one advance step.
     assert!(
         stats.max_neighbor_drift <= VDuration::from_cycles(t + step0),
@@ -126,11 +140,14 @@ fn unbounded_policy_never_stalls() {
         pair(),
         config,
         vec![
-            (0, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..100 {
-                    ctx.advance_cycles(100);
-                }
-            })),
+            (
+                0,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..100 {
+                        ctx.advance_cycles(100);
+                    }
+                }),
+            ),
             (1, Box::new(|ctx: &mut ExecCtx| ctx.advance_cycles(1))),
         ],
     );
@@ -145,16 +162,22 @@ fn conservative_policy_interleaves_exactly() {
         pair(),
         config,
         vec![
-            (0, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..50 {
-                    ctx.advance_cycles(10);
-                }
-            })),
-            (1, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..50 {
-                    ctx.advance_cycles(10);
-                }
-            })),
+            (
+                0,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..50 {
+                        ctx.advance_cycles(10);
+                    }
+                }),
+            ),
+            (
+                1,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..50 {
+                        ctx.advance_cycles(10);
+                    }
+                }),
+            ),
         ],
     );
     assert_eq!(stats.final_vtime, VirtualTime::from_cycles(500));
@@ -171,16 +194,22 @@ fn bounded_slack_policy_runs_to_completion() {
         ring(4),
         config,
         vec![
-            (0, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..100 {
-                    ctx.advance_cycles(20);
-                }
-            })),
-            (2, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..100 {
-                    ctx.advance_cycles(5);
-                }
-            })),
+            (
+                0,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..100 {
+                        ctx.advance_cycles(20);
+                    }
+                }),
+            ),
+            (
+                2,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..100 {
+                        ctx.advance_cycles(5);
+                    }
+                }),
+            ),
         ],
     );
     assert_eq!(stats.final_vtime, VirtualTime::from_cycles(2000));
@@ -197,16 +226,22 @@ fn random_referee_policy_runs_to_completion() {
         ring(4),
         config,
         vec![
-            (0, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..200 {
-                    ctx.advance_cycles(20);
-                }
-            })),
-            (1, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..200 {
-                    ctx.advance_cycles(5);
-                }
-            })),
+            (
+                0,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..200 {
+                        ctx.advance_cycles(20);
+                    }
+                }),
+            ),
+            (
+                1,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..200 {
+                        ctx.advance_cycles(5);
+                    }
+                }),
+            ),
         ],
     );
     assert_eq!(stats.final_vtime, VirtualTime::from_cycles(4000));
@@ -220,18 +255,24 @@ fn lock_waiver_lets_holder_run_ahead() {
         pair(),
         EngineConfig::default().with_drift_cycles(100),
         vec![
-            (0, Box::new(|ctx: &mut ExecCtx| {
-                ctx.critical_enter();
-                for _ in 0..100 {
-                    ctx.advance_cycles(50); // 5000 cycles >> T
-                }
-                ctx.critical_exit();
-            })),
-            (1, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..10 {
-                    ctx.advance_cycles(1);
-                }
-            })),
+            (
+                0,
+                Box::new(|ctx: &mut ExecCtx| {
+                    ctx.critical_enter();
+                    for _ in 0..100 {
+                        ctx.advance_cycles(50); // 5000 cycles >> T
+                    }
+                    ctx.critical_exit();
+                }),
+            ),
+            (
+                1,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..10 {
+                        ctx.advance_cycles(1);
+                    }
+                }),
+            ),
         ],
     );
     assert_eq!(stats.final_vtime, VirtualTime::from_cycles(5000));
@@ -245,10 +286,13 @@ fn message_arrival_sets_receiver_clock() {
     let stats = run_with(
         pair(),
         EngineConfig::default(),
-        vec![(0, Box::new(|ctx: &mut ExecCtx| {
-            ctx.advance_cycles(100);
-            ctx.send(CoreId(1), 64, Payload::new(7u64));
-        }))],
+        vec![(
+            0,
+            Box::new(|ctx: &mut ExecCtx| {
+                ctx.advance_cycles(100);
+                ctx.send(CoreId(1), 64, Payload::new(7u64));
+            }),
+        )],
     );
     assert_eq!(stats.final_vtime, VirtualTime::from_cycles(109));
     assert_eq!(stats.on_time_messages, 1);
@@ -273,31 +317,36 @@ fn block_and_wake_across_cores() {
         fn on_activity_end(&self, _: &mut Ops<'_>, _: CoreId, _: Box<dyn std::any::Any + Send>) {}
     }
 
-    let stats = simulate(pair(), EngineConfig::default(), Arc::new(Hooks), move |ops| {
-        // Waiter on core 1: blocks immediately and records its resume time.
-        let waiter = ops.start_activity(
-            CoreId(1),
-            "waiter",
-            Box::new(()),
-            Box::new(move |ctx: &mut ExecCtx| {
-                // Full suspension semantics: charge the context switch.
-                let v = ctx.block_with("test-wake", true);
-                let woken_at = *v.downcast::<VirtualTime>().unwrap();
-                assert!(ctx.now() >= woken_at);
-                resumed_at2.store(ctx.now().ticks(), Ordering::SeqCst);
-            }),
-        );
-        // Sender on core 0.
-        ops.start_activity(
-            CoreId(0),
-            "sender",
-            Box::new(()),
-            Box::new(move |ctx: &mut ExecCtx| {
-                ctx.advance_cycles(500);
-                ctx.send(CoreId(1), 8, Payload::new(waiter));
-            }),
-        );
-    })
+    let stats = simulate(
+        pair(),
+        EngineConfig::default(),
+        Arc::new(Hooks),
+        move |ops| {
+            // Waiter on core 1: blocks immediately and records its resume time.
+            let waiter = ops.start_activity(
+                CoreId(1),
+                "waiter",
+                Box::new(()),
+                Box::new(move |ctx: &mut ExecCtx| {
+                    // Full suspension semantics: charge the context switch.
+                    let v = ctx.block_with("test-wake", true);
+                    let woken_at = *v.downcast::<VirtualTime>().unwrap();
+                    assert!(ctx.now() >= woken_at);
+                    resumed_at2.store(ctx.now().ticks(), Ordering::SeqCst);
+                }),
+            );
+            // Sender on core 0.
+            ops.start_activity(
+                CoreId(0),
+                "sender",
+                Box::new(()),
+                Box::new(move |ctx: &mut ExecCtx| {
+                    ctx.advance_cycles(500);
+                    ctx.send(CoreId(1), 8, Payload::new(waiter));
+                }),
+            );
+        },
+    )
     .unwrap();
 
     // Arrival: 500 + 1 latency + 1 serialization = 502; resume adds the
@@ -327,7 +376,10 @@ fn deadlock_is_detected_and_reported() {
     .unwrap_err();
     let msg = format!("{err}");
     assert!(msg.contains("deadlock"), "unexpected error: {msg}");
-    assert!(msg.contains("never-woken"), "report should name the wait: {msg}");
+    assert!(
+        msg.contains("never-woken"),
+        "report should name the wait: {msg}"
+    );
 }
 
 #[test]
@@ -359,18 +411,21 @@ fn birth_ledger_limits_parent_drift() {
     let stats = run_with(
         pair(),
         EngineConfig::default().with_drift_cycles(100),
-        vec![(0, Box::new(|ctx: &mut ExecCtx| {
-            ctx.advance_cycles(10);
-            let birth_time = ctx.now();
-            let id = ctx.with_ops(|ops| ops.record_birth(CoreId(0), birth_time));
-            // Advance up to the bound: fine.
-            ctx.advance_cycles(100);
-            // Drop the birth from a helper closure later; first verify the
-            // drift machinery sees the ledger: one more step would stall us
-            // forever (deadlock) if we didn't discard. Discard, then run.
-            ctx.with_ops(|ops| ops.discard_birth(CoreId(0), id));
-            ctx.advance_cycles(1000);
-        }))],
+        vec![(
+            0,
+            Box::new(|ctx: &mut ExecCtx| {
+                ctx.advance_cycles(10);
+                let birth_time = ctx.now();
+                let id = ctx.with_ops(|ops| ops.record_birth(CoreId(0), birth_time));
+                // Advance up to the bound: fine.
+                ctx.advance_cycles(100);
+                // Drop the birth from a helper closure later; first verify the
+                // drift machinery sees the ledger: one more step would stall us
+                // forever (deadlock) if we didn't discard. Discard, then run.
+                ctx.with_ops(|ops| ops.discard_birth(CoreId(0), id));
+                ctx.advance_cycles(1000);
+            }),
+        )],
     );
     assert_eq!(stats.final_vtime, VirtualTime::from_cycles(1110));
 }
@@ -379,16 +434,22 @@ fn birth_ledger_limits_parent_drift() {
 fn deterministic_across_runs_and_pick_policies_vary() {
     let build_tasks = || -> TestTasks {
         vec![
-            (0, Box::new(|ctx: &mut ExecCtx| {
-                for i in 0..100 {
-                    ctx.compute(&BlockCost::new().int_alu(10).cond_branches(i % 5));
-                }
-            })),
-            (1, Box::new(|ctx: &mut ExecCtx| {
-                for _ in 0..100 {
-                    ctx.compute(&BlockCost::new().fp_mul(3).cond_branches(2));
-                }
-            })),
+            (
+                0,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for i in 0..100 {
+                        ctx.compute(&BlockCost::new().int_alu(10).cond_branches(i % 5));
+                    }
+                }),
+            ),
+            (
+                1,
+                Box::new(|ctx: &mut ExecCtx| {
+                    for _ in 0..100 {
+                        ctx.compute(&BlockCost::new().fp_mul(3).cond_branches(2));
+                    }
+                }),
+            ),
         ]
     };
     let a = run_with(pair(), EngineConfig::default().with_seed(11), build_tasks());
@@ -411,16 +472,22 @@ fn round_robin_and_random_picks_complete() {
             ring(4),
             config,
             vec![
-                (0, Box::new(|ctx: &mut ExecCtx| {
-                    for _ in 0..50 {
-                        ctx.advance_cycles(10);
-                    }
-                })),
-                (2, Box::new(|ctx: &mut ExecCtx| {
-                    for _ in 0..50 {
-                        ctx.advance_cycles(10);
-                    }
-                })),
+                (
+                    0,
+                    Box::new(|ctx: &mut ExecCtx| {
+                        for _ in 0..50 {
+                            ctx.advance_cycles(10);
+                        }
+                    }),
+                ),
+                (
+                    2,
+                    Box::new(|ctx: &mut ExecCtx| {
+                        for _ in 0..50 {
+                            ctx.advance_cycles(10);
+                        }
+                    }),
+                ),
             ],
         );
         assert_eq!(stats.final_vtime, VirtualTime::from_cycles(500));
@@ -490,11 +557,14 @@ fn late_messages_are_counted() {
         EngineConfig::default().with_drift_cycles(1000),
         vec![
             (1, Box::new(|ctx: &mut ExecCtx| ctx.advance_cycles(900))),
-            (0, Box::new(|ctx: &mut ExecCtx| {
-                ctx.advance_cycles(1);
-                ctx.send(CoreId(1), 8, Payload::new(1u64));
-                ctx.advance_cycles(1);
-            })),
+            (
+                0,
+                Box::new(|ctx: &mut ExecCtx| {
+                    ctx.advance_cycles(1);
+                    ctx.send(CoreId(1), 8, Payload::new(1u64));
+                    ctx.advance_cycles(1);
+                }),
+            ),
         ],
     );
     // Depending on interleaving the message may or may not be late, but the

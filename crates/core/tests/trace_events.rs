@@ -66,13 +66,31 @@ fn trace_covers_the_event_vocabulary() {
     let events = tracer.events();
     assert!(!tracer.is_empty());
     let has = |pred: &dyn Fn(&TraceEvent) -> bool| events.iter().any(pred);
-    assert!(has(&|e| matches!(e, TraceEvent::ActivityStart { name: "runner", .. })));
-    assert!(has(&|e| matches!(e, TraceEvent::ActivityEnd { name: "waiter", .. })));
-    assert!(has(&|e| matches!(e, TraceEvent::Stall { .. })), "no stall traced");
-    assert!(has(&|e| matches!(e, TraceEvent::Resume { .. })), "no resume traced");
+    assert!(has(&|e| matches!(
+        e,
+        TraceEvent::ActivityStart { name: "runner", .. }
+    )));
+    assert!(has(&|e| matches!(
+        e,
+        TraceEvent::ActivityEnd { name: "waiter", .. }
+    )));
+    assert!(
+        has(&|e| matches!(e, TraceEvent::Stall { .. })),
+        "no stall traced"
+    );
+    assert!(
+        has(&|e| matches!(e, TraceEvent::Resume { .. })),
+        "no resume traced"
+    );
     assert!(has(&|e| matches!(e, TraceEvent::Send { .. })));
     assert!(has(&|e| matches!(e, TraceEvent::Process { .. })));
-    assert!(has(&|e| matches!(e, TraceEvent::Block { reason: "demo-wait", .. })));
+    assert!(has(&|e| matches!(
+        e,
+        TraceEvent::Block {
+            reason: "demo-wait",
+            ..
+        }
+    )));
     assert!(has(&|e| matches!(e, TraceEvent::Wake { .. })));
 
     // Renderers produce something sensible.

@@ -260,8 +260,8 @@ impl CycleLevelTiming {
         for leg in &legs {
             // The basic requester<->bank exchange is covered by the flat
             // bank latency; everything else is coherence traffic.
-            let basic = (leg.from == core && leg.to == home)
-                || (leg.from == home && leg.to == core);
+            let basic =
+                (leg.from == core && leg.to == home) || (leg.from == home && leg.to == core);
             if basic {
                 continue;
             }
@@ -312,13 +312,7 @@ mod tests {
     impl RuntimeHooks for NoHooks {
         fn on_message(&self, _: &mut Ops<'_>, _: Envelope) {}
         fn on_idle(&self, _: &mut Ops<'_>, _: CoreId) {}
-        fn on_activity_end(
-            &self,
-            _: &mut Ops<'_>,
-            _: CoreId,
-            _: Box<dyn std::any::Any + Send>,
-        ) {
-        }
+        fn on_activity_end(&self, _: &mut Ops<'_>, _: CoreId, _: Box<dyn std::any::Any + Send>) {}
     }
 
     #[test]

@@ -222,7 +222,11 @@ fn interaction_cost() -> BlockCost {
 
 /// Cost of opening a node (distance test only).
 fn open_cost() -> BlockCost {
-    BlockCost::new().fp_add(6).fp_mul(4).fp_div(1).cond_branches(1)
+    BlockCost::new()
+        .fp_add(6)
+        .fp_mul(4)
+        .fp_div(1)
+        .cond_branches(1)
 }
 
 /// The Barnes-Hut kernel (force phase).
@@ -269,7 +273,16 @@ impl DwarfKernel for BarnesHut {
                 None
             };
             let group = tc.make_group();
-            force_range(tc, &tree2, &bodies2, &forces2, cells.as_ref().map(|c| c.as_slice()), 0, n, group);
+            force_range(
+                tc,
+                &tree2,
+                &bodies2,
+                &forces2,
+                cells.as_ref().map(|c| c.as_slice()),
+                0,
+                n,
+                group,
+            );
             tc.join(group);
         })?;
 
@@ -395,9 +408,7 @@ mod tests {
                 exact[1] += f * dy;
                 exact[2] += f * dz;
             }
-            let err: f64 = (0..3)
-                .map(|d| (bh[d] - exact[d]).abs())
-                .sum::<f64>()
+            let err: f64 = (0..3).map(|d| (bh[d] - exact[d]).abs()).sum::<f64>()
                 / exact.iter().map(|e| e.abs()).sum::<f64>().max(1e-12);
             assert!(err < 0.2, "body {i}: BH error {err}");
         }

@@ -69,7 +69,15 @@ impl DwarfKernel for ConnectedComponents {
                 let labels = Arc::clone(&labels2);
                 let cells = cells.clone();
                 tc.spawn_or_run(group, move |tc: &mut TaskCtx<'_>| {
-                    explore(tc, &graph, &labels, cells.as_ref().map(|c| c.as_slice()), s, s, group);
+                    explore(
+                        tc,
+                        &graph,
+                        &labels,
+                        cells.as_ref().map(|c| c.as_slice()),
+                        s,
+                        s,
+                        group,
+                    );
                 });
             }
             tc.join(group);
@@ -160,12 +168,7 @@ fn explore(
 
 /// Timed access to node `v`'s tag: a shared-memory load/store, or a cell
 /// access in the distributed-memory variant.
-fn touch_tag(
-    tc: &mut TaskCtx<'_>,
-    cells: Option<&[simany_runtime::CellId]>,
-    v: u32,
-    write: bool,
-) {
+fn touch_tag(tc: &mut TaskCtx<'_>, cells: Option<&[simany_runtime::CellId]>, v: u32, write: bool) {
     match cells {
         Some(cells) => tc.cell_access(cells[v as usize]),
         None => gather(tc, LABELS_BASE + u64::from(v) * 8, write),

@@ -60,7 +60,15 @@ impl DwarfKernel for Dijkstra {
                 None
             };
             let group = tc.make_group();
-            explore(tc, &graph2, &dist2, cells.as_ref().map(|c| c.as_slice()), 0, 0, group);
+            explore(
+                tc,
+                &graph2,
+                &dist2,
+                cells.as_ref().map(|c| c.as_slice()),
+                0,
+                0,
+                group,
+            );
             tc.join(group);
         })?;
 
@@ -138,12 +146,7 @@ fn explore(
     }
 }
 
-fn touch_dist(
-    tc: &mut TaskCtx<'_>,
-    cells: Option<&[simany_runtime::CellId]>,
-    v: u32,
-    write: bool,
-) {
+fn touch_dist(tc: &mut TaskCtx<'_>, cells: Option<&[simany_runtime::CellId]>, v: u32, write: bool) {
     match cells {
         Some(cells) => tc.cell_access(cells[v as usize]),
         None => gather(tc, DIST_BASE + u64::from(v) * 8, write),

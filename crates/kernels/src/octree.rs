@@ -37,7 +37,11 @@ fn update_value(v: f64) -> f64 {
 /// scenario of the paper — e.g. a matrix-vector update per object) plus
 /// child bookkeeping.
 fn node_cost() -> BlockCost {
-    BlockCost::new().fp_mul(4).fp_add(4).int_alu(5).cond_branches(2)
+    BlockCost::new()
+        .fp_mul(4)
+        .fp_add(4)
+        .int_alu(5)
+        .cond_branches(2)
 }
 
 /// The octree-update kernel.
@@ -79,7 +83,15 @@ impl DwarfKernel for OctreeUpdate {
                 None
             };
             let group = tc.make_group();
-            walk(tc, &tree2, &values2, cells.as_ref().map(|c| c.as_slice()), 0, 0, group);
+            walk(
+                tc,
+                &tree2,
+                &values2,
+                cells.as_ref().map(|c| c.as_slice()),
+                0,
+                0,
+                group,
+            );
             tc.join(group);
         })?;
 
@@ -137,7 +149,15 @@ fn walk(
             let values2 = Arc::clone(values);
             let cells2: Option<Vec<simany_runtime::CellId>> = cells.map(|c| c.to_vec());
             tc.spawn_or_run(group, move |tc: &mut TaskCtx<'_>| {
-                walk(tc, &tree2, &values2, cells2.as_deref(), child, depth + 1, group);
+                walk(
+                    tc,
+                    &tree2,
+                    &values2,
+                    cells2.as_deref(),
+                    child,
+                    depth + 1,
+                    group,
+                );
             });
         } else {
             walk(tc, tree, values, cells, child, depth + 1, group);

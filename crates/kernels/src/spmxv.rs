@@ -70,7 +70,16 @@ impl DwarfKernel for SpMxV {
                 None
             };
             let group = tc.make_group();
-            rows_task(tc, &m2, &x2, &y2, cells.as_ref().map(|c| c.as_slice()), 0, n, group);
+            rows_task(
+                tc,
+                &m2,
+                &x2,
+                &y2,
+                cells.as_ref().map(|c| c.as_slice()),
+                0,
+                n,
+                group,
+            );
             tc.join(group);
         })?;
 
@@ -250,17 +259,17 @@ mod tests {
     fn explicit_matrix_paths() {
         use crate::workloads::{parse_matrix_market, stencil_5pt, tridiagonal};
         // Structured generators.
-        let r = SpMxV::run_with_matrix(ProgramSpec::new(mesh_2d(8)), tridiagonal(256), None)
-            .unwrap();
+        let r =
+            SpMxV::run_with_matrix(ProgramSpec::new(mesh_2d(8)), tridiagonal(256), None).unwrap();
         assert!(r.verified);
-        let r = SpMxV::run_with_matrix(ProgramSpec::new(mesh_2d(8)), stencil_5pt(16), None)
-            .unwrap();
+        let r =
+            SpMxV::run_with_matrix(ProgramSpec::new(mesh_2d(8)), stencil_5pt(16), None).unwrap();
         assert!(r.verified);
         // A hand-written Matrix Market file.
         let mm = "%%MatrixMarket matrix coordinate real symmetric\n4 4 5\n1 1 2.0\n2 2 2.0\n3 3 2.0\n4 4 2.0\n2 1 -1.0\n";
         let m = parse_matrix_market(mm).unwrap();
-        let r = SpMxV::run_with_matrix(ProgramSpec::new(mesh_2d(4)), m, Some(vec![1.0; 4]))
-            .unwrap();
+        let r =
+            SpMxV::run_with_matrix(ProgramSpec::new(mesh_2d(4)), m, Some(vec![1.0; 4])).unwrap();
         assert!(r.verified);
     }
 

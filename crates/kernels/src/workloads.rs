@@ -137,8 +137,10 @@ pub fn random_csr(n: usize, nnz_per_row: usize, seed: u64) -> CsrMatrix {
     row_ptr.push(0);
     for _ in 0..n {
         // Poisson-ish variation: nnz/2 .. 3*nnz/2.
-        let k = rng.next_range((nnz_per_row / 2).max(1) as u64, (nnz_per_row * 3 / 2) as u64)
-            as usize;
+        let k = rng.next_range(
+            (nnz_per_row / 2).max(1) as u64,
+            (nnz_per_row * 3 / 2) as u64,
+        ) as usize;
         let mut row: Vec<u32> = (0..k).map(|_| rng.next_index(n) as u32).collect();
         row.sort_unstable();
         row.dedup();
@@ -177,7 +179,12 @@ pub fn tridiagonal(n: usize) -> CsrMatrix {
         }
         row_ptr.push(cols.len());
     }
-    CsrMatrix { n, row_ptr, cols, vals }
+    CsrMatrix {
+        n,
+        row_ptr,
+        cols,
+        vals,
+    }
 }
 
 /// Five-point 2-D Poisson stencil on a `g × g` grid (`n = g²` rows) — the
@@ -206,7 +213,12 @@ pub fn stencil_5pt(g: usize) -> CsrMatrix {
             row_ptr.push(cols.len());
         }
     }
-    CsrMatrix { n, row_ptr, cols, vals }
+    CsrMatrix {
+        n,
+        row_ptr,
+        cols,
+        vals,
+    }
 }
 
 /// Parse a (coordinate, real, general/symmetric) Matrix Market file — the
@@ -224,17 +236,37 @@ pub fn parse_matrix_market(text: &str) -> Result<CsrMatrix, String> {
     let mut rest = lines.skip_while(|l| l.starts_with('%'));
     let dims = rest.next().ok_or("missing size line")?;
     let mut it = dims.split_whitespace();
-    let rows: usize = it.next().ok_or("bad size")?.parse().map_err(|_| "bad rows")?;
-    let cols_n: usize = it.next().ok_or("bad size")?.parse().map_err(|_| "bad cols")?;
-    let nnz: usize = it.next().ok_or("bad size")?.parse().map_err(|_| "bad nnz")?;
+    let rows: usize = it
+        .next()
+        .ok_or("bad size")?
+        .parse()
+        .map_err(|_| "bad rows")?;
+    let cols_n: usize = it
+        .next()
+        .ok_or("bad size")?
+        .parse()
+        .map_err(|_| "bad cols")?;
+    let nnz: usize = it
+        .next()
+        .ok_or("bad size")?
+        .parse()
+        .map_err(|_| "bad nnz")?;
     if rows != cols_n {
         return Err("only square matrices supported".into());
     }
     let mut triples: Vec<(u32, u32, f64)> = Vec::with_capacity(nnz);
     for line in rest {
         let mut it = line.split_whitespace();
-        let r: usize = it.next().ok_or("bad entry")?.parse().map_err(|_| "bad row idx")?;
-        let c: usize = it.next().ok_or("bad entry")?.parse().map_err(|_| "bad col idx")?;
+        let r: usize = it
+            .next()
+            .ok_or("bad entry")?
+            .parse()
+            .map_err(|_| "bad row idx")?;
+        let c: usize = it
+            .next()
+            .ok_or("bad entry")?
+            .parse()
+            .map_err(|_| "bad col idx")?;
         let v: f64 = match it.next() {
             Some(s) => s.parse().map_err(|_| "bad value")?,
             None => 1.0, // pattern matrices
@@ -374,7 +406,7 @@ mod tests {
         assert_eq!(row_len(0), 3); // corner
         assert_eq!(row_len(1), 4); // edge
         assert_eq!(row_len(5), 5); // interior
-        // Row sums: 0 in the interior (Laplacian), positive at borders.
+                                   // Row sums: 0 in the interior (Laplacian), positive at borders.
         let y = m.multiply(&[1.0; 16]);
         assert_eq!(y[5], 0.0);
         assert!(y[0] > 0.0);
@@ -416,10 +448,10 @@ mod tests {
     fn matrix_market_rejects_garbage() {
         assert!(parse_matrix_market("").is_err());
         assert!(parse_matrix_market("%%MatrixMarket matrix array real general\n2 2\n").is_err());
-        assert!(
-            parse_matrix_market("%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n")
-                .is_err()
-        );
+        assert!(parse_matrix_market(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 1.0\n"
+        )
+        .is_err());
     }
 
     #[test]

@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn hit_after_miss() {
         let mut c = SetAssocCache::new(1024, 2, 32);
-        assert!(matches!(c.access(0, false), AccessResult::Miss { evicted: None }));
+        assert!(matches!(
+            c.access(0, false),
+            AccessResult::Miss { evicted: None }
+        ));
         assert_eq!(c.access(0, false), AccessResult::Hit);
         assert_eq!(c.access(31, false), AccessResult::Hit); // same line
         assert!(matches!(c.access(32, false), AccessResult::Miss { .. }));
@@ -172,7 +175,9 @@ mod tests {
         c.access(a, false); // refresh a; b is now LRU
         let res = c.access(d, false);
         match res {
-            AccessResult::Miss { evicted: Some((line, dirty)) } => {
+            AccessResult::Miss {
+                evicted: Some((line, dirty)),
+            } => {
                 assert_eq!(line, 16);
                 assert!(!dirty);
             }
@@ -190,7 +195,9 @@ mod tests {
         c.access(16 * 32, false);
         let res = c.access(32 * 32, false); // evicts line 0 (LRU, dirty)
         match res {
-            AccessResult::Miss { evicted: Some((0, true)) } => {}
+            AccessResult::Miss {
+                evicted: Some((0, true)),
+            } => {}
             other => panic!("expected dirty eviction of line 0, got {other:?}"),
         }
     }

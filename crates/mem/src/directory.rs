@@ -75,8 +75,16 @@ impl DirectoryTiming {
                     // Local clean copy: no traffic.
                 } else {
                     // Request to home, data back.
-                    legs.push(CoherenceLeg { from: core, to: home, bytes: self.ctrl_bytes });
-                    legs.push(CoherenceLeg { from: home, to: core, bytes: self.line_bytes });
+                    legs.push(CoherenceLeg {
+                        from: core,
+                        to: home,
+                        bytes: self.ctrl_bytes,
+                    });
+                    legs.push(CoherenceLeg {
+                        from: home,
+                        to: core,
+                        bytes: self.line_bytes,
+                    });
                     sharers.push(core);
                 }
             }
@@ -87,18 +95,37 @@ impl DirectoryTiming {
                     // Request to home, forward to owner, owner writes back /
                     // sends data; line downgrades to shared.
                     self.fetches_from_owner += 1;
-                    legs.push(CoherenceLeg { from: core, to: home, bytes: self.ctrl_bytes });
-                    legs.push(CoherenceLeg { from: home, to: *owner, bytes: self.ctrl_bytes });
-                    legs.push(CoherenceLeg { from: *owner, to: core, bytes: self.line_bytes });
+                    legs.push(CoherenceLeg {
+                        from: core,
+                        to: home,
+                        bytes: self.ctrl_bytes,
+                    });
+                    legs.push(CoherenceLeg {
+                        from: home,
+                        to: *owner,
+                        bytes: self.ctrl_bytes,
+                    });
+                    legs.push(CoherenceLeg {
+                        from: *owner,
+                        to: core,
+                        bytes: self.line_bytes,
+                    });
                     let prev = *owner;
-                    self.lines
-                        .insert(line, LineState::Shared(vec![prev, core]));
+                    self.lines.insert(line, LineState::Shared(vec![prev, core]));
                 }
             }
             None => {
                 // Cold miss: fetch from home bank.
-                legs.push(CoherenceLeg { from: core, to: home, bytes: self.ctrl_bytes });
-                legs.push(CoherenceLeg { from: home, to: core, bytes: self.line_bytes });
+                legs.push(CoherenceLeg {
+                    from: core,
+                    to: home,
+                    bytes: self.ctrl_bytes,
+                });
+                legs.push(CoherenceLeg {
+                    from: home,
+                    to: core,
+                    bytes: self.line_bytes,
+                });
                 self.lines.insert(line, LineState::Shared(vec![core]));
             }
         }
@@ -117,29 +144,65 @@ impl DirectoryTiming {
             }
             Some(LineState::Modified(owner)) => {
                 self.fetches_from_owner += 1;
-                legs.push(CoherenceLeg { from: core, to: home, bytes: self.ctrl_bytes });
-                legs.push(CoherenceLeg { from: home, to: owner, bytes: self.ctrl_bytes });
-                legs.push(CoherenceLeg { from: owner, to: core, bytes: self.line_bytes });
+                legs.push(CoherenceLeg {
+                    from: core,
+                    to: home,
+                    bytes: self.ctrl_bytes,
+                });
+                legs.push(CoherenceLeg {
+                    from: home,
+                    to: owner,
+                    bytes: self.ctrl_bytes,
+                });
+                legs.push(CoherenceLeg {
+                    from: owner,
+                    to: core,
+                    bytes: self.line_bytes,
+                });
                 self.lines.insert(line, LineState::Modified(core));
             }
             Some(LineState::Shared(sharers)) => {
-                legs.push(CoherenceLeg { from: core, to: home, bytes: self.ctrl_bytes });
+                legs.push(CoherenceLeg {
+                    from: core,
+                    to: home,
+                    bytes: self.ctrl_bytes,
+                });
                 for s in &sharers {
                     if *s != core {
                         // Invalidate + ack.
                         self.invalidations += 1;
-                        legs.push(CoherenceLeg { from: home, to: *s, bytes: self.ctrl_bytes });
-                        legs.push(CoherenceLeg { from: *s, to: home, bytes: self.ctrl_bytes });
+                        legs.push(CoherenceLeg {
+                            from: home,
+                            to: *s,
+                            bytes: self.ctrl_bytes,
+                        });
+                        legs.push(CoherenceLeg {
+                            from: *s,
+                            to: home,
+                            bytes: self.ctrl_bytes,
+                        });
                     }
                 }
                 if !sharers.contains(&core) {
-                    legs.push(CoherenceLeg { from: home, to: core, bytes: self.line_bytes });
+                    legs.push(CoherenceLeg {
+                        from: home,
+                        to: core,
+                        bytes: self.line_bytes,
+                    });
                 }
                 self.lines.insert(line, LineState::Modified(core));
             }
             None => {
-                legs.push(CoherenceLeg { from: core, to: home, bytes: self.ctrl_bytes });
-                legs.push(CoherenceLeg { from: home, to: core, bytes: self.line_bytes });
+                legs.push(CoherenceLeg {
+                    from: core,
+                    to: home,
+                    bytes: self.ctrl_bytes,
+                });
+                legs.push(CoherenceLeg {
+                    from: home,
+                    to: core,
+                    bytes: self.line_bytes,
+                });
                 self.lines.insert(line, LineState::Modified(core));
             }
         }

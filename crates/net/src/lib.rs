@@ -161,9 +161,13 @@ impl NetworkModel {
                 let ser = serialization_delay(size_bytes, props.bandwidth_bytes_per_cycle);
                 let per_hop =
                     self.params.routing_penalty + self.params.per_chunk_time.scaled(chunks);
-                t = self
-                    .traffic
-                    .traverse(link_id, t, ser, props.latency + per_hop, &mut self.stats);
+                t = self.traffic.traverse(
+                    link_id,
+                    t,
+                    ser,
+                    props.latency + per_hop,
+                    &mut self.stats,
+                );
                 cur = props.dst;
                 hops += 1;
             }
@@ -248,7 +252,13 @@ mod tests {
     #[test]
     fn self_message_is_free() {
         let mut m = model();
-        let e = m.send(CoreId(3), CoreId(3), 64, VirtualTime::from_cycles(5), payload());
+        let e = m.send(
+            CoreId(3),
+            CoreId(3),
+            64,
+            VirtualTime::from_cycles(5),
+            payload(),
+        );
         assert_eq!(e.arrival, VirtualTime::from_cycles(5));
     }
 

@@ -6,8 +6,8 @@
 //! `simany-runtime`). The envelope carries everything the simulator itself
 //! needs: endpoints, virtual timestamps, size and ordering information.
 
-use simany_topology::CoreId;
 use simany_time::VirtualTime;
+use simany_topology::CoreId;
 use std::any::Any;
 use std::fmt;
 

@@ -183,8 +183,8 @@ impl RuntimeHooks for TaskRuntime {
                 // task would wait behind queued work and a neighbor looks
                 // idle, pass it along instead of enqueueing.
                 const MAX_MIGRATION_HOPS: u32 = 16;
-                let busy = ops.current_activity(me).is_some()
-                    || !st.cores[me.index()].queue.is_empty();
+                let busy =
+                    ops.current_activity(me).is_some() || !st.cores[me.index()].queue.is_empty();
                 if busy && hops < MAX_MIGRATION_HOPS {
                     let target = ops
                         .neighbors(me)
@@ -448,5 +448,4 @@ impl TaskRuntime {
         );
         crate::state::CellId(id)
     }
-
 }

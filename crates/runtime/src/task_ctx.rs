@@ -124,28 +124,24 @@ impl<'a> TaskCtx<'a> {
                 crate::params::SpawnPolicy::LeastLoaded => neighbors
                     .iter()
                     .copied()
-                    .min_by_key(|n| {
-                        (*st.cores[me.index()].proxy.get(n).unwrap_or(&0), n.0)
-                    }),
+                    .min_by_key(|n| (*st.cores[me.index()].proxy.get(n).unwrap_or(&0), n.0)),
                 crate::params::SpawnPolicy::RoundRobin => {
                     let cur = st.spawn_cursor[me.index()] as usize % neighbors.len();
                     st.spawn_cursor[me.index()] += 1;
                     Some(neighbors[cur])
                 }
-                crate::params::SpawnPolicy::FavorFast => neighbors
-                    .iter()
-                    .copied()
-                    .min_by_key(|n| {
+                crate::params::SpawnPolicy::FavorFast => {
+                    neighbors.iter().copied().min_by_key(|n| {
                         let occ = *st.cores[me.index()].proxy.get(n).unwrap_or(&0);
                         let speed = ops.speed(*n);
                         // Effective load: queue length divided by speed —
                         // compare occ * den/num via cross-multiplied key.
                         (
-                            u64::from(occ + 1) * u64::from(speed.den) * 1000
-                                / u64::from(speed.num),
+                            u64::from(occ + 1) * u64::from(speed.den) * 1000 / u64::from(speed.num),
                             n.0,
                         )
-                    }),
+                    })
+                }
             }?;
             // Only probe when the proxy suggests a free slot.
             let believed = *st.cores[me.index()].proxy.get(&pick).unwrap_or(&0);
@@ -196,10 +192,7 @@ impl<'a> TaskCtx<'a> {
         self.ec.with_ops(|ops| {
             if let Some(g) = group {
                 let mut st = rt.st.lock();
-                st.groups
-                    .get_mut(&g.0)
-                    .expect("unknown group")
-                    .active += 1;
+                st.groups.get_mut(&g.0).expect("unknown group").active += 1;
                 st.stats.spawns += 1;
             } else {
                 rt.st.lock().stats.spawns += 1;

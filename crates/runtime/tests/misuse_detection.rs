@@ -4,10 +4,7 @@
 use simany_runtime::{run_program, CellId, GroupId, LockId, ProgramSpec, SimError, TaskCtx};
 use simany_topology::mesh_2d;
 
-fn expect_panic_containing(
-    what: &str,
-    body: impl FnOnce(&mut TaskCtx<'_>) + Send + 'static,
-) {
+fn expect_panic_containing(what: &str, body: impl FnOnce(&mut TaskCtx<'_>) + Send + 'static) {
     let err = run_program(ProgramSpec::new(mesh_2d(4)), body).unwrap_err();
     let msg = format!("{err}");
     assert!(

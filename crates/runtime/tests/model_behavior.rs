@@ -2,9 +2,7 @@
 //! groups/joins, distributed cells, locks and memory timing.
 
 use parking_lot::Mutex;
-use simany_runtime::{
-    run_program, MemoryArch, ProgramSpec, RuntimeParams, SpawnPolicy, TaskCtx,
-};
+use simany_runtime::{run_program, MemoryArch, ProgramSpec, RuntimeParams, SpawnPolicy, TaskCtx};
 use simany_topology::{mesh_2d, Topology};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -325,7 +323,11 @@ fn deterministic_program_runs() {
             let g = tc.make_group();
             for _ in 0..10 {
                 tc.spawn_or_run(g, |tc: &mut TaskCtx<'_>| {
-                    tc.compute(&simany_runtime::BlockCost::new().int_alu(100).cond_branches(20));
+                    tc.compute(
+                        &simany_runtime::BlockCost::new()
+                            .int_alu(100)
+                            .cond_branches(20),
+                    );
                 });
             }
             tc.join(g);

@@ -21,10 +21,8 @@ fn tree_strategy(depth: u32) -> BoxedStrategy<TreeShape> {
         children: Vec::new(),
     });
     leaf.prop_recursive(depth, 24, 3, |inner| {
-        ((1u64..200), prop::collection::vec(inner, 0..3)).prop_map(|(work, children)| TreeShape {
-            work,
-            children,
-        })
+        ((1u64..200), prop::collection::vec(inner, 0..3))
+            .prop_map(|(work, children)| TreeShape { work, children })
     })
     .boxed()
 }

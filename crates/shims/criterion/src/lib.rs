@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of the `criterion` benchmark harness
+//! this workspace uses.
+//!
+//! The build environment has no crates.io access, so the workspace resolves
+//! `criterion` to this crate. It keeps the bench-authoring API
+//! (`criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! `benchmark_group`, `Bencher::iter`/`iter_batched`, `BatchSize`) and runs
+//! each benchmark with a fixed-iteration timing loop, printing mean
+//! wall-clock per iteration. There are no statistics, warm-up calibration,
+//! or HTML reports — this is a smoke-and-measure harness, not criterion.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// How per-iteration setup values are batched (only `PerIteration` is used
+/// by this workspace; all variants behave identically here).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup value for every routine invocation.
+    PerIteration,
+    /// Small batches (treated as `PerIteration`).
+    SmallInput,
+    /// Large batches (treated as `PerIteration`).
+    LargeInput,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `routine`, called `iters` times back-to-back.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Time `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total;
+    }
+}
+
+fn run_one(label: &str, sample_size: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    // One untimed call to warm caches, then the measured loop.
+    let mut warm = Bencher {
+        iters: 1,
+        elapsed_ns: 0,
+    };
+    f(&mut warm);
+    let mut b = Bencher {
+        iters: sample_size,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed_ns / u128::from(b.iters.max(1));
+    println!(
+        "bench {label:<48} {per_iter:>12} ns/iter ({} iters)",
+        b.iters
+    );
+}
+
+/// Top-level benchmark registry (the `c: &mut Criterion` argument).
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, self.sample_size, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the measured iteration count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Register and immediately run a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        $crate::criterion_group!($name, $($target),+);
+    };
+}
+
+/// Generate `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` runs bench targets with `--test`; only measure
+            // under `cargo bench` (which passes `--bench`).
+            let bench_mode = std::env::args().any(|a| a == "--bench");
+            if !bench_mode {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| count += 1));
+        assert!(count >= 10);
+    }
+
+    #[test]
+    fn group_batched_runs_setup_per_iter() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4);
+        let mut setups = 0u64;
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |v| v * 2,
+                BatchSize::PerIteration,
+            )
+        });
+        g.finish();
+        assert!(setups >= 4);
+    }
+}

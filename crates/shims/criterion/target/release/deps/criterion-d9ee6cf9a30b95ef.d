@@ -1,0 +1,7 @@
+/root/repo/crates/shims/criterion/target/release/deps/criterion-d9ee6cf9a30b95ef.d: src/lib.rs
+
+/root/repo/crates/shims/criterion/target/release/deps/libcriterion-d9ee6cf9a30b95ef.rlib: src/lib.rs
+
+/root/repo/crates/shims/criterion/target/release/deps/libcriterion-d9ee6cf9a30b95ef.rmeta: src/lib.rs
+
+src/lib.rs:

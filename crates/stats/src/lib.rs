@@ -195,7 +195,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.header
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for r in &self.rows {
             let _ = writeln!(out, "| {} |", r.join(" | "));
@@ -221,7 +225,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for r in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(r, &widths));
         }
@@ -238,7 +246,11 @@ impl Table {
                 s.clone()
             }
         };
-        let _ = writeln!(out, "{}", self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        let _ = writeln!(
+            out,
+            "{}",
+            self.header.iter().map(esc).collect::<Vec<_>>().join(",")
+        );
         for r in &self.rows {
             let _ = writeln!(out, "{}", r.iter().map(esc).collect::<Vec<_>>().join(","));
         }
@@ -308,10 +320,12 @@ mod tests {
 
     #[test]
     fn power_law_recovers_square() {
-        let pts: Vec<(f64, f64)> = (1..=6).map(|i| {
-            let x = (1u64 << i) as f64;
-            (x, 3.0 * x * x)
-        }).collect();
+        let pts: Vec<(f64, f64)> = (1..=6)
+            .map(|i| {
+                let x = (1u64 << i) as f64;
+                (x, 3.0 * x * x)
+            })
+            .collect();
         let (a, b) = power_law_fit(&pts);
         assert!((b - 2.0).abs() < 1e-9, "exponent {b}");
         assert!((a - 3.0).abs() < 1e-6, "coefficient {a}");

@@ -263,9 +263,8 @@ impl CoreSpeed {
     #[inline]
     pub fn scale_cycles(self, base_cycles: u64) -> VDuration {
         // ticks = cycles * TICKS_PER_CYCLE * den / num, rounded up.
-        let ticks_num = base_cycles as u128
-            * crate::vtime::TICKS_PER_CYCLE as u128
-            * self.den as u128;
+        let ticks_num =
+            base_cycles as u128 * crate::vtime::TICKS_PER_CYCLE as u128 * self.den as u128;
         let ticks = ticks_num.div_ceil(self.num as u128);
         VDuration(u64::try_from(ticks).expect("scaled duration overflow"))
     }
@@ -348,10 +347,7 @@ mod tests {
         // On a 1.5x core: 100 * 2/3 = 66.66.. cycles = 133.33.. ticks -> 134.
         assert_eq!(CoreSpeed::THREE_HALVES.scale_cycles(100).ticks(), 134);
         // Base core is identity.
-        assert_eq!(
-            CoreSpeed::BASE.scale_cycles(77),
-            VDuration::from_cycles(77)
-        );
+        assert_eq!(CoreSpeed::BASE.scale_cycles(77), VDuration::from_cycles(77));
     }
 
     #[test]

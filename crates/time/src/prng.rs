@@ -209,7 +209,10 @@ mod tests {
     fn chance_rate_roughly_matches() {
         let mut rng = Xoshiro256StarStar::seeded(13);
         let hits = (0..10_000).filter(|_| rng.chance(0.9)).count();
-        assert!((8800..=9200).contains(&hits), "90% chance gave {hits}/10000");
+        assert!(
+            (8800..=9200).contains(&hits),
+            "90% chance gave {hits}/10000"
+        );
     }
 
     #[test]

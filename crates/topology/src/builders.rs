@@ -210,8 +210,11 @@ impl ClusterParams {
 /// `inter_latency`. This preserves the paper's setup: same core count and
 /// mesh shape as the uniform machine, only link latencies change.
 pub fn clustered_mesh(n: u32, params: ClusterParams) -> Topology {
-    assert!(params.n_clusters > 0 && n.is_multiple_of(params.n_clusters),
-        "cluster count {} must divide core count {n}", params.n_clusters);
+    assert!(
+        params.n_clusters > 0 && n.is_multiple_of(params.n_clusters),
+        "cluster count {} must divide core count {n}",
+        params.n_clusters
+    );
     let (w, h) = mesh_dims(n);
     let (cw, ch) = mesh_dims(params.n_clusters);
     assert!(

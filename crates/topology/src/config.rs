@@ -113,9 +113,7 @@ pub fn parse_topology(text: &str) -> Result<Topology, ConfigError> {
                     match k {
                         "latency" => default_latency = parse_latency(v, lineno)?,
                         "bandwidth" => {
-                            default_bw = v
-                                .parse()
-                                .map_err(|_| err(lineno, "invalid bandwidth"))?;
+                            default_bw = v.parse().map_err(|_| err(lineno, "invalid bandwidth"))?;
                             if default_bw == 0 {
                                 return Err(err(lineno, "bandwidth must be non-zero"));
                             }
@@ -125,8 +123,7 @@ pub fn parse_topology(text: &str) -> Result<Topology, ConfigError> {
                 }
             }
             "matrix" => {
-                let n =
-                    n_cores.ok_or_else(|| err(lineno, "'matrix' before 'cores'"))? as usize;
+                let n = n_cores.ok_or_else(|| err(lineno, "'matrix' before 'cores'"))? as usize;
                 let t = topo.as_mut().unwrap();
                 for row in 0..n {
                     let (ridx, raw_row) = lines
@@ -261,8 +258,7 @@ pub fn format_topology(topo: &Topology) -> String {
         let _ = writeln!(out, "{}", row.join(" "));
     }
     for l in topo.links() {
-        if l.src < l.dst
-            && (l.latency.ticks() != def_lat || l.bandwidth_bytes_per_cycle != def_bw)
+        if l.src < l.dst && (l.latency.ticks() != def_lat || l.bandwidth_bytes_per_cycle != def_bw)
         {
             let _ = writeln!(
                 out,
@@ -353,7 +349,10 @@ link 0 2 latency=0.5 bandwidth=256
     fn error_cases() {
         assert!(parse_topology("").unwrap_err().message.contains("cores"));
         assert!(parse_topology("cores 0").is_err());
-        assert!(parse_topology("matrix").unwrap_err().message.contains("before"));
+        assert!(parse_topology("matrix")
+            .unwrap_err()
+            .message
+            .contains("before"));
         assert!(parse_topology("cores 2\nmatrix\n0 1\n").is_err()); // truncated
         assert!(parse_topology("cores 2\nmatrix\n0 2\n2 0\n").is_err()); // bad entry
         assert!(parse_topology("cores 2\nmatrix\n1 1\n1 1\n").is_err()); // diagonal

@@ -142,7 +142,9 @@ impl Topology {
 
     /// True iff `a` and `b` are directly connected.
     pub fn are_neighbors(&self, a: CoreId, b: CoreId) -> bool {
-        self.adj[a.index()].binary_search_by_key(&b, |&(n, _)| n).is_ok()
+        self.adj[a.index()]
+            .binary_search_by_key(&b, |&(n, _)| n)
+            .is_ok()
     }
 
     /// The directed link from `a` to `b`, if any.
@@ -163,7 +165,10 @@ impl Topology {
         bandwidth: u32,
     ) -> LinkId {
         assert!(src != dst, "self-loop link {src}");
-        assert!(src.0 < self.n_cores && dst.0 < self.n_cores, "core out of range");
+        assert!(
+            src.0 < self.n_cores && dst.0 < self.n_cores,
+            "core out of range"
+        );
         assert!(bandwidth > 0, "link bandwidth must be non-zero");
         assert!(
             !self.are_neighbors(src, dst),

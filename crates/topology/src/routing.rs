@@ -84,9 +84,7 @@ impl RoutingTable {
         let mut out = Vec::with_capacity(self.path_hops(src, dst) as usize);
         let mut cur = src;
         while cur != dst {
-            let link = self
-                .next_link(cur, dst)
-                .expect("route must make progress");
+            let link = self.next_link(cur, dst).expect("route must make progress");
             out.push(link);
             cur = topo.link(link).dst;
         }
@@ -164,7 +162,10 @@ mod tests {
         let rt = RoutingTable::build(&topo);
         // Opposite corners: 3+3 hops, 6 cycles at 1 cy/link.
         assert_eq!(rt.path_hops(CoreId(0), CoreId(15)), 6);
-        assert_eq!(rt.path_latency(CoreId(0), CoreId(15)), VDuration::from_cycles(6));
+        assert_eq!(
+            rt.path_latency(CoreId(0), CoreId(15)),
+            VDuration::from_cycles(6)
+        );
         assert_eq!(rt.path_hops(CoreId(5), CoreId(5)), 0);
         assert!(rt.next_link(CoreId(5), CoreId(5)).is_none());
     }

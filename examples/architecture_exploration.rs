@@ -24,17 +24,42 @@ fn main() {
     let n = 64;
     let seed = 42;
 
-    println!("exploring {} on {n}-core machines (scale {:.2})\n", kernel.name(), scale.0);
+    println!(
+        "exploring {} on {n}-core machines (scale {:.2})\n",
+        kernel.name(),
+        scale.0
+    );
     let machines: Vec<(&str, simany::runtime::ProgramSpec)> = vec![
         ("uniform mesh, shared memory", presets::uniform_mesh_sm(n)),
-        ("uniform mesh, distributed memory", presets::uniform_mesh_dm(n)),
-        ("clustered (4), distributed memory", presets::clustered_dm(n, 4)),
-        ("clustered (8), distributed memory", presets::clustered_dm(n, 8)),
-        ("polymorphic mesh, shared memory", presets::polymorphic_sm(n)),
-        ("polymorphic mesh, distributed memory", presets::polymorphic_dm(n)),
+        (
+            "uniform mesh, distributed memory",
+            presets::uniform_mesh_dm(n),
+        ),
+        (
+            "clustered (4), distributed memory",
+            presets::clustered_dm(n, 4),
+        ),
+        (
+            "clustered (8), distributed memory",
+            presets::clustered_dm(n, 8),
+        ),
+        (
+            "polymorphic mesh, shared memory",
+            presets::polymorphic_sm(n),
+        ),
+        (
+            "polymorphic mesh, distributed memory",
+            presets::polymorphic_dm(n),
+        ),
     ];
 
-    let mut table = Table::new(&["machine", "virtual cycles", "messages", "stalls", "verified"]);
+    let mut table = Table::new(&[
+        "machine",
+        "virtual cycles",
+        "messages",
+        "stalls",
+        "verified",
+    ]);
     for (name, spec) in machines {
         let r = kernel
             .run_sim(spec, scale, seed)
@@ -44,7 +69,11 @@ fn main() {
             r.cycles().to_string(),
             r.out.stats.net.messages.to_string(),
             r.out.stats.stall_events.to_string(),
-            if r.verified { "yes".into() } else { "NO".into() },
+            if r.verified {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
         ]);
     }
     println!("{}", table.to_text());

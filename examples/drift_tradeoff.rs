@@ -21,13 +21,7 @@ fn main() {
         .run_sim(presets::uniform_mesh_sm(n), scale, seed)
         .expect("baseline run failed");
 
-    let mut table = Table::new(&[
-        "T (cycles)",
-        "virtual cycles",
-        "vs T=100",
-        "stalls",
-        "wall",
-    ]);
+    let mut table = Table::new(&["T (cycles)", "virtual cycles", "vs T=100", "stalls", "wall"]);
     for t in [50u64, 100, 500, 1000] {
         let spec = presets::with_drift(presets::uniform_mesh_sm(n), t);
         let r = kernel.run_sim(spec, scale, seed).expect("run failed");

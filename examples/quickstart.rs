@@ -12,7 +12,13 @@ use std::sync::Arc;
 /// spawning one half to a neighbor core at each level (the idiomatic
 /// divide-and-conquer shape for the probe/spawn model — a flat fan-out
 /// from one core would bottleneck on that core's neighborhood).
-fn fan_out(tc: &mut TaskCtx<'_>, lo: u64, hi: u64, group: simany::runtime::GroupId, done: Arc<AtomicU64>) {
+fn fan_out(
+    tc: &mut TaskCtx<'_>,
+    lo: u64,
+    hi: u64,
+    group: simany::runtime::GroupId,
+    done: Arc<AtomicU64>,
+) {
     if hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         let done2 = Arc::clone(&done);

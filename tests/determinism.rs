@@ -1,0 +1,137 @@
+//! Determinism regression tests: the engine must be a pure function of
+//! (program, configuration, seed). Two runs of the same seeded workload
+//! must agree on every observable counter, for every synchronization
+//! policy — and the drift-headroom fast path must be bit-exact with the
+//! always-full synchronization path.
+
+use simany::core::{SimStats, SyncPolicy, VDuration};
+use simany::kernels::{kernel_by_name, Scale};
+use simany::presets;
+
+/// The counters a behavioral divergence would show up in.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    final_vtime_cycles: u64,
+    stall_events: u64,
+    late_messages: u64,
+    on_time_messages: u64,
+    scheduler_picks: u64,
+    activities_started: u64,
+    net_messages: u64,
+    net_bytes: u64,
+}
+
+impl Fingerprint {
+    fn of(stats: &SimStats) -> Self {
+        Fingerprint {
+            final_vtime_cycles: stats.final_vtime.cycles(),
+            stall_events: stats.stall_events,
+            late_messages: stats.late_messages,
+            on_time_messages: stats.on_time_messages,
+            scheduler_picks: stats.scheduler_picks,
+            activities_started: stats.activities_started,
+            net_messages: stats.net.messages,
+            net_bytes: stats.net.bytes,
+        }
+    }
+}
+
+fn run(policy: SyncPolicy, fast_path: bool) -> Fingerprint {
+    let mut spec = presets::uniform_mesh_sm(16);
+    spec.engine.sync = policy;
+    spec.engine.fast_path = fast_path;
+    let kernel = kernel_by_name("Quicksort").unwrap();
+    let res = kernel
+        .run_sim(spec, Scale(0.1), 42)
+        .expect("simulation failed");
+    assert!(res.verified, "kernel output verification failed");
+    Fingerprint::of(&res.out.stats)
+}
+
+fn all_policies() -> Vec<(&'static str, SyncPolicy)> {
+    vec![
+        (
+            "spatial",
+            SyncPolicy::Spatial {
+                t: VDuration::from_cycles(100),
+            },
+        ),
+        (
+            "bounded_slack",
+            SyncPolicy::BoundedSlack {
+                window: VDuration::from_cycles(100),
+            },
+        ),
+        (
+            "random_referee",
+            SyncPolicy::RandomReferee {
+                slack: VDuration::from_cycles(100),
+            },
+        ),
+        ("conservative", SyncPolicy::Conservative),
+        ("unbounded", SyncPolicy::Unbounded),
+    ]
+}
+
+/// Same seed, same config — identical counters, under every policy.
+#[test]
+fn repeated_runs_are_identical_per_policy() {
+    for (name, policy) in all_policies() {
+        let a = run(policy, true);
+        let b = run(policy, true);
+        assert_eq!(a, b, "policy {name}: two identical runs diverged");
+    }
+}
+
+/// The fast path is an optimization, not a semantic change: disabling it
+/// must not alter any observable counter, under every policy.
+#[test]
+fn fast_path_is_bit_exact() {
+    for (name, policy) in all_policies() {
+        let on = run(policy, true);
+        let off = run(policy, false);
+        assert_eq!(
+            on, off,
+            "policy {name}: fast path changed observable behavior"
+        );
+    }
+}
+
+/// The fast path actually fires on an annotation-dense spatial workload,
+/// and while it fires the publish machinery stays quiet: deferred
+/// annotations do no sweep work at all.
+#[test]
+fn fast_path_fires_and_skips_sweeps() {
+    let mut spec = presets::uniform_mesh_sm(16);
+    spec.engine.sync = SyncPolicy::Spatial {
+        t: VDuration::from_cycles(1000),
+    };
+    let kernel = kernel_by_name("Quicksort").unwrap();
+
+    spec.engine.fast_path = true;
+    let on = kernel.run_sim(spec.clone(), Scale(0.1), 42).unwrap();
+    spec.engine.fast_path = false;
+    let off = kernel.run_sim(spec, Scale(0.1), 42).unwrap();
+
+    let s_on = &on.out.stats;
+    let s_off = &off.out.stats;
+    assert!(
+        s_on.fast_path_advances > 0,
+        "fast path never fired on an annotation-dense workload"
+    );
+    assert_eq!(
+        s_off.fast_path_advances, 0,
+        "fast path fired while disabled"
+    );
+    // Every annotation the fast path absorbed is a publish that never ran:
+    // with a generous drift window the full path publishes (sweeps) on
+    // nearly every annotation, the fast path on almost none.
+    assert!(
+        s_on.publish_sweeps < s_off.publish_sweeps,
+        "deferral did not reduce publish sweeps ({} vs {})",
+        s_on.publish_sweeps,
+        s_off.publish_sweeps
+    );
+    // And the result is still the same.
+    assert_eq!(Fingerprint::of(s_on), Fingerprint::of(s_off));
+}

@@ -66,8 +66,12 @@ fn polymorphic_machine_matches_uniform_aggregate_roughly() {
     // Equal aggregate computing power: a compute-bound kernel should land
     // within ~2x of the uniform machine's completion time.
     let k = simany::kernels::kernel_by_name("SpMxV").unwrap();
-    let uni = k.run_sim(presets::uniform_mesh_sm(16), Scale(0.2), 5).unwrap();
-    let poly = k.run_sim(presets::polymorphic_sm(16), Scale(0.2), 5).unwrap();
+    let uni = k
+        .run_sim(presets::uniform_mesh_sm(16), Scale(0.2), 5)
+        .unwrap();
+    let poly = k
+        .run_sim(presets::polymorphic_sm(16), Scale(0.2), 5)
+        .unwrap();
     let ratio = poly.cycles() as f64 / uni.cycles() as f64;
     assert!(
         (0.5..2.5).contains(&ratio),
@@ -99,7 +103,10 @@ link 0 1 latency=0.5
         tc.join(g);
     })
     .unwrap();
-    assert!(out.vtime_cycles() < 2000, "no parallelism on custom topology");
+    assert!(
+        out.vtime_cycles() < 2000,
+        "no parallelism on custom topology"
+    );
 }
 
 #[test]
@@ -117,7 +124,11 @@ fn drift_parameter_trades_stalls_for_speed() {
     // Larger T => fewer synchronization stalls (the Fig. 10/11 mechanism).
     let k = simany::kernels::kernel_by_name("Quicksort").unwrap();
     let tight = k
-        .run_sim(presets::with_drift(presets::uniform_mesh_sm(16), 50), SMALL, 3)
+        .run_sim(
+            presets::with_drift(presets::uniform_mesh_sm(16), 50),
+            SMALL,
+            3,
+        )
         .unwrap();
     let loose = k
         .run_sim(

@@ -83,8 +83,7 @@ fn fig2_non_connected_sets_stay_coupled() {
             let my_core = ctx.core();
             for _ in 0..300 {
                 ctx.advance_cycles(7);
-                let (me, them) =
-                    ctx.with_ops(|ops| (ops.now(my_core), ops.now(CoreId(other))));
+                let (me, them) = ctx.with_ops(|ops| (ops.now(my_core), ops.now(CoreId(other))));
                 let drift = me.ticks().abs_diff(them.ticks());
                 max_seen.fetch_max(drift, Ordering::SeqCst);
             }
@@ -112,8 +111,7 @@ fn fig2_non_connected_sets_stay_coupled() {
     .unwrap();
     // Global bound: diameter × T (+ one step of slack per the check
     // granularity). Diameter of the 6-path = 5 hops.
-    let bound =
-        VDuration::from_cycles(u64::from(n - 1) * t_cycles + 7).ticks();
+    let bound = VDuration::from_cycles(u64::from(n - 1) * t_cycles + 7).ticks();
     let seen = max_seen.load(Ordering::SeqCst);
     assert!(
         seen <= bound,
