@@ -28,6 +28,12 @@ struct Args {
     trace: bool,
     fast_path: bool,
     json: Option<String>,
+    link_fail_prob: f64,
+    repair_after: Option<u64>,
+    drop_prob: f64,
+    corrupt_prob: f64,
+    core_fail_prob: f64,
+    fault_horizon: Option<u64>,
 }
 
 impl Default for Args {
@@ -45,6 +51,12 @@ impl Default for Args {
             trace: false,
             fast_path: true,
             json: None,
+            link_fail_prob: 0.0,
+            repair_after: None,
+            drop_prob: 0.0,
+            corrupt_prob: 0.0,
+            core_fail_prob: 0.0,
+            fault_horizon: None,
         }
     }
 }
@@ -65,6 +77,14 @@ options:
   --trace             collect and print an event timeline
   --fast-path on|off  drift-headroom fast path (default on; bit-exact)
   --json FILE         also write wall-clock + counters as JSON to FILE
+
+fault injection (sampled deterministically from --seed; all default off):
+  --link-fail-prob F  probability each physical link pair fails
+  --repair-after T    repair failed links after T cycles (default: permanent)
+  --drop-prob F       per-link message drop probability
+  --corrupt-prob F    per-link message corruption probability
+  --core-fail-prob F  probability each core (except core 0) fails
+  --fault-horizon T   window in cycles for sampled failure instants
 ";
 
 fn parse_args() -> Args {
@@ -102,6 +122,12 @@ fn parse_args() -> Args {
                 }
             }
             "--json" => args.json = Some(val()),
+            "--link-fail-prob" => args.link_fail_prob = val().parse().expect("--link-fail-prob"),
+            "--repair-after" => args.repair_after = Some(val().parse().expect("--repair-after")),
+            "--drop-prob" => args.drop_prob = val().parse().expect("--drop-prob"),
+            "--corrupt-prob" => args.corrupt_prob = val().parse().expect("--corrupt-prob"),
+            "--core-fail-prob" => args.core_fail_prob = val().parse().expect("--core-fail-prob"),
+            "--fault-horizon" => args.fault_horizon = Some(val().parse().expect("--fault-horizon")),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -159,6 +185,25 @@ fn build_spec(args: &Args) -> ProgramSpec {
         .engine
         .with_seed(args.seed)
         .with_fast_path(args.fast_path);
+    let faults_requested = args.link_fail_prob > 0.0
+        || args.drop_prob > 0.0
+        || args.corrupt_prob > 0.0
+        || args.core_fail_prob > 0.0;
+    if faults_requested {
+        let mut cfg = FaultConfig {
+            link_fail_prob: args.link_fail_prob,
+            repair_after: args.repair_after.map(VDuration::from_cycles),
+            drop_prob: args.drop_prob,
+            corrupt_prob: args.corrupt_prob,
+            core_fail_prob: args.core_fail_prob,
+            ..FaultConfig::default()
+        };
+        if let Some(h) = args.fault_horizon {
+            cfg.horizon = VirtualTime::from_cycles(h);
+        }
+        let plan = FaultPlan::sample(&spec.topo, &cfg, args.seed);
+        spec.engine = spec.engine.with_fault_plan(std::sync::Arc::new(plan));
+    }
     spec
 }
 
@@ -167,7 +212,7 @@ fn build_spec(args: &Args) -> ProgramSpec {
 fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
     let s = &r.out.stats;
     let json = format!(
-        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {}\n}}\n",
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {}\n}}\n",
         args.kernel,
         args.cores,
         args.machine,
@@ -190,6 +235,11 @@ fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
         s.full_sync_checks,
         s.publish_sweeps,
         s.floor_recomputes,
+        s.msgs_dropped,
+        s.msg_retries,
+        s.reroutes,
+        s.link_faults,
+        s.core_failures,
     );
     std::fs::write(path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
@@ -260,6 +310,17 @@ fn main() {
         r.out.stats.fast_path_advances, r.out.stats.full_sync_checks
     );
     println!("core utilization  : {:.2}", r.out.stats.utilization());
+    let s = &r.out.stats;
+    if s.link_faults + s.core_failures + s.msgs_dropped + s.msg_retries + s.reroutes > 0 {
+        println!(
+            "faults            : {} link faults, {} core failures, {} partitions",
+            s.link_faults, s.core_failures, s.partitions_observed
+        );
+        println!(
+            "drops / retries   : {} / {}  (reroutes {})",
+            s.msgs_dropped, s.msg_retries, s.reroutes
+        );
+    }
 
     if let Some(path) = &args.json {
         write_json(path, &args, &r);

@@ -839,6 +839,120 @@ pub fn fastpath_benchmark(opts: &Options) -> String {
     )
 }
 
+/// PR 2 acceptance benchmark: resilience under a seeded fault plan. Runs
+/// Quicksort on a 256-core mesh, clean and with a `FaultPlan::sample`d
+/// plan (link failures with repair, message drops, core failures), runs
+/// the faulty configuration twice to prove determinism, and dumps wall
+/// time plus the drop/retry/reroute counters to `BENCH_PR2.json`.
+pub fn faults_benchmark(opts: &Options) -> String {
+    use simany::fault::{FaultConfig, FaultPlan};
+    use simany::prelude::{VDuration, VirtualTime};
+
+    let n = 256u32;
+    let cfg = FaultConfig {
+        link_fail_prob: 0.15,
+        repair_after: Some(VDuration::from_cycles(40_000)),
+        drop_prob: 0.01,
+        core_fail_prob: 0.03,
+        horizon: VirtualTime::from_cycles(100_000),
+        ..FaultConfig::default()
+    };
+    let kernel = simany::kernels::kernel_by_name("Quicksort").expect("kernel");
+    let run = |faulty: bool| {
+        let mut spec = presets::uniform_mesh_sm(n);
+        spec.engine = spec.engine.with_seed(opts.seed);
+        if faulty {
+            let plan = FaultPlan::sample(&spec.topo, &cfg, opts.seed);
+            spec.engine = spec.engine.with_fault_plan(std::sync::Arc::new(plan));
+        }
+        kernel
+            .run_sim(spec, opts.scale, opts.seed)
+            .expect("faults benchmark run failed")
+    };
+
+    let clean = run(false);
+    let r1 = run(true);
+    let r2 = run(true);
+    assert_eq!(
+        r1.cycles(),
+        r2.cycles(),
+        "same seed + same fault plan must reproduce the same virtual time"
+    );
+    assert_eq!(
+        (
+            r1.out.stats.msgs_dropped,
+            r1.out.stats.msg_retries,
+            r1.out.stats.reroutes,
+            r1.out.stats.net.messages,
+        ),
+        (
+            r2.out.stats.msgs_dropped,
+            r2.out.stats.msg_retries,
+            r2.out.stats.reroutes,
+            r2.out.stats.net.messages,
+        ),
+        "same seed + same fault plan must reproduce the same counters"
+    );
+    assert!(r1.verified, "workload must still verify under faults");
+
+    let s = &r1.out.stats;
+    let json = format!(
+        "{{\n  \"bench\": \"faults_quicksort\",\n  \"cores\": {n},\n  \"scale\": {},\n  \"seed\": {},\n  \"wall_ns_faulty\": {},\n  \"wall_ns_clean\": {},\n  \"final_vtime_faulty\": {},\n  \"final_vtime_clean\": {},\n  \"verified\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"partitions_observed\": {},\n  \"send_retries\": {},\n  \"send_failures\": {},\n  \"fault_local_runs\": {},\n  \"messages\": {}\n}}\n",
+        opts.scale.0,
+        opts.seed,
+        s.wall.as_nanos(),
+        clean.out.stats.wall.as_nanos(),
+        r1.cycles(),
+        clean.cycles(),
+        r1.verified,
+        s.msgs_dropped,
+        s.msg_retries,
+        s.reroutes,
+        s.link_faults,
+        s.core_failures,
+        s.partitions_observed,
+        r1.out.rt.send_retries,
+        r1.out.rt.send_failures,
+        r1.out.rt.fault_local_runs,
+        s.net.messages,
+    );
+    std::fs::write("BENCH_PR2.json", &json).expect("cannot write BENCH_PR2.json");
+
+    let mut t = Table::new(&[
+        "config",
+        "virtual time",
+        "wall",
+        "drops",
+        "retries",
+        "reroutes",
+    ]);
+    t.row(vec![
+        "clean".into(),
+        clean.cycles().to_string(),
+        format!("{:?}", clean.out.stats.wall),
+        "0".into(),
+        "0".into(),
+        "0".into(),
+    ]);
+    t.row(vec![
+        "faulty (seeded plan)".into(),
+        r1.cycles().to_string(),
+        format!("{:?}", s.wall),
+        s.msgs_dropped.to_string(),
+        s.msg_retries.to_string(),
+        s.reroutes.to_string(),
+    ]);
+    format!(
+        "### Fault-injection benchmark (PR 2) — results written to BENCH_PR2.json\n\n\
+         Quicksort, {n}-core mesh, seeded fault plan ({} link faults, {} core \
+         failures, {} partitions observed); two faulty runs were bit-identical.\n\n{}",
+        s.link_faults,
+        s.core_failures,
+        s.partitions_observed,
+        t.to_markdown()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,6 +100,10 @@ pub struct EngineConfig {
     /// cores verifying these conditions to keep all cores of current
     /// multi-core host machines busy."
     pub parallelism_sample_every: u64,
+    /// Optional fault plan (link failures, message drops/delays/corruption,
+    /// core failures). `None` — and an empty plan — are bit-identical to a
+    /// perfect machine. Shared with the network model via `Arc`.
+    pub fault: Option<std::sync::Arc<simany_fault::FaultPlan>>,
     /// Enable the drift-headroom fast path for spatial synchronization:
     /// timing annotations that stay within the cached `local_floor + T`
     /// bound (and have no due messages) skip the publish sweep and policy
@@ -121,6 +125,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("worker_stack_bytes", &self.worker_stack_bytes)
             .field("max_live_activities", &self.max_live_activities)
             .field("tracer", &self.tracer.as_ref().map(|_| "..."))
+            .field("fault", &self.fault.as_ref().map(|_| "..."))
             .field("parallelism_sample_every", &self.parallelism_sample_every)
             .field("fast_path", &self.fast_path)
             .finish()
@@ -140,6 +145,7 @@ impl Default for EngineConfig {
             worker_stack_bytes: 1 << 20,
             max_live_activities: 1 << 20,
             tracer: None,
+            fault: None,
             parallelism_sample_every: 0,
             fast_path: true,
         }
@@ -165,6 +171,12 @@ impl EngineConfig {
     /// [`Self::fast_path`]).
     pub fn with_fast_path(mut self, on: bool) -> Self {
         self.fast_path = on;
+        self
+    }
+
+    /// Install a fault plan (see `simany_fault::FaultPlan`).
+    pub fn with_fault_plan(mut self, plan: std::sync::Arc<simany_fault::FaultPlan>) -> Self {
+        self.fault = Some(plan);
         self
     }
 

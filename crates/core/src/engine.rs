@@ -105,6 +105,9 @@ pub(crate) struct Sim {
     pub(crate) stamp: Vec<u64>,
     /// Current stamp epoch; incremented at the start of each traversal.
     pub(crate) stamp_cur: u64,
+    /// Per core: whether its fault-plan failure has been announced
+    /// (CoreFailed trace emitted, counter bumped).
+    pub(crate) core_fail_announced: Vec<bool>,
 }
 
 impl Sim {
@@ -523,9 +526,16 @@ pub fn simulate(
             CoreState::new(config.speed_of(i), pred)
         })
         .collect();
+    if let Some(plan) = &config.fault {
+        assert_eq!(
+            plan.n_cores(),
+            n,
+            "fault plan compiled against a different topology"
+        );
+    }
     let sim = Sim {
         cores,
-        net: NetworkModel::new(topo.clone(), config.net),
+        net: NetworkModel::with_faults(topo.clone(), config.net, config.fault.clone(), config.seed),
         acts: HashMap::new(),
         next_act: 0,
         next_birth: 0,
@@ -547,6 +557,7 @@ pub fn simulate(
         scratch_waiters: Vec::new(),
         stamp: vec![0; n as usize],
         stamp_cur: 0,
+        core_fail_announced: vec![false; n as usize],
     };
     let shared = Arc::new(Shared {
         sim: Mutex::new(sim),
@@ -682,6 +693,9 @@ pub fn simulate(
         .unwrap_or(VirtualTime::ZERO);
     stats.core_busy = sim.cores.iter().map(|c| c.busy).collect();
     stats.net = sim.net.stats().clone();
+    stats.msgs_dropped = stats.net.dropped + stats.net.corrupted + stats.net.unreachable;
+    stats.msgs_corrupted = stats.net.corrupted;
+    stats.reroutes = stats.net.rerouted;
     stats.hot_links = sim
         .net
         .busiest_links(8)

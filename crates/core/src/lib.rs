@@ -55,13 +55,14 @@ pub use config::{EngineConfig, PickPolicy, SyncPolicy};
 pub use ctx::ExecCtx;
 pub use engine::{simulate, SimError, SimResult};
 pub use hooks::RuntimeHooks;
-pub use ops::Ops;
+pub use ops::{Ops, SendFate};
 pub use state::BirthId;
 pub use stats::SimStats;
 pub use trace::{MemoryTracer, TraceEvent, Tracer};
 
 // Re-export the vocabulary types users constantly need together with the
 // engine.
+pub use simany_fault::{FaultConfig, FaultPlan, FaultPlanBuilder};
 pub use simany_net::{Envelope, Payload};
 pub use simany_time::{BlockCost, CoreSpeed, CostModel, VDuration, VirtualTime};
 pub use simany_topology::{CoreId, Topology};

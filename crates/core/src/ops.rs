@@ -4,12 +4,29 @@
 //! Everything here executes under the simulation lock and never blocks.
 
 use crate::activity::{ActivityId, ActivityMeta, TaskFn};
-use crate::engine::{deliver, start_activity_impl, wake_impl, Shared, Sim};
+use crate::engine::{deliver, start_activity_impl, trace, wake_impl, Shared, Sim};
 use crate::state::BirthId;
 use crate::sync;
+use crate::trace::TraceEvent;
 use simany_net::Payload;
 use simany_time::{BlockCost, CoreSpeed, CostModel, VDuration, VirtualTime};
 use simany_topology::CoreId;
+
+/// Outcome of an [`Ops::send`]/[`Ops::send_at`] on a possibly-faulty
+/// machine. Callers that don't care (occupancy broadcasts, best-effort
+/// hints) may ignore it; callers that need delivery should use
+/// [`Ops::try_send_at`] to get the payload back for a retry.
+#[derive(Debug)]
+#[must_use = "on a faulty machine a send may be dropped"]
+pub enum SendFate {
+    /// The message was delivered to the destination inbox.
+    Delivered {
+        /// Simulator-computed arrival time at the destination.
+        arrival: VirtualTime,
+    },
+    /// The fault plan lost the message (dropped, corrupted or unroutable).
+    Dropped,
+}
 
 /// Handle over the full simulator state, passed to [`crate::RuntimeHooks`]
 /// callbacks.
@@ -110,11 +127,18 @@ impl<'a> Ops<'a> {
 
     /// Send a message from `src` (stamped with `src`'s current clock) to
     /// `dst` through the interconnect model; it lands in `dst`'s inbox with
-    /// a simulator-computed arrival time.
-    pub fn send(&mut self, src: CoreId, dst: CoreId, size_bytes: u32, payload: Payload) {
+    /// a simulator-computed arrival time. On a faulty machine the message
+    /// may be lost — the returned [`SendFate`] says which; use
+    /// [`Ops::try_send_at`] when the payload is needed back for a retry.
+    pub fn send(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        size_bytes: u32,
+        payload: Payload,
+    ) -> SendFate {
         let sent = self.sim.cores[src.index()].vtime;
-        let env = self.sim.net.send(src, dst, size_bytes, sent, payload);
-        deliver(self.sim, self.shared, env);
+        self.send_at(src, dst, size_bytes, sent, payload)
     }
 
     /// Send a message with an explicit departure stamp instead of the
@@ -130,9 +154,102 @@ impl<'a> Ops<'a> {
         size_bytes: u32,
         at: VirtualTime,
         payload: Payload,
-    ) {
-        let env = self.sim.net.send(src, dst, size_bytes, at, payload);
-        deliver(self.sim, self.shared, env);
+    ) -> SendFate {
+        match self.try_send_at(src, dst, size_bytes, at, payload) {
+            Ok(arrival) => SendFate::Delivered { arrival },
+            Err(_) => SendFate::Dropped,
+        }
+    }
+
+    /// Fault-aware send: like [`Ops::send_at`], but on loss the payload is
+    /// handed back so the caller can retry it (task bodies are not
+    /// clonable). Also announces any fault-plan epoch boundaries reached by
+    /// `at` (LinkDown/LinkUp traces) and traces the drop itself.
+    pub fn try_send_at(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        size_bytes: u32,
+        at: VirtualTime,
+        payload: Payload,
+    ) -> Result<VirtualTime, Payload> {
+        self.announce_epochs(at);
+        match self.sim.net.try_send(src, dst, size_bytes, at, payload) {
+            Ok(env) => {
+                let arrival = env.arrival;
+                deliver(self.sim, self.shared, env);
+                Ok(arrival)
+            }
+            Err((_, payload)) => {
+                trace(self.shared, || TraceEvent::MsgDropped {
+                    t: at,
+                    src,
+                    dst,
+                    bytes: size_bytes,
+                });
+                Err(payload)
+            }
+        }
+    }
+
+    /// True iff the fault plan has failed `core` by virtual time `at`. The
+    /// first observation of each failed core emits a `CoreFailed` trace and
+    /// bumps the counter.
+    pub fn core_failed(&mut self, core: CoreId, at: VirtualTime) -> bool {
+        let Some(plan) = &self.shared.config.fault else {
+            return false;
+        };
+        if !plan.core_failed(core, at) {
+            return false;
+        }
+        if !self.sim.core_fail_announced[core.index()] {
+            self.sim.core_fail_announced[core.index()] = true;
+            self.sim.stats.core_failures += 1;
+            let t = plan.core_fail_time(core).expect("failed core has a time");
+            trace(self.shared, || TraceEvent::CoreFailed { t, core });
+        }
+        true
+    }
+
+    /// Record a runtime-level retry of a lost message (trace + counter).
+    pub fn note_retry(&mut self, src: CoreId, dst: CoreId, at: VirtualTime) {
+        self.sim.stats.msg_retries += 1;
+        trace(self.shared, || TraceEvent::MsgRetried { t: at, src, dst });
+    }
+
+    /// Announce fault-plan epoch boundaries reached by virtual time `t`:
+    /// one `LinkDown`/`LinkUp` trace per changed link, counters for link
+    /// faults and partition entries. Cheap no-op when nothing is pending.
+    fn announce_epochs(&mut self, t: VirtualTime) {
+        if !self.sim.net.epochs_pending(t) {
+            return;
+        }
+        for tr in self.sim.net.observe_epochs(t) {
+            self.sim.stats.link_faults += tr.went_down.len() as u64;
+            if tr.partitioned {
+                self.sim.stats.partitions_observed += 1;
+            }
+            if self.shared.config.tracer.is_some() {
+                for &link in &tr.went_down {
+                    let props = *self.shared.topo.link(link);
+                    trace(self.shared, || TraceEvent::LinkDown {
+                        t: tr.at,
+                        link,
+                        src: props.src,
+                        dst: props.dst,
+                    });
+                }
+                for &link in &tr.came_up {
+                    let props = *self.shared.topo.link(link);
+                    trace(self.shared, || TraceEvent::LinkUp {
+                        t: tr.at,
+                        link,
+                        src: props.src,
+                        dst: props.dst,
+                    });
+                }
+            }
+        }
     }
 
     /// Pure route latency estimate (no contention) — used by memory models.

@@ -58,6 +58,22 @@ pub struct SimStats {
     /// The busiest directed links of the run — NoC hotspots —
     /// as `(src, dst, busy transmission time)`, descending.
     pub hot_links: Vec<(simany_topology::CoreId, simany_topology::CoreId, VDuration)>,
+    /// Messages lost to the fault plan (dropped in flight, corrupted on
+    /// arrival, or unroutable across a partition).
+    pub msgs_dropped: u64,
+    /// Of the dropped messages, those that were corrupted (charged the
+    /// full route before being discarded).
+    pub msgs_corrupted: u64,
+    /// Runtime-level send retries (timeout + exponential backoff).
+    pub msg_retries: u64,
+    /// Messages that detoured around dead links.
+    pub reroutes: u64,
+    /// Cores observed to have failed during the run.
+    pub core_failures: u64,
+    /// Link failure events announced (LinkDown traces).
+    pub link_faults: u64,
+    /// Epoch transitions that left the machine partitioned.
+    pub partitions_observed: u64,
 }
 
 impl SimStats {

@@ -13,7 +13,7 @@
 
 use parking_lot::Mutex;
 use simany_time::VirtualTime;
-use simany_topology::CoreId;
+use simany_topology::{CoreId, LinkId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -97,6 +97,55 @@ pub enum TraceEvent {
         /// Core of the woken activity.
         core: CoreId,
     },
+    /// A link failed (fault-plan epoch boundary).
+    LinkDown {
+        /// Virtual time of the failure.
+        t: VirtualTime,
+        /// The failed directed link.
+        link: LinkId,
+        /// Link source core.
+        src: CoreId,
+        /// Link destination core.
+        dst: CoreId,
+    },
+    /// A failed link recovered.
+    LinkUp {
+        /// Virtual time of the recovery.
+        t: VirtualTime,
+        /// The recovered directed link.
+        link: LinkId,
+        /// Link source core.
+        src: CoreId,
+        /// Link destination core.
+        dst: CoreId,
+    },
+    /// A core failed permanently (stops accepting new work).
+    CoreFailed {
+        /// Virtual time of the failure.
+        t: VirtualTime,
+        /// The failed core.
+        core: CoreId,
+    },
+    /// A message was lost in flight (dropped, corrupted or unroutable).
+    MsgDropped {
+        /// Departure stamp of the lost message.
+        t: VirtualTime,
+        /// Sender.
+        src: CoreId,
+        /// Intended receiver.
+        dst: CoreId,
+        /// Architectural size.
+        bytes: u32,
+    },
+    /// A lost message was retried by the runtime (timeout + backoff).
+    MsgRetried {
+        /// Virtual time of the retry attempt.
+        t: VirtualTime,
+        /// Sender.
+        src: CoreId,
+        /// Intended receiver.
+        dst: CoreId,
+    },
 }
 
 impl TraceEvent {
@@ -110,7 +159,12 @@ impl TraceEvent {
             | TraceEvent::Send { t, .. }
             | TraceEvent::Process { t, .. }
             | TraceEvent::Block { t, .. }
-            | TraceEvent::Wake { t, .. } => t,
+            | TraceEvent::Wake { t, .. }
+            | TraceEvent::LinkDown { t, .. }
+            | TraceEvent::LinkUp { t, .. }
+            | TraceEvent::CoreFailed { t, .. }
+            | TraceEvent::MsgDropped { t, .. }
+            | TraceEvent::MsgRetried { t, .. } => t,
         }
     }
 
@@ -123,8 +177,13 @@ impl TraceEvent {
             | TraceEvent::Resume { core, .. }
             | TraceEvent::Process { core, .. }
             | TraceEvent::Block { core, .. }
-            | TraceEvent::Wake { core, .. } => core,
-            TraceEvent::Send { src, .. } => src,
+            | TraceEvent::Wake { core, .. }
+            | TraceEvent::CoreFailed { core, .. } => core,
+            TraceEvent::Send { src, .. }
+            | TraceEvent::LinkDown { src, .. }
+            | TraceEvent::LinkUp { src, .. }
+            | TraceEvent::MsgDropped { src, .. }
+            | TraceEvent::MsgRetried { src, .. } => src,
         }
     }
 }
@@ -157,6 +216,19 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::Block { t, core, reason } => write!(f, "{t} {core} BLOCK on {reason}"),
             TraceEvent::Wake { t, core } => write!(f, "{t} {core} WAKE"),
+            TraceEvent::LinkDown { t, link, src, dst } => {
+                write!(f, "{t} {src} LINK_DOWN {link:?} -> {dst}")
+            }
+            TraceEvent::LinkUp { t, link, src, dst } => {
+                write!(f, "{t} {src} LINK_UP {link:?} -> {dst}")
+            }
+            TraceEvent::CoreFailed { t, core } => write!(f, "{t} {core} CORE_FAILED"),
+            TraceEvent::MsgDropped { t, src, dst, bytes } => {
+                write!(f, "{t} {src} DROP -> {dst} ({bytes}B)")
+            }
+            TraceEvent::MsgRetried { t, src, dst } => {
+                write!(f, "{t} {src} RETRY -> {dst}")
+            }
         }
     }
 }

@@ -31,8 +31,12 @@ pub use inbox::Inbox;
 pub use link::{LinkTraffic, NetStats};
 pub use message::{Envelope, MsgId, Payload};
 
+use std::sync::Arc;
+
+use simany_fault::FaultPlan;
+use simany_time::prng::Xoshiro256StarStar;
 use simany_time::{VDuration, VirtualTime};
-use simany_topology::{CoreId, LinkProps, RoutingTable, Topology};
+use simany_topology::{CoreId, LinkId, LinkProps, RoutingTable, Topology};
 
 /// Tunable network cost parameters (paper §III, Architecture Variability).
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +68,43 @@ impl NetworkParams {
     }
 }
 
+/// Why a [`NetworkModel::try_send`] refused to deliver a message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The fault plan dropped the message in flight: nothing was charged.
+    Faulty,
+    /// The message arrived corrupted: the full route was charged, but the
+    /// destination discards the bits.
+    Corrupted,
+    /// No surviving route reaches the destination in the current epoch
+    /// (the machine is partitioned).
+    Unreachable,
+}
+
+/// A dead-link-set change observed by [`NetworkModel::observe_epochs`].
+#[derive(Clone, Debug)]
+pub struct EpochTransition {
+    /// Virtual time of the epoch boundary.
+    pub at: VirtualTime,
+    /// Links that failed at this boundary.
+    pub went_down: Vec<LinkId>,
+    /// Links that recovered at this boundary.
+    pub came_up: Vec<LinkId>,
+    /// True when the new epoch leaves the machine partitioned.
+    pub partitioned: bool,
+}
+
+/// Fault-injection state: the shared plan plus this model's private PRNG
+/// stream for per-message fate draws.
+#[derive(Debug)]
+struct FaultState {
+    plan: Arc<FaultPlan>,
+    rng: Xoshiro256StarStar,
+    seed: u64,
+    /// Highest epoch index already reported via `observe_epochs`.
+    announced_epoch: usize,
+}
+
 /// The complete network model: topology + routing + per-link traffic +
 /// parameters. Owned by the simulator engine; every message send flows
 /// through [`NetworkModel::send`].
@@ -75,11 +116,37 @@ pub struct NetworkModel {
     params: NetworkParams,
     next_seq: u64,
     stats: NetStats,
+    fault: Option<FaultState>,
 }
 
 impl NetworkModel {
     /// Build the model (computes routing tables).
     pub fn new(topo: Topology, params: NetworkParams) -> Self {
+        Self::with_faults(topo, params, None, 0)
+    }
+
+    /// Build the model with an optional fault plan. `seed` feeds the
+    /// model's private per-message fate stream; with `plan == None` (or an
+    /// empty plan) behavior is bit-identical to [`NetworkModel::new`] —
+    /// the stream is never drawn from.
+    pub fn with_faults(
+        topo: Topology,
+        params: NetworkParams,
+        plan: Option<Arc<FaultPlan>>,
+        seed: u64,
+    ) -> Self {
+        if let Some(p) = &plan {
+            assert_eq!(
+                p.n_links(),
+                topo.n_links(),
+                "fault plan compiled against a different topology (links)"
+            );
+            assert_eq!(
+                p.n_cores(),
+                topo.n_cores(),
+                "fault plan compiled against a different topology (cores)"
+            );
+        }
         let routing = RoutingTable::build(&topo);
         let traffic = LinkTraffic::new(topo.n_links());
         NetworkModel {
@@ -89,7 +156,18 @@ impl NetworkModel {
             params,
             next_seq: 0,
             stats: NetStats::default(),
+            fault: plan.map(|plan| FaultState {
+                plan,
+                rng: Xoshiro256StarStar::stream(seed, simany_fault::NET_STREAM),
+                seed,
+                announced_epoch: 0,
+            }),
         }
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref().map(|f| &f.plan)
     }
 
     /// The underlying topology.
@@ -152,11 +230,24 @@ impl NetworkModel {
     ) -> VirtualTime {
         let mut t = depart;
         if src != dst {
+            // When the current fault epoch has dead links, walk the
+            // recomputed table; fall back to the base table when even the
+            // recomputed one cannot reach (partition) so engine-internal
+            // traffic (e.g. coherence legs) is still charged rather than
+            // panicking — payload sends gate on reachability in `try_send`.
+            let plan = self.fault.as_ref().map(|f| Arc::clone(&f.plan));
+            let epoch_rt = plan
+                .as_ref()
+                .and_then(|p| p.epoch_routing(p.epoch_at(depart)));
+            let (rt, via_epoch) = match epoch_rt {
+                Some(rt) if rt.reachable(src, dst) => (rt, true),
+                _ => (&self.routing, false),
+            };
             let chunks = self.params.chunks(size_bytes) as u64;
             let mut cur = src;
             let mut hops = 0u32;
             while cur != dst {
-                let link_id = self.routing.next_link(cur, dst).expect("connected");
+                let link_id = rt.next_link(cur, dst).expect("connected");
                 let props = *self.topo.link(link_id);
                 let ser = serialization_delay(size_bytes, props.bandwidth_bytes_per_cycle);
                 let per_hop =
@@ -172,6 +263,22 @@ impl NetworkModel {
                 hops += 1;
             }
             self.stats.total_hops += u64::from(hops);
+            if via_epoch {
+                // Count a reroute only when the base route actually
+                // crosses a dead link (the epoch table agrees with the
+                // base table everywhere else).
+                let p = plan.as_ref().expect("via_epoch implies a plan");
+                let e = p.epoch_at(depart);
+                let mut cur = src;
+                while cur != dst {
+                    let l = self.routing.next_link(cur, dst).expect("connected");
+                    if p.link_dead(e, l) {
+                        self.stats.rerouted += 1;
+                        break;
+                    }
+                    cur = self.topo.link(l).dst;
+                }
+            }
         }
         t
     }
@@ -190,12 +297,95 @@ impl NetworkModel {
         sent: VirtualTime,
         payload: Payload,
     ) -> Envelope {
+        match self.try_send(src, dst, size_bytes, sent, payload) {
+            Ok(env) => env,
+            Err((reason, _)) => {
+                panic!("NetworkModel::send lost a message ({reason:?}); use try_send on faulty machines")
+            }
+        }
+    }
+
+    /// Fault-aware send: like [`NetworkModel::send`], but consults the
+    /// fault plan. On failure the payload is handed back (task bodies are
+    /// not clonable, so the caller needs it to retry) together with the
+    /// [`DropReason`]:
+    ///
+    /// * `Unreachable` — the current epoch leaves no route; nothing is
+    ///   charged.
+    /// * `Faulty` — dropped in flight; nothing is charged (the sender only
+    ///   learns via timeout, modeled by the runtime's retry policy).
+    /// * `Corrupted` — the message traverses the full route (charging
+    ///   links exactly like a delivery) but arrives as garbage.
+    ///
+    /// Determinism contract: when the plan has any message faults, every
+    /// non-local attempt consumes exactly three PRNG draws regardless of
+    /// outcome; when the plan is empty or absent, zero draws.
+    pub fn try_send(
+        &mut self,
+        src: CoreId,
+        dst: CoreId,
+        size_bytes: u32,
+        sent: VirtualTime,
+        payload: Payload,
+    ) -> Result<Envelope, (DropReason, Payload)> {
+        let mut extra_delay = VDuration::ZERO;
+        if src != dst {
+            if let Some(fault) = &self.fault {
+                let plan = Arc::clone(&fault.plan);
+                let epoch = plan.epoch_at(sent);
+                let epoch_rt = plan.epoch_routing(epoch);
+                if let Some(rt) = epoch_rt {
+                    if !rt.reachable(src, dst) {
+                        self.stats.unreachable += 1;
+                        return Err((DropReason::Unreachable, payload));
+                    }
+                }
+                if plan.has_message_faults() {
+                    // Combine per-link fault probabilities over the route
+                    // this message will take.
+                    let rt = epoch_rt.unwrap_or(&self.routing);
+                    let mut keep_drop = 1.0f64;
+                    let mut keep_corrupt = 1.0f64;
+                    let mut keep_delay = 1.0f64;
+                    let mut cur = src;
+                    while cur != dst {
+                        let link = rt.next_link(cur, dst).expect("connected");
+                        keep_drop *= 1.0 - plan.drop_prob(link);
+                        keep_corrupt *= 1.0 - plan.corrupt_prob(link);
+                        if plan.delay_prob(link) > 0.0 {
+                            keep_delay *= 1.0 - plan.delay_prob(link);
+                            extra_delay += plan.delay_of(link);
+                        }
+                        cur = self.topo.link(link).dst;
+                    }
+                    // Fixed draw count per attempt (determinism contract).
+                    let rng = &mut self.fault.as_mut().expect("checked above").rng;
+                    let dropped = rng.chance(1.0 - keep_drop);
+                    let corrupted = rng.chance(1.0 - keep_corrupt);
+                    let delayed = rng.chance(1.0 - keep_delay);
+                    if dropped {
+                        self.stats.dropped += 1;
+                        return Err((DropReason::Faulty, payload));
+                    }
+                    if corrupted {
+                        self.transit(src, dst, size_bytes, sent);
+                        self.stats.corrupted += 1;
+                        return Err((DropReason::Corrupted, payload));
+                    }
+                    if delayed {
+                        self.stats.delayed += 1;
+                    } else {
+                        extra_delay = VDuration::ZERO;
+                    }
+                }
+            }
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.messages += 1;
         self.stats.bytes += u64::from(size_bytes);
-        let arrival = self.transit(src, dst, size_bytes, sent);
-        Envelope {
+        let arrival = self.transit(src, dst, size_bytes, sent) + extra_delay;
+        Ok(Envelope {
             id: MsgId(seq),
             src,
             dst,
@@ -204,7 +394,54 @@ impl NetworkModel {
             size_bytes,
             seq,
             payload,
+        })
+    }
+
+    /// True when at least one unannounced epoch boundary lies at or before
+    /// `t` (cheap gate for [`NetworkModel::observe_epochs`]).
+    pub fn epochs_pending(&self, t: VirtualTime) -> bool {
+        match &self.fault {
+            Some(f) => {
+                let next = f.announced_epoch + 1;
+                next < f.plan.epoch_count() && f.plan.boundary(next) <= t
+            }
+            None => false,
         }
+    }
+
+    /// Advance the epoch cursor to virtual time `t`, returning one
+    /// [`EpochTransition`] per boundary crossed (in order). Each boundary
+    /// is reported exactly once over the life of the model; the engine
+    /// turns these into `LinkDown`/`LinkUp` trace events.
+    pub fn observe_epochs(&mut self, t: VirtualTime) -> Vec<EpochTransition> {
+        let mut out = Vec::new();
+        let Some(f) = self.fault.as_mut() else {
+            return out;
+        };
+        while f.announced_epoch + 1 < f.plan.epoch_count()
+            && f.plan.boundary(f.announced_epoch + 1) <= t
+        {
+            let prev = f.announced_epoch;
+            let next = prev + 1;
+            let mut went_down = Vec::new();
+            let mut came_up = Vec::new();
+            for i in 0..f.plan.n_links() {
+                let l = LinkId(i);
+                match (f.plan.link_dead(prev, l), f.plan.link_dead(next, l)) {
+                    (false, true) => went_down.push(l),
+                    (true, false) => came_up.push(l),
+                    _ => {}
+                }
+            }
+            out.push(EpochTransition {
+                at: f.plan.boundary(next),
+                went_down,
+                came_up,
+                partitioned: f.plan.epoch_partitioned(next),
+            });
+            f.announced_epoch = next;
+        }
+        out
     }
 
     /// The `k` busiest directed links by accumulated transmission time —
@@ -226,6 +463,10 @@ impl NetworkModel {
         self.traffic = LinkTraffic::new(self.topo.n_links());
         self.stats = NetStats::default();
         self.next_seq = 0;
+        if let Some(f) = self.fault.as_mut() {
+            f.rng = Xoshiro256StarStar::stream(f.seed, simany_fault::NET_STREAM);
+            f.announced_epoch = 0;
+        }
     }
 }
 
@@ -380,5 +621,172 @@ mod tests {
         let a = m.send(CoreId(0), CoreId(1), 8, VirtualTime::ZERO, payload());
         let b = m.send(CoreId(2), CoreId(3), 8, VirtualTime::ZERO, payload());
         assert!(b.seq > a.seq);
+    }
+
+    use simany_fault::FaultPlanBuilder;
+    use simany_topology::LinkId;
+
+    fn both_ways(topo: &Topology, a: u32, b: u32) -> (LinkId, LinkId) {
+        (
+            topo.link_between(CoreId(a), CoreId(b)).unwrap(),
+            topo.link_between(CoreId(b), CoreId(a)).unwrap(),
+        )
+    }
+
+    #[test]
+    fn empty_plan_matches_no_plan_bit_exactly() {
+        let topo = mesh_2d(16);
+        let plan = Arc::new(simany_fault::FaultPlan::empty(&topo));
+        let mut plain = NetworkModel::new(topo.clone(), NetworkParams::default());
+        let mut faulty = NetworkModel::with_faults(topo, NetworkParams::default(), Some(plan), 99);
+        for i in 0..20u64 {
+            let a = plain.send(
+                CoreId((i % 16) as u32),
+                CoreId(((i * 7 + 3) % 16) as u32),
+                64 + (i as u32) * 8,
+                VirtualTime::from_cycles(i * 3),
+                payload(),
+            );
+            let b = faulty.send(
+                CoreId((i % 16) as u32),
+                CoreId(((i * 7 + 3) % 16) as u32),
+                64 + (i as u32) * 8,
+                VirtualTime::from_cycles(i * 3),
+                payload(),
+            );
+            assert_eq!(a.arrival, b.arrival);
+            assert_eq!(a.seq, b.seq);
+        }
+        assert_eq!(plain.stats().messages, faulty.stats().messages);
+        assert_eq!(plain.stats().total_hops, faulty.stats().total_hops);
+        assert_eq!(faulty.stats().dropped, 0);
+        assert_eq!(faulty.stats().rerouted, 0);
+    }
+
+    #[test]
+    fn dead_link_reroutes_and_counts() {
+        let topo = mesh_2d(16);
+        let (f, b) = both_ways(&topo, 0, 1);
+        let plan = Arc::new(
+            FaultPlanBuilder::new()
+                .fail_link(f, VirtualTime::ZERO)
+                .fail_link(b, VirtualTime::ZERO)
+                .build(&topo),
+        );
+        let mut m = NetworkModel::with_faults(topo, NetworkParams::default(), Some(plan), 1);
+        // 0 -> 1 must now detour (3 hops instead of 1).
+        let e = m
+            .try_send(CoreId(0), CoreId(1), 64, VirtualTime::ZERO, payload())
+            .unwrap();
+        assert_eq!(m.stats().total_hops, 3);
+        assert_eq!(m.stats().rerouted, 1);
+        assert_eq!(e.arrival, VirtualTime::from_cycles(6));
+        // An unaffected pair is not counted as rerouted.
+        m.try_send(CoreId(14), CoreId(15), 64, VirtualTime::ZERO, payload())
+            .unwrap();
+        assert_eq!(m.stats().rerouted, 1);
+    }
+
+    #[test]
+    fn partition_yields_unreachable() {
+        let topo = simany_topology::ring(4);
+        let (a0, a1) = both_ways(&topo, 0, 1);
+        let (b0, b1) = both_ways(&topo, 2, 3);
+        let plan = Arc::new(
+            FaultPlanBuilder::new()
+                .fail_link(a0, VirtualTime::ZERO)
+                .fail_link(a1, VirtualTime::ZERO)
+                .fail_link(b0, VirtualTime::ZERO)
+                .fail_link(b1, VirtualTime::ZERO)
+                .build(&topo),
+        );
+        assert!(plan.epoch_partitioned(0));
+        let mut m = NetworkModel::with_faults(topo, NetworkParams::default(), Some(plan), 1);
+        let err = m
+            .try_send(CoreId(0), CoreId(1), 64, VirtualTime::ZERO, payload())
+            .unwrap_err();
+        assert_eq!(err.0, DropReason::Unreachable);
+        assert_eq!(m.stats().unreachable, 1);
+        assert_eq!(m.stats().messages, 0);
+        // The surviving half still communicates.
+        m.try_send(CoreId(1), CoreId(2), 64, VirtualTime::ZERO, payload())
+            .unwrap();
+        assert_eq!(m.stats().messages, 1);
+    }
+
+    #[test]
+    fn certain_drop_returns_payload_and_charges_nothing() {
+        let topo = mesh_2d(4);
+        let link = topo.link_between(CoreId(0), CoreId(1)).unwrap();
+        let plan = Arc::new(FaultPlanBuilder::new().drop_prob(link, 1.0).build(&topo));
+        let mut m = NetworkModel::with_faults(topo, NetworkParams::default(), Some(plan), 7);
+        let err = m
+            .try_send(CoreId(0), CoreId(1), 64, VirtualTime::ZERO, payload())
+            .unwrap_err();
+        assert_eq!(err.0, DropReason::Faulty);
+        assert_eq!(m.stats().dropped, 1);
+        assert_eq!(m.stats().messages, 0);
+        assert_eq!(m.stats().total_hops, 0);
+    }
+
+    #[test]
+    fn certain_delay_charges_extra() {
+        let topo = mesh_2d(4);
+        let link = topo.link_between(CoreId(0), CoreId(1)).unwrap();
+        let plan = Arc::new(
+            FaultPlanBuilder::new()
+                .delay(link, 1.0, VDuration::from_cycles(100))
+                .build(&topo),
+        );
+        let mut m = NetworkModel::with_faults(topo, NetworkParams::default(), Some(plan), 7);
+        let e = m
+            .try_send(CoreId(0), CoreId(1), 64, VirtualTime::ZERO, payload())
+            .unwrap();
+        assert_eq!(e.arrival, VirtualTime::from_cycles(102));
+        assert_eq!(m.stats().delayed, 1);
+    }
+
+    #[test]
+    fn corruption_charges_route_but_fails() {
+        let topo = mesh_2d(4);
+        let link = topo.link_between(CoreId(0), CoreId(1)).unwrap();
+        let plan = Arc::new(FaultPlanBuilder::new().corrupt_prob(link, 1.0).build(&topo));
+        let mut m = NetworkModel::with_faults(topo, NetworkParams::default(), Some(plan), 7);
+        let err = m
+            .try_send(CoreId(0), CoreId(1), 64, VirtualTime::ZERO, payload())
+            .unwrap_err();
+        assert_eq!(err.0, DropReason::Corrupted);
+        assert_eq!(m.stats().corrupted, 1);
+        assert_eq!(m.stats().total_hops, 1, "corrupted traffic still charged");
+        assert_eq!(m.stats().messages, 0);
+    }
+
+    #[test]
+    fn epoch_transitions_observed_once_in_order() {
+        let topo = mesh_2d(4);
+        let (f, b) = both_ways(&topo, 0, 1);
+        let plan = Arc::new(
+            FaultPlanBuilder::new()
+                .fail_link(f, VirtualTime::from_cycles(100))
+                .fail_link(b, VirtualTime::from_cycles(100))
+                .recover_link(f, VirtualTime::from_cycles(200))
+                .recover_link(b, VirtualTime::from_cycles(200))
+                .build(&topo),
+        );
+        let mut m = NetworkModel::with_faults(topo, NetworkParams::default(), Some(plan), 1);
+        assert!(!m.epochs_pending(VirtualTime::from_cycles(99)));
+        assert!(m.observe_epochs(VirtualTime::from_cycles(99)).is_empty());
+        assert!(m.epochs_pending(VirtualTime::from_cycles(100)));
+        let tr = m.observe_epochs(VirtualTime::from_cycles(100));
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].went_down, vec![f, b]);
+        assert!(tr[0].came_up.is_empty());
+        // Jumping far ahead reports the remaining boundary exactly once.
+        let tr = m.observe_epochs(VirtualTime::from_cycles(10_000));
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].came_up, vec![f, b]);
+        assert!(m
+            .observe_epochs(VirtualTime::from_cycles(20_000))
+            .is_empty());
     }
 }

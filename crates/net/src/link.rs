@@ -22,6 +22,20 @@ pub struct NetStats {
     pub contention_wait: VDuration,
     /// Number of hop traversals that had to wait for a busy link.
     pub contended_hops: u64,
+    /// Messages dropped in flight by the fault plan (never delivered,
+    /// never charged).
+    pub dropped: u64,
+    /// Messages corrupted in flight (charged the full route, then
+    /// discarded at the destination).
+    pub corrupted: u64,
+    /// Messages that paid a fault-plan extra delay.
+    pub delayed: u64,
+    /// Messages that took a recomputed route because their base route
+    /// crossed a dead link.
+    pub rerouted: u64,
+    /// Send attempts refused because no surviving route reaches the
+    /// destination (partitioned machine).
+    pub unreachable: u64,
 }
 
 /// Occupancy state of every directed link.
@@ -79,11 +93,15 @@ impl LinkTraffic {
     }
 
     /// Utilization of `link` relative to a horizon (reporting helper).
+    ///
+    /// A zero horizon yields 0.0 (not NaN), and a degenerate horizon
+    /// shorter than the accumulated busy time clamps to 1.0 — utilization
+    /// is a fraction by contract.
     pub fn utilization(&self, link: LinkId, horizon: VirtualTime) -> f64 {
         if horizon.ticks() == 0 {
             0.0
         } else {
-            self.busy[link.index()].ticks() as f64 / horizon.ticks() as f64
+            (self.busy[link.index()].ticks() as f64 / horizon.ticks() as f64).min(1.0)
         }
     }
 }
@@ -143,6 +161,20 @@ mod tests {
         assert_eq!(lt.busy_time(LinkId(1)), cy(7));
         assert!((lt.utilization(LinkId(0), at(10)) - 0.3).abs() < 1e-12);
         assert_eq!(lt.utilization(LinkId(0), VirtualTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn utilization_degenerate_horizons() {
+        let mut lt = LinkTraffic::new(1);
+        let mut stats = NetStats::default();
+        lt.traverse(LinkId(0), at(0), cy(50), cy(1), &mut stats);
+        // Zero horizon: defined as 0.0, not NaN.
+        assert_eq!(lt.utilization(LinkId(0), VirtualTime::ZERO), 0.0);
+        // Horizon shorter than busy time: clamped to a valid fraction.
+        assert_eq!(lt.utilization(LinkId(0), at(10)), 1.0);
+        let u = lt.utilization(LinkId(0), at(100));
+        assert!((0.0..=1.0).contains(&u));
+        assert!((u - 0.5).abs() < 1e-12);
     }
 
     #[test]

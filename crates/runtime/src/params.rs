@@ -38,6 +38,43 @@ pub enum SpawnPolicy {
     FavorFast,
 }
 
+/// Timeout/retry policy for protocol messages on faulty machines
+/// (paper-shaped resilience: a lost `DATA_REQUEST`, probe or spawn is
+/// retried with exponential backoff before the caller degrades locally).
+///
+/// The k-th retry (k = 0 for the first) departs `timeout(k)` after the
+/// failed attempt, doubling each time and capped at `max_timeout`. With an
+/// empty fault plan no send ever fails, so this policy is never consulted —
+/// the no-fault path stays bit-exact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of retries after the initial attempt.
+    pub max_retries: u32,
+    /// Backoff before the first retry.
+    pub base_timeout: VDuration,
+    /// Backoff cap.
+    pub max_timeout: VDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            base_timeout: VDuration::from_cycles(200),
+            max_timeout: VDuration::from_cycles(3_200),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `k` (0-based): `base << k`, saturating, capped
+    /// at `max_timeout`.
+    pub fn timeout(&self, k: u32) -> VDuration {
+        let scaled = self.base_timeout.ticks().checked_shl(k).unwrap_or(u64::MAX);
+        VDuration(scaled.min(self.max_timeout.ticks()))
+    }
+}
+
 /// All run-time system parameters.
 #[derive(Clone)]
 pub struct RuntimeParams {
@@ -67,6 +104,8 @@ pub struct RuntimeParams {
     /// Detailed microarchitectural timing plug-in (cycle-level reference);
     /// `None` selects SiMany's abstract models.
     pub detailed: Option<Arc<dyn DetailedTiming>>,
+    /// Timeout/retry policy for protocol messages lost to the fault plan.
+    pub retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for RuntimeParams {
@@ -82,6 +121,7 @@ impl std::fmt::Debug for RuntimeParams {
             .field("spawn_msg_bytes", &self.spawn_msg_bytes)
             .field("occupancy_broadcasts", &self.occupancy_broadcasts)
             .field("detailed", &self.detailed.as_ref().map(|_| "..."))
+            .field("retry", &self.retry)
             .finish()
     }
 }
@@ -101,6 +141,7 @@ impl Default for RuntimeParams {
             spawn_msg_bytes: 64,
             occupancy_broadcasts: true,
             detailed: None,
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -141,6 +182,17 @@ mod tests {
         assert_eq!(p.task_start_cost, VDuration::from_cycles(10));
         assert_eq!(p.mem.backing_latency, VDuration::from_cycles(10));
         assert!(!p.arch.is_distributed());
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.timeout(0), VDuration::from_cycles(200));
+        assert_eq!(r.timeout(1), VDuration::from_cycles(400));
+        assert_eq!(r.timeout(3), VDuration::from_cycles(1_600));
+        assert_eq!(r.timeout(4), VDuration::from_cycles(3_200));
+        assert_eq!(r.timeout(10), VDuration::from_cycles(3_200));
+        assert_eq!(r.timeout(200), VDuration::from_cycles(3_200));
     }
 
     #[test]

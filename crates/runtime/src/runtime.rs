@@ -7,7 +7,7 @@ use crate::state::{Group, LockState, QueuedTask, RtState, RtStats};
 use crate::task_ctx::{TaskBody, TaskCtx};
 use parking_lot::Mutex;
 use simany_core::activity::TaskFn;
-use simany_core::{Envelope, ExecCtx, Ops, Payload, RuntimeHooks};
+use simany_core::{Envelope, ExecCtx, Ops, Payload, RuntimeHooks, VirtualTime};
 use simany_mem::DirectoryTiming;
 use simany_topology::CoreId;
 use std::any::Any;
@@ -78,6 +78,44 @@ impl TaskRuntime {
         ops.advance_core(core, self.params.handler_cost.cycles());
     }
 
+    /// Send a protocol message, retrying lost attempts with exponential
+    /// backoff per [`crate::params::RetryPolicy`]. The k-th retry departs
+    /// `timeout(k)` after the previous failure — modeling a sender-side
+    /// timeout without engine timer machinery (the fate of each attempt is
+    /// known at send time). On success returns the arrival time; after
+    /// exhausting the budget returns the payload and the virtual time of
+    /// the final failed attempt so the caller can degrade gracefully.
+    ///
+    /// With no fault plan the first attempt always succeeds and this is
+    /// exactly one `try_send_at` — bit-identical to the old direct send.
+    pub(crate) fn retry_send(
+        &self,
+        ops: &mut Ops<'_>,
+        src: CoreId,
+        dst: CoreId,
+        bytes: u32,
+        at: VirtualTime,
+        payload: Payload,
+    ) -> Result<VirtualTime, (Payload, VirtualTime)> {
+        let retry = self.params.retry;
+        let mut t = at;
+        let mut payload = match ops.try_send_at(src, dst, bytes, t, payload) {
+            Ok(arrival) => return Ok(arrival),
+            Err(p) => p,
+        };
+        for k in 0..retry.max_retries {
+            t += retry.timeout(k);
+            self.st.lock().stats.send_retries += 1;
+            ops.note_retry(src, dst, t);
+            payload = match ops.try_send_at(src, dst, bytes, t, payload) {
+                Ok(arrival) => return Ok(arrival),
+                Err(p) => p,
+            };
+        }
+        self.st.lock().stats.send_failures += 1;
+        Err((payload, t))
+    }
+
     /// Broadcast `core`'s occupancy to its neighbors (paper §IV: the
     /// accepting core "broadcasts its new task queue's state to its own
     /// neighbors").
@@ -88,7 +126,8 @@ impl TaskRuntime {
         let occ = st.cores[core.index()].occupancy();
         for n in ops.neighbors(core) {
             st.stats.occupancy_msgs += 1;
-            ops.send(
+            // Best-effort: a lost occupancy hint only stales a proxy.
+            let _ = ops.send(
                 core,
                 n,
                 self.params.ctrl_msg_bytes,
@@ -112,8 +151,15 @@ impl RuntimeHooks for TaskRuntime {
         let msg = env.payload.take::<RtMsg>();
         match msg {
             RtMsg::Probe { prober, reply_to } => {
+                // A failed core accepts no new work: every probe is denied
+                // (the prober falls back to running the task locally —
+                // the paper's conditional-spawn model).
+                let failed = ops.core_failed(me, env.arrival);
                 let mut st = self.st.lock();
-                let granted = {
+                let granted = if failed {
+                    st.stats.probe_unavailable += 1;
+                    false
+                } else {
                     let core = &mut st.cores[me.index()];
                     if core.occupancy() < self.params.queue_capacity {
                         core.reserved += 1;
@@ -129,7 +175,8 @@ impl RuntimeHooks for TaskRuntime {
                 }
                 let occupancy = st.cores[me.index()].occupancy();
                 drop(st);
-                ops.send_at(
+                let sent = self.retry_send(
+                    ops,
                     me,
                     reply_to,
                     self.params.ctrl_msg_bytes,
@@ -141,6 +188,22 @@ impl RuntimeHooks for TaskRuntime {
                         occupancy,
                     }),
                 );
+                if let Err((_, fail_t)) = sent {
+                    // The reply is gone for good: revoke the reservation
+                    // and deny the prober directly (it blocked before this
+                    // handler ran — the run-token protocol guarantees it).
+                    if granted {
+                        self.st.lock().cores[me.index()].reserved -= 1;
+                    }
+                    ops.wake(
+                        prober,
+                        Box::new(ProbeOutcome {
+                            granted: false,
+                            target: me,
+                        }),
+                        fail_t,
+                    );
+                }
             }
             RtMsg::ProbeReply {
                 prober,
@@ -190,7 +253,9 @@ impl RuntimeHooks for TaskRuntime {
                         .neighbors(me)
                         .into_iter()
                         .filter(|&n| n != env.src)
-                        .find(|n| *st.cores[me.index()].proxy.get(n).unwrap_or(&0) == 0);
+                        .find(|n| *st.cores[me.index()].proxy.get(n).unwrap_or(&0) == 0)
+                        // Never migrate onto a failed core.
+                        .filter(|&n| !ops.core_failed(n, env.arrival));
                     if let Some(t) = target {
                         st.stats.task_migrations += 1;
                         // Optimistically bump the proxy so repeated arrivals
@@ -199,7 +264,8 @@ impl RuntimeHooks for TaskRuntime {
                         st.cores[me.index()].proxy.insert(t, 1);
                         drop(st);
                         let birth2 = ops.record_birth(me, reply_at);
-                        ops.send_at(
+                        let sent = self.retry_send(
+                            ops,
                             me,
                             t,
                             self.params.spawn_msg_bytes,
@@ -214,6 +280,23 @@ impl RuntimeHooks for TaskRuntime {
                                 hops: hops + 1,
                             }),
                         );
+                        if let Err((mut payload, _)) = sent {
+                            // Migration impossible: keep the task here.
+                            ops.discard_birth(me, birth2);
+                            let RtMsg::TaskSpawn {
+                                body, group, name, ..
+                            } = payload.take::<RtMsg>()
+                            else {
+                                unreachable!("spawn payload round-trips")
+                            };
+                            let mut st = self.st.lock();
+                            st.stats.fault_local_runs += 1;
+                            st.cores[me.index()]
+                                .queue
+                                .push_back(QueuedTask { body, group, name });
+                            ops.queue_hint_add(me, 1);
+                            self.broadcast_occupancy(ops, &mut st, me);
+                        }
                         return;
                     }
                 }
@@ -230,14 +313,18 @@ impl RuntimeHooks for TaskRuntime {
                 // announced an empty queue while we have more than one task
                 // waiting — hand one over (paper §IV: tasks migrate when
                 // the local cores are overloaded).
-                if occupancy == 0 && st.cores[me.index()].queue.len() > 1 {
+                if occupancy == 0
+                    && st.cores[me.index()].queue.len() > 1
+                    && !ops.core_failed(from, env.arrival)
+                {
                     let task = st.cores[me.index()].queue.pop_back().expect("len > 1");
                     st.stats.task_migrations += 1;
                     st.cores[me.index()].proxy.insert(from, 1);
                     drop(st);
                     ops.queue_hint_sub(me, 1);
                     let birth = ops.record_birth(me, reply_at);
-                    ops.send_at(
+                    let sent = self.retry_send(
+                        ops,
                         me,
                         from,
                         self.params.spawn_msg_bytes,
@@ -252,6 +339,23 @@ impl RuntimeHooks for TaskRuntime {
                             hops: 0,
                         }),
                     );
+                    if let Err((mut payload, _)) = sent {
+                        // Undo: the task stays in our queue.
+                        ops.discard_birth(me, birth);
+                        let RtMsg::TaskSpawn {
+                            body, group, name, ..
+                        } = payload.take::<RtMsg>()
+                        else {
+                            unreachable!("spawn payload round-trips")
+                        };
+                        let mut st = self.st.lock();
+                        st.stats.fault_local_runs += 1;
+                        st.cores[me.index()]
+                            .queue
+                            .push_back(QueuedTask { body, group, name });
+                        drop(st);
+                        ops.queue_hint_add(me, 1);
+                    }
                     // Our own occupancy changed: tell the neighborhood.
                     let mut st = self.st.lock();
                     self.broadcast_occupancy(ops, &mut st, me);
@@ -273,19 +377,28 @@ impl RuntimeHooks for TaskRuntime {
                     info.location = requester;
                     let size = info.size_bytes;
                     drop(st);
-                    ops.send_at(
+                    let sent = self.retry_send(
+                        ops,
                         me,
                         requester,
                         size,
                         reply_at,
                         Payload::new(RtMsg::DataResponse { activity }),
                     );
+                    if let Err((_, fail_t)) = sent {
+                        // The response is lost for good: unblock the
+                        // requester anyway so the run can finish (it already
+                        // charged the request leg; the cell moved).
+                        self.st.lock().stats.cell_access_failures += 1;
+                        ops.wake(activity, Box::new(()), fail_t);
+                    }
                 } else {
                     // Stale location: chase the cell.
                     let loc = info.location;
                     st.stats.cell_forwards += 1;
                     drop(st);
-                    ops.send_at(
+                    let sent = self.retry_send(
+                        ops,
                         me,
                         loc,
                         self.params.ctrl_msg_bytes,
@@ -297,6 +410,12 @@ impl RuntimeHooks for TaskRuntime {
                             hops: hops + 1,
                         }),
                     );
+                    if let Err((_, fail_t)) = sent {
+                        // Chasing failed: give up and unblock the requester
+                        // with a degraded (backing-store) access.
+                        self.st.lock().stats.cell_access_failures += 1;
+                        ops.wake(activity, Box::new(()), fail_t);
+                    }
                 }
             }
             RtMsg::DataResponse { activity } => {
@@ -320,13 +439,20 @@ impl RuntimeHooks for TaskRuntime {
                     let grant_at = reply_at.max(ls.free_at);
                     st.stats.lock_fast += 1;
                     drop(st);
-                    ops.send_at(
+                    let sent = self.retry_send(
+                        ops,
                         me,
                         requester,
                         self.params.ctrl_msg_bytes,
                         grant_at,
                         Payload::new(RtMsg::LockAck { activity }),
                     );
+                    if let Err((_, fail_t)) = sent {
+                        // Grant message lost: hand over directly (the lock
+                        // stays held by the requester; correctness of the
+                        // virtual serialization is preserved by free_at).
+                        ops.wake(activity, Box::new(()), fail_t);
+                    }
                 }
             }
             RtMsg::LockAck { activity } => {
@@ -341,13 +467,19 @@ impl RuntimeHooks for TaskRuntime {
                 if let Some((activity, core)) = ls.waiters.pop_front() {
                     // Hand over directly; the lock stays held.
                     drop(st);
-                    ops.send_at(
+                    let sent = self.retry_send(
+                        ops,
                         me,
                         core,
                         self.params.ctrl_msg_bytes,
                         reply_at,
                         Payload::new(RtMsg::LockAck { activity }),
                     );
+                    if let Err((_, fail_t)) = sent {
+                        // Handoff message lost: wake the waiter directly so
+                        // the lock chain keeps moving.
+                        ops.wake(activity, Box::new(()), fail_t);
+                    }
                 } else {
                     ls.held = false;
                 }
@@ -391,12 +523,20 @@ impl RuntimeHooks for TaskRuntime {
             };
             for (joiner, jcore) in joiners {
                 self.st.lock().stats.joiner_notifies += 1;
-                ops.send(
+                let at = ops.now(core);
+                let sent = self.retry_send(
+                    ops,
                     core,
                     jcore,
                     self.params.ctrl_msg_bytes,
+                    at,
                     Payload::new(RtMsg::JoinerRequest { joiner }),
                 );
+                if let Err((_, fail_t)) = sent {
+                    // Notification lost: wake the joiner directly so the
+                    // join never deadlocks.
+                    ops.wake(joiner, Box::new(()), fail_t);
+                }
             }
         }
     }

@@ -125,6 +125,19 @@ pub struct RtStats {
     pub lock_fast: u64,
     /// Lock acquisitions that had to wait.
     pub lock_waits: u64,
+    /// Protocol sends retried after a fault-plan loss (timeout + backoff).
+    pub send_retries: u64,
+    /// Protocol sends abandoned after exhausting the retry budget.
+    pub send_failures: u64,
+    /// Probe targets skipped (or probes answered NACK) because the target
+    /// core had failed.
+    pub probe_unavailable: u64,
+    /// Spawns that fell back to running locally because the spawn message
+    /// could not be delivered (failed core / partition).
+    pub fault_local_runs: u64,
+    /// Cell accesses degraded to a backing-store charge because the data
+    /// request could not be delivered.
+    pub cell_access_failures: u64,
 }
 
 /// All mutable run-time state, owned by the hooks object behind a mutex

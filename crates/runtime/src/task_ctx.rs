@@ -113,8 +113,21 @@ impl<'a> TaskCtx<'a> {
         let me = self.core();
         let my_aid = self.ec.id();
         let candidate = self.ec.with_ops(|ops| {
+            let now = ops.now(me);
+            // Failed cores accept no new work: drop them from the candidate
+            // set up front instead of wasting a probe round-trip.
+            let neighbors: Vec<CoreId> = ops
+                .neighbors(me)
+                .into_iter()
+                .filter(|&n| {
+                    let failed = ops.core_failed(n, now);
+                    if failed {
+                        rt.st.lock().stats.probe_unavailable += 1;
+                    }
+                    !failed
+                })
+                .collect();
             let mut st = rt.st.lock();
-            let neighbors = ops.neighbors(me);
             if neighbors.is_empty() {
                 st.stats.probe_skips += 1;
                 return None;
@@ -151,16 +164,27 @@ impl<'a> TaskCtx<'a> {
             }
             st.stats.probes += 1;
             drop(st);
-            ops.send(
+            let sent = rt.retry_send(
+                ops,
                 me,
                 pick,
                 params.ctrl_msg_bytes,
+                now,
                 Payload::new(RtMsg::Probe {
                     prober: my_aid,
                     reply_to: me,
                 }),
             );
-            Some(pick)
+            match sent {
+                Ok(_) => Some(pick),
+                Err((_, fail_t)) => {
+                    // The probe never got through: treat it as denied (the
+                    // caller falls back to sequential execution) and charge
+                    // the time spent retrying.
+                    ops.advance_core_to(me, fail_t);
+                    None
+                }
+            }
         });
         candidate?;
         let outcome = self.ec.block("probe");
@@ -197,11 +221,14 @@ impl<'a> TaskCtx<'a> {
             } else {
                 rt.st.lock().stats.spawns += 1;
             }
-            let birth = ops.record_birth(me, ops.now(me));
-            ops.send(
+            let at = ops.now(me);
+            let birth = ops.record_birth(me, at);
+            let sent = rt.retry_send(
+                ops,
                 me,
                 target,
                 rt.params().spawn_msg_bytes,
+                at,
                 Payload::new(RtMsg::TaskSpawn {
                     body,
                     group,
@@ -212,6 +239,27 @@ impl<'a> TaskCtx<'a> {
                     hops: 0,
                 }),
             );
+            if let Err((mut payload, fail_t)) = sent {
+                // The spawn cannot reach its reserved target (failed core /
+                // partition): run the task on this core instead. The remote
+                // reservation leaks, which is harmless — the target is
+                // unreachable anyway.
+                ops.discard_birth(me, birth);
+                let RtMsg::TaskSpawn {
+                    body, group, name, ..
+                } = payload.take::<RtMsg>()
+                else {
+                    unreachable!("spawn payload round-trips")
+                };
+                ops.advance_core_to(me, fail_t);
+                let mut st = rt.st.lock();
+                st.stats.fault_local_runs += 1;
+                st.cores[me.index()]
+                    .queue
+                    .push_back(crate::state::QueuedTask { body, group, name });
+                ops.queue_hint_add(me, 1);
+                rt.broadcast_occupancy(ops, &mut st, me);
+            }
         });
     }
 
@@ -367,10 +415,13 @@ impl<'a> TaskCtx<'a> {
             } else {
                 st.stats.cell_remote += 1;
                 drop(st);
-                ops.send(
+                let at = ops.now(me);
+                let sent = rt.retry_send(
+                    ops,
                     me,
                     loc,
                     params.ctrl_msg_bytes,
+                    at,
                     Payload::new(RtMsg::DataRequest {
                         cell,
                         requester: me,
@@ -378,7 +429,16 @@ impl<'a> TaskCtx<'a> {
                         hops: 0,
                     }),
                 );
-                false
+                match sent {
+                    Ok(_) => false,
+                    Err((_, fail_t)) => {
+                        // The cell's home is unreachable: degrade to a
+                        // backing-store access without moving the cell.
+                        rt.st.lock().stats.cell_access_failures += 1;
+                        ops.advance_core_to(me, fail_t);
+                        true
+                    }
+                }
             }
         });
         if !local {
@@ -467,17 +527,30 @@ impl<'a> TaskCtx<'a> {
             } else {
                 let home = ls.home;
                 drop(st);
-                ops.send(
+                let at = ops.now(me);
+                let sent = rt.retry_send(
+                    ops,
                     me,
                     home,
                     params.ctrl_msg_bytes,
+                    at,
                     Payload::new(RtMsg::LockRequest {
                         lock,
                         activity: my_aid,
                         requester: me,
                     }),
                 );
-                None
+                match sent {
+                    Ok(_) => None,
+                    Err((_, fail_t)) => {
+                        // The lock's home is unreachable: proceed as if
+                        // acquired (degraded mutual exclusion — the home is
+                        // partitioned away, so no reachable core contends
+                        // through it either).
+                        ops.advance_core_to(me, fail_t);
+                        Some(true)
+                    }
+                }
             }
         });
         match acquired_locally {
@@ -502,22 +575,34 @@ impl<'a> TaskCtx<'a> {
                 ls.free_at = ls.free_at.max(now);
                 if let Some((activity, core)) = ls.waiters.pop_front() {
                     drop(st);
-                    ops.send(
+                    let sent = rt.retry_send(
+                        ops,
                         me,
                         core,
                         params.ctrl_msg_bytes,
+                        now,
                         Payload::new(RtMsg::LockAck { activity }),
                     );
+                    if let Err((_, fail_t)) = sent {
+                        // Handoff lost: wake the waiter directly so the
+                        // lock chain keeps moving.
+                        ops.wake(activity, Box::new(()), fail_t);
+                    }
                 } else {
                     ls.held = false;
                 }
             } else {
                 let home = ls.home;
                 drop(st);
-                ops.send(
+                // Best effort: if the release never reaches the home core,
+                // it is unreachable anyway — retry_send already counted the
+                // failure.
+                let _ = rt.retry_send(
+                    ops,
                     me,
                     home,
                     params.ctrl_msg_bytes,
+                    now,
                     Payload::new(RtMsg::LockRelease { lock }),
                 );
             }

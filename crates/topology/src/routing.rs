@@ -55,6 +55,55 @@ impl RoutingTable {
         }
     }
 
+    /// Rebuild the table while avoiding every link flagged in `dead`
+    /// (indexed by link id). Unlike [`RoutingTable::build`] this accepts a
+    /// disconnected residual graph: the second return value is `true` when
+    /// at least one ordered pair of cores has no surviving route (the
+    /// machine is partitioned). Use [`RoutingTable::reachable`] before
+    /// walking a route on a table built this way.
+    pub fn build_avoiding(topo: &Topology, dead: &[bool]) -> (Self, bool) {
+        assert_eq!(
+            dead.len(),
+            topo.n_links() as usize,
+            "dead-link mask must cover every link"
+        );
+        let n = topo.n_cores();
+        let mut next_hop = Vec::with_capacity(n as usize);
+        let mut dist = Vec::with_capacity(n as usize);
+        let mut hops = Vec::with_capacity(n as usize);
+        let mut rev: Vec<Vec<(CoreId, LinkId)>> = vec![Vec::new(); n as usize];
+        for (i, l) in topo.links().iter().enumerate() {
+            if !dead[i] {
+                rev[l.dst.index()].push((l.src, LinkId(i as u32)));
+            }
+        }
+        let mut partitioned = false;
+        for dst in topo.cores() {
+            let (nh, d, h) = dijkstra_to(topo, &rev, dst);
+            partitioned |= d.contains(&u64::MAX);
+            next_hop.push(nh);
+            dist.push(d);
+            hops.push(h);
+        }
+        (
+            RoutingTable {
+                n,
+                next_hop,
+                dist,
+                hops,
+            },
+            partitioned,
+        )
+    }
+
+    /// True iff a route from `src` to `dst` exists in this table (always
+    /// true for tables built with [`RoutingTable::build`], which asserts
+    /// connectivity; may be false for [`RoutingTable::build_avoiding`]).
+    #[inline]
+    pub fn reachable(&self, src: CoreId, dst: CoreId) -> bool {
+        self.dist[dst.index()][src.index()] != u64::MAX
+    }
+
     /// The link to take from `src` toward `dst`; `None` when `src == dst`.
     #[inline]
     pub fn next_link(&self, src: CoreId, dst: CoreId) -> Option<LinkId> {
@@ -231,6 +280,56 @@ mod tests {
         assert_eq!(rt.path_hops(CoreId(0), CoreId(3)), 3);
         assert_eq!(rt.path_hops(CoreId(0), CoreId(5)), 3); // around the back
         assert_eq!(rt.path_hops(CoreId(0), CoreId(4)), 4);
+    }
+
+    #[test]
+    fn build_avoiding_reroutes_around_dead_links() {
+        let topo = mesh_2d(16); // 4x4
+        let full = RoutingTable::build(&topo);
+        // Kill both directions of the 0<->1 link: 0 -> 1 must detour.
+        let mut dead = vec![false; topo.n_links() as usize];
+        dead[topo.link_between(CoreId(0), CoreId(1)).unwrap().index()] = true;
+        dead[topo.link_between(CoreId(1), CoreId(0)).unwrap().index()] = true;
+        let (rt, partitioned) = RoutingTable::build_avoiding(&topo, &dead);
+        assert!(!partitioned, "a mesh survives one dead link");
+        assert!(rt.reachable(CoreId(0), CoreId(1)));
+        assert_eq!(rt.path_hops(CoreId(0), CoreId(1)), 3); // 0-4-5-1
+        assert!(rt.path_hops(CoreId(0), CoreId(1)) > full.path_hops(CoreId(0), CoreId(1)));
+        for link in rt.route(&topo, CoreId(0), CoreId(1)) {
+            assert!(!dead[link.index()], "route over a dead link");
+        }
+    }
+
+    #[test]
+    fn build_avoiding_reports_partition() {
+        // A 4-ring with both directions of two opposite edges cut splits in
+        // two.
+        let topo = ring(4);
+        let mut dead = vec![false; topo.n_links() as usize];
+        for (u, v) in [(0u32, 1u32), (2, 3)] {
+            dead[topo.link_between(CoreId(u), CoreId(v)).unwrap().index()] = true;
+            dead[topo.link_between(CoreId(v), CoreId(u)).unwrap().index()] = true;
+        }
+        let (rt, partitioned) = RoutingTable::build_avoiding(&topo, &dead);
+        assert!(partitioned);
+        assert!(!rt.reachable(CoreId(0), CoreId(1)));
+        assert!(rt.reachable(CoreId(1), CoreId(2)));
+        assert!(rt.reachable(CoreId(0), CoreId(0)));
+    }
+
+    #[test]
+    fn build_avoiding_nothing_matches_build() {
+        let topo = mesh_2d(16);
+        let full = RoutingTable::build(&topo);
+        let dead = vec![false; topo.n_links() as usize];
+        let (rt, partitioned) = RoutingTable::build_avoiding(&topo, &dead);
+        assert!(!partitioned);
+        for s in topo.cores() {
+            for d in topo.cores() {
+                assert_eq!(full.next_link(s, d), rt.next_link(s, d));
+                assert!(rt.reachable(s, d));
+            }
+        }
     }
 
     #[test]

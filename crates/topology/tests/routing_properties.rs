@@ -112,6 +112,82 @@ proptest! {
         }
     }
 
+    /// Every materialized route's per-hop latencies sum exactly to the
+    /// table's `path_latency` on random connected topologies (the charge
+    /// the interconnect model applies hop by hop matches the precomputed
+    /// end-to-end figure).
+    #[test]
+    fn hop_latencies_sum_to_path_latency(
+        n in 2u32..20,
+        extra in 0usize..16,
+        seed in 0u64..10_000,
+    ) {
+        let topo = random_topology(n, extra, seed);
+        prop_assume!(topo.is_connected());
+        let rt = RoutingTable::build(&topo);
+        for s in topo.cores() {
+            for d in topo.cores() {
+                let total: VDuration = rt
+                    .route(&topo, s, d)
+                    .into_iter()
+                    .map(|l| topo.link(l).latency)
+                    .fold(VDuration::ZERO, |acc, x| acc + x);
+                prop_assert_eq!(total, rt.path_latency(s, d));
+            }
+        }
+    }
+
+    /// Post-failure recompute (`build_avoiding`) never routes over a dead
+    /// link: surviving routes chain over live links only and still sum to
+    /// the recomputed latency, and the partition flag is set exactly when
+    /// some pair became unreachable.
+    #[test]
+    fn recompute_never_routes_over_dead_links(
+        n in 2u32..16,
+        extra in 0usize..12,
+        seed in 0u64..10_000,
+        kills in 0usize..4,
+    ) {
+        use simany_time::Xoshiro256StarStar;
+        let topo = random_topology(n, extra, seed);
+        prop_assume!(topo.is_connected());
+        // Kill a few random physical pairs (both directions together, as
+        // the fault plan does).
+        let mut rng = Xoshiro256StarStar::seeded(seed ^ 0xDEAD);
+        let mut dead = vec![false; topo.n_links() as usize];
+        for _ in 0..kills {
+            let l = rng.next_below(u64::from(topo.n_links())) as usize;
+            dead[l] = true;
+            let props = topo.link(simany_topology::LinkId(l as u32));
+            if let Some(back) = topo.link_between(props.dst, props.src) {
+                dead[back.index()] = true;
+            }
+        }
+        let (rt, partitioned) = RoutingTable::build_avoiding(&topo, &dead);
+        let mut any_unreachable = false;
+        for s in topo.cores() {
+            for d in topo.cores() {
+                if !rt.reachable(s, d) {
+                    any_unreachable = true;
+                    continue;
+                }
+                let route = rt.route(&topo, s, d);
+                let mut cur = s;
+                let mut total = VDuration::ZERO;
+                for link in route {
+                    prop_assert!(!dead[link.index()], "route {} -> {} crosses dead link", s, d);
+                    let props = topo.link(link);
+                    prop_assert_eq!(props.src, cur);
+                    cur = props.dst;
+                    total += props.latency;
+                }
+                prop_assert_eq!(cur, d);
+                prop_assert_eq!(total, rt.path_latency(s, d));
+            }
+        }
+        prop_assert_eq!(partitioned, any_unreachable);
+    }
+
     /// Config round-trip preserves structure and link properties for
     /// arbitrary topologies.
     #[test]

@@ -35,6 +35,7 @@
 //! | virtual time, cost models, PRNGs | [`time`] (`simany-time`) |
 //! | topologies and routing | [`topology`] (`simany-topology`) |
 //! | interconnect with per-link contention | [`net`] (`simany-net`) |
+//! | deterministic fault injection | [`fault`] (`simany-fault`) |
 //! | the discrete-event engine + spatial sync | [`core`] (`simany-core`) |
 //! | probe/spawn/join task model, cells, locks | [`runtime`] (`simany-runtime`) |
 //! | memory models (L1, banks, MSI directory) | [`mem`] (`simany-mem`) |
@@ -44,6 +45,7 @@
 
 pub use simany_core as core;
 pub use simany_cyclelevel as cyclelevel;
+pub use simany_fault as fault;
 pub use simany_kernels as kernels;
 pub use simany_mem as mem;
 pub use simany_net as net;
@@ -59,6 +61,7 @@ pub mod presets;
 pub mod prelude {
     pub use crate::presets;
     pub use simany_core::{BlockCost, CoreId, EngineConfig, SyncPolicy, VDuration, VirtualTime};
+    pub use simany_fault::{FaultConfig, FaultPlan, FaultPlanBuilder};
     pub use simany_kernels::{all_kernels, DwarfKernel, Scale};
     pub use simany_runtime::{
         run_program, MemoryArch, ProgramSpec, RunOutput, RuntimeParams, TaskCtx,
