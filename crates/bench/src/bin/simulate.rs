@@ -27,6 +27,10 @@ struct Args {
     topology_file: Option<String>,
     trace: bool,
     fast_path: bool,
+    sanitize: bool,
+    checkpoint_every: Option<u64>,
+    checkpoint_file: String,
+    resume: Option<String>,
     json: Option<String>,
     link_fail_prob: f64,
     repair_after: Option<u64>,
@@ -50,6 +54,10 @@ impl Default for Args {
             topology_file: None,
             trace: false,
             fast_path: true,
+            sanitize: false,
+            checkpoint_every: None,
+            checkpoint_file: "simany.checkpoint".into(),
+            resume: None,
             json: None,
             link_fail_prob: 0.0,
             repair_after: None,
@@ -76,7 +84,13 @@ options:
   --topology FILE     adjacency-matrix config file (overrides --machine)
   --trace             collect and print an event timeline
   --fast-path on|off  drift-headroom fast path (default on; bit-exact)
+  --sanitize on|off   online invariant sanitizer (default off; observation-only)
   --json FILE         also write wall-clock + counters as JSON to FILE
+
+checkpoint / resume (see crates/core/src/checkpoint.rs for the model):
+  --checkpoint-every T  write a verification checkpoint every T virtual cycles
+  --checkpoint-file F   checkpoint file path (default simany.checkpoint)
+  --resume F            replay and verify against the checkpoint at F
 
 fault injection (sampled deterministically from --seed; all default off):
   --link-fail-prob F  probability each physical link pair fails
@@ -121,6 +135,21 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--sanitize" => {
+                args.sanitize = match val().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("--sanitize must be on or off, got '{other}'\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = Some(val().parse().expect("--checkpoint-every"))
+            }
+            "--checkpoint-file" => args.checkpoint_file = val(),
+            "--resume" => args.resume = Some(val()),
             "--json" => args.json = Some(val()),
             "--link-fail-prob" => args.link_fail_prob = val().parse().expect("--link-fail-prob"),
             "--repair-after" => args.repair_after = Some(val().parse().expect("--repair-after")),
@@ -184,7 +213,16 @@ fn build_spec(args: &Args) -> ProgramSpec {
     spec.engine = spec
         .engine
         .with_seed(args.seed)
-        .with_fast_path(args.fast_path);
+        .with_fast_path(args.fast_path)
+        .with_sanitize(args.sanitize);
+    if let Some(every) = args.checkpoint_every {
+        spec.engine = spec
+            .engine
+            .with_checkpoint(VDuration::from_cycles(every), args.checkpoint_file.clone());
+    }
+    if let Some(path) = &args.resume {
+        spec.engine = spec.engine.with_resume(path);
+    }
     let faults_requested = args.link_fail_prob > 0.0
         || args.drop_prob > 0.0
         || args.corrupt_prob > 0.0
@@ -212,7 +250,7 @@ fn build_spec(args: &Args) -> ProgramSpec {
 fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
     let s = &r.out.stats;
     let json = format!(
-        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {}\n}}\n",
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {}\n}}\n",
         args.kernel,
         args.cores,
         args.machine,
@@ -240,6 +278,10 @@ fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
         s.reroutes,
         s.link_faults,
         s.core_failures,
+        s.sanitizer_checks,
+        s.sanitizer_violations,
+        s.checkpoints_written,
+        s.checkpoint_verifications,
     );
     std::fs::write(path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
@@ -311,6 +353,26 @@ fn main() {
     );
     println!("core utilization  : {:.2}", r.out.stats.utilization());
     let s = &r.out.stats;
+    if args.sanitize {
+        println!(
+            "sanitizer         : {} checks, {} violations (max global drift {} cycles)",
+            s.sanitizer_checks,
+            s.sanitizer_violations,
+            s.max_global_drift.cycles()
+        );
+    }
+    if s.checkpoints_written > 0 {
+        println!(
+            "checkpoints       : {} written to {}",
+            s.checkpoints_written, args.checkpoint_file
+        );
+    }
+    if args.resume.is_some() {
+        println!(
+            "resume            : checkpoint verified ({} verification)",
+            s.checkpoint_verifications
+        );
+    }
     if s.link_faults + s.core_failures + s.msgs_dropped + s.msg_retries + s.reroutes > 0 {
         println!(
             "faults            : {} link faults, {} core failures, {} partitions",

@@ -670,6 +670,7 @@ fn fastpath_hot_loop(
     reps: u64,
     t_cycles: u64,
     fast_path: bool,
+    sanitize: bool,
     seed: u64,
 ) -> simany::core::SimStats {
     use simany::core::{simulate, CoreId, EngineConfig, Envelope, ExecCtx, Ops, RuntimeHooks};
@@ -684,7 +685,8 @@ fn fastpath_hot_loop(
     let config = EngineConfig::default()
         .with_drift_cycles(t_cycles)
         .with_seed(seed)
-        .with_fast_path(fast_path);
+        .with_fast_path(fast_path)
+        .with_sanitize(sanitize);
     simulate(
         simany::topology::mesh_2d(n),
         config,
@@ -732,8 +734,8 @@ pub fn fastpath_benchmark(opts: &Options) -> String {
     let mut stats_off = None;
     for i in 0..opts.instances.max(1) {
         let first_on = i % 2 == 0;
-        let s_a = fastpath_hot_loop(n, reps, t_cycles, first_on, opts.seed);
-        let s_b = fastpath_hot_loop(n, reps, t_cycles, !first_on, opts.seed);
+        let s_a = fastpath_hot_loop(n, reps, t_cycles, first_on, false, opts.seed);
+        let s_b = fastpath_hot_loop(n, reps, t_cycles, !first_on, false, opts.seed);
         let (s_on, s_off) = if first_on { (s_a, s_b) } else { (s_b, s_a) };
         assert_eq!(
             s_on.final_vtime, s_off.final_vtime,
@@ -949,6 +951,129 @@ pub fn faults_benchmark(opts: &Options) -> String {
         s.link_faults,
         s.core_failures,
         s.partitions_observed,
+        t.to_markdown()
+    )
+}
+
+/// PR 4 acceptance benchmark: wall-time overhead of the online invariant
+/// sanitizer, on the same annotation-dense hot loop as the fast-path
+/// benchmark (worst case for any per-decision checking: there is no
+/// runtime protocol to hide behind) and on a real kernel. The sanitized
+/// and plain runs must be bit-identical in virtual time and the sanitizer
+/// must report zero violations; results are dumped to `BENCH_PR4.json`.
+pub fn sanitizer_benchmark(opts: &Options) -> String {
+    let n = 256u32;
+    let reps = 20_000u64;
+    let t_cycles = 5_000u64;
+
+    // Best-of-instances wall times, alternating run order (same estimator
+    // as the fast-path benchmark).
+    let mut best_on: Option<std::time::Duration> = None;
+    let mut best_off: Option<std::time::Duration> = None;
+    let mut stats_on = None;
+    let mut stats_off = None;
+    for i in 0..opts.instances.max(1) {
+        let first_on = i % 2 == 0;
+        let s_a = fastpath_hot_loop(n, reps, t_cycles, true, first_on, opts.seed);
+        let s_b = fastpath_hot_loop(n, reps, t_cycles, true, !first_on, opts.seed);
+        let (s_on, s_off) = if first_on { (s_a, s_b) } else { (s_b, s_a) };
+        assert_eq!(
+            s_on.final_vtime, s_off.final_vtime,
+            "sanitizer changed the simulated outcome"
+        );
+        assert_eq!(s_on.sanitizer_violations, 0, "sanitizer found violations");
+        assert!(s_on.sanitizer_checks > 0, "sanitizer ran no checks");
+        if best_on.is_none_or(|b| s_on.wall < b) {
+            best_on = Some(s_on.wall);
+            stats_on = Some(s_on);
+        }
+        if best_off.is_none_or(|b| s_off.wall < b) {
+            best_off = Some(s_off.wall);
+            stats_off = Some(s_off);
+        }
+    }
+    let s_on = stats_on.expect("at least one instance");
+    let s_off = stats_off.expect("at least one instance");
+    let overhead = s_on.wall.as_secs_f64() / s_off.wall.as_secs_f64().max(1e-9) - 1.0;
+
+    // Secondary point: a real kernel (protocol and messages dominate, so
+    // the relative overhead should be smaller still).
+    let kernel = simany::kernels::kernel_by_name("Quicksort").expect("kernel");
+    let kernel_run = |sanitize: bool| {
+        let mut spec = presets::uniform_mesh_sm(n);
+        spec.engine = spec.engine.with_seed(opts.seed).with_sanitize(sanitize);
+        kernel
+            .run_sim(spec, opts.scale, opts.seed)
+            .expect("kernel run failed")
+    };
+    let mut k_on = kernel_run(true);
+    let mut k_off = kernel_run(false);
+    for i in 1..opts.instances.max(1) {
+        let first_on = i % 2 == 1;
+        let a = kernel_run(first_on);
+        let b = kernel_run(!first_on);
+        let (on, off) = if first_on { (a, b) } else { (b, a) };
+        if on.out.stats.wall < k_on.out.stats.wall {
+            k_on = on;
+        }
+        if off.out.stats.wall < k_off.out.stats.wall {
+            k_off = off;
+        }
+    }
+    assert_eq!(
+        k_on.cycles(),
+        k_off.cycles(),
+        "sanitizer changed kernel outcome"
+    );
+    assert_eq!(k_on.out.stats.sanitizer_violations, 0);
+    let k_overhead =
+        k_on.out.stats.wall.as_secs_f64() / k_off.out.stats.wall.as_secs_f64().max(1e-9) - 1.0;
+
+    let json = format!(
+        "{{\n  \"bench\": \"sanitizer_overhead\",\n  \"cores\": {n},\n  \"drift_t_cycles\": {t_cycles},\n  \"annotations\": {},\n  \"wall_ns_sanitize_on\": {},\n  \"wall_ns_sanitize_off\": {},\n  \"overhead\": {overhead:.4},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"max_global_drift_cycles\": {},\n  \"final_vtime_cycles\": {},\n  \"kernel\": {{\n    \"name\": \"Quicksort\",\n    \"scale\": {},\n    \"wall_ns_sanitize_on\": {},\n    \"wall_ns_sanitize_off\": {},\n    \"overhead\": {k_overhead:.4},\n    \"sanitizer_checks\": {},\n    \"final_vtime_cycles\": {}\n  }}\n}}\n",
+        u64::from(n) * reps,
+        s_on.wall.as_nanos(),
+        s_off.wall.as_nanos(),
+        s_on.sanitizer_checks,
+        s_on.sanitizer_violations,
+        s_on.max_global_drift.cycles(),
+        s_on.final_vtime.cycles(),
+        opts.scale.0,
+        k_on.out.stats.wall.as_nanos(),
+        k_off.out.stats.wall.as_nanos(),
+        k_on.out.stats.sanitizer_checks,
+        k_on.cycles(),
+    );
+    std::fs::write("BENCH_PR4.json", &json).expect("cannot write BENCH_PR4.json");
+
+    let mut t = Table::new(&[
+        "bench",
+        "wall sanitize on",
+        "wall sanitize off",
+        "overhead",
+        "checks",
+    ]);
+    t.row(vec![
+        format!("hot loop {n} cores × {reps} annotations"),
+        format!("{:?}", s_on.wall),
+        format!("{:?}", s_off.wall),
+        pct_signed(overhead),
+        s_on.sanitizer_checks.to_string(),
+    ]);
+    t.row(vec![
+        format!("Quicksort {n} cores, scale {}", opts.scale.0),
+        format!("{:?}", k_on.out.stats.wall),
+        format!("{:?}", k_off.out.stats.wall),
+        pct_signed(k_overhead),
+        k_on.out.stats.sanitizer_checks.to_string(),
+    ]);
+    format!(
+        "### Sanitizer benchmark (PR 4) — results written to BENCH_PR4.json\n\n\
+         {} invariant checks, {} violations; max observed global drift {} \
+         cycles (bound: diameter × T).\n\n{}",
+        s_on.sanitizer_checks,
+        s_on.sanitizer_violations,
+        s_on.max_global_drift.cycles(),
         t.to_markdown()
     )
 }

@@ -1,0 +1,272 @@
+//! Verification checkpoints and deterministic resume.
+//!
+//! SiMany is deterministic: topology + configuration + seed fully determine
+//! the run. A checkpoint therefore does not need to serialize the engine's
+//! live object graph (native task stacks could not be serialized anyway —
+//! task bodies are real Rust frames, §III); it records a *verifiable
+//! waypoint*: the configuration digest, the virtual-time watermark, the
+//! scheduler-pick count at that watermark and an order-independent digest
+//! of all mutable machine state. Resuming (`EngineConfig::resume_from`)
+//! replays the run from the start and, at the first scheduler-time instant
+//! whose `max_vtime` reaches the watermark, compares pick count and state
+//! digest — any divergence (changed binary, configuration drift, a
+//! nondeterminism bug) aborts with [`crate::SimError::CheckpointMismatch`].
+//! A resumed run that verifies is bit-identical to the uninterrupted run by
+//! construction, which is exactly the property the determinism suite pins.
+//!
+//! The on-disk format is a small versioned text file:
+//!
+//! ```text
+//! simany-checkpoint v1
+//! config <16-hex config digest>
+//! watermark <ticks>
+//! picks <scheduler picks>
+//! state <16-hex state digest>
+//! ```
+//!
+//! Checkpoints are written at scheduler-time quiescence (deferred publishes
+//! are flushed at every token yield), so the digest is well-defined; the
+//! file at `checkpoint_path` is atomically replaced (write + rename) each
+//! time the watermark crosses a `checkpoint_every` boundary.
+
+use crate::engine::Sim;
+use crate::hooks::RuntimeHooks;
+use simany_time::{VDuration, VirtualTime};
+use std::io::Write as _;
+use std::path::Path;
+
+/// Format magic of version 1.
+const MAGIC_V1: &str = "simany-checkpoint v1";
+
+/// One verification waypoint (see the module docs for semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Digest of the behavioral configuration (policy, seed, network,
+    /// fault plan shape — everything that determines the trajectory;
+    /// observation-only knobs like tracing, sanitizing and checkpoint
+    /// paths are excluded so a resuming run may differ in them).
+    pub config_digest: u64,
+    /// Virtual-time watermark: `max_vtime` at the instant the checkpoint
+    /// was taken.
+    pub watermark: VirtualTime,
+    /// Scheduler picks completed at the watermark.
+    pub picks: u64,
+    /// Digest of all mutable machine state at the watermark.
+    pub state_digest: u64,
+}
+
+impl Checkpoint {
+    /// Serialize to `path`, replacing any previous checkpoint atomically
+    /// (write to `path.tmp`, then rename).
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            writeln!(f, "{MAGIC_V1}")?;
+            writeln!(f, "config {:016x}", self.config_digest)?;
+            writeln!(f, "watermark {}", self.watermark.ticks())?;
+            writeln!(f, "picks {}", self.picks)?;
+            writeln!(f, "state {:016x}", self.state_digest)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load and validate a checkpoint file.
+    pub fn load(path: &Path) -> Result<Checkpoint, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        let mut lines = text.lines();
+        let magic = lines.next().unwrap_or_default();
+        if magic != MAGIC_V1 {
+            return Err(format!(
+                "unsupported checkpoint format {magic:?} in {} (expected {MAGIC_V1:?})",
+                path.display()
+            ));
+        }
+        let mut field = |name: &str, radix: u32| -> Result<u64, String> {
+            let line = lines
+                .next()
+                .ok_or_else(|| format!("truncated checkpoint {}", path.display()))?;
+            let value = line
+                .strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .ok_or_else(|| {
+                    format!("malformed checkpoint line {line:?} (expected {name} ...)")
+                })?;
+            u64::from_str_radix(value.trim(), radix)
+                .map_err(|e| format!("bad {name} value {value:?}: {e}"))
+        };
+        let config_digest = field("config", 16)?;
+        let watermark_ticks = field("watermark", 10)?;
+        let picks = field("picks", 10)?;
+        let state_digest = field("state", 16)?;
+        Ok(Checkpoint {
+            config_digest,
+            watermark: VirtualTime::ZERO + VDuration::from_half_cycles(watermark_ticks),
+            picks,
+            state_digest,
+        })
+    }
+}
+
+/// Tiny FNV-1a-style 64-bit folder over little-endian `u64` words. Not
+/// cryptographic — it only needs to make accidental divergence visible.
+#[derive(Clone, Copy)]
+pub(crate) struct Digest(u64);
+
+impl Digest {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Digest(Self::OFFSET)
+    }
+
+    pub(crate) fn u64(&mut self, x: u64) -> &mut Self {
+        for b in x.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    pub(crate) fn str(&mut self, s: &str) -> &mut Self {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self.u64(s.len() as u64)
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Digest of everything that determines the run's trajectory: sync/pick
+/// policy, seed, cost model, speeds, network parameters, runtime cost
+/// knobs and the fault plan shape. Deliberately excludes observation-only
+/// configuration (tracer, sanitize, watchdog, checkpoint/resume paths):
+/// those may legitimately differ between the writing and the resuming run.
+pub fn config_digest(config: &crate::EngineConfig) -> u64 {
+    let mut d = Digest::new();
+    d.str(&format!("{:?}", config.sync));
+    d.str(&format!("{:?}", config.pick));
+    d.u64(config.seed);
+    d.str(&format!("{:?}", config.cost_model));
+    d.str(&format!("{:?}", config.speeds));
+    d.str(&format!("{:?}", config.net));
+    d.u64(config.resume_cost.ticks());
+    d.u64(config.max_live_activities as u64);
+    d.u64(config.parallelism_sample_every);
+    d.u64(u64::from(config.fast_path));
+    match &config.fault {
+        None => {
+            d.str("fault:none");
+        }
+        Some(p) => {
+            d.str("fault:plan");
+            d.u64(u64::from(p.n_cores()));
+            d.u64(p.epoch_count() as u64);
+            d.u64(u64::from(p.has_message_faults()));
+            d.u64(u64::from(p.has_core_faults()));
+        }
+    };
+    d.finish()
+}
+
+/// Order-independent digest of all mutable machine state at a
+/// scheduler-time instant: per-core clocks and queues, activity/birth
+/// counters, behavioral statistics, the network model and whatever the
+/// runtime exposes via [`RuntimeHooks::state_digest`]. Wall-clock and
+/// observation-only counters (sanitizer, checkpoint bookkeeping) are
+/// excluded so sanitized and plain runs digest identically.
+pub(crate) fn state_digest(sim: &Sim, hooks: &dyn RuntimeHooks) -> u64 {
+    let mut d = Digest::new();
+    d.u64(sim.cores.len() as u64);
+    for core in &sim.cores {
+        d.u64(core.vtime.ticks());
+        d.u64(core.published.ticks());
+        d.u64(core.busy.ticks());
+        d.u64(u64::from(core.lock_depth));
+        d.u64(u64::from(core.queue_hint));
+        d.u64(u64::from(core.resident));
+        d.u64(core.inbox.len() as u64);
+        d.u64(core.inbox.earliest_arrival().map_or(0, |a| a.ticks()));
+        d.u64(core.births.len() as u64);
+        d.u64(core.min_birth().map_or(0, |b| b.ticks()));
+    }
+    d.u64(sim.live_activities as u64);
+    d.u64(sim.next_act);
+    d.u64(sim.next_birth);
+    d.u64(sim.max_vtime.ticks());
+    let s = &sim.stats;
+    for x in [
+        s.activities_started,
+        s.activity_resumes,
+        s.stall_events,
+        s.late_messages,
+        s.on_time_messages,
+        s.late_by_total.ticks(),
+        s.fast_path_advances,
+        s.full_sync_checks,
+        s.publish_sweeps,
+        s.floor_recomputes,
+        s.msg_retries,
+        s.core_failures,
+        s.link_faults,
+        s.partitions_observed,
+        s.max_neighbor_drift.ticks(),
+        s.parallelism_samples.len() as u64,
+        s.parallelism_samples.iter().map(|&x| u64::from(x)).sum(),
+    ] {
+        d.u64(x);
+    }
+    d.u64(sim.net.state_digest());
+    d.u64(hooks.state_digest());
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("simany-checkpoint-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.txt");
+        let cp = Checkpoint {
+            config_digest: 0xdead_beef_0123_4567,
+            watermark: VirtualTime::from_cycles(12_345),
+            picks: 678,
+            state_digest: 0x0fed_cba9_8765_4321,
+        };
+        cp.write_to(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), cp);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("simany-checkpoint-badmagic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cp.txt");
+        std::fs::write(&path, "not a checkpoint\n").unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(err.contains("unsupported checkpoint format"), "{err}");
+    }
+
+    #[test]
+    fn config_digest_ignores_observation_knobs() {
+        let base = crate::EngineConfig::default();
+        let observed = crate::EngineConfig::default()
+            .with_sanitize(true)
+            .with_watchdog_picks(Some(42))
+            .with_checkpoint(VDuration::from_cycles(1000), "/tmp/cp.txt");
+        assert_eq!(config_digest(&base), config_digest(&observed));
+        let other_seed = crate::EngineConfig::default().with_seed(99);
+        assert_ne!(config_digest(&base), config_digest(&other_seed));
+    }
+}

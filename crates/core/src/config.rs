@@ -111,6 +111,37 @@ pub struct EngineConfig {
     /// [`PickPolicy::LowestVtime`], whose ready-queue order is independent
     /// of insertion order. Disable to measure the fast-path win.
     pub fast_path: bool,
+    /// Enable the online invariant sanitizer: every slow-path
+    /// synchronization decision, publish sweep and message delivery is
+    /// re-validated against an independent recomputation of the paper's
+    /// invariants (neighbor drift <= T, global drift <= diameter x T,
+    /// shadow-time monotonicity, birth-time floors, per-sender FIFO,
+    /// causality). Violations are counted in
+    /// [`crate::SimStats::sanitizer_violations`] and reported as
+    /// [`crate::TraceEvent::SanitizerViolation`] events. Off by default;
+    /// when off the checks cost a single untaken branch outside the hot
+    /// fast path.
+    pub sanitize: bool,
+    /// Stall watchdog: abort with [`crate::SimError::Stalled`] after this
+    /// many consecutive scheduler picks without any virtual-time progress
+    /// (livelock defense; classic deadlocks are detected exactly by the
+    /// quiet-state check). `None` disables the watchdog. The default is
+    /// generous enough that no legitimate workload trips it.
+    pub watchdog_picks: Option<u64>,
+    /// Write a verification checkpoint every time the maximum virtual time
+    /// crosses a multiple of this interval. `None` disables checkpointing.
+    /// See `crate::checkpoint` for the format and the replay-based resume
+    /// model.
+    pub checkpoint_every: Option<VDuration>,
+    /// Path the checkpoint file is (re)written to. Required when
+    /// `checkpoint_every` is set.
+    pub checkpoint_path: Option<std::path::PathBuf>,
+    /// Resume from (i.e. deterministically replay and verify against) a
+    /// checkpoint previously written by a run with the same program,
+    /// configuration and seed. On reaching the checkpoint's virtual-time
+    /// watermark the engine compares state digests and aborts with
+    /// [`crate::SimError::CheckpointMismatch`] on divergence.
+    pub resume_from: Option<std::path::PathBuf>,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -128,6 +159,11 @@ impl std::fmt::Debug for EngineConfig {
             .field("fault", &self.fault.as_ref().map(|_| "..."))
             .field("parallelism_sample_every", &self.parallelism_sample_every)
             .field("fast_path", &self.fast_path)
+            .field("sanitize", &self.sanitize)
+            .field("watchdog_picks", &self.watchdog_picks)
+            .field("checkpoint_every", &self.checkpoint_every)
+            .field("checkpoint_path", &self.checkpoint_path)
+            .field("resume_from", &self.resume_from)
             .finish()
     }
 }
@@ -148,6 +184,11 @@ impl Default for EngineConfig {
             fault: None,
             parallelism_sample_every: 0,
             fast_path: true,
+            sanitize: false,
+            watchdog_picks: Some(10_000_000),
+            checkpoint_every: None,
+            checkpoint_path: None,
+            resume_from: None,
         }
     }
 }
@@ -177,6 +218,38 @@ impl EngineConfig {
     /// Install a fault plan (see `simany_fault::FaultPlan`).
     pub fn with_fault_plan(mut self, plan: std::sync::Arc<simany_fault::FaultPlan>) -> Self {
         self.fault = Some(plan);
+        self
+    }
+
+    /// Enable or disable the online invariant sanitizer (see
+    /// [`Self::sanitize`]).
+    pub fn with_sanitize(mut self, on: bool) -> Self {
+        self.sanitize = on;
+        self
+    }
+
+    /// Set (or disable, with `None`) the stall-watchdog pick budget (see
+    /// [`Self::watchdog_picks`]).
+    pub fn with_watchdog_picks(mut self, picks: Option<u64>) -> Self {
+        self.watchdog_picks = picks;
+        self
+    }
+
+    /// Write verification checkpoints every `every` of virtual-time
+    /// progress to `path`.
+    pub fn with_checkpoint(
+        mut self,
+        every: VDuration,
+        path: impl Into<std::path::PathBuf>,
+    ) -> Self {
+        self.checkpoint_every = Some(every);
+        self.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Resume from (replay and verify against) the checkpoint at `path`.
+    pub fn with_resume(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.resume_from = Some(path.into());
         self
     }
 

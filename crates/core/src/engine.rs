@@ -79,7 +79,7 @@ pub(crate) struct Sim {
     pub(crate) worker_assigned: Vec<Option<ActivityId>>,
     pub(crate) free_workers: Vec<usize>,
     pub(crate) shutdown: bool,
-    pub(crate) failure: Option<String>,
+    pub(crate) failure: Option<Failure>,
     pub(crate) live_activities: usize,
     pub(crate) floor_dirty: bool,
     /// Largest clock any core has reached (monotone). Bounds shadow-time
@@ -108,6 +108,9 @@ pub(crate) struct Sim {
     /// Per core: whether its fault-plan failure has been announced
     /// (CoreFailed trace emitted, counter bumped).
     pub(crate) core_fail_announced: Vec<bool>,
+    /// Online invariant sanitizer state; `Some` iff
+    /// [`EngineConfig::sanitize`] is on (see [`crate::sanitizer`]).
+    pub(crate) sanitizer: Option<Box<crate::sanitizer::SanitizerState>>,
 }
 
 impl Sim {
@@ -134,19 +137,102 @@ pub enum SimError {
     /// engine itself is deadlock-free by the argument of paper §II.B).
     Deadlock(String),
     /// A task panicked.
-    TaskPanic(String),
+    TaskPanic {
+        /// Core the panicking task was bound to.
+        core: CoreId,
+        /// The core's virtual time when the panic was recorded.
+        at: VirtualTime,
+        /// Name of the panicking task.
+        name: &'static str,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The stall watchdog fired: `watchdog_picks` consecutive scheduler
+    /// picks completed without any virtual-time progress (livelock — e.g. a
+    /// bad fault plan or a synchronization-policy bug). Carries a
+    /// diagnostic snapshot of the stuck machine.
+    Stalled {
+        /// The stuck maximum virtual time.
+        at: VirtualTime,
+        /// How many progress-free picks the watchdog tolerated.
+        picks: u64,
+        /// Diagnostic snapshot: per-core clocks/shadow times, waiter sets,
+        /// lock ownership and in-flight messages.
+        report: String,
+    },
+    /// Checkpoint machinery failed outside the simulation proper: an
+    /// unreadable/malformed checkpoint file, a configuration that does not
+    /// match the one the checkpoint was written under, an I/O error while
+    /// writing, or a resume watermark the program never reached.
+    Checkpoint(String),
+    /// A resumed run diverged from its checkpoint at the watermark
+    /// (changed binary, configuration drift, or a nondeterminism bug).
+    CheckpointMismatch(String),
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::Deadlock(d) => write!(f, "simulation deadlock: {d}"),
-            SimError::TaskPanic(m) => write!(f, "task panicked: {m}"),
+            SimError::TaskPanic {
+                core,
+                at,
+                name,
+                message,
+            } => write!(f, "task '{name}' on {core} panicked at {at}: {message}"),
+            SimError::Stalled { at, picks, report } => write!(
+                f,
+                "simulation stalled at {at} ({picks} scheduler picks without progress): {report}"
+            ),
+            SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            SimError::CheckpointMismatch(m) => write!(f, "checkpoint mismatch: {m}"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Internal failure record set under the simulation lock; converted into
+/// the public [`SimError`] at teardown.
+#[derive(Debug)]
+pub(crate) enum Failure {
+    Deadlock(String),
+    Stalled {
+        at: VirtualTime,
+        picks: u64,
+        report: String,
+    },
+    TaskPanic {
+        core: CoreId,
+        at: VirtualTime,
+        name: &'static str,
+        msg: String,
+    },
+    Checkpoint(String),
+    CheckpointMismatch(String),
+}
+
+impl Failure {
+    fn into_error(self) -> SimError {
+        match self {
+            Failure::Deadlock(d) => SimError::Deadlock(d),
+            Failure::Stalled { at, picks, report } => SimError::Stalled { at, picks, report },
+            Failure::TaskPanic {
+                core,
+                at,
+                name,
+                msg,
+            } => SimError::TaskPanic {
+                core,
+                at,
+                name,
+                message: msg,
+            },
+            Failure::Checkpoint(m) => SimError::Checkpoint(m),
+            Failure::CheckpointMismatch(m) => SimError::CheckpointMismatch(m),
+        }
+    }
+}
 
 /// True iff the scheduler has (or may have) work to perform on `c`.
 pub(crate) fn is_ready(sim: &Sim, c: CoreId) -> bool {
@@ -194,6 +280,9 @@ pub(crate) fn deliver(sim: &mut Sim, shared: &Shared, env: Envelope) {
     });
     let dst = env.dst;
     let arrival = env.arrival;
+    if sim.sanitizer.is_some() {
+        crate::sanitizer::on_deliver(sim, shared, &env);
+    }
     sim.cores[dst.index()].inbox.push(env);
     if sim.cores[dst.index()].in_ready {
         // Possible priority raise: re-push with the (possibly earlier)
@@ -462,16 +551,41 @@ fn deadlock_report(sim: &Sim) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("no runnable core but work remains;");
     let _ = write!(s, " live_activities={}", sim.live_activities);
+    append_core_dump(sim, &mut s);
+    s
+}
+
+/// Diagnostic snapshot for the stall watchdog: everything
+/// `deadlock_report` shows, plus shadow times and waiter sets (a livelock,
+/// unlike a deadlock, has cores that *look* runnable — the useful signal is
+/// who is stalled on whom and which messages are in flight).
+fn diagnostic_snapshot(sim: &Sim) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!(
+        "max_vtime={} live_activities={} picks={}",
+        sim.max_vtime, sim.live_activities, sim.stats.scheduler_picks
+    );
+    append_core_dump(sim, &mut s);
+    for (idx, ws) in sim.waiters.iter().enumerate() {
+        if !ws.is_empty() {
+            let _ = write!(s, "\n  waiters-on-core{idx}: {ws:?}");
+        }
+    }
+    s
+}
+
+/// Shared body of `deadlock_report` and `diagnostic_snapshot`: one line per
+/// core with any interesting state, then every blocked activity.
+fn append_core_dump(sim: &Sim, s: &mut String) {
+    use std::fmt::Write as _;
     for (idx, core) in sim.cores.iter().enumerate() {
-        if core.resident > 0 || core.queue_hint > 0 || !core.inbox.is_empty() {
-            let _ = write!(
-                s,
-                "\n  core{idx}: vtime={} inbox={} queued={} lock_depth={}",
-                core.vtime,
-                core.inbox.len(),
-                core.queue_hint,
-                core.lock_depth
-            );
+        if core.resident > 0
+            || core.queue_hint > 0
+            || !core.inbox.is_empty()
+            || core.lock_depth > 0
+            || core.waiting_on.is_some()
+        {
+            let _ = write!(s, "\n  core{idx}: {}", core.debug_line());
             if let Some(a) = core.current {
                 let act = sim.act(a);
                 let _ = write!(s, " current={:?}({}) {:?}", act.id, act.name, act.state);
@@ -487,7 +601,6 @@ fn deadlock_report(sim: &Sim) -> String {
             );
         }
     }
-    s
 }
 
 /// Run a simulation.
@@ -515,6 +628,29 @@ pub fn simulate(
             "speeds length must match core count"
         );
     }
+    // Checkpoint/resume preflight: fail before spawning anything.
+    if config.checkpoint_every.is_some() && config.checkpoint_path.is_none() {
+        return Err(SimError::Checkpoint(
+            "checkpoint_every set without checkpoint_path".to_string(),
+        ));
+    }
+    let cfg_digest = crate::checkpoint::config_digest(&config);
+    let resume_target = match &config.resume_from {
+        Some(path) => {
+            let cp = crate::checkpoint::Checkpoint::load(path).map_err(SimError::Checkpoint)?;
+            if cp.config_digest != cfg_digest {
+                return Err(SimError::Checkpoint(format!(
+                    "checkpoint {} was written under configuration {:016x}, \
+                     this run is {:016x} (policy/seed/network/fault must match)",
+                    path.display(),
+                    cp.config_digest,
+                    cfg_digest
+                )));
+            }
+            Some(cp)
+        }
+        None => None,
+    };
     let start_wall = std::time::Instant::now();
     let cores: Vec<CoreState> = (0..n)
         .map(|i| {
@@ -558,6 +694,7 @@ pub fn simulate(
         stamp: vec![0; n as usize],
         stamp_cur: 0,
         core_fail_announced: vec![false; n as usize],
+        sanitizer: None,
     };
     let shared = Arc::new(Shared {
         sim: Mutex::new(sim),
@@ -570,6 +707,9 @@ pub fn simulate(
     let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
     {
         let mut sim = shared.sim.lock();
+        if shared.config.sanitize {
+            crate::sanitizer::install(&mut sim, &shared);
+        }
         {
             let mut ops = Ops::new(&mut sim, &shared);
             setup(&mut ops);
@@ -587,9 +727,62 @@ pub fn simulate(
                 | SyncPolicy::RandomReferee { .. }
         );
 
+        // Checkpoint/resume and watchdog bookkeeping. All of it observes
+        // the machine at scheduler-time quiescence only (deferred publishes
+        // are flushed at every token yield), so `max_vtime`, pick counts
+        // and state digests are well-defined at these points.
+        let mut pending_resume = resume_target;
+        let mut next_checkpoint = shared
+            .config
+            .checkpoint_every
+            .map(|every| VirtualTime::ZERO + every);
+        let mut wd_last_vtime = sim.max_vtime;
+        let mut wd_last_pick: u64 = 0;
+
         loop {
             if sim.failure.is_some() {
                 break;
+            }
+            if pending_resume
+                .as_ref()
+                .is_some_and(|cp| sim.max_vtime >= cp.watermark)
+            {
+                let cp = pending_resume.take().unwrap();
+                sim.stats.checkpoint_verifications += 1;
+                let digest = crate::checkpoint::state_digest(&sim, shared.hooks.as_ref());
+                if sim.stats.scheduler_picks != cp.picks || digest != cp.state_digest {
+                    sim.failure = Some(Failure::CheckpointMismatch(format!(
+                        "replay diverged at watermark {}: picks {} (checkpoint {}), \
+                         state digest {:016x} (checkpoint {:016x})",
+                        cp.watermark, sim.stats.scheduler_picks, cp.picks, digest, cp.state_digest
+                    )));
+                    break;
+                }
+            }
+            if next_checkpoint.is_some_and(|nc| sim.max_vtime >= nc) {
+                let every = shared.config.checkpoint_every.unwrap();
+                let mut nc = next_checkpoint.unwrap();
+                while sim.max_vtime >= nc {
+                    nc += every;
+                }
+                next_checkpoint = Some(nc);
+                let cp = crate::checkpoint::Checkpoint {
+                    config_digest: cfg_digest,
+                    watermark: sim.max_vtime,
+                    picks: sim.stats.scheduler_picks,
+                    state_digest: crate::checkpoint::state_digest(&sim, shared.hooks.as_ref()),
+                };
+                let path = shared.config.checkpoint_path.as_ref().unwrap();
+                match cp.write_to(path) {
+                    Ok(()) => sim.stats.checkpoints_written += 1,
+                    Err(e) => {
+                        sim.failure = Some(Failure::Checkpoint(format!(
+                            "cannot write checkpoint {}: {e}",
+                            path.display()
+                        )));
+                        break;
+                    }
+                }
             }
             if global_policy && sim.floor_dirty {
                 sim.floor_dirty = false;
@@ -613,10 +806,35 @@ pub fn simulate(
                 if quiet {
                     break; // normal completion
                 }
-                sim.failure = Some(format!("DEADLOCK {}", deadlock_report(&sim)));
+                sim.failure = Some(Failure::Deadlock(deadlock_report(&sim)));
                 break;
             };
             sim.stats.scheduler_picks += 1;
+            // Stall watchdog: abort (with a diagnostic snapshot) instead of
+            // spinning forever when picks stop moving virtual time —
+            // classic deadlocks never get here (the quiet-state check above
+            // catches them); this guards against livelock.
+            if sim.max_vtime > wd_last_vtime {
+                wd_last_vtime = sim.max_vtime;
+                wd_last_pick = sim.stats.scheduler_picks;
+            } else if let Some(budget) = shared.config.watchdog_picks {
+                if sim.stats.scheduler_picks - wd_last_pick >= budget {
+                    sim.failure = Some(Failure::Stalled {
+                        at: sim.max_vtime,
+                        picks: budget,
+                        report: diagnostic_snapshot(&sim),
+                    });
+                    break;
+                }
+            }
+            if sim.sanitizer.is_some()
+                && sim
+                    .stats
+                    .scheduler_picks
+                    .is_multiple_of(crate::sanitizer::SCAN_EVERY_PICKS)
+            {
+                crate::sanitizer::scan(&mut sim, &shared);
+            }
             let sample_every = shared.config.parallelism_sample_every;
             if sample_every != 0 && sim.stats.scheduler_picks.is_multiple_of(sample_every) {
                 let avail = (0..sim.cores.len() as u32)
@@ -664,6 +882,19 @@ pub fn simulate(
             }
         }
 
+        if sim.failure.is_none() {
+            if sim.sanitizer.is_some() {
+                // Final machine-wide scan over the quiescent end state.
+                crate::sanitizer::scan(&mut sim, &shared);
+            }
+            if let Some(cp) = pending_resume.take() {
+                sim.failure = Some(Failure::Checkpoint(format!(
+                    "resume watermark {} never reached (run ended at {})",
+                    cp.watermark, sim.max_vtime
+                )));
+            }
+        }
+
         // Teardown: release every parked worker.
         sim.shutdown = true;
         for cv in &sim.worker_cvs {
@@ -674,17 +905,14 @@ pub fn simulate(
         let _ = h.join();
     }
 
-    let shared =
-        Arc::try_unwrap(shared).unwrap_or_else(|_| panic!("worker threads still hold the engine"));
-    let sim = shared.sim.into_inner();
-    if let Some(f) = sim.failure {
-        return Err(if let Some(msg) = f.strip_prefix("DEADLOCK ") {
-            SimError::Deadlock(msg.to_string())
-        } else {
-            SimError::TaskPanic(f)
-        });
+    // All workers have exited; harvest the result under the lock instead of
+    // insisting on sole ownership of the `Arc` (a panicking teardown path
+    // must not be able to turn into a second panic here).
+    let mut sim = shared.sim.lock();
+    if let Some(f) = sim.failure.take() {
+        return Err(f.into_error());
     }
-    let mut stats = sim.stats;
+    let mut stats = std::mem::take(&mut sim.stats);
     stats.final_vtime = sim
         .cores
         .iter()
@@ -787,7 +1015,12 @@ fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
                         .map(|s| s.to_string())
                         .or_else(|| payload.downcast_ref::<String>().cloned())
                         .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                    sim.failure = Some(format!("task '{name}' panicked: {msg}"));
+                    sim.failure = Some(Failure::TaskPanic {
+                        core,
+                        at: sim.cores[core.index()].vtime,
+                        name,
+                        msg,
+                    });
                 }
             }
         }

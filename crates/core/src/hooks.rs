@@ -38,6 +38,17 @@ pub trait RuntimeHooks: Send + Sync + 'static {
     /// `start_activity`; typical duties: decrement the task group counter,
     /// notify joiners, broadcast queue occupancy. Must not block.
     fn on_activity_end(&self, ops: &mut Ops<'_>, core: CoreId, meta: Box<dyn Any + Send>);
+
+    /// A deterministic digest of the runtime's own mutable state, folded
+    /// into verification checkpoints (see `simany-core`'s checkpoint
+    /// module). Implementations must return the same value at the same
+    /// simulation instant across identically configured runs, and should
+    /// cover any state that could silently diverge (queue occupancy,
+    /// protocol counters...). The default — no runtime state — is fine for
+    /// engine-level tests.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 /// A do-nothing hooks implementation for engine-level tests that only use

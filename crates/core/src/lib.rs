@@ -39,18 +39,21 @@
 //! control, message transport and activity scheduling.
 
 pub mod activity;
+pub mod checkpoint;
 pub mod config;
 pub mod ctx;
 pub mod engine;
 pub mod hooks;
 pub mod ops;
 pub mod ready;
+pub mod sanitizer;
 pub mod state;
 pub mod stats;
 pub mod sync;
 pub mod trace;
 
 pub use activity::{ActivityId, ActivityMeta};
+pub use checkpoint::{config_digest, Checkpoint};
 pub use config::{EngineConfig, PickPolicy, SyncPolicy};
 pub use ctx::ExecCtx;
 pub use engine::{simulate, SimError, SimResult};

@@ -319,6 +319,11 @@ impl<'a> Ops<'a> {
     /// birth time bounds `core`'s drift as if the new task were a neighbor
     /// (paper §II.A, *Time drift of dynamically created tasks*).
     pub fn record_birth(&mut self, core: CoreId, birth: VirtualTime) -> BirthId {
+        if self.sim.sanitizer.is_some() {
+            // A birth stamped ahead of its spawner cannot bound the
+            // spawner's drift — catch the runtime bug at the source.
+            crate::sanitizer::verify_birth(self.sim, self.shared, core, birth);
+        }
         let id = BirthId(self.sim.next_birth);
         self.sim.next_birth += 1;
         self.sim.cores[core.index()].births.push((id, birth));

@@ -18,7 +18,10 @@ pub struct CoreState {
     pub vtime: VirtualTime,
     /// The value this core exposes to its neighbors: its clock while
     /// working, its *shadow virtual time* while idle (paper §II.A
-    /// *Non-connected sets of active cores*). Monotonically non-decreasing.
+    /// *Non-connected sets of active cores*). Not monotone: it drops when
+    /// an idle core (exposing a high shadow value) starts working again at
+    /// its older frozen clock — `sync::note_published_change` handles the
+    /// cache/waiter invalidation such a drop requires.
     pub published: VirtualTime,
     /// Speed factor (polymorphic architectures).
     pub speed: CoreSpeed,
@@ -130,6 +133,28 @@ impl CoreState {
     /// arrival time); the jumped-over span is waiting, not busy time.
     pub fn advance_to(&mut self, t: VirtualTime) {
         self.vtime = self.vtime.max(t);
+    }
+
+    /// One-line diagnostic summary (deadlock reports, watchdog snapshots).
+    pub(crate) fn debug_line(&self) -> String {
+        let mut s = format!(
+            "vtime={} published={} inbox={} queued={} lock_depth={}",
+            self.vtime,
+            self.published,
+            self.inbox.len(),
+            self.queue_hint,
+            self.lock_depth
+        );
+        if let Some(a) = self.inbox.earliest_arrival() {
+            s.push_str(&format!(" next_arrival={a}"));
+        }
+        if let Some(w) = self.waiting_on {
+            s.push_str(&format!(" waiting_on={w}"));
+        }
+        if self.is_idle() {
+            s.push_str(" idle");
+        }
+        s
     }
 }
 

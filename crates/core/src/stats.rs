@@ -74,6 +74,20 @@ pub struct SimStats {
     pub link_faults: u64,
     /// Epoch transitions that left the machine partitioned.
     pub partitions_observed: u64,
+    /// Invariant checks the online sanitizer performed (0 unless
+    /// `EngineConfig::sanitize` is on).
+    pub sanitizer_checks: u64,
+    /// Invariant violations the sanitizer detected. Any nonzero value is
+    /// an engine bug (or deliberately injected corruption in tests).
+    pub sanitizer_violations: u64,
+    /// Largest observed global drift — the spread between the fastest
+    /// working core and the global floor — recorded by the sanitizer for
+    /// checking the `diameter x T` bound. Zero unless `sanitize` is on.
+    pub max_global_drift: VDuration,
+    /// Verification checkpoints written (see `crate::checkpoint`).
+    pub checkpoints_written: u64,
+    /// Checkpoint digests verified against a resumed run's watermark.
+    pub checkpoint_verifications: u64,
 }
 
 impl SimStats {

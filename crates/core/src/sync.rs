@@ -48,6 +48,11 @@ use simany_topology::CoreId;
 /// observe published values or before the run token leaves `c`'s activity.
 pub(crate) fn flush_deferred(sim: &mut Sim, shared: &Shared, c: CoreId) {
     if sim.cores[c.index()].publish_pending {
+        if sim.sanitizer.is_some() {
+            // The deferred advance must have stayed inside the cached
+            // headroom, or the fast path skipped a stall it owed.
+            crate::sanitizer::verify_flush(sim, shared, c);
+        }
         publish(sim, shared, c);
     }
 }
@@ -96,6 +101,16 @@ pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
         _ => sim.cores[c.index()].vtime,
     };
     let oldval = sim.cores[c.index()].published;
+    if sim.sanitizer.is_some() {
+        // Every slow-path clock change passes through here before the run
+        // token can return to the scheduler, so measuring overshoot (and
+        // floor regressions on idle-to-working drops) at publish instants
+        // covers every state the periodic scan can observe.
+        crate::sanitizer::note_clock(sim, shared, c);
+        if newval < oldval && !sim.cores[c.index()].is_idle() {
+            crate::sanitizer::note_floor_regression(sim, newval);
+        }
+    }
     if newval == oldval {
         return;
     }
@@ -322,6 +337,11 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
     match shared.config.sync {
         SyncPolicy::Spatial { t } => {
             let floor = local_floor(sim, shared, c);
+            if sim.sanitizer.is_some() {
+                // Re-derive the floor from scratch: the decision below must
+                // not rest on a corrupted incremental cache.
+                crate::sanitizer::verify_spatial_floor(sim, shared, c, floor);
+            }
             if floor == VirtualTime::MAX {
                 // No neighbors, no births: nothing to drift from, ever.
                 if fast_path_eligible(shared) {

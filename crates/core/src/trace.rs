@@ -146,6 +146,21 @@ pub enum TraceEvent {
         /// Intended receiver.
         dst: CoreId,
     },
+    /// The online sanitizer observed an invariant violation (an engine
+    /// bug, or deliberately injected corruption in sanitizer tests).
+    SanitizerViolation {
+        /// Clock of the offending core when the violation was detected.
+        t: VirtualTime,
+        /// The core whose invariant was violated.
+        core: CoreId,
+        /// The other endpoint of the offending edge, for pairwise
+        /// invariants (neighbor drift, per-sender FIFO, causality).
+        peer: Option<CoreId>,
+        /// Which invariant, as a stable name (e.g. "neighbor-drift").
+        invariant: &'static str,
+        /// Clocks and bounds, human-readable.
+        detail: String,
+    },
 }
 
 impl TraceEvent {
@@ -164,7 +179,8 @@ impl TraceEvent {
             | TraceEvent::LinkUp { t, .. }
             | TraceEvent::CoreFailed { t, .. }
             | TraceEvent::MsgDropped { t, .. }
-            | TraceEvent::MsgRetried { t, .. } => t,
+            | TraceEvent::MsgRetried { t, .. }
+            | TraceEvent::SanitizerViolation { t, .. } => t,
         }
     }
 
@@ -178,7 +194,8 @@ impl TraceEvent {
             | TraceEvent::Process { core, .. }
             | TraceEvent::Block { core, .. }
             | TraceEvent::Wake { core, .. }
-            | TraceEvent::CoreFailed { core, .. } => core,
+            | TraceEvent::CoreFailed { core, .. }
+            | TraceEvent::SanitizerViolation { core, .. } => core,
             TraceEvent::Send { src, .. }
             | TraceEvent::LinkDown { src, .. }
             | TraceEvent::LinkUp { src, .. }
@@ -228,6 +245,22 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::MsgRetried { t, src, dst } => {
                 write!(f, "{t} {src} RETRY -> {dst}")
+            }
+            TraceEvent::SanitizerViolation {
+                t,
+                core,
+                peer,
+                invariant,
+                ref detail,
+            } => {
+                if let Some(peer) = peer {
+                    write!(
+                        f,
+                        "{t} {core} SANITIZER {invariant} (peer {peer}): {detail}"
+                    )
+                } else {
+                    write!(f, "{t} {core} SANITIZER {invariant}: {detail}")
+                }
             }
         }
     }

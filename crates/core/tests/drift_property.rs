@@ -9,8 +9,8 @@
 
 use proptest::prelude::*;
 use simany_core::{
-    simulate, CoreId, EngineConfig, Envelope, ExecCtx, Ops, RuntimeHooks, SimStats, VDuration,
-    VirtualTime,
+    simulate, CoreId, EngineConfig, Envelope, ExecCtx, Ops, RuntimeHooks, SimStats, SyncPolicy,
+    VDuration, VirtualTime,
 };
 use simany_topology::{mesh_2d, ring, Topology};
 use std::sync::Arc;
@@ -26,6 +26,10 @@ fn run_program(topo: Topology, t_cycles: u64, seed: u64, plans: Vec<Vec<u64>>) -
     let config = EngineConfig::default()
         .with_drift_cycles(t_cycles)
         .with_seed(seed);
+    run_config(topo, config, plans)
+}
+
+fn run_config(topo: Topology, config: EngineConfig, plans: Vec<Vec<u64>>) -> SimStats {
     simulate(topo, config, Arc::new(NoHooks), move |ops| {
         for (i, plan) in plans.into_iter().enumerate() {
             if plan.is_empty() {
@@ -90,5 +94,76 @@ proptest! {
         prop_assert_eq!(a.stall_events, b.stall_events);
         prop_assert_eq!(a.scheduler_picks, b.scheduler_picks);
         prop_assert_eq!(a.activities_started, b.activities_started);
+    }
+
+    /// The sanitizer independently re-derives every invariant and finds
+    /// nothing on a correct engine, across random topologies, every
+    /// synchronization policy and randomized programs — while changing no
+    /// observable counter.
+    #[test]
+    fn sanitizer_is_quiet_across_policies(
+        n in 2u32..10,
+        use_ring in any::<bool>(),
+        which_policy in 0usize..5,
+        seed in 0u64..1000,
+        plans in prop::collection::vec(
+            prop::collection::vec(1u64..40, 0..30), 2..10),
+    ) {
+        let topo = if use_ring { ring(n) } else { mesh_2d(n) };
+        let slack = VDuration::from_cycles(50);
+        let policy = [
+            SyncPolicy::Spatial { t: slack },
+            SyncPolicy::BoundedSlack { window: slack },
+            SyncPolicy::RandomReferee { slack },
+            SyncPolicy::Conservative,
+            SyncPolicy::Unbounded,
+        ][which_policy];
+        let mut plans = plans;
+        plans.truncate(n as usize);
+
+        let mut config = EngineConfig::default().with_seed(seed);
+        config.sync = policy;
+        let plain = run_config(topo.clone(), config.clone(), plans.clone());
+        let checked = run_config(topo, config.with_sanitize(true), plans);
+
+        prop_assert_eq!(checked.sanitizer_violations, 0,
+            "sanitizer violations under {:?}", policy);
+        prop_assert!(checked.sanitizer_checks > 0);
+        prop_assert_eq!(plain.final_vtime, checked.final_vtime);
+        prop_assert_eq!(plain.stall_events, checked.stall_events);
+        prop_assert_eq!(plain.scheduler_picks, checked.scheduler_picks);
+        prop_assert_eq!(plain.max_neighbor_drift, checked.max_neighbor_drift);
+    }
+
+    /// End-of-run global drift bound (paper §II.A): under spatial
+    /// synchronization the spread between any two *working* cores is at
+    /// most `diameter x T` — up to one annotation of granularity per hop.
+    /// `max_global_drift` is measured by the sanitizer's periodic scans.
+    #[test]
+    fn global_drift_bounded_by_diameter(
+        n in 2u32..10,
+        use_ring in any::<bool>(),
+        t_cycles in prop::sample::select(vec![20u64, 50, 100]),
+        seed in 0u64..1000,
+        plans in prop::collection::vec(
+            prop::collection::vec(1u64..40, 1..30), 2..10),
+    ) {
+        let topo = if use_ring { ring(n) } else { mesh_2d(n) };
+        let diameter = topo.diameter_hops();
+        let mut plans = plans;
+        plans.truncate(n as usize);
+        let max_step = plans.iter().flatten().copied().max().unwrap_or(0);
+        let config = EngineConfig::default()
+            .with_drift_cycles(t_cycles)
+            .with_seed(seed)
+            .with_sanitize(true);
+        let stats = run_config(topo, config, plans);
+        prop_assert_eq!(stats.sanitizer_violations, 0);
+        let bound = VDuration::from_cycles((t_cycles + max_step) * u64::from(diameter).max(1));
+        prop_assert!(
+            stats.max_global_drift <= bound,
+            "global drift {} > diameter({}) x (T({}) + step({}))",
+            stats.max_global_drift, diameter, t_cycles, max_step
+        );
     }
 }

@@ -103,6 +103,16 @@ struct FaultState {
     seed: u64,
     /// Highest epoch index already reported via `observe_epochs`.
     announced_epoch: usize,
+    /// Per `(src, dst)` pair: the highest `sent` stamp seen and the arrival
+    /// assigned to it. Extra fault delays and epoch route changes can give
+    /// a later message a shorter path than its predecessor; this floor
+    /// clamps such arrivals so per-sender FIFO delivery (the inbox
+    /// contract) survives faults. Only maintained when the plan can
+    /// actually reorder (`has_message_faults` or multiple epochs) — on an
+    /// empty plan the map is never touched, keeping the bit-identical-to-
+    /// no-plan guarantee. Back-stamped replies (`sent` below the floor) do
+    /// not participate: per-pair virtual FIFO is defined on send stamps.
+    fifo_floor: std::collections::HashMap<(u32, u32), (VirtualTime, VirtualTime)>,
 }
 
 /// The complete network model: topology + routing + per-link traffic +
@@ -161,6 +171,7 @@ impl NetworkModel {
                 rng: Xoshiro256StarStar::stream(seed, simany_fault::NET_STREAM),
                 seed,
                 announced_epoch: 0,
+                fifo_floor: std::collections::HashMap::new(),
             }),
         }
     }
@@ -384,7 +395,28 @@ impl NetworkModel {
         self.next_seq += 1;
         self.stats.messages += 1;
         self.stats.bytes += u64::from(size_bytes);
-        let arrival = self.transit(src, dst, size_bytes, sent) + extra_delay;
+        let mut arrival = self.transit(src, dst, size_bytes, sent) + extra_delay;
+        if src != dst {
+            if let Some(f) = self.fault.as_mut() {
+                if f.plan.has_message_faults() || f.plan.epoch_count() > 1 {
+                    // Per-sender FIFO clamp (see `FaultState::fifo_floor`):
+                    // a forward-stamped message never arrives before the
+                    // previously highest-stamped message on this pair.
+                    match f.fifo_floor.entry((src.0, dst.0)) {
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let (last_sent, last_arrival) = *e.get();
+                            if sent >= last_sent {
+                                arrival = arrival.max(last_arrival);
+                                e.insert((sent, arrival));
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(v) => {
+                            v.insert((sent, arrival));
+                        }
+                    }
+                }
+            }
+        }
         Ok(Envelope {
             id: MsgId(seq),
             src,
@@ -466,7 +498,62 @@ impl NetworkModel {
         if let Some(f) = self.fault.as_mut() {
             f.rng = Xoshiro256StarStar::stream(f.seed, simany_fault::NET_STREAM);
             f.announced_epoch = 0;
+            f.fifo_floor.clear();
         }
+    }
+
+    /// Deterministic digest of the model's mutable state (sequence counter,
+    /// statistics, per-link busy time, fault cursor), for verification
+    /// checkpoints. FNV-1a over little-endian words; the FIFO floor map is
+    /// folded order-independently (per-entry hashes summed) because
+    /// `HashMap` iteration order is unspecified.
+    pub fn state_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let put = |h: &mut u64, x: u64| {
+            for b in x.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        };
+        put(&mut h, self.next_seq);
+        let s = &self.stats;
+        for x in [
+            s.messages,
+            s.bytes,
+            s.total_hops,
+            s.contention_wait.ticks(),
+            s.contended_hops,
+            s.dropped,
+            s.corrupted,
+            s.delayed,
+            s.rerouted,
+            s.unreachable,
+        ] {
+            put(&mut h, x);
+        }
+        for i in 0..self.topo.n_links() {
+            put(&mut h, self.traffic.busy_time(LinkId(i)).ticks());
+        }
+        if let Some(f) = &self.fault {
+            put(&mut h, f.announced_epoch as u64);
+            let mut fold: u64 = 0;
+            for (&(src, dst), &(sent, arrival)) in &f.fifo_floor {
+                let mut eh = OFFSET;
+                for x in [
+                    u64::from(src),
+                    u64::from(dst),
+                    sent.ticks(),
+                    arrival.ticks(),
+                ] {
+                    put(&mut eh, x);
+                }
+                fold = fold.wrapping_add(eh);
+            }
+            put(&mut h, fold);
+        }
+        h
     }
 }
 

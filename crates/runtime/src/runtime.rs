@@ -141,6 +141,77 @@ impl TaskRuntime {
 }
 
 impl RuntimeHooks for TaskRuntime {
+    /// Fold the runtime's mutable state into a deterministic digest for
+    /// verification checkpoints: protocol counters, per-core queue state,
+    /// and the id allocators. Hash maps are folded order-independently
+    /// (per-entry hashes summed) because iteration order is unspecified.
+    fn state_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let put = |h: &mut u64, x: u64| {
+            for b in x.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(PRIME);
+            }
+        };
+        let st = self.st.lock();
+        let mut h = OFFSET;
+        let s = &st.stats;
+        for x in [
+            s.probes,
+            s.probe_acks,
+            s.probe_nacks,
+            s.probe_skips,
+            s.spawns,
+            s.sequential_fallbacks,
+            s.task_migrations,
+            s.occupancy_msgs,
+            s.joiner_notifies,
+            s.joins_immediate,
+            s.joins_suspended,
+            s.sm_loads,
+            s.sm_stores,
+            s.coherence_legs,
+            s.cell_local,
+            s.cell_remote,
+            s.cell_forwards,
+            s.lock_fast,
+            s.lock_waits,
+            s.send_retries,
+            s.send_failures,
+            s.probe_unavailable,
+            s.fault_local_runs,
+            s.cell_access_failures,
+        ] {
+            put(&mut h, x);
+        }
+        for core in &st.cores {
+            put(&mut h, core.queue.len() as u64);
+            put(&mut h, u64::from(core.reserved));
+            let mut fold: u64 = 0;
+            for (&c, &occ) in &core.proxy {
+                let mut eh = OFFSET;
+                put(&mut eh, u64::from(c.0));
+                put(&mut eh, u64::from(occ));
+                fold = fold.wrapping_add(eh);
+            }
+            put(&mut h, fold);
+        }
+        put(&mut h, st.next_group);
+        put(&mut h, st.next_cell);
+        put(&mut h, st.next_lock);
+        let mut gfold: u64 = 0;
+        for (&gid, g) in &st.groups {
+            let mut eh = OFFSET;
+            put(&mut eh, gid);
+            put(&mut eh, u64::from(g.active));
+            put(&mut eh, g.joiners.len() as u64);
+            gfold = gfold.wrapping_add(eh);
+        }
+        put(&mut h, gfold);
+        h
+    }
+
     fn on_message(&self, ops: &mut Ops<'_>, mut env: Envelope) {
         let me = env.dst;
         self.charge_handler(ops, me);

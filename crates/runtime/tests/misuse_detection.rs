@@ -8,7 +8,7 @@ fn expect_panic_containing(what: &str, body: impl FnOnce(&mut TaskCtx<'_>) + Sen
     let err = run_program(ProgramSpec::new(mesh_2d(4)), body).unwrap_err();
     let msg = format!("{err}");
     assert!(
-        matches!(err, SimError::TaskPanic(_)),
+        matches!(err, SimError::TaskPanic { .. }),
         "expected TaskPanic, got: {msg}"
     );
     assert!(msg.contains(what), "message '{msg}' lacks '{what}'");

@@ -4,7 +4,7 @@
 //! policy — and the drift-headroom fast path must be bit-exact with the
 //! always-full synchronization path.
 
-use simany::core::{SimStats, SyncPolicy, VDuration};
+use simany::core::{EngineConfig, SimStats, SyncPolicy, VDuration};
 use simany::kernels::{kernel_by_name, Scale};
 use simany::presets;
 
@@ -36,16 +36,21 @@ impl Fingerprint {
     }
 }
 
-fn run(policy: SyncPolicy, fast_path: bool) -> Fingerprint {
+fn run_with(policy: SyncPolicy, tweak: impl FnOnce(&mut EngineConfig)) -> (Fingerprint, SimStats) {
     let mut spec = presets::uniform_mesh_sm(16);
     spec.engine.sync = policy;
-    spec.engine.fast_path = fast_path;
+    tweak(&mut spec.engine);
     let kernel = kernel_by_name("Quicksort").unwrap();
     let res = kernel
         .run_sim(spec, Scale(0.1), 42)
         .expect("simulation failed");
     assert!(res.verified, "kernel output verification failed");
-    Fingerprint::of(&res.out.stats)
+    let stats = res.out.stats;
+    (Fingerprint::of(&stats), stats)
+}
+
+fn run(policy: SyncPolicy, fast_path: bool) -> Fingerprint {
+    run_with(policy, |cfg| cfg.fast_path = fast_path).0
 }
 
 fn all_policies() -> Vec<(&'static str, SyncPolicy)> {
@@ -134,4 +139,68 @@ fn fast_path_fires_and_skips_sweeps() {
     );
     // And the result is still the same.
     assert_eq!(Fingerprint::of(s_on), Fingerprint::of(s_off));
+}
+
+/// The sanitizer is observation-only: enabling it changes no observable
+/// counter under any policy — and on a correct engine it finds nothing
+/// while actually checking something.
+#[test]
+fn sanitizer_is_observation_only_and_quiet() {
+    for (name, policy) in all_policies() {
+        let (plain, _) = run_with(policy, |_| {});
+        let (sanitized, stats) = run_with(policy, |cfg| cfg.sanitize = true);
+        assert_eq!(
+            plain, sanitized,
+            "policy {name}: sanitizer changed observable behavior"
+        );
+        assert_eq!(
+            stats.sanitizer_violations, 0,
+            "policy {name}: sanitizer reported violations on a clean run"
+        );
+        assert!(
+            stats.sanitizer_checks > 0,
+            "policy {name}: sanitizer ran no checks while enabled"
+        );
+    }
+}
+
+/// Checkpoint/resume is bit-exact: a run that writes checkpoints, and a
+/// run that resumes from (replays and verifies against) one, both match
+/// the uninterrupted run counter-for-counter, under every policy.
+#[test]
+fn resumed_run_matches_uninterrupted() {
+    let dir = std::env::temp_dir().join("simany-determinism-resume");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for (name, policy) in all_policies() {
+        let cp = dir.join(format!("{name}.checkpoint"));
+        let (baseline, stats) = run_with(policy, |_| {});
+        // Checkpoint roughly a quarter of the way through the run, so the
+        // watermark lands strictly inside it.
+        let every = VDuration::from_cycles((stats.final_vtime.cycles() / 4).max(1));
+
+        let cp2 = cp.clone();
+        let (written, wstats) = run_with(policy, move |cfg| {
+            cfg.checkpoint_every = Some(every);
+            cfg.checkpoint_path = Some(cp2);
+        });
+        assert_eq!(
+            baseline, written,
+            "policy {name}: checkpointing changed observable behavior"
+        );
+        assert!(
+            wstats.checkpoints_written > 0,
+            "policy {name}: no checkpoint was written"
+        );
+
+        let cp3 = cp.clone();
+        let (resumed, rstats) = run_with(policy, move |cfg| cfg.resume_from = Some(cp3));
+        assert_eq!(
+            baseline, resumed,
+            "policy {name}: resumed run diverged from the uninterrupted run"
+        );
+        assert_eq!(
+            rstats.checkpoint_verifications, 1,
+            "policy {name}: resume did not verify against the checkpoint"
+        );
+    }
 }
