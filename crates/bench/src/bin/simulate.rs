@@ -28,6 +28,7 @@ struct Args {
     trace: bool,
     fast_path: bool,
     sanitize: bool,
+    threads: u32,
     checkpoint_every: Option<u64>,
     checkpoint_file: String,
     resume: Option<String>,
@@ -55,6 +56,7 @@ impl Default for Args {
             trace: false,
             fast_path: true,
             sanitize: false,
+            threads: 1,
             checkpoint_every: None,
             checkpoint_file: "simany.checkpoint".into(),
             resume: None,
@@ -85,6 +87,8 @@ options:
   --trace             collect and print an event timeline
   --fast-path on|off  drift-headroom fast path (default on; bit-exact)
   --sanitize on|off   online invariant sanitizer (default off; observation-only)
+  --threads N         host worker tiles for parallel execution (default 1 =
+                      sequential engine; deterministic per fixed N + seed)
   --json FILE         also write wall-clock + counters as JSON to FILE
 
 checkpoint / resume (see crates/core/src/checkpoint.rs for the model):
@@ -145,6 +149,7 @@ fn parse_args() -> Args {
                     }
                 }
             }
+            "--threads" => args.threads = val().parse().expect("--threads"),
             "--checkpoint-every" => {
                 args.checkpoint_every = Some(val().parse().expect("--checkpoint-every"))
             }
@@ -214,7 +219,8 @@ fn build_spec(args: &Args) -> ProgramSpec {
         .engine
         .with_seed(args.seed)
         .with_fast_path(args.fast_path)
-        .with_sanitize(args.sanitize);
+        .with_sanitize(args.sanitize)
+        .with_threads(args.threads);
     if let Some(every) = args.checkpoint_every {
         spec.engine = spec
             .engine
@@ -250,7 +256,7 @@ fn build_spec(args: &Args) -> ProgramSpec {
 fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
     let s = &r.out.stats;
     let json = format!(
-        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {}\n}}\n",
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {}\n}}\n",
         args.kernel,
         args.cores,
         args.machine,
@@ -258,6 +264,7 @@ fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
         args.scale,
         args.seed,
         args.fast_path,
+        args.threads,
         s.wall.as_nanos(),
         r.cycles(),
         r.verified,
@@ -282,6 +289,8 @@ fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
         s.sanitizer_violations,
         s.checkpoints_written,
         s.checkpoint_verifications,
+        s.parallel_epochs,
+        s.epoch_grants,
     );
     std::fs::write(path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
@@ -353,6 +362,12 @@ fn main() {
     );
     println!("core utilization  : {:.2}", r.out.stats.utilization());
     let s = &r.out.stats;
+    if args.threads > 1 {
+        println!(
+            "parallel epochs   : {} ({} grants on {} host threads)",
+            s.parallel_epochs, s.epoch_grants, args.threads
+        );
+    }
     if args.sanitize {
         println!(
             "sanitizer         : {} checks, {} violations (max global drift {} cycles)",

@@ -1078,6 +1078,155 @@ pub fn sanitizer_benchmark(opts: &Options) -> String {
     )
 }
 
+/// One configuration of the host-scaling benchmark: a grant-dense workload
+/// on a large mesh. Every core runs `tasks_per_core` short activities of
+/// `reps` annotations each (replenished through the idle hook), under
+/// spatial sync with a window generous enough that checks pass confined —
+/// the regime the epoch coordinator targets, where condvar handoffs
+/// between the scheduler and task workers dominate wall time.
+fn scaling_run(
+    n: u32,
+    tasks_per_core: u32,
+    reps: u64,
+    t_cycles: u64,
+    threads: u32,
+    seed: u64,
+) -> simany::core::SimStats {
+    use simany::core::{simulate, CoreId, EngineConfig, Envelope, ExecCtx, Ops, RuntimeHooks};
+
+    struct Refill {
+        reps: u64,
+    }
+    impl Refill {
+        fn launch(&self, ops: &mut Ops<'_>, c: CoreId) {
+            let reps = self.reps;
+            let step = 3 + u64::from(c.0 % 5);
+            ops.start_activity(
+                c,
+                "scaling",
+                Box::new(()),
+                Box::new(move |ctx: &mut ExecCtx| {
+                    for _ in 0..reps {
+                        ctx.advance_cycles(step);
+                    }
+                }),
+            );
+        }
+    }
+    impl RuntimeHooks for Refill {
+        fn on_message(&self, _: &mut Ops<'_>, _: Envelope) {}
+        fn on_idle(&self, ops: &mut Ops<'_>, c: CoreId) {
+            ops.queue_hint_sub(c, 1);
+            self.launch(ops, c);
+        }
+        fn on_activity_end(&self, _: &mut Ops<'_>, _: CoreId, _: Box<dyn std::any::Any + Send>) {}
+    }
+
+    let config = EngineConfig::default()
+        .with_drift_cycles(t_cycles)
+        .with_seed(seed)
+        .with_threads(threads);
+    simulate(
+        simany::topology::mesh_2d(n),
+        config,
+        std::sync::Arc::new(Refill { reps }),
+        move |ops| {
+            for c in 0..n {
+                ops.queue_hint_add(CoreId(c), tasks_per_core - 1);
+            }
+            for c in 0..n {
+                Refill { reps }.launch(ops, CoreId(c));
+            }
+        },
+    )
+    .expect("scaling benchmark run failed")
+}
+
+/// PR 5 acceptance benchmark: wall-clock scaling of parallel host
+/// execution with the host thread count, on a 1024-core mesh. Results are
+/// dumped to `BENCH_PR5.json`. The virtual outcome must be identical at
+/// every thread count (the workload is message-free, so even the
+/// policy-level latitude of parallel mode cannot show), which doubles as
+/// an end-to-end determinism check.
+pub fn scaling_benchmark(opts: &Options) -> String {
+    let n = 1024u32;
+    let tasks_per_core = 8u32;
+    let reps = 48u64;
+    let t_cycles = 20_000u64;
+    let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let threads_axis = [1u32, 2, 4, 8];
+    let mut best: Vec<Option<simany::core::SimStats>> = vec![None; threads_axis.len()];
+    for _ in 0..opts.instances.max(1) {
+        for (i, &th) in threads_axis.iter().enumerate() {
+            let s = scaling_run(n, tasks_per_core, reps, t_cycles, th, opts.seed);
+            if best[i].as_ref().is_none_or(|b| s.wall < b.wall) {
+                best[i] = Some(s);
+            }
+        }
+    }
+    let best: Vec<simany::core::SimStats> = best.into_iter().map(|s| s.unwrap()).collect();
+    for s in &best[1..] {
+        assert_eq!(
+            s.final_vtime, best[0].final_vtime,
+            "thread count changed the simulated outcome"
+        );
+    }
+    let base = best[0].wall.as_secs_f64();
+
+    let mut entries = String::new();
+    let mut t = Table::new(&[
+        "threads",
+        "wall",
+        "speedup vs 1",
+        "epochs",
+        "epoch grants",
+        "picks",
+    ]);
+    for (i, s) in best.iter().enumerate() {
+        let th = threads_axis[i];
+        let speedup = base / s.wall.as_secs_f64().max(1e-9);
+        entries.push_str(&format!(
+            "    {{\n      \"threads\": {th},\n      \"wall_ns\": {},\n      \
+             \"speedup_vs_1\": {speedup:.3},\n      \"parallel_epochs\": {},\n      \
+             \"epoch_grants\": {},\n      \"scheduler_picks\": {},\n      \
+             \"stall_events\": {},\n      \"final_vtime_cycles\": {}\n    }}{}\n",
+            s.wall.as_nanos(),
+            s.parallel_epochs,
+            s.epoch_grants,
+            s.scheduler_picks,
+            s.stall_events,
+            s.final_vtime.cycles(),
+            if i + 1 < best.len() { "," } else { "" },
+        ));
+        t.row(vec![
+            th.to_string(),
+            format!("{:?}", s.wall),
+            format!("{speedup:.2}x"),
+            s.parallel_epochs.to_string(),
+            s.epoch_grants.to_string(),
+            s.scheduler_picks.to_string(),
+        ]);
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"host_scaling\",\n  \"cores\": {n},\n  \
+         \"tasks_per_core\": {tasks_per_core},\n  \"annotations_per_task\": {reps},\n  \
+         \"drift_t_cycles\": {t_cycles},\n  \"host_cpus\": {host_cpus},\n  \
+         \"instances\": {},\n  \"results\": [\n{entries}  ]\n}}\n",
+        opts.instances.max(1),
+    );
+    std::fs::write("BENCH_PR5.json", &json).expect("cannot write BENCH_PR5.json");
+
+    let s8 = &best[threads_axis.len() - 1];
+    format!(
+        "### Host-scaling benchmark (PR 5) — results written to BENCH_PR5.json\n\n\
+         {n}-core mesh, {tasks_per_core} × {reps}-annotation tasks per core, \
+         host has {host_cpus} CPU(s). 8 threads vs 1: {:.2}x.\n\n{}",
+        base / s8.wall.as_secs_f64().max(1e-9),
+        t.to_markdown()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -162,6 +162,14 @@ pub fn config_digest(config: &crate::EngineConfig) -> u64 {
     d.u64(config.max_live_activities as u64);
     d.u64(config.parallelism_sample_every);
     d.u64(u64::from(config.fast_path));
+    // Parallel host execution is its own deterministic trajectory per
+    // thread count, so checkpoints resume only under a matching `threads`.
+    // Folded only when parallel so sequential digests match pre-parallel
+    // checkpoints.
+    if config.threads > 1 {
+        d.str("threads");
+        d.u64(u64::from(config.threads));
+    }
     match &config.fault {
         None => {
             d.str("fault:none");
@@ -203,6 +211,20 @@ pub(crate) fn state_digest(sim: &Sim, hooks: &dyn RuntimeHooks) -> u64 {
     d.u64(sim.next_birth);
     d.u64(sim.max_vtime.ticks());
     let s = &sim.stats;
+    // Hot-path counters are sharded per tile in parallel mode and only
+    // merged at teardown; digest the machine-wide totals so sequential and
+    // parallel digests mean the same thing (for `threads <= 1` the shard
+    // vector is empty and the totals are the plain counters).
+    let mut fast_path_advances = s.fast_path_advances;
+    let mut full_sync_checks = s.full_sync_checks;
+    let mut floor_recomputes = s.floor_recomputes;
+    let mut max_neighbor_drift = s.max_neighbor_drift;
+    for shard in &sim.tile_stats {
+        fast_path_advances += shard.fast_path_advances;
+        full_sync_checks += shard.full_sync_checks;
+        floor_recomputes += shard.floor_recomputes;
+        max_neighbor_drift = max_neighbor_drift.max(shard.max_neighbor_drift);
+    }
     for x in [
         s.activities_started,
         s.activity_resumes,
@@ -210,15 +232,15 @@ pub(crate) fn state_digest(sim: &Sim, hooks: &dyn RuntimeHooks) -> u64 {
         s.late_messages,
         s.on_time_messages,
         s.late_by_total.ticks(),
-        s.fast_path_advances,
-        s.full_sync_checks,
+        fast_path_advances,
+        full_sync_checks,
         s.publish_sweeps,
-        s.floor_recomputes,
+        floor_recomputes,
         s.msg_retries,
         s.core_failures,
         s.link_faults,
         s.partitions_observed,
-        s.max_neighbor_drift.ticks(),
+        max_neighbor_drift.ticks(),
         s.parallelism_samples.len() as u64,
         s.parallelism_samples.iter().map(|&x| u64::from(x)).sum(),
     ] {

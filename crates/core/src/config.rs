@@ -142,6 +142,15 @@ pub struct EngineConfig {
     /// watermark the engine compares state digests and aborts with
     /// [`crate::SimError::CheckpointMismatch`] on divergence.
     pub resume_from: Option<std::path::PathBuf>,
+    /// Host worker parallelism: partition the topology into up to this
+    /// many contiguous tiles and let one activity per tile execute
+    /// concurrently (see `engine` module docs, *Parallel host execution*).
+    /// `0` and `1` both select the sequential engine, which the parallel
+    /// mode with `threads = 1` is bit-identical to. For a fixed value,
+    /// runs are bit-identical across repetitions; different values may
+    /// schedule differently (each is its own deterministic trajectory, so
+    /// checkpoints only resume under the same thread count).
+    pub threads: u32,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -164,6 +173,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("checkpoint_path", &self.checkpoint_path)
             .field("resume_from", &self.resume_from)
+            .field("threads", &self.threads)
             .finish()
     }
 }
@@ -189,6 +199,7 @@ impl Default for EngineConfig {
             checkpoint_every: None,
             checkpoint_path: None,
             resume_from: None,
+            threads: 1,
         }
     }
 }
@@ -250,6 +261,12 @@ impl EngineConfig {
     /// Resume from (replay and verify against) the checkpoint at `path`.
     pub fn with_resume(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Set the host worker parallelism (see [`Self::threads`]).
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads;
         self
     }
 

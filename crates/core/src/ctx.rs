@@ -13,10 +13,41 @@ use crate::ops::Ops;
 use crate::sync;
 use parking_lot::{Condvar, MutexGuard};
 use simany_net::Payload;
-use simany_time::{BlockCost, VDuration, VirtualTime};
+use simany_time::{BlockCost, CoreSpeed, VDuration, VirtualTime};
 use simany_topology::CoreId;
 use std::any::Any;
+use std::cell::Cell;
 use std::sync::Arc;
+
+/// Lock-free confined-advance cache (parallel epochs only).
+///
+/// While an activity runs confined inside an epoch (`Token::Epoch`), every
+/// input of the drift-headroom fast-path check is frozen until the epoch
+/// quiesces: no deliveries land in its inbox, no publishes move its
+/// neighbors, no policy re-evaluation can shrink its headroom, and nothing
+/// may observe its unpublished clock. So once a locked annotation takes the
+/// fast path, subsequent annotations that stay inside the same bounds only
+/// touch this core's own clock — they can advance a private copy without
+/// the simulation lock, and the batched delta is folded back into `Sim` at
+/// the next locked interaction (or when the task body returns). On a
+/// contended host this removes the per-annotation lock round-trip that
+/// otherwise serializes phase A.
+struct Confined {
+    active: Cell<bool>,
+    /// Private copy of this core's clock (authoritative while `active`).
+    vtime: Cell<VirtualTime>,
+    /// Frozen drift-headroom bound (`CoreState::headroom_limit`).
+    limit: Cell<VirtualTime>,
+    /// Frozen earliest inbox arrival; a lock-free advance must stay short
+    /// of it (reaching a due message needs the authoritative drain).
+    due: Cell<Option<VirtualTime>>,
+    /// This core's (immutable-while-armed) speed, captured at arm time.
+    speed: Cell<CoreSpeed>,
+    /// Batched advance total not yet applied to `Sim`.
+    accum: Cell<VDuration>,
+    /// Batched fast-path annotation count not yet added to the tile shard.
+    pending: Cell<u64>,
+}
 
 /// Per-activity execution context handed to task bodies.
 pub struct ExecCtx {
@@ -24,6 +55,7 @@ pub struct ExecCtx {
     aid: ActivityId,
     core: CoreId,
     my_cv: Arc<Condvar>,
+    confined: Confined,
 }
 
 impl ExecCtx {
@@ -38,7 +70,73 @@ impl ExecCtx {
             aid,
             core,
             my_cv,
+            confined: Confined {
+                active: Cell::new(false),
+                vtime: Cell::new(VirtualTime::ZERO),
+                limit: Cell::new(VirtualTime::ZERO),
+                due: Cell::new(None),
+                speed: Cell::new(CoreSpeed::BASE),
+                accum: Cell::new(VDuration::ZERO),
+                pending: Cell::new(0),
+            },
         }
+    }
+
+    /// Arm the lock-free confined cache after a passing fast-path or frozen
+    /// policy check. Only meaningful under an epoch grant; no-op (one
+    /// branch) on the sequential / exclusive paths.
+    fn arm_confined(&self, sim: &MutexGuard<'_, Sim>) {
+        if sim.token != Token::Epoch {
+            return;
+        }
+        let core = &sim.cores[self.core.index()];
+        if core.lock_depth != 0 {
+            return;
+        }
+        let Some(limit) = core.headroom_limit else {
+            return;
+        };
+        debug_assert_eq!(self.confined.pending.get(), 0);
+        self.confined.vtime.set(core.vtime);
+        self.confined.limit.set(limit);
+        self.confined.due.set(core.inbox.earliest_arrival());
+        self.confined.speed.set(core.speed);
+        self.confined.active.set(true);
+    }
+
+    /// Try to absorb an advance of `d` into the confined cache. Succeeds
+    /// exactly when the locked fast-path check would have: the new clock
+    /// stays within the frozen headroom bound and short of any due message.
+    fn try_confined_advance(&self, d: VDuration) -> bool {
+        let nv = self.confined.vtime.get() + d;
+        if nv > self.confined.limit.get() || self.confined.due.get().is_some_and(|a| a <= nv) {
+            return false;
+        }
+        self.confined.vtime.set(nv);
+        self.confined
+            .accum
+            .set(VDuration(self.confined.accum.get().0 + d.0));
+        self.confined.pending.set(self.confined.pending.get() + 1);
+        true
+    }
+
+    /// Fold batched lock-free advances back into `Sim`. Every locked entry
+    /// point calls this first (while the cache is armed nothing else may
+    /// read this core's clock), and the worker loop calls it when the task
+    /// body returns, so the epoch coordinator always sees flushed clocks.
+    pub(crate) fn flush_confined(&self, sim: &mut MutexGuard<'_, Sim>) {
+        if !self.confined.active.get() {
+            return;
+        }
+        self.confined.active.set(false);
+        let n = self.confined.pending.replace(0);
+        if n == 0 {
+            return;
+        }
+        let d = self.confined.accum.replace(VDuration::ZERO);
+        sim.cores[self.core.index()].advance(d);
+        sim.cores[self.core.index()].publish_pending = true;
+        sim.count_fast_path_n(&self.shared, self.core, n);
     }
 
     /// The core this task runs on.
@@ -53,6 +151,9 @@ impl ExecCtx {
 
     /// Current virtual time of this core.
     pub fn now(&self) -> VirtualTime {
+        if self.confined.active.get() {
+            return self.confined.vtime.get();
+        }
         self.shared.sim.lock().cores[self.core.index()].vtime
     }
 
@@ -75,9 +176,19 @@ impl ExecCtx {
     /// costs plus branch-prediction penalties, speed-scaled, then apply the
     /// synchronization policy (possibly stalling).
     pub fn compute(&mut self, block: &BlockCost) {
-        let mut sim = self.shared.sim.lock();
-        let mut cycles = self.shared.config.cost_model.block_cycles(block);
+        let base = self.shared.config.cost_model.block_cycles(block);
         let branches = block.cond_branch_count();
+        // Branch-free blocks have a lock-independent cost; branchy ones
+        // need the core's (locked) predictor state.
+        if branches == 0
+            && self.confined.active.get()
+            && self.try_confined_advance(self.confined.speed.get().scale_cycles(base))
+        {
+            return;
+        }
+        let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
+        let mut cycles = base;
         if branches > 0 {
             cycles += sim.cores[self.core.index()]
                 .predictor
@@ -91,7 +202,13 @@ impl ExecCtx {
     /// Advance this core's clock by `base_cycles` of work (speed-scaled),
     /// then apply the synchronization policy.
     pub fn advance_cycles(&mut self, base_cycles: u64) {
+        if self.confined.active.get()
+            && self.try_confined_advance(self.confined.speed.get().scale_cycles(base_cycles))
+        {
+            return;
+        }
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
         let d = sim.cores[self.core.index()].speed.scale_cycles(base_cycles);
         sim.cores[self.core.index()].advance(d);
         self.after_advance(&mut sim);
@@ -100,7 +217,11 @@ impl ExecCtx {
     /// Advance by an exact duration (no speed scaling), then apply the
     /// synchronization policy.
     pub fn advance_raw(&mut self, d: VDuration) {
+        if self.confined.active.get() && self.try_confined_advance(d) {
+            return;
+        }
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
         sim.cores[self.core.index()].advance(d);
         self.after_advance(&mut sim);
     }
@@ -122,10 +243,42 @@ impl ExecCtx {
             && core.inbox.earliest_arrival().is_none_or(|a| a > core.vtime);
         if fast {
             sim.cores[self.core.index()].publish_pending = true;
-            sim.stats.fast_path_advances += 1;
+            sim.count_fast_path(&self.shared, self.core);
+            // Under an epoch grant the bounds just checked stay frozen
+            // until the epoch quiesces: later annotations inside them can
+            // skip the lock entirely.
+            self.arm_confined(sim);
             return;
         }
-        sim.stats.full_sync_checks += 1;
+        sim.count_full_sync(&self.shared, self.core);
+        if sim.token == Token::Epoch {
+            // Confined (epoch) slow path: publishing and message handling
+            // mutate shared state, so defer the publish and run only the
+            // side-effect-free policy check against frozen published
+            // values. A due message or a non-passing check parks the
+            // activity; the coordinator's serial phase re-grants it
+            // exclusively and it falls through to the authoritative
+            // sequential path below.
+            sim.cores[self.core.index()].publish_pending = true;
+            let core = &sim.cores[self.core.index()];
+            let due = core
+                .inbox
+                .earliest_arrival()
+                .is_some_and(|a| a <= core.vtime);
+            if !due && sync::sync_ok_frozen(sim, &self.shared, self.core) {
+                // The frozen check may have refreshed the headroom bound.
+                self.arm_confined(sim);
+                return;
+            }
+            // Parking defers the policy decision to the serial phase; any
+            // cached headroom no longer describes the deferred clock (an
+            // advance may have run into a due message past the bound), and
+            // the serial replay recomputes it from scratch. Drop it so the
+            // coordinator's flush-time sanitizer check stays meaningful.
+            sim.cores[self.core.index()].headroom_limit = None;
+            self.park_epoch(sim, crate::engine::EpochPending::Resume(self.aid));
+            debug_assert_eq!(sim.token, Token::Act(self.aid));
+        }
         sync::publish(sim, &self.shared, self.core);
         crate::engine::drain_due_messages(sim, &self.shared, self.core);
         self.maybe_stall(sim);
@@ -134,7 +287,25 @@ impl ExecCtx {
     /// Send a message stamped with this core's current clock.
     pub fn send(&mut self, dst: CoreId, size_bytes: u32, payload: Payload) {
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
         let sent = sim.cores[self.core.index()].vtime;
+        if sim.token == Token::Epoch {
+            // Confined: routing consumes shared network state (the global
+            // send sequence, link occupancy). Buffer into this tile's
+            // outbox; the coordinator routes and delivers all buffered
+            // sends in tile order once the epoch quiesces, preserving
+            // per-sender FIFO (the buffer keeps program order and `sent`
+            // stamps are monotone per sender).
+            let tile = self.shared.tile_of(self.core);
+            sim.tile_outboxes[tile].push(crate::engine::OutMsg {
+                src: self.core,
+                dst,
+                size_bytes,
+                sent,
+                payload,
+            });
+            return;
+        }
         let env = sim.net.send(self.core, dst, size_bytes, sent, payload);
         crate::engine::deliver(&mut sim, &self.shared, env);
     }
@@ -144,6 +315,8 @@ impl ExecCtx {
     /// (probe, spawn, data requests) atomically.
     pub fn with_ops<R>(&mut self, f: impl FnOnce(&mut Ops<'_>) -> R) -> R {
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
+        self.exclusive_for_ops(&mut sim);
         // `f` can observe published values through `Ops`.
         sync::flush_deferred(&mut sim, &self.shared, self.core);
         let mut ops = Ops::new(&mut sim, &self.shared);
@@ -154,6 +327,8 @@ impl ExecCtx {
     /// when `f` advances this core's clock.
     pub fn with_ops_synced<R>(&mut self, f: impl FnOnce(&mut Ops<'_>) -> R) -> R {
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
+        self.exclusive_for_ops(&mut sim);
         sync::flush_deferred(&mut sim, &self.shared, self.core);
         let r = {
             let mut ops = Ops::new(&mut sim, &self.shared);
@@ -178,6 +353,8 @@ impl ExecCtx {
     /// the runtime's work.
     pub fn block_with(&mut self, reason: &'static str, charge_resume: bool) -> Box<dyn Any + Send> {
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
+        self.exclusive_for_ops(&mut sim);
         {
             let core = self.core;
             debug_assert_eq!(sim.cores[core.index()].current, Some(self.aid));
@@ -215,6 +392,7 @@ impl ExecCtx {
     /// §II.B).
     pub fn critical_enter(&mut self) {
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
         sim.cores[self.core.index()].lock_depth += 1;
     }
 
@@ -222,6 +400,7 @@ impl ExecCtx {
     /// applies again immediately.
     pub fn critical_exit(&mut self) {
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
         let depth = &mut sim.cores[self.core.index()].lock_depth;
         assert!(*depth > 0, "critical_exit without critical_enter");
         *depth -= 1;
@@ -234,16 +413,36 @@ impl ExecCtx {
     /// (useful inside long native computations).
     pub fn check_sync(&mut self) {
         let mut sim = self.shared.sim.lock();
+        self.flush_confined(&mut sim);
         self.maybe_stall(&mut sim);
     }
 
     /// Stall while the synchronization policy forbids this core to run.
+    ///
+    /// The token is re-dispatched on every loop iteration: a stalled or
+    /// parked activity can be re-granted either exclusively or as part of
+    /// an epoch batch, and the check it must run differs (authoritative
+    /// vs. frozen/confined).
     fn maybe_stall(&self, sim: &mut MutexGuard<'_, Sim>) {
-        // The policy check reads published values, and a stall yields the
-        // run token: either way a deferred publish must land first.
-        sync::flush_deferred(sim, &self.shared, self.core);
         let mut stalled = false;
         loop {
+            if sim.token == Token::Epoch {
+                // Confined: run the frozen check only; flushing the
+                // deferred publish or registering waiters would mutate
+                // shared state. If it does not pass, park — the serial
+                // phase re-grants exclusively and the loop re-dispatches
+                // into the authoritative branch below, which does the
+                // real check and the stall bookkeeping.
+                if sync::sync_ok_frozen(sim, &self.shared, self.core) {
+                    self.arm_confined(sim);
+                    return;
+                }
+                self.park_epoch(sim, crate::engine::EpochPending::Resume(self.aid));
+                continue;
+            }
+            // The policy check reads published values, and a stall yields
+            // the run token: either way a deferred publish must land first.
+            sync::flush_deferred(sim, &self.shared, self.core);
             if sync::sync_ok(sim, &self.shared, self.core) {
                 if stalled {
                     crate::engine::trace(&self.shared, || crate::trace::TraceEvent::Resume {
@@ -274,7 +473,43 @@ impl ExecCtx {
         self.shared.sched_cv.notify_one();
     }
 
-    /// Park until the scheduler grants the token back to this activity.
+    /// If this activity is running confined inside an epoch, park it with
+    /// an [`EpochPending::Resume`] entry and wait until the coordinator's
+    /// serial phase re-grants it the run token exclusively. No-op under an
+    /// exclusive grant. Interactions that need full simulator access
+    /// (compound `Ops`, blocking) call this first so their existing
+    /// sequential bodies run unchanged.
+    fn exclusive_for_ops(&self, sim: &mut MutexGuard<'_, Sim>) {
+        if sim.token == Token::Epoch {
+            self.park_epoch(sim, crate::engine::EpochPending::Resume(self.aid));
+            debug_assert_eq!(sim.token, Token::Act(self.aid));
+        }
+    }
+
+    /// Leave the running epoch: record `p` for the coordinator's serial
+    /// phase, flip this activity to `Parked` (so an epoch-wide token does
+    /// not wake it spuriously), signal the coordinator if this was the
+    /// batch's last running member, and wait to be re-granted.
+    fn park_epoch(&self, sim: &mut MutexGuard<'_, Sim>, p: crate::engine::EpochPending) {
+        debug_assert_eq!(sim.token, Token::Epoch);
+        let tile = self.shared.tile_of(self.core) as u32;
+        // Members queued behind this one on the same worker cannot run this
+        // epoch — this activity pins the thread until its body returns —
+        // so hand them back to the scheduler.
+        let w = sim.act(self.aid).worker.expect("running without a worker");
+        crate::engine::spill_backlog(sim, w);
+        sim.act_mut(self.aid).state = ActivityState::Parked;
+        sim.epoch_pending.push((tile, p));
+        sim.epoch_outstanding -= 1;
+        if sim.epoch_outstanding == 0 {
+            self.shared.sched_cv.notify_one();
+        }
+        self.wait_for_grant(sim);
+    }
+
+    /// Park until the scheduler grants the token back to this activity —
+    /// exclusively (`Token::Act`), or as part of an epoch batch
+    /// (`Token::Epoch` with this activity flipped to `Granted`).
     fn wait_for_grant(&self, sim: &mut MutexGuard<'_, Sim>) {
         loop {
             if sim.shutdown {
@@ -282,9 +517,12 @@ impl ExecCtx {
                 // signal and exits quietly.
                 std::panic::panic_any(ShutdownSignal);
             }
-            if sim.token == Token::Act(self.aid)
-                && matches!(sim.act(self.aid).state, ActivityState::Granted)
-            {
+            let token_ok = match sim.token {
+                Token::Act(a) => a == self.aid,
+                Token::Epoch => true,
+                Token::Scheduler => false,
+            };
+            if token_ok && matches!(sim.act(self.aid).state, ActivityState::Granted) {
                 return;
             }
             self.my_cv.wait(sim);

@@ -20,6 +20,19 @@
 //! maximal speed" of the paper — but since no other simulation thread can
 //! hold the token concurrently, the simulation stays sequential and
 //! deterministic.
+//!
+//! ## Parallel host execution
+//!
+//! With [`EngineConfig::threads`] ` > 1` the topology is partitioned into
+//! contiguous tiles and the token protocol gains a third state,
+//! [`Token::Epoch`]: the coordinator (see [`crate::parallel`]) grants a
+//! *batch* of activities — at most one per tile — that execute user code
+//! concurrently, each confined to mutating its own core. Everything that
+//! crosses core boundaries (message routing, compound `Ops`, failed
+//! synchronization checks) is deposited into per-tile outboxes/pending
+//! lists and replayed serially in deterministic tile order once the batch
+//! quiesces. `threads <= 1` never enters any of these paths and is
+//! bit-identical to the sequential engine described above.
 
 use crate::activity::{Activity, ActivityId, ActivityMeta, ActivityState, TaskFn};
 use crate::config::{EngineConfig, SyncPolicy};
@@ -44,6 +57,10 @@ use std::sync::Arc;
 pub(crate) enum Token {
     Scheduler,
     Act(ActivityId),
+    /// Parallel mode: an epoch is in flight — every activity of the
+    /// current batch (at most one per tile) holds a share of the token and
+    /// may execute concurrently, confined to its own core.
+    Epoch,
 }
 
 /// Panic payload used to unwind parked activities at simulation teardown.
@@ -63,6 +80,56 @@ pub(crate) struct Shared {
     pub(crate) hooks: Arc<dyn RuntimeHooks>,
     pub(crate) config: EngineConfig,
     pub(crate) topo: Topology,
+    /// Tile partition of the topology; `Some` iff `config.threads > 1`.
+    pub(crate) partition: Option<simany_topology::Partition>,
+}
+
+impl Shared {
+    /// Tile of core `c` (always 0 under the sequential engine).
+    #[inline]
+    pub(crate) fn tile_of(&self, c: CoreId) -> usize {
+        self.partition.as_ref().map_or(0, |p| p.tile_of(c))
+    }
+}
+
+/// A message buffered by a confined `ExecCtx::send` during an epoch.
+/// Routing consumes shared network state (link occupancy, the global send
+/// sequence), so the coordinator routes and delivers buffered messages in
+/// tile order at the epoch's serial phase. Per-sender FIFO survives: one
+/// activity per tile runs at a time, the buffer preserves its program
+/// order, and its clock (the send stamps) is monotone.
+pub(crate) struct OutMsg {
+    pub(crate) src: CoreId,
+    pub(crate) dst: CoreId,
+    pub(crate) size_bytes: u32,
+    pub(crate) sent: VirtualTime,
+    pub(crate) payload: simany_net::Payload,
+}
+
+/// Work a confined activity handed off to the coordinator's serial phase,
+/// tagged with its tile id. At most one entry per tile per epoch (an
+/// activity parks, finishes or panics at most once before leaving phase
+/// A), so sorting by tile id gives a unique deterministic order.
+pub(crate) enum EpochPending {
+    /// The activity hit an interaction it could not complete confined —
+    /// a failed or undecidable frozen synchronization check, a due
+    /// message, or an operation needing exclusive shared-state access
+    /// (compound `Ops`, blocking, a policy consuming the engine RNG).
+    /// Re-grant it the run token exclusively; its own code path then
+    /// replays the authoritative sequential logic (publish, drain,
+    /// policy check with stall bookkeeping, or the compound operation)
+    /// and runs until it yields.
+    Resume(ActivityId),
+    /// The activity's closure returned.
+    Finish(ActivityId),
+    /// The activity's closure panicked. Recorded as a pending entry
+    /// rather than an immediate failure so the "first" panic of an epoch
+    /// is chosen by tile order, not by a thread race.
+    Panic {
+        core: CoreId,
+        name: &'static str,
+        msg: String,
+    },
 }
 
 /// All mutable simulator state.
@@ -77,6 +144,12 @@ pub(crate) struct Sim {
     pub(crate) stats: SimStats,
     pub(crate) worker_cvs: Vec<Arc<Condvar>>,
     pub(crate) worker_assigned: Vec<Option<ActivityId>>,
+    /// Parallel mode: additional epoch members queued behind each worker's
+    /// current assignment. A worker that finishes a confined member pops
+    /// the next one and runs it without a scheduler round trip; a member
+    /// that parks strands the rest (it pins the thread), so they are
+    /// spilled back to the scheduler (see [`spill_backlog`]).
+    pub(crate) worker_backlog: Vec<std::collections::VecDeque<ActivityId>>,
     pub(crate) free_workers: Vec<usize>,
     pub(crate) shutdown: bool,
     pub(crate) failure: Option<Failure>,
@@ -111,6 +184,22 @@ pub(crate) struct Sim {
     /// Online invariant sanitizer state; `Some` iff
     /// [`EngineConfig::sanitize`] is on (see [`crate::sanitizer`]).
     pub(crate) sanitizer: Option<Box<crate::sanitizer::SanitizerState>>,
+    /// Parallel mode: epoch members still executing phase A. The
+    /// coordinator launches a batch, then sleeps until this hits zero.
+    pub(crate) epoch_outstanding: usize,
+    /// Parallel mode: serial-phase work deposited by confined activities
+    /// during the current epoch, tagged with tile ids.
+    pub(crate) epoch_pending: Vec<(u32, EpochPending)>,
+    /// Parallel mode: per-tile outboxes for messages sent by confined
+    /// activities (see [`OutMsg`]). Empty outside epochs.
+    pub(crate) tile_outboxes: Vec<Vec<OutMsg>>,
+    /// Parallel mode: per-tile shards of the synchronization hot-path
+    /// counters (empty — length 0 — under the sequential engine). Merged
+    /// into `stats` in tile order at teardown.
+    pub(crate) tile_stats: Vec<crate::stats::TileStats>,
+    /// Scratch for the random-referee candidate sweep in `sync_ok`;
+    /// reused across picks so the steady state allocates nothing.
+    pub(crate) scratch_ready: Vec<u32>,
 }
 
 impl Sim {
@@ -120,6 +209,64 @@ impl Sim {
 
     pub(crate) fn act_mut(&mut self, aid: ActivityId) -> &mut Activity {
         self.acts.get_mut(&aid.0).expect("unknown activity")
+    }
+
+    // Hot-path counter routing: in parallel mode several confined
+    // activities bump these concurrently under distinct tiles, so each
+    // write goes to the bumping core's tile shard; sequentially (empty
+    // shard vector) the machine-wide counter is written directly.
+
+    #[inline]
+    pub(crate) fn count_fast_path(&mut self, shared: &Shared, c: CoreId) {
+        if self.tile_stats.is_empty() {
+            self.stats.fast_path_advances += 1;
+        } else {
+            self.tile_stats[shared.tile_of(c)].fast_path_advances += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_fast_path_n(&mut self, shared: &Shared, c: CoreId, n: u64) {
+        if self.tile_stats.is_empty() {
+            self.stats.fast_path_advances += n;
+        } else {
+            self.tile_stats[shared.tile_of(c)].fast_path_advances += n;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_full_sync(&mut self, shared: &Shared, c: CoreId) {
+        if self.tile_stats.is_empty() {
+            self.stats.full_sync_checks += 1;
+        } else {
+            self.tile_stats[shared.tile_of(c)].full_sync_checks += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_floor_recompute(&mut self, shared: &Shared, c: CoreId) {
+        if self.tile_stats.is_empty() {
+            self.stats.floor_recomputes += 1;
+        } else {
+            self.tile_stats[shared.tile_of(c)].floor_recomputes += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn note_neighbor_drift(
+        &mut self,
+        shared: &Shared,
+        c: CoreId,
+        drift: simany_time::VDuration,
+    ) {
+        let slot = if self.tile_stats.is_empty() {
+            &mut self.stats.max_neighbor_drift
+        } else {
+            &mut self.tile_stats[shared.tile_of(c)].max_neighbor_drift
+        };
+        if drift > *slot {
+            *slot = drift;
+        }
     }
 }
 
@@ -481,7 +628,7 @@ pub(crate) fn drain_due_messages(sim: &mut Sim, shared: &Shared, c: CoreId) {
 /// the core's past is processed late (the accuracy-loss mechanism of paper
 /// §II.A — replies still carry request-relative stamps, so the lateness
 /// does not leak into the requester's timeline).
-fn process_message(sim: &mut Sim, shared: &Shared, c: CoreId) {
+pub(crate) fn process_message(sim: &mut Sim, shared: &Shared, c: CoreId) {
     let env = sim.cores[c.index()].inbox.pop().expect("no message");
     let pre = sim.cores[c.index()].vtime;
     if env.arrival < pre {
@@ -503,7 +650,7 @@ fn process_message(sim: &mut Sim, shared: &Shared, c: CoreId) {
 }
 
 /// What the scheduler decided to do with a popped ready core.
-enum Action {
+pub(crate) enum Action {
     Message,
     Grant(ActivityId),
     ResumeParked,
@@ -511,7 +658,7 @@ enum Action {
     Nothing,
 }
 
-fn decide(sim: &Sim, c: CoreId) -> Action {
+pub(crate) fn decide(sim: &Sim, c: CoreId) -> Action {
     let core = &sim.cores[c.index()];
     let cur_grantable = core.current.map(|a| sim.act(a).grantable());
     if let Some(arr) = core.inbox.earliest_arrival() {
@@ -547,7 +694,7 @@ fn decide(sim: &Sim, c: CoreId) -> Action {
     }
 }
 
-fn deadlock_report(sim: &Sim) -> String {
+pub(crate) fn deadlock_report(sim: &Sim) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("no runnable core but work remains;");
     let _ = write!(s, " live_activities={}", sim.live_activities);
@@ -559,7 +706,7 @@ fn deadlock_report(sim: &Sim) -> String {
 /// `deadlock_report` shows, plus shadow times and waiter sets (a livelock,
 /// unlike a deadlock, has cores that *look* runnable — the useful signal is
 /// who is stalled on whom and which messages are in flight).
-fn diagnostic_snapshot(sim: &Sim) -> String {
+pub(crate) fn diagnostic_snapshot(sim: &Sim) -> String {
     use std::fmt::Write as _;
     let mut s = format!(
         "max_vtime={} live_activities={} picks={}",
@@ -652,6 +799,11 @@ pub fn simulate(
         None => None,
     };
     let start_wall = std::time::Instant::now();
+    // Parallel host execution: partition the topology into contiguous
+    // tiles, one concurrent activity per tile (see `crate::parallel`).
+    let partition = (config.threads > 1)
+        .then(|| simany_topology::partition_bfs(&topo, config.threads as usize));
+    let n_tiles = partition.as_ref().map_or(0, |p| p.n_tiles());
     let cores: Vec<CoreState> = (0..n)
         .map(|i| {
             let pred = ProbBranchPredictor::new(
@@ -669,6 +821,20 @@ pub fn simulate(
             "fault plan compiled against a different topology"
         );
     }
+    let mut ready = ReadyQueue::new(config.pick, config.seed);
+    if let Some(part) = &partition {
+        // Equal-time cores would otherwise pop in core-id order — a whole
+        // contiguous tile before the next one — making the epoch collector
+        // defer O(tile size) cores per epoch on tied wavefronts. Interleave
+        // the tie-break so one core of every tile surfaces first.
+        let mut ranks = vec![0u32; n as usize];
+        for t in 0..part.n_tiles() {
+            for (i, &c) in part.tile(t).iter().enumerate() {
+                ranks[c.index()] = (i * part.n_tiles() + t) as u32;
+            }
+        }
+        ready.set_tiebreak_ranks(ranks);
+    }
     let sim = Sim {
         cores,
         net: NetworkModel::with_faults(topo.clone(), config.net, config.fault.clone(), config.seed),
@@ -676,10 +842,11 @@ pub fn simulate(
         next_act: 0,
         next_birth: 0,
         token: Token::Scheduler,
-        ready: ReadyQueue::new(config.pick, config.seed),
+        ready,
         stats: SimStats::default(),
         worker_cvs: Vec::new(),
         worker_assigned: Vec::new(),
+        worker_backlog: Vec::new(),
         free_workers: Vec::new(),
         shutdown: false,
         failure: None,
@@ -695,6 +862,11 @@ pub fn simulate(
         stamp_cur: 0,
         core_fail_announced: vec![false; n as usize],
         sanitizer: None,
+        epoch_outstanding: 0,
+        epoch_pending: Vec::new(),
+        tile_outboxes: (0..n_tiles).map(|_| Vec::new()).collect(),
+        tile_stats: vec![crate::stats::TileStats::default(); n_tiles],
+        scratch_ready: Vec::new(),
     };
     let shared = Arc::new(Shared {
         sim: Mutex::new(sim),
@@ -702,6 +874,7 @@ pub fn simulate(
         hooks,
         config,
         topo,
+        partition,
     });
 
     let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -715,6 +888,67 @@ pub fn simulate(
             setup(&mut ops);
         }
 
+        sim = if shared.config.threads > 1 {
+            crate::parallel::run_scheduler(&shared, sim, &mut handles, cfg_digest, resume_target)
+        } else {
+            run_sequential(&shared, sim, &mut handles, cfg_digest, resume_target)
+        };
+
+        // Teardown: release every parked worker.
+        sim.shutdown = true;
+        for cv in &sim.worker_cvs {
+            cv.notify_one();
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+
+    // All workers have exited; harvest the result under the lock instead of
+    // insisting on sole ownership of the `Arc` (a panicking teardown path
+    // must not be able to turn into a second panic here).
+    let mut sim = shared.sim.lock();
+    if let Some(f) = sim.failure.take() {
+        return Err(f.into_error());
+    }
+    let mut stats = std::mem::take(&mut sim.stats);
+    // Merge the per-tile hot-path counter shards (deterministic: tile
+    // order). Empty — a no-op — under the sequential engine.
+    for shard in &sim.tile_stats {
+        stats.absorb_tile(shard);
+    }
+    stats.final_vtime = sim
+        .cores
+        .iter()
+        .map(|c| c.vtime)
+        .max()
+        .unwrap_or(VirtualTime::ZERO);
+    stats.core_busy = sim.cores.iter().map(|c| c.busy).collect();
+    stats.net = sim.net.stats().clone();
+    stats.msgs_dropped = stats.net.dropped + stats.net.corrupted + stats.net.unreachable;
+    stats.msgs_corrupted = stats.net.corrupted;
+    stats.reroutes = stats.net.rerouted;
+    stats.hot_links = sim
+        .net
+        .busiest_links(8)
+        .into_iter()
+        .map(|(props, busy)| (props.src, props.dst, busy))
+        .collect();
+    stats.wall = start_wall.elapsed();
+    Ok(stats)
+}
+
+/// The sequential scheduler loop (`threads <= 1`): pick one ready core at
+/// a time and process it to completion before the next pick. Returns the
+/// guard so `simulate` can run the common teardown.
+fn run_sequential<'a>(
+    shared: &Arc<Shared>,
+    mut sim: parking_lot::MutexGuard<'a, Sim>,
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+    cfg_digest: u64,
+    resume_target: Option<crate::checkpoint::Checkpoint>,
+) -> parking_lot::MutexGuard<'a, Sim> {
+    {
         // Policies whose stall conditions depend on machine-wide state
         // (the global floor, or an arbitrary referee core) get a full
         // stalled-recheck whenever that state may have changed. Spatial
@@ -786,7 +1020,7 @@ pub fn simulate(
             }
             if global_policy && sim.floor_dirty {
                 sim.floor_dirty = false;
-                sync::recheck_all_stalled(&mut sim, &shared);
+                sync::recheck_all_stalled(&mut sim, shared);
             }
             // Pop a valid ready core (skipping stale entries).
             let mut picked = None;
@@ -833,7 +1067,7 @@ pub fn simulate(
                     .scheduler_picks
                     .is_multiple_of(crate::sanitizer::SCAN_EVERY_PICKS)
             {
-                crate::sanitizer::scan(&mut sim, &shared);
+                crate::sanitizer::scan(&mut sim, shared);
             }
             let sample_every = shared.config.parallelism_sample_every;
             if sample_every != 0 && sim.stats.scheduler_picks.is_multiple_of(sample_every) {
@@ -844,20 +1078,20 @@ pub fn simulate(
             }
 
             match decide(&sim, c) {
-                Action::Message => process_message(&mut sim, &shared, c),
+                Action::Message => process_message(&mut sim, shared, c),
                 Action::Grant(aid) => {
-                    grant(&mut sim, &shared, &mut handles, aid);
+                    grant(&mut sim, shared, handles, aid);
                     while sim.token != Token::Scheduler {
                         shared.sched_cv.wait(&mut sim);
                     }
                 }
                 Action::ResumeParked => {
                     let aid = sim.cores[c.index()].resumables.pop_front().unwrap();
-                    make_current(&mut sim, &shared, aid);
+                    make_current(&mut sim, shared, aid);
                     // Grant immediately if still allowed (it may have become
                     // stalled by the resume-cost advance).
                     if sim.act(aid).grantable() {
-                        grant(&mut sim, &shared, &mut handles, aid);
+                        grant(&mut sim, shared, handles, aid);
                         while sim.token != Token::Scheduler {
                             shared.sched_cv.wait(&mut sim);
                         }
@@ -866,7 +1100,7 @@ pub fn simulate(
                 Action::Idle => {
                     let before_hint = sim.cores[c.index()].queue_hint;
                     {
-                        let mut ops = Ops::new(&mut sim, &shared);
+                        let mut ops = Ops::new(&mut sim, shared);
                         shared.hooks.on_idle(&mut ops, c);
                     }
                     assert!(
@@ -885,7 +1119,7 @@ pub fn simulate(
         if sim.failure.is_none() {
             if sim.sanitizer.is_some() {
                 // Final machine-wide scan over the quiescent end state.
-                crate::sanitizer::scan(&mut sim, &shared);
+                crate::sanitizer::scan(&mut sim, shared);
             }
             if let Some(cp) = pending_resume.take() {
                 sim.failure = Some(Failure::Checkpoint(format!(
@@ -894,55 +1128,36 @@ pub fn simulate(
                 )));
             }
         }
-
-        // Teardown: release every parked worker.
-        sim.shutdown = true;
-        for cv in &sim.worker_cvs {
-            cv.notify_one();
-        }
     }
-    for h in handles {
-        let _ = h.join();
-    }
-
-    // All workers have exited; harvest the result under the lock instead of
-    // insisting on sole ownership of the `Arc` (a panicking teardown path
-    // must not be able to turn into a second panic here).
-    let mut sim = shared.sim.lock();
-    if let Some(f) = sim.failure.take() {
-        return Err(f.into_error());
-    }
-    let mut stats = std::mem::take(&mut sim.stats);
-    stats.final_vtime = sim
-        .cores
-        .iter()
-        .map(|c| c.vtime)
-        .max()
-        .unwrap_or(VirtualTime::ZERO);
-    stats.core_busy = sim.cores.iter().map(|c| c.busy).collect();
-    stats.net = sim.net.stats().clone();
-    stats.msgs_dropped = stats.net.dropped + stats.net.corrupted + stats.net.unreachable;
-    stats.msgs_corrupted = stats.net.corrupted;
-    stats.reroutes = stats.net.rerouted;
-    stats.hot_links = sim
-        .net
-        .busiest_links(8)
-        .into_iter()
-        .map(|(props, busy)| (props.src, props.dst, busy))
-        .collect();
-    stats.wall = start_wall.elapsed();
-    Ok(stats)
+    sim
 }
 
-/// Hand the run token to `aid`, binding it to a worker thread first if it
-/// has never run.
-fn grant(
+/// Return worker `w`'s unstarted backlog members to the scheduler: the
+/// member pinning the thread parked (or panicked), so they cannot run this
+/// epoch. Each reverts to `Pending` — the state it was stashed from (only
+/// never-run activities are backlogged) — and its core is requeued by the
+/// epoch's serial phase (the batch requeue pass). The stash's resume count
+/// and the epoch's outstanding count are rolled back so a later epoch
+/// counts the actual grant exactly once.
+pub(crate) fn spill_backlog(sim: &mut Sim, w: usize) {
+    while let Some(aid) = sim.worker_backlog[w].pop_front() {
+        debug_assert!(matches!(sim.act(aid).state, ActivityState::Granted));
+        debug_assert!(sim.act(aid).worker.is_none());
+        sim.act_mut(aid).state = ActivityState::Pending;
+        sim.stats.activity_resumes -= 1;
+        sim.epoch_outstanding -= 1;
+    }
+}
+
+/// Resolve the worker thread slot for `aid`, binding it to one (reusing a
+/// free slot or spawning) if it has never run.
+pub(crate) fn assign_worker(
     sim: &mut Sim,
     shared: &Arc<Shared>,
     handles: &mut Vec<std::thread::JoinHandle<()>>,
     aid: ActivityId,
-) {
-    let worker = match sim.act(aid).worker {
+) -> usize {
+    match sim.act(aid).worker {
         Some(w) => w,
         None => {
             let w = match sim.free_workers.pop() {
@@ -953,7 +1168,18 @@ fn grant(
             sim.act_mut(aid).worker = Some(w);
             w
         }
-    };
+    }
+}
+
+/// Hand the run token to `aid`, binding it to a worker thread first if it
+/// has never run.
+fn grant(
+    sim: &mut Sim,
+    shared: &Arc<Shared>,
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+    aid: ActivityId,
+) {
+    let worker = assign_worker(sim, shared, handles, aid);
     sim.act_mut(aid).state = ActivityState::Granted;
     sim.token = Token::Act(aid);
     sim.stats.activity_resumes += 1;
@@ -969,6 +1195,7 @@ fn spawn_worker(
     let cv = Arc::new(Condvar::new());
     sim.worker_cvs.push(cv.clone());
     sim.worker_assigned.push(None);
+    sim.worker_backlog.push(std::collections::VecDeque::new());
     let shared2 = Arc::clone(shared);
     let handle = std::thread::Builder::new()
         .name(format!("simany-worker-{idx}"))
@@ -979,19 +1206,34 @@ fn spawn_worker(
     idx
 }
 
+/// Stringify a caught panic payload for failure reports.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+}
+
 fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
-    loop {
-        // Wait for an assignment with a granted token.
-        let (aid, core, name, job) = {
+    'outer: loop {
+        // Wait for an assignment with a granted token. An exclusive grant
+        // names this activity in the token; an epoch grant (parallel mode)
+        // sets `Token::Epoch`, and membership in the batch is what flipped
+        // the activity's state to `Granted`.
+        let (mut aid, mut core, mut name, mut job) = {
             let mut sim = shared.sim.lock();
             loop {
                 if sim.shutdown {
                     return;
                 }
                 if let Some(aid) = sim.worker_assigned[idx] {
-                    if sim.token == Token::Act(aid)
-                        && matches!(sim.act(aid).state, ActivityState::Granted)
-                    {
+                    let token_ok = match sim.token {
+                        Token::Act(a) => a == aid,
+                        Token::Epoch => true,
+                        Token::Scheduler => false,
+                    };
+                    if token_ok && matches!(sim.act(aid).state, ActivityState::Granted) {
                         break;
                     }
                 }
@@ -1002,34 +1244,82 @@ fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
             (aid, sim.act(aid).core, sim.act(aid).name, job)
         };
 
-        let mut ctx = crate::ctx::ExecCtx::new(Arc::clone(&shared), aid, core, cv.clone());
-        let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
+        loop {
+            let mut ctx = crate::ctx::ExecCtx::new(Arc::clone(&shared), aid, core, cv.clone());
+            let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
 
-        let mut sim = shared.sim.lock();
-        match result {
-            Ok(()) => finish_activity(&mut sim, &shared, aid),
-            Err(payload) => {
-                if payload.downcast_ref::<ShutdownSignal>().is_none() && sim.failure.is_none() {
-                    let msg = payload
-                        .downcast_ref::<&str>()
-                        .map(|s| s.to_string())
-                        .or_else(|| payload.downcast_ref::<String>().cloned())
-                        .unwrap_or_else(|| "<non-string panic payload>".to_string());
-                    sim.failure = Some(Failure::TaskPanic {
-                        core,
-                        at: sim.cores[core.index()].vtime,
-                        name,
-                        msg,
-                    });
+            let mut sim = shared.sim.lock();
+            // The body may have ended on a run of lock-free confined
+            // advances; land them before anything reads this core's clock.
+            ctx.flush_confined(&mut sim);
+            // An activity first granted inside an epoch may outlive it (it
+            // can be re-granted exclusively or inside later epochs before
+            // its closure returns); route its completion by the token it
+            // holds NOW.
+            if sim.token == Token::Epoch {
+                let tile = shared.tile_of(core) as u32;
+                match result {
+                    Ok(()) => sim.epoch_pending.push((tile, EpochPending::Finish(aid))),
+                    Err(payload) => {
+                        if payload.downcast_ref::<ShutdownSignal>().is_none() {
+                            let msg = panic_message(payload.as_ref());
+                            sim.epoch_pending
+                                .push((tile, EpochPending::Panic { core, name, msg }));
+                        }
+                        // A panicking member strands the rest of this
+                        // worker's queue; hand it back to the scheduler.
+                        spill_backlog(&mut sim, idx);
+                    }
+                }
+                sim.epoch_outstanding -= 1;
+                if sim.epoch_outstanding == 0 {
+                    shared.sched_cv.notify_one();
+                }
+                if sim.shutdown {
+                    return;
+                }
+                // Run the next queued member of this epoch directly — no
+                // scheduler round trip, no condvar sleep.
+                if let Some(next) = sim.worker_backlog[idx].pop_front() {
+                    debug_assert!(matches!(sim.act(next).state, ActivityState::Granted));
+                    sim.worker_assigned[idx] = Some(next);
+                    sim.act_mut(next).worker = Some(idx);
+                    aid = next;
+                    core = sim.act(next).core;
+                    name = sim.act(next).name;
+                    job = sim
+                        .act_mut(next)
+                        .job
+                        .take()
+                        .expect("backlogged without job");
+                    continue;
+                }
+                sim.worker_assigned[idx] = None;
+                sim.free_workers.push(idx);
+                continue 'outer;
+            }
+            match result {
+                Ok(()) => finish_activity(&mut sim, &shared, aid),
+                Err(payload) => {
+                    if payload.downcast_ref::<ShutdownSignal>().is_none() && sim.failure.is_none() {
+                        let msg = panic_message(payload.as_ref());
+                        sim.failure = Some(Failure::TaskPanic {
+                            core,
+                            at: sim.cores[core.index()].vtime,
+                            name,
+                            msg,
+                        });
+                    }
                 }
             }
-        }
-        sim.worker_assigned[idx] = None;
-        sim.free_workers.push(idx);
-        sim.token = Token::Scheduler;
-        shared.sched_cv.notify_one();
-        if sim.shutdown {
-            return;
+            sim.worker_assigned[idx] = None;
+            sim.free_workers.push(idx);
+            sim.token = Token::Scheduler;
+            shared.sched_cv.notify_one();
+            if sim.shutdown {
+                return;
+            }
+            continue 'outer;
         }
     }
 }

@@ -45,6 +45,7 @@ pub mod ctx;
 pub mod engine;
 pub mod hooks;
 pub mod ops;
+pub(crate) mod parallel;
 pub mod ready;
 pub mod sanitizer;
 pub mod state;

@@ -1,0 +1,476 @@
+//! Parallel host execution: the epoch coordinator (`threads > 1`).
+//!
+//! The topology is partitioned into contiguous tiles
+//! ([`simany_topology::partition_bfs`]); the scheduler loop is replaced by
+//! an *epoch* cycle that alternates a serial phase with a confined
+//! concurrent phase:
+//!
+//! 1. **Collect** (serial): run the exact sequential per-pick bookkeeping
+//!    (checkpoints, watchdog, sanitizer, message processing, idle
+//!    transitions), but instead of granting each runnable activity
+//!    exclusively, *stash* it into a batch of up to `MEMBERS_PER_TILE`
+//!    activities per tile. All of a tile's members execute from a single
+//!    worker thread's queue, so their effects keep a deterministic order;
+//!    an activity whose earlier run still pins a worker thread claims its
+//!    tile exclusively. Extra grantable activities on full tiles are
+//!    deferred to the next epoch.
+//! 2. **Phase A** (concurrent): hand the batch an epoch-wide run token
+//!    ([`crate::engine::Token::Epoch`]) and wake one worker per tile; each
+//!    worker runs its tile's members back to back without further
+//!    scheduler round trips. Each activity runs its task code natively,
+//!    *confined* to mutating its own core: publishes are deferred, sends
+//!    are buffered into per-tile outboxes, synchronization checks run
+//!    side-effect-free against frozen published values
+//!    ([`crate::sync::sync_ok_frozen`]), and annotations that stay inside
+//!    the frozen drift headroom advance the clock without taking the
+//!    simulation lock at all (see `Confined` in [`crate::ctx`]). Anything
+//!    needing shared state parks with an [`EpochPending`] entry; a parked
+//!    member's queued successors spill back to the scheduler (the member
+//!    pins its worker thread) and are simply picked again next epoch.
+//! 3. **Phase B** (serial): once every member has parked or finished,
+//!    replay the cross-core effects in deterministic tile order — flush
+//!    the deferred boundary-clock publishes, route and deliver the
+//!    buffered messages, and resolve the pending entries: parked
+//!    activities are re-granted the token *exclusively*, one at a time,
+//!    so each replays the authoritative sequential logic (publish, drain,
+//!    policy check, compound `Ops`) and runs until it yields; completions
+//!    and panics are applied in tile order.
+//!
+//! ## Determinism
+//!
+//! Everything that can influence another core serializes through phase B
+//! in tile order. Within a tile, order is a single worker thread's
+//! execution order over a deterministically collected queue, so the replay
+//! order is a pure function of the batch — not of thread scheduling.
+//! Worker *identities* are the only racy quantity (the free-worker pool is
+//! refilled in completion order), and they are never observable: no
+//! statistic, trace, digest or simulation outcome depends on which OS
+//! thread hosts an activity. Fixed `--threads N` + seed therefore
+//! reproduces bit-identically, and `threads <= 1` never constructs a
+//! partition at all — it runs the unmodified sequential engine.
+//!
+//! ## Why this is faster on one host CPU too
+//!
+//! A sequential grant costs two condvar handoffs (scheduler → worker,
+//! worker → scheduler). An epoch of `B` confined grants spread over `W`
+//! tile workers costs `W` worker wakeups plus one coordinator wakeup —
+//! ~`(W + 1) / B` handoffs per grant, since each worker chews through its
+//! whole queue on one wakeup — and confined annotations inside the frozen
+//! drift headroom skip the simulation lock entirely. Annotation-dense
+//! workloads whose checks mostly pass confined therefore spend
+//! proportionally less wall-clock time in scheduler handoffs and lock
+//! traffic. Grants that do need the serial phase (failed checks, compound
+//! `Ops`) cost the same handoffs as a sequential grant, no more. On
+//! multi-CPU hosts phase A additionally overlaps the native task bodies.
+
+use crate::activity::{ActivityId, ActivityState};
+use crate::config::SyncPolicy;
+use crate::engine::{
+    assign_worker, decide, deliver, diagnostic_snapshot, is_ready, make_current, process_message,
+    push_ready, Action, EpochPending, Failure, Shared, Sim, Token,
+};
+use crate::sync;
+use parking_lot::MutexGuard;
+use simany_time::VirtualTime;
+use simany_topology::CoreId;
+use std::sync::Arc;
+
+/// Most members one tile contributes to one epoch. A tile's fresh members
+/// all run from a single worker's queue (one condvar wakeup for the lot),
+/// so deeper queues amortize the scheduler round trips further; the cap
+/// bounds how much work one epoch defers ahead of the serial phase's
+/// checkpoint/sanitizer/watchdog bookkeeping.
+const MEMBERS_PER_TILE: usize = 8;
+
+/// Stash `aid` into the running batch: mark it granted *now* so the
+/// collection loop cannot pick it (or its core) again before the epoch
+/// launches, and count the resume exactly where a sequential grant would.
+fn stash_grant(sim: &mut Sim, batch: &mut Vec<ActivityId>, aid: ActivityId) {
+    sim.act_mut(aid).state = ActivityState::Granted;
+    sim.stats.activity_resumes += 1;
+    batch.push(aid);
+}
+
+/// Try to claim `aid` for the running batch on tile `t`; returns false if
+/// the tile cannot take it this epoch (the caller defers it). All of a
+/// tile's members must execute on ONE worker thread so their buffered
+/// cross-tile effects keep a deterministic order: fresh (never-run)
+/// activities are queued together, while an already-pinned activity — one
+/// whose earlier run still owns a worker thread's stack — must run on that
+/// thread and therefore claims the tile exclusively.
+fn try_stash(
+    sim: &mut Sim,
+    batch: &mut Vec<ActivityId>,
+    tile_solo: &mut [Option<ActivityId>],
+    tile_fresh: &mut [Vec<ActivityId>],
+    t: usize,
+    aid: ActivityId,
+) -> bool {
+    if tile_solo[t].is_some() {
+        return false;
+    }
+    if sim.act(aid).worker.is_some() {
+        if !tile_fresh[t].is_empty() {
+            return false;
+        }
+        tile_solo[t] = Some(aid);
+    } else {
+        if tile_fresh[t].len() >= MEMBERS_PER_TILE {
+            return false;
+        }
+        tile_fresh[t].push(aid);
+    }
+    stash_grant(sim, batch, aid);
+    true
+}
+
+/// The parallel scheduler loop. Mirrors the sequential loop's observable
+/// bookkeeping; see the module docs for the epoch protocol. Takes and
+/// returns the simulation guard so `simulate` runs the common teardown.
+pub(crate) fn run_scheduler<'a>(
+    shared: &Arc<Shared>,
+    mut sim: MutexGuard<'a, Sim>,
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+    cfg_digest: u64,
+    resume_target: Option<crate::checkpoint::Checkpoint>,
+) -> MutexGuard<'a, Sim> {
+    let n_tiles = shared.partition.as_ref().map_or(1, |p| p.n_tiles());
+    let global_policy = matches!(
+        shared.config.sync,
+        SyncPolicy::BoundedSlack { .. }
+            | SyncPolicy::Conservative
+            | SyncPolicy::RandomReferee { .. }
+    );
+
+    let mut pending_resume = resume_target;
+    let mut next_checkpoint = shared
+        .config
+        .checkpoint_every
+        .map(|every| VirtualTime::ZERO + every);
+    let mut wd_last_vtime = sim.max_vtime;
+    let mut wd_last_pick: u64 = 0;
+
+    let mut batch: Vec<ActivityId> = Vec::new();
+    let mut deferred: Vec<CoreId> = Vec::new();
+    let mut tile_solo: Vec<Option<ActivityId>> = vec![None; n_tiles];
+    let mut tile_fresh: Vec<Vec<ActivityId>> = vec![Vec::new(); n_tiles];
+    let mut workers: Vec<usize> = Vec::new();
+
+    'run: loop {
+        // ------------------------------------------------------ collect
+        loop {
+            if sim.failure.is_some() {
+                break 'run;
+            }
+            if pending_resume
+                .as_ref()
+                .is_some_and(|cp| sim.max_vtime >= cp.watermark)
+            {
+                let cp = pending_resume.take().unwrap();
+                sim.stats.checkpoint_verifications += 1;
+                let digest = crate::checkpoint::state_digest(&sim, shared.hooks.as_ref());
+                if sim.stats.scheduler_picks != cp.picks || digest != cp.state_digest {
+                    sim.failure = Some(Failure::CheckpointMismatch(format!(
+                        "replay diverged at watermark {}: picks {} (checkpoint {}), \
+                         state digest {:016x} (checkpoint {:016x})",
+                        cp.watermark, sim.stats.scheduler_picks, cp.picks, digest, cp.state_digest
+                    )));
+                    break 'run;
+                }
+            }
+            if next_checkpoint.is_some_and(|nc| sim.max_vtime >= nc) {
+                let every = shared.config.checkpoint_every.unwrap();
+                let mut nc = next_checkpoint.unwrap();
+                while sim.max_vtime >= nc {
+                    nc += every;
+                }
+                next_checkpoint = Some(nc);
+                let cp = crate::checkpoint::Checkpoint {
+                    config_digest: cfg_digest,
+                    watermark: sim.max_vtime,
+                    picks: sim.stats.scheduler_picks,
+                    state_digest: crate::checkpoint::state_digest(&sim, shared.hooks.as_ref()),
+                };
+                let path = shared.config.checkpoint_path.as_ref().unwrap();
+                match cp.write_to(path) {
+                    Ok(()) => sim.stats.checkpoints_written += 1,
+                    Err(e) => {
+                        sim.failure = Some(Failure::Checkpoint(format!(
+                            "cannot write checkpoint {}: {e}",
+                            path.display()
+                        )));
+                        break 'run;
+                    }
+                }
+            }
+            if global_policy && sim.floor_dirty {
+                sim.floor_dirty = false;
+                sync::recheck_all_stalled(&mut sim, shared);
+            }
+            // Pop a valid ready core (skipping stale entries).
+            let mut picked = None;
+            while let Some(c) = sim.ready.pop() {
+                sim.cores[c.index()].in_ready = false;
+                if is_ready(&sim, c) {
+                    picked = Some(c);
+                    break;
+                }
+            }
+            let Some(c) = picked else {
+                if !batch.is_empty() {
+                    break; // launch what we have
+                }
+                let quiet = sim.live_activities == 0
+                    && sim
+                        .cores
+                        .iter()
+                        .all(|k| k.inbox.is_empty() && k.queue_hint == 0);
+                if quiet {
+                    break 'run; // normal completion
+                }
+                sim.failure = Some(Failure::Deadlock(crate::engine::deadlock_report(&sim)));
+                break 'run;
+            };
+            sim.stats.scheduler_picks += 1;
+            if sim.max_vtime > wd_last_vtime {
+                wd_last_vtime = sim.max_vtime;
+                wd_last_pick = sim.stats.scheduler_picks;
+            } else if let Some(budget) = shared.config.watchdog_picks {
+                if sim.stats.scheduler_picks - wd_last_pick >= budget {
+                    sim.failure = Some(Failure::Stalled {
+                        at: sim.max_vtime,
+                        picks: budget,
+                        report: diagnostic_snapshot(&sim),
+                    });
+                    break 'run;
+                }
+            }
+            if sim.sanitizer.is_some()
+                && sim
+                    .stats
+                    .scheduler_picks
+                    .is_multiple_of(crate::sanitizer::SCAN_EVERY_PICKS)
+            {
+                crate::sanitizer::scan(&mut sim, shared);
+            }
+            let sample_every = shared.config.parallelism_sample_every;
+            if sample_every != 0 && sim.stats.scheduler_picks.is_multiple_of(sample_every) {
+                // Available host parallelism = cores with independently
+                // runnable work. Batch members already claimed for this
+                // epoch are running work too, so count them alongside the
+                // still-ready cores (their `Granted` state excludes them
+                // from `is_ready`, so there is no double count).
+                let avail = (0..sim.cores.len() as u32)
+                    .filter(|&i| is_ready(&sim, CoreId(i)))
+                    .count()
+                    + batch.len();
+                sim.stats.parallelism_samples.push(avail as u32);
+            }
+
+            // Stashed and deferred cores stay out of the ready queue until
+            // the epoch's serial phase re-pushes them: re-queuing a core
+            // whose activity is already claimed would either re-defer it
+            // forever or reorder its messages around the pending grant.
+            let mut skip_repush = false;
+            match decide(&sim, c) {
+                Action::Message => process_message(&mut sim, shared, c),
+                Action::Grant(aid) => {
+                    let t = shared.tile_of(c);
+                    if !try_stash(
+                        &mut sim,
+                        &mut batch,
+                        &mut tile_solo,
+                        &mut tile_fresh,
+                        t,
+                        aid,
+                    ) {
+                        deferred.push(c);
+                    }
+                    skip_repush = true;
+                }
+                Action::ResumeParked => {
+                    let aid = sim.cores[c.index()].resumables.pop_front().unwrap();
+                    make_current(&mut sim, shared, aid);
+                    // Claim it if still allowed (it may have become stalled
+                    // by the resume-cost advance).
+                    if sim.act(aid).grantable() {
+                        let t = shared.tile_of(c);
+                        if !try_stash(
+                            &mut sim,
+                            &mut batch,
+                            &mut tile_solo,
+                            &mut tile_fresh,
+                            t,
+                            aid,
+                        ) {
+                            deferred.push(c);
+                        }
+                        skip_repush = true;
+                    }
+                }
+                Action::Idle => {
+                    let before_hint = sim.cores[c.index()].queue_hint;
+                    {
+                        let mut ops = crate::ops::Ops::new(&mut sim, shared);
+                        shared.hooks.on_idle(&mut ops, c);
+                    }
+                    assert!(
+                        sim.cores[c.index()].queue_hint < before_hint
+                            || sim.cores[c.index()].current.is_some(),
+                        "on_idle made no progress (runtime bug)"
+                    );
+                }
+                Action::Nothing => {}
+            }
+            if !skip_repush && is_ready(&sim, c) {
+                push_ready(&mut sim, c);
+            }
+            if batch.len() == n_tiles * MEMBERS_PER_TILE {
+                break; // full house: every tile is at capacity
+            }
+        }
+
+        // ------------------------------------------------------ phase A
+        // Members sorted by tile: phase B replays in tile order by
+        // construction and worker wakeup order is deterministic (it is not
+        // observable either way, but determinism-by-construction is
+        // cheaper to audit than determinism-by-argument). The sort is
+        // stable, so a tile's fresh members keep their stash order — the
+        // order their shared worker executes them in.
+        batch.sort_by_key(|&aid| shared.tile_of(sim.act(aid).core));
+        sim.stats.parallel_epochs += 1;
+        sim.stats.epoch_grants += batch.len() as u64;
+        workers.clear();
+        for t in 0..n_tiles {
+            let w = if let Some(aid) = tile_solo[t] {
+                assign_worker(&mut sim, shared, handles, aid)
+            } else if let Some((&first, rest)) = tile_fresh[t].split_first() {
+                // One wakeup runs the whole queue: the worker pops the
+                // next member itself after each completion.
+                let w = assign_worker(&mut sim, shared, handles, first);
+                debug_assert!(sim.worker_backlog[w].is_empty());
+                sim.worker_backlog[w].extend(rest.iter().copied());
+                w
+            } else {
+                continue;
+            };
+            workers.push(w);
+        }
+        sim.epoch_outstanding = batch.len();
+        sim.token = Token::Epoch;
+        for &w in &workers {
+            sim.worker_cvs[w].notify_one();
+        }
+        while sim.epoch_outstanding > 0 {
+            shared.sched_cv.wait(&mut sim);
+        }
+        sim.token = Token::Scheduler;
+
+        // ------------------------------------------------------ phase B
+        // 1. Boundary-clock publication: flush the deferred publishes of
+        //    every batch core, in tile order. This is the one point where
+        //    an epoch's clock advances become visible to other tiles.
+        for &aid in &batch {
+            if let Some(act) = sim.acts.get(&aid.0) {
+                let c = act.core;
+                sync::flush_deferred(&mut sim, shared, c);
+            }
+        }
+        // 2. Cross-tile messages: route and deliver the buffered sends,
+        //    tile by tile (within a tile the outbox preserves the sending
+        //    activity's program order, so per-sender FIFO holds).
+        for t in 0..n_tiles {
+            let mut outbox = std::mem::take(&mut sim.tile_outboxes[t]);
+            for m in outbox.drain(..) {
+                let env = sim.net.send(m.src, m.dst, m.size_bytes, m.sent, m.payload);
+                deliver(&mut sim, shared, env);
+            }
+            sim.tile_outboxes[t] = outbox; // keep the capacity
+        }
+        // 3. Pending entries, stable-sorted by tile id. A tile can
+        //    contribute several entries (its members' completions and at
+        //    most one park, after which the rest of its queue spilled);
+        //    they were pushed by the tile's single worker in execution
+        //    order, so the within-tile order the stable sort preserves is
+        //    deterministic.
+        let mut pending = std::mem::take(&mut sim.epoch_pending);
+        pending.sort_by_key(|&(t, _)| t);
+        for (_, p) in pending.drain(..) {
+            match p {
+                EpochPending::Resume(aid) => {
+                    if sim.failure.is_some() {
+                        // Leave it parked; teardown unwinds it.
+                        continue;
+                    }
+                    // Re-grant exclusively: the activity replays the
+                    // authoritative sequential logic it could not run
+                    // confined (publish + drain + policy check with its
+                    // stall bookkeeping, or the compound operation) and
+                    // runs under the ordinary token protocol until it
+                    // yields — by stalling, blocking or finishing.
+                    debug_assert!(matches!(sim.act(aid).state, ActivityState::Parked));
+                    sim.act_mut(aid).state = ActivityState::Granted;
+                    sim.token = Token::Act(aid);
+                    let w = sim.act(aid).worker.expect("parked activity has a worker");
+                    sim.worker_cvs[w].notify_one();
+                    while sim.token != Token::Scheduler {
+                        shared.sched_cv.wait(&mut sim);
+                    }
+                }
+                EpochPending::Finish(aid) => {
+                    crate::engine::finish_activity(&mut sim, shared, aid);
+                }
+                EpochPending::Panic { core, name, msg } => {
+                    if sim.failure.is_none() {
+                        sim.failure = Some(Failure::TaskPanic {
+                            core,
+                            at: sim.cores[core.index()].vtime,
+                            name,
+                            msg,
+                        });
+                    }
+                }
+            }
+        }
+        sim.epoch_pending = pending; // keep the capacity
+
+        // 4. Requeue: batch cores first (tile order — including members
+        //    spilled from a parked worker's queue, which reverted to
+        //    `Pending` and simply get picked again), then the grants
+        //    deferred during collection (pick order).
+        for &aid in &batch {
+            let c = match sim.acts.get(&aid.0) {
+                Some(act) => act.core,
+                None => continue, // finished; finish_activity requeued it
+            };
+            if is_ready(&sim, c) {
+                push_ready(&mut sim, c);
+            }
+        }
+        for &c in &deferred {
+            if is_ready(&sim, c) {
+                push_ready(&mut sim, c);
+            }
+        }
+        deferred.clear();
+        batch.clear();
+        tile_solo.fill(None);
+        for f in &mut tile_fresh {
+            f.clear();
+        }
+    }
+
+    if sim.failure.is_none() {
+        if sim.sanitizer.is_some() {
+            // Final machine-wide scan over the quiescent end state.
+            crate::sanitizer::scan(&mut sim, shared);
+        }
+        if let Some(cp) = pending_resume.take() {
+            sim.failure = Some(Failure::Checkpoint(format!(
+                "resume watermark {} never reached (run ended at {})",
+                cp.watermark, sim.max_vtime
+            )));
+        }
+    }
+    sim
+}

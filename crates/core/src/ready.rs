@@ -16,8 +16,15 @@ use std::collections::{BinaryHeap, VecDeque};
 /// core may stop being ready). Callers must guard with the per-core
 /// `in_ready` flag and re-validate on pop; the queue itself only orders.
 pub enum ReadyQueue {
-    /// Lazy min-heap on (published time at push, core id).
-    LowestVtime(BinaryHeap<Reverse<(VirtualTime, u32)>>),
+    /// Lazy min-heap on (published time at push, tie-break key, core id).
+    /// The tie-break key defaults to the core id; parallel mode installs a
+    /// tile-interleaved rank (see [`ReadyQueue::set_tiebreak_ranks`]) so
+    /// that equal-time cores pop alternating tiles instead of sweeping one
+    /// contiguous tile end to end.
+    LowestVtime(
+        BinaryHeap<Reverse<(VirtualTime, u32, u32)>>,
+        Option<Vec<u32>>,
+    ),
     /// FIFO rotation.
     RoundRobin(VecDeque<CoreId>),
     /// Seeded random pick.
@@ -28,7 +35,7 @@ impl ReadyQueue {
     /// Create a queue for the given policy.
     pub fn new(policy: PickPolicy, seed: u64) -> Self {
         match policy {
-            PickPolicy::LowestVtime => ReadyQueue::LowestVtime(BinaryHeap::new()),
+            PickPolicy::LowestVtime => ReadyQueue::LowestVtime(BinaryHeap::new(), None),
             PickPolicy::RoundRobin => ReadyQueue::RoundRobin(VecDeque::new()),
             PickPolicy::Random => {
                 ReadyQueue::Random(Vec::new(), Xoshiro256StarStar::stream(seed, 0xEAD7))
@@ -36,10 +43,26 @@ impl ReadyQueue {
         }
     }
 
+    /// Install a custom equal-time tie-break order: `ranks[core]` replaces
+    /// the core id as the secondary heap key. Parallel mode passes
+    /// tile-interleaved ranks so the epoch collector finds one core per
+    /// tile in O(tiles) pops even when a whole vtime wavefront is tied —
+    /// with contiguous tiles and id tie-breaks it would pop an entire
+    /// tile before seeing the next one. No-op for other pick policies.
+    pub fn set_tiebreak_ranks(&mut self, ranks: Vec<u32>) {
+        if let ReadyQueue::LowestVtime(h, r) = self {
+            debug_assert!(h.is_empty(), "tie-break ranks installed after pushes");
+            *r = Some(ranks);
+        }
+    }
+
     /// Insert a core with its current published time as priority.
     pub fn push(&mut self, core: CoreId, published: VirtualTime) {
         match self {
-            ReadyQueue::LowestVtime(h) => h.push(Reverse((published, core.0))),
+            ReadyQueue::LowestVtime(h, ranks) => {
+                let key = ranks.as_ref().map_or(core.0, |r| r[core.index()]);
+                h.push(Reverse((published, key, core.0)))
+            }
             ReadyQueue::RoundRobin(q) => q.push_back(core),
             ReadyQueue::Random(v, _) => v.push(core),
         }
@@ -48,7 +71,7 @@ impl ReadyQueue {
     /// Remove and return the next core per the policy.
     pub fn pop(&mut self) -> Option<CoreId> {
         match self {
-            ReadyQueue::LowestVtime(h) => h.pop().map(|Reverse((_, c))| CoreId(c)),
+            ReadyQueue::LowestVtime(h, _) => h.pop().map(|Reverse((_, _, c))| CoreId(c)),
             ReadyQueue::RoundRobin(q) => q.pop_front(),
             ReadyQueue::Random(v, rng) => {
                 if v.is_empty() {
@@ -64,7 +87,7 @@ impl ReadyQueue {
     /// True iff no entries remain.
     pub fn is_empty(&self) -> bool {
         match self {
-            ReadyQueue::LowestVtime(h) => h.is_empty(),
+            ReadyQueue::LowestVtime(h, _) => h.is_empty(),
             ReadyQueue::RoundRobin(q) => q.is_empty(),
             ReadyQueue::Random(v, _) => v.is_empty(),
         }
@@ -73,7 +96,7 @@ impl ReadyQueue {
     /// Number of entries (including possibly stale duplicates).
     pub fn len(&self) -> usize {
         match self {
-            ReadyQueue::LowestVtime(h) => h.len(),
+            ReadyQueue::LowestVtime(h, _) => h.len(),
             ReadyQueue::RoundRobin(q) => q.len(),
             ReadyQueue::Random(v, _) => v.len(),
         }
@@ -107,6 +130,25 @@ mod tests {
         q.push(CoreId(3), t(10));
         assert_eq!(q.pop(), Some(CoreId(3)));
         assert_eq!(q.pop(), Some(CoreId(5)));
+    }
+
+    #[test]
+    fn tiebreak_ranks_interleave_ties() {
+        let mut q = ReadyQueue::new(PickPolicy::LowestVtime, 0);
+        // Two "tiles" {0,1} and {2,3}: ranks 0,2,1,3 alternate them.
+        q.set_tiebreak_ranks(vec![0, 2, 1, 3]);
+        for c in 0..4 {
+            q.push(CoreId(c), t(10));
+        }
+        assert_eq!(q.pop(), Some(CoreId(0)));
+        assert_eq!(q.pop(), Some(CoreId(2)));
+        assert_eq!(q.pop(), Some(CoreId(1)));
+        assert_eq!(q.pop(), Some(CoreId(3)));
+        // Time still dominates the rank.
+        q.push(CoreId(3), t(5));
+        q.push(CoreId(0), t(6));
+        assert_eq!(q.pop(), Some(CoreId(3)));
+        assert_eq!(q.pop(), Some(CoreId(0)));
     }
 
     #[test]

@@ -88,6 +88,43 @@ pub struct SimStats {
     pub checkpoints_written: u64,
     /// Checkpoint digests verified against a resumed run's watermark.
     pub checkpoint_verifications: u64,
+    /// Parallel mode: epochs launched (batches of concurrently executing
+    /// activities, at most one per tile). Zero under the sequential engine.
+    pub parallel_epochs: u64,
+    /// Parallel mode: total activities granted across all epochs. The
+    /// mean batch size `epoch_grants / parallel_epochs` measures how much
+    /// concurrency the partition actually exposed.
+    pub epoch_grants: u64,
+}
+
+/// Per-tile shard of the synchronization hot-path counters. In parallel
+/// mode several activities bump these concurrently (each confined to its
+/// own core, hence its own tile), so each tile accumulates privately and
+/// the shards are merged into [`SimStats`] in tile order at teardown —
+/// and, transiently, whenever a state digest needs machine-wide totals.
+#[derive(Clone, Debug, Default)]
+pub struct TileStats {
+    /// See [`SimStats::fast_path_advances`].
+    pub fast_path_advances: u64,
+    /// See [`SimStats::full_sync_checks`].
+    pub full_sync_checks: u64,
+    /// See [`SimStats::floor_recomputes`].
+    pub floor_recomputes: u64,
+    /// See [`SimStats::max_neighbor_drift`].
+    pub max_neighbor_drift: VDuration,
+}
+
+impl SimStats {
+    /// Fold one tile's sharded counters into the machine-wide totals
+    /// (sums for the counters, max for the drift bound).
+    pub(crate) fn absorb_tile(&mut self, shard: &TileStats) {
+        self.fast_path_advances += shard.fast_path_advances;
+        self.full_sync_checks += shard.full_sync_checks;
+        self.floor_recomputes += shard.floor_recomputes;
+        if shard.max_neighbor_drift > self.max_neighbor_drift {
+            self.max_neighbor_drift = shard.max_neighbor_drift;
+        }
+    }
 }
 
 impl SimStats {

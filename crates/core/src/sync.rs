@@ -282,7 +282,7 @@ pub(crate) fn recheck_all_stalled(sim: &mut Sim, shared: &Shared) {
 /// cache; it is recomputed only when invalidated by a rising publish.
 pub(crate) fn local_floor(sim: &mut Sim, shared: &Shared, c: CoreId) -> VirtualTime {
     if !sim.cores[c.index()].floor_nb_valid {
-        sim.stats.floor_recomputes += 1;
+        sim.count_floor_recompute(shared, c);
         let mut m = VirtualTime::MAX;
         for &(n, _) in shared.topo.neighbors(c) {
             m = m.min(sim.cores[n.index()].published);
@@ -350,9 +350,7 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
                 return true;
             }
             let drift = vtime.saturating_since(floor);
-            if drift > sim.stats.max_neighbor_drift {
-                sim.stats.max_neighbor_drift = drift;
-            }
+            sim.note_neighbor_drift(shared, c, drift);
             if drift <= t {
                 if fast_path_eligible(shared) {
                     sim.cores[c.index()].headroom_limit = Some(floor + t);
@@ -393,14 +391,21 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
         SyncPolicy::RandomReferee { slack } => loop {
             match sim.cores[c.index()].referee {
                 None => {
-                    // Choose a random *working* core other than c.
-                    let candidates: Vec<u32> = (0..sim.cores.len() as u32)
-                        .filter(|&i| i != c.0 && !sim.cores[i as usize].is_idle())
-                        .collect();
+                    // Choose a random *working* core other than c. The
+                    // candidate sweep reuses one scratch buffer across
+                    // checks instead of allocating per pick.
+                    let mut candidates = std::mem::take(&mut sim.scratch_ready);
+                    candidates.clear();
+                    candidates.extend(
+                        (0..sim.cores.len() as u32)
+                            .filter(|&i| i != c.0 && !sim.cores[i as usize].is_idle()),
+                    );
                     if candidates.is_empty() {
+                        sim.scratch_ready = candidates;
                         return true;
                     }
                     let pick = candidates[sim.rng.next_index(candidates.len())];
+                    sim.scratch_ready = candidates;
                     sim.cores[c.index()].referee = Some(CoreId(pick));
                 }
                 Some(r) => {
@@ -419,6 +424,71 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
                 }
             }
         },
+        SyncPolicy::Unbounded => true,
+    }
+}
+
+/// Side-effect-free synchronization check against *frozen* published
+/// values, for activities running confined inside an epoch (parallel
+/// mode). During an epoch nothing publishes, so published values, floor
+/// caches, birth ledgers and the global floor are all stable: the check
+/// reads them without registering waiters, bumping machine-wide stall
+/// statistics or touching the shared RNG. Returning `false` is always
+/// safe — the activity parks and the coordinator's serial phase replays
+/// the authoritative [`sync_ok`].
+///
+/// Mutations are confined to `c`'s own state and its tile's counter
+/// shard: the headroom cache (same values the serial check would write,
+/// since its inputs are frozen) and the max-drift statistic.
+pub(crate) fn sync_ok_frozen(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
+    if sim.cores[c.index()].lock_depth > 0 {
+        // The waiver is not a drift bound, and inside an epoch even waiver
+        // advances defer their publishes: drop any cached headroom so the
+        // coordinator's flush-time sanitizer check cannot mistake them for
+        // fast-path overshoot. The next real check recomputes it.
+        sim.cores[c.index()].headroom_limit = None;
+        return true;
+    }
+    let vtime = sim.cores[c.index()].vtime;
+    match shared.config.sync {
+        SyncPolicy::Spatial { t } => {
+            // Published values are frozen for the whole epoch, so even the
+            // neighbor sweep behind an invalidated floor cache is
+            // side-effect-free here: it reads frozen values, writes `c`'s
+            // own cache and counts on `c`'s tile shard — exactly what the
+            // serial check would do. (Sanitizer floor verification and
+            // waiter registration stay on the serial path; a failing core
+            // parks and replays the authoritative check there.)
+            let floor = local_floor(sim, shared, c);
+            if floor == VirtualTime::MAX {
+                if fast_path_eligible(shared) {
+                    sim.cores[c.index()].headroom_limit = Some(VirtualTime::MAX);
+                }
+                return true;
+            }
+            let drift = vtime.saturating_since(floor);
+            sim.note_neighbor_drift(shared, c, drift);
+            if drift <= t {
+                if fast_path_eligible(shared) {
+                    sim.cores[c.index()].headroom_limit = Some(floor + t);
+                }
+                true
+            } else {
+                sim.cores[c.index()].headroom_limit = None;
+                false
+            }
+        }
+        SyncPolicy::BoundedSlack { window } => {
+            let floor = global_floor(sim);
+            floor == VirtualTime::MAX || vtime.saturating_since(floor) <= window
+        }
+        SyncPolicy::Conservative => {
+            let floor = global_floor(sim);
+            floor == VirtualTime::MAX || vtime <= floor
+        }
+        // Referee selection and rechecks consume the engine RNG, which is
+        // part of the deterministic serial schedule: never confined.
+        SyncPolicy::RandomReferee { .. } => false,
         SyncPolicy::Unbounded => true,
     }
 }

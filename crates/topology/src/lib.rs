@@ -18,10 +18,14 @@
 //!   (`diameter × T`) ([`routing`]).
 //! * A small text configuration format for adjacency matrices with link
 //!   overrides ([`config`]).
+//! * A deterministic BFS/strip partitioner splitting the core set into
+//!   contiguous tiles for the engine's parallel host execution
+//!   ([`partition`]).
 
 pub mod builders;
 pub mod config;
 pub mod graph;
+pub mod partition;
 pub mod routing;
 
 pub use builders::{
@@ -30,4 +34,5 @@ pub use builders::{
 };
 pub use config::{format_topology, parse_topology, ConfigError};
 pub use graph::{CoreId, LinkId, LinkProps, Topology};
+pub use partition::{partition_bfs, Partition};
 pub use routing::RoutingTable;

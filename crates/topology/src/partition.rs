@@ -1,0 +1,152 @@
+//! Topology partitioning for parallel host execution.
+//!
+//! The engine's parallel mode (see `simany-core`) assigns each *tile* — a
+//! contiguous region of the interconnect — to a dedicated host worker and
+//! lets at most one activity per tile execute concurrently. Contiguity
+//! matters: spatial synchronization is purely local, so cores deep inside a
+//! tile interact only with cores of the same tile, and cross-tile effects
+//! are confined to the tile boundary.
+//!
+//! The partitioner cuts a BFS order of the adjacency into equal-size
+//! chunks. BFS from core 0 keeps each chunk connected on meshes and tori
+//! (a strip partition), degrades gracefully on irregular graphs, and is
+//! fully deterministic: neighbor lists are sorted, so the visit order — and
+//! therefore the partition — depends only on the topology and the tile
+//! count.
+
+use crate::graph::{CoreId, Topology};
+use std::collections::VecDeque;
+
+/// A partition of a topology's cores into `n_tiles` contiguous tiles.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    tile_of: Vec<u32>,
+    tiles: Vec<Vec<CoreId>>,
+}
+
+impl Partition {
+    /// Number of tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Tile index of `core`.
+    pub fn tile_of(&self, core: CoreId) -> usize {
+        self.tile_of[core.index()] as usize
+    }
+
+    /// The cores of tile `t`, in BFS order.
+    pub fn tile(&self, t: usize) -> &[CoreId] {
+        &self.tiles[t]
+    }
+
+    /// True iff `core` has a topological neighbor in a different tile.
+    pub fn is_boundary(&self, topo: &Topology, core: CoreId) -> bool {
+        let t = self.tile_of[core.index()];
+        topo.neighbors(core)
+            .iter()
+            .any(|&(n, _)| self.tile_of[n.index()] != t)
+    }
+}
+
+/// Partition `topo` into (at most) `n_tiles` contiguous tiles by cutting a
+/// BFS order into balanced chunks. `n_tiles` is clamped to the core count;
+/// requesting zero tiles yields one. Tile sizes differ by at most one.
+/// Disconnected topologies are handled by restarting the BFS from the
+/// lowest-numbered unvisited core.
+pub fn partition_bfs(topo: &Topology, n_tiles: usize) -> Partition {
+    let n = topo.n_cores() as usize;
+    let k = n_tiles.clamp(1, n.max(1));
+    let mut order: Vec<CoreId> = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        queue.push_back(CoreId(start as u32));
+        while let Some(c) = queue.pop_front() {
+            order.push(c);
+            for &(m, _) in topo.neighbors(c) {
+                if !seen[m.index()] {
+                    seen[m.index()] = true;
+                    queue.push_back(m);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    let mut tile_of = vec![0u32; n];
+    let mut tiles = Vec::with_capacity(k);
+    for t in 0..k {
+        // Balanced chunk boundaries: floor(i*n/k) splits any n into k
+        // parts whose sizes differ by at most one.
+        let lo = t * n / k;
+        let hi = (t + 1) * n / k;
+        let chunk: Vec<CoreId> = order[lo..hi].to_vec();
+        for &c in &chunk {
+            tile_of[c.index()] = t as u32;
+        }
+        tiles.push(chunk);
+    }
+    Partition { tile_of, tiles }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::{mesh_2d, ring};
+
+    #[test]
+    fn covers_every_core_exactly_once() {
+        let topo = mesh_2d(64);
+        let p = partition_bfs(&topo, 4);
+        let mut count = vec![0u32; 64];
+        for t in 0..p.n_tiles() {
+            for &c in p.tile(t) {
+                count[c.index()] += 1;
+                assert_eq!(p.tile_of(c), t);
+            }
+        }
+        assert!(count.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        for (n, k) in [(64usize, 3usize), (64, 7), (10, 4), (5, 8)] {
+            let topo = ring(n as u32);
+            let p = partition_bfs(&topo, k);
+            let sizes: Vec<usize> = (0..p.n_tiles()).map(|t| p.tile(t).len()).collect();
+            let (lo, hi) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(hi - lo <= 1, "unbalanced tiles: {sizes:?}");
+            assert_eq!(sizes.iter().sum::<usize>(), n);
+        }
+    }
+
+    #[test]
+    fn clamps_tile_count() {
+        let topo = ring(4);
+        assert_eq!(partition_bfs(&topo, 0).n_tiles(), 1);
+        assert_eq!(partition_bfs(&topo, 100).n_tiles(), 4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let topo = mesh_2d(256);
+        let a = partition_bfs(&topo, 6);
+        let b = partition_bfs(&topo, 6);
+        for c in 0..256 {
+            assert_eq!(a.tile_of(CoreId(c)), b.tile_of(CoreId(c)));
+        }
+    }
+
+    #[test]
+    fn boundary_detection() {
+        let topo = ring(8);
+        let p = partition_bfs(&topo, 2);
+        let boundary: Vec<bool> = (0..8).map(|c| p.is_boundary(&topo, CoreId(c))).collect();
+        // A 2-tile ring split has exactly two cut edges = four boundary cores.
+        assert_eq!(boundary.iter().filter(|&&b| b).count(), 4);
+    }
+}
