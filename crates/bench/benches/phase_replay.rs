@@ -1,0 +1,84 @@
+//! Phase-B replay microbenchmark: the serial delivery walk vs the
+//! destination-sharded parallel replay (PR 6).
+//!
+//! The workload is the sharded path's target regime: a parallel run whose
+//! epochs end with many cross-tile messages and publishes, so phase B has
+//! real per-destination buckets to replay. Both configurations produce
+//! bit-identical virtual outcomes (asserted here on every iteration);
+//! only the host wall clock may differ. On a single-CPU host the sharded
+//! replay pays its bucketing and frame-launch overhead with no parallel
+//! payoff, so expect it to trail the serial walk slightly there and to
+//! win only with real host parallelism.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simany::core::{
+    simulate, CoreId, EngineConfig, Envelope, ExecCtx, Ops, Payload, RuntimeHooks, VirtualTime,
+};
+use std::hint::black_box;
+use std::sync::Arc;
+
+struct NoHooks;
+impl RuntimeHooks for NoHooks {
+    fn on_message(&self, _: &mut Ops<'_>, _: Envelope) {}
+    fn on_idle(&self, _: &mut Ops<'_>, _: CoreId) {}
+    fn on_activity_end(&self, _: &mut Ops<'_>, _: CoreId, _: Box<dyn std::any::Any + Send>) {}
+}
+
+/// A cross-tile message storm on a 64-core mesh, 4 tiles: every core
+/// alternates short advances with sends to its antipodal core, so nearly
+/// every epoch's outbox crosses a tile boundary.
+fn storm(shard: bool) -> VirtualTime {
+    let n = 64u32;
+    let config = EngineConfig::default()
+        .with_drift_cycles(200)
+        .with_seed(11)
+        .with_threads(4)
+        .with_shard_phase_b(shard);
+    let stats = simulate(
+        simany::topology::mesh_2d(n),
+        config,
+        Arc::new(NoHooks),
+        move |ops| {
+            for c in 0..n {
+                let step = 4 + u64::from(c % 3);
+                let dst = CoreId((c + n / 2) % n);
+                ops.start_activity(
+                    CoreId(c),
+                    "storm",
+                    Box::new(()),
+                    Box::new(move |ctx: &mut ExecCtx| {
+                        for k in 0..48u32 {
+                            ctx.advance_cycles(step);
+                            if k % 2 == 0 {
+                                ctx.send(dst, 64, Payload::none());
+                            }
+                        }
+                    }),
+                );
+            }
+        },
+    )
+    .expect("phase-replay bench run failed");
+    stats.final_vtime
+}
+
+fn bench_phase_replay(c: &mut Criterion) {
+    let expect = storm(false);
+    c.bench_function("phase_replay/serial_walk", |b| {
+        b.iter(|| {
+            let v = storm(false);
+            assert_eq!(v, expect, "serial phase B diverged");
+            black_box(v)
+        })
+    });
+    c.bench_function("phase_replay/sharded", |b| {
+        b.iter(|| {
+            let v = storm(true);
+            assert_eq!(v, expect, "sharded phase B changed the outcome");
+            black_box(v)
+        })
+    });
+}
+
+criterion_group!(benches, bench_phase_replay);
+criterion_main!(benches);

@@ -255,8 +255,14 @@ fn build_spec(args: &Args) -> ProgramSpec {
 /// dependency-free on purpose).
 fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
     let s = &r.out.stats;
+    let tiles_claimed = s
+        .tiles_claimed
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
     let json = format!(
-        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {}\n}}\n",
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]\n}}\n",
         args.kernel,
         args.cores,
         args.machine,
@@ -291,6 +297,12 @@ fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
         s.checkpoint_verifications,
         s.parallel_epochs,
         s.epoch_grants,
+        s.phase_a_wall_ns,
+        s.phase_b_wall_ns,
+        s.serial_tail_ns,
+        s.frame_spins,
+        s.frame_parks,
+        s.sharded_replays,
     );
     std::fs::write(path, json).unwrap_or_else(|e| {
         eprintln!("cannot write {path}: {e}");
@@ -366,6 +378,17 @@ fn main() {
         println!(
             "parallel epochs   : {} ({} grants on {} host threads)",
             s.parallel_epochs, s.epoch_grants, args.threads
+        );
+        println!(
+            "frame phases      : A {:.1}ms / B {:.1}ms (serial tail {:.1}ms), {} sharded replays",
+            s.phase_a_wall_ns as f64 / 1e6,
+            s.phase_b_wall_ns as f64 / 1e6,
+            s.serial_tail_ns as f64 / 1e6,
+            s.sharded_replays
+        );
+        println!(
+            "frame waits       : {} spins / {} parks; tiles per worker {:?}",
+            s.frame_spins, s.frame_parks, s.tiles_claimed
         );
     }
     if args.sanitize {

@@ -151,6 +151,16 @@ pub struct EngineConfig {
     /// schedule differently (each is its own deterministic trajectory, so
     /// checkpoints only resume under the same thread count).
     pub threads: u32,
+    /// Parallel mode: shard the epoch's phase B by destination tile —
+    /// deferred boundary-clock publishes and routed message deliveries are
+    /// bucketed per destination tile during the serial walk and applied by
+    /// the workers in a parallel replay frame. Bit-exact with the serial
+    /// replay (the walk precomputes every scheduler-visible effect in
+    /// serial order; only commuting per-core field writes are parallel), so
+    /// this is an optimization toggle like [`Self::fast_path`]: disable to
+    /// measure the sharding win. Automatically off while the sanitizer is
+    /// on (its delivery hooks are serial-only) and under `threads <= 1`.
+    pub shard_phase_b: bool,
 }
 
 impl std::fmt::Debug for EngineConfig {
@@ -174,6 +184,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("checkpoint_path", &self.checkpoint_path)
             .field("resume_from", &self.resume_from)
             .field("threads", &self.threads)
+            .field("shard_phase_b", &self.shard_phase_b)
             .finish()
     }
 }
@@ -200,6 +211,7 @@ impl Default for EngineConfig {
             checkpoint_path: None,
             resume_from: None,
             threads: 1,
+            shard_phase_b: true,
         }
     }
 }
@@ -267,6 +279,13 @@ impl EngineConfig {
     /// Set the host worker parallelism (see [`Self::threads`]).
     pub fn with_threads(mut self, threads: u32) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Enable or disable destination-tile sharding of the epoch's phase B
+    /// (see [`Self::shard_phase_b`]).
+    pub fn with_shard_phase_b(mut self, on: bool) -> Self {
+        self.shard_phase_b = on;
         self
     }
 

@@ -55,6 +55,13 @@ pub struct ExecCtx {
     aid: ActivityId,
     core: CoreId,
     my_cv: Arc<Condvar>,
+    /// Frame-worker slot hosting this body (`None` on the sequential
+    /// engine's pool). An epoch member that parks pins this slot.
+    worker: Option<usize>,
+    /// Set at the first epoch park: this activity's native stack now pins
+    /// its host thread until the closure returns, and its completion must
+    /// go through the locked (token-routed) path.
+    pinned: Cell<bool>,
     confined: Confined,
 }
 
@@ -64,12 +71,15 @@ impl ExecCtx {
         aid: ActivityId,
         core: CoreId,
         my_cv: Arc<Condvar>,
+        worker: Option<usize>,
     ) -> Self {
         ExecCtx {
             shared,
             aid,
             core,
             my_cv,
+            worker,
+            pinned: Cell::new(false),
             confined: Confined {
                 active: Cell::new(false),
                 vtime: Cell::new(VirtualTime::ZERO),
@@ -137,6 +147,29 @@ impl ExecCtx {
         sim.cores[self.core.index()].advance(d);
         sim.cores[self.core.index()].publish_pending = true;
         sim.count_fast_path_n(&self.shared, self.core, n);
+    }
+
+    /// Whether this body parked inside an epoch at least once (and so pins
+    /// its host thread; see [`Self::park_epoch`]).
+    pub(crate) fn epoch_pinned(&self) -> bool {
+        self.pinned.get()
+    }
+
+    /// Disarm the confined cache and take its batched advance without the
+    /// simulation lock: `Some((delta, annotation count))` if anything was
+    /// batched. Used by the lock-free completion path of a frame worker —
+    /// the coordinator lands the delta (exactly as [`Self::flush_confined`]
+    /// would) at the start of phase B, before anything reads the clock.
+    pub(crate) fn take_confined_flush(&self) -> Option<(VDuration, u64)> {
+        if !self.confined.active.get() {
+            return None;
+        }
+        self.confined.active.set(false);
+        let n = self.confined.pending.replace(0);
+        if n == 0 {
+            return None;
+        }
+        Some((self.confined.accum.replace(VDuration::ZERO), n))
     }
 
     /// The core this task runs on.
@@ -286,18 +319,44 @@ impl ExecCtx {
 
     /// Send a message stamped with this core's current clock.
     pub fn send(&mut self, dst: CoreId, size_bytes: u32, payload: Payload) {
+        if self.confined.active.get() {
+            // Lock-free epoch path: the confined cache only arms under
+            // `Token::Epoch`, where this thread is its tile's sole
+            // executor, so the tile lane can take the message without the
+            // simulation lock. The stamp is the confined clock — exactly
+            // what the locked path would read after flushing the cache.
+            let fs = self.shared.frame.as_ref().expect("confined without frames");
+            // SAFETY: sole executor of this tile for the current frame
+            // (fresh-tile claimant or pinned solo host).
+            let lane = unsafe { fs.lane_mut(self.shared.tile_of(self.core)) };
+            lane.outbox.push(crate::engine::OutMsg {
+                src: self.core,
+                dst,
+                size_bytes,
+                sent: self.confined.vtime.get(),
+                payload,
+            });
+            return;
+        }
         let mut sim = self.shared.sim.lock();
-        self.flush_confined(&mut sim);
         let sent = sim.cores[self.core.index()].vtime;
         if sim.token == Token::Epoch {
-            // Confined: routing consumes shared network state (the global
-            // send sequence, link occupancy). Buffer into this tile's
-            // outbox; the coordinator routes and delivers all buffered
-            // sends in tile order once the epoch quiesces, preserving
-            // per-sender FIFO (the buffer keeps program order and `sent`
+            // Confined but the cache is not armed (before the first
+            // passing sync check). Routing consumes shared network state
+            // (the global send sequence, link occupancy), so buffer into
+            // this tile's lane; the coordinator routes all buffered sends
+            // in tile order once the epoch quiesces, preserving
+            // per-sender FIFO (the lane keeps program order and `sent`
             // stamps are monotone per sender).
-            let tile = self.shared.tile_of(self.core);
-            sim.tile_outboxes[tile].push(crate::engine::OutMsg {
+            // SAFETY: sole executor of this tile for the current frame.
+            let lane = unsafe {
+                self.shared
+                    .frame
+                    .as_ref()
+                    .expect("epoch without frames")
+                    .lane_mut(self.shared.tile_of(self.core))
+            };
+            lane.outbox.push(crate::engine::OutMsg {
                 src: self.core,
                 dst,
                 size_bytes,
@@ -486,24 +545,37 @@ impl ExecCtx {
         }
     }
 
-    /// Leave the running epoch: record `p` for the coordinator's serial
-    /// phase, flip this activity to `Parked` (so an epoch-wide token does
-    /// not wake it spuriously), signal the coordinator if this was the
-    /// batch's last running member, and wait to be re-granted.
+    /// Leave the running epoch: record `p` in this tile's lane for the
+    /// coordinator's serial phase, flip this activity to `Parked` (so an
+    /// epoch-wide token does not wake it spuriously), retire it from the
+    /// frame, and wait to be re-granted.
     fn park_epoch(&self, sim: &mut MutexGuard<'_, Sim>, p: crate::engine::EpochPending) {
         debug_assert_eq!(sim.token, Token::Epoch);
-        let tile = self.shared.tile_of(self.core) as u32;
-        // Members queued behind this one on the same worker cannot run this
-        // epoch — this activity pins the thread until its body returns —
-        // so hand them back to the scheduler.
-        let w = sim.act(self.aid).worker.expect("running without a worker");
-        crate::engine::spill_backlog(sim, w);
-        sim.act_mut(self.aid).state = ActivityState::Parked;
-        sim.epoch_pending.push((tile, p));
-        sim.epoch_outstanding -= 1;
-        if sim.epoch_outstanding == 0 {
-            self.shared.sched_cv.notify_one();
+        let fs = self.shared.frame.as_ref().expect("epoch without frames");
+        let tile = self.shared.tile_of(self.core);
+        // The first park pins this activity to its host thread: its native
+        // stack lives there until the closure returns, so later grants
+        // re-enter through the thread's condvar slot.
+        if sim.act(self.aid).worker.is_none() {
+            let w = self.worker.expect("epoch member without a frame worker");
+            sim.act_mut(self.aid).worker = Some(w);
+            sim.pinned_workers += 1;
+            self.pinned.set(true);
         }
+        sim.act_mut(self.aid).state = ActivityState::Parked;
+        // SAFETY: sole executor of this tile for the current frame.
+        let lane = unsafe { fs.lane_mut(tile) };
+        // Members queued behind this one cannot run this epoch — this
+        // activity pins the thread until its body returns — so strand
+        // them; the coordinator reverts them to `Pending` at phase B.
+        let stranded = lane.queue.len();
+        lane.spilled.extend(lane.queue.drain(..));
+        lane.pending.push(p);
+        // Retire this member plus the stranded ones. The coordinator may
+        // reach phase B immediately, but it cannot re-grant this activity
+        // before `wait_for_grant` releases the simulation lock below — the
+        // re-grant itself happens under it.
+        fs.retire(1 + stranded);
         self.wait_for_grant(sim);
     }
 

@@ -27,11 +27,17 @@
 //! contiguous tiles and the token protocol gains a third state,
 //! [`Token::Epoch`]: the coordinator (see [`crate::parallel`]) grants a
 //! *batch* of activities — at most one per tile — that execute user code
-//! concurrently, each confined to mutating its own core. Everything that
-//! crosses core boundaries (message routing, compound `Ops`, failed
-//! synchronization checks) is deposited into per-tile outboxes/pending
-//! lists and replayed serially in deterministic tile order once the batch
-//! quiesces. `threads <= 1` never enters any of these paths and is
+//! concurrently, each confined to mutating its own core. Workers are
+//! coordinated lock-free through frames (see [`crate::frame`]): the
+//! coordinator publishes each epoch as a frame, workers spin/park on an
+//! atomic frame counter and claim tiles off an atomic cursor, and a
+//! countdown of outstanding members signals quiescence — the simulation
+//! mutex is not held while the batch executes. Everything that crosses
+//! core boundaries (message routing, compound `Ops`, failed
+//! synchronization checks) is deposited into per-tile lanes and replayed
+//! in deterministic tile order once the batch quiesces — commuting
+//! per-core effects in a parallel replay frame, the rest on a serial
+//! tail. `threads <= 1` never enters any of these paths and is
 //! bit-identical to the sequential engine described above.
 
 use crate::activity::{Activity, ActivityId, ActivityMeta, ActivityState, TaskFn};
@@ -82,6 +88,9 @@ pub(crate) struct Shared {
     pub(crate) topo: Topology,
     /// Tile partition of the topology; `Some` iff `config.threads > 1`.
     pub(crate) partition: Option<simany_topology::Partition>,
+    /// Lock-free frame coordinator for parallel epochs; `Some` iff
+    /// `config.threads > 1` (see [`crate::frame`]).
+    pub(crate) frame: Option<crate::frame::FrameSync>,
 }
 
 impl Shared {
@@ -92,11 +101,12 @@ impl Shared {
     }
 }
 
-/// A message buffered by a confined `ExecCtx::send` during an epoch.
-/// Routing consumes shared network state (link occupancy, the global send
-/// sequence), so the coordinator routes and delivers buffered messages in
+/// A message buffered by a confined `ExecCtx::send` during an epoch (into
+/// the sender tile's lane, lock-free — the sender is its tile's sole
+/// executor). Routing consumes shared network state (link occupancy, the
+/// global send sequence), so the coordinator routes buffered messages in
 /// tile order at the epoch's serial phase. Per-sender FIFO survives: one
-/// activity per tile runs at a time, the buffer preserves its program
+/// activity per tile runs at a time, the lane preserves its program
 /// order, and its clock (the send stamps) is monotone.
 pub(crate) struct OutMsg {
     pub(crate) src: CoreId,
@@ -107,9 +117,10 @@ pub(crate) struct OutMsg {
 }
 
 /// Work a confined activity handed off to the coordinator's serial phase,
-/// tagged with its tile id. At most one entry per tile per epoch (an
-/// activity parks, finishes or panics at most once before leaving phase
-/// A), so sorting by tile id gives a unique deterministic order.
+/// deposited into its tile's lane. At most one entry per tile per epoch
+/// (an activity parks, finishes or panics at most once before leaving
+/// phase A), so draining lanes in tile order gives a unique deterministic
+/// order.
 pub(crate) enum EpochPending {
     /// The activity hit an interaction it could not complete confined —
     /// a failed or undecidable frozen synchronization check, a due
@@ -144,12 +155,6 @@ pub(crate) struct Sim {
     pub(crate) stats: SimStats,
     pub(crate) worker_cvs: Vec<Arc<Condvar>>,
     pub(crate) worker_assigned: Vec<Option<ActivityId>>,
-    /// Parallel mode: additional epoch members queued behind each worker's
-    /// current assignment. A worker that finishes a confined member pops
-    /// the next one and runs it without a scheduler round trip; a member
-    /// that parks strands the rest (it pins the thread), so they are
-    /// spilled back to the scheduler (see [`spill_backlog`]).
-    pub(crate) worker_backlog: Vec<std::collections::VecDeque<ActivityId>>,
     pub(crate) free_workers: Vec<usize>,
     pub(crate) shutdown: bool,
     pub(crate) failure: Option<Failure>,
@@ -184,15 +189,16 @@ pub(crate) struct Sim {
     /// Online invariant sanitizer state; `Some` iff
     /// [`EngineConfig::sanitize`] is on (see [`crate::sanitizer`]).
     pub(crate) sanitizer: Option<Box<crate::sanitizer::SanitizerState>>,
-    /// Parallel mode: epoch members still executing phase A. The
-    /// coordinator launches a batch, then sleeps until this hits zero.
-    pub(crate) epoch_outstanding: usize,
-    /// Parallel mode: serial-phase work deposited by confined activities
-    /// during the current epoch, tagged with tile ids.
-    pub(crate) epoch_pending: Vec<(u32, EpochPending)>,
-    /// Parallel mode: per-tile outboxes for messages sent by confined
-    /// activities (see [`OutMsg`]). Empty outside epochs.
-    pub(crate) tile_outboxes: Vec<Vec<OutMsg>>,
+    /// Parallel mode: frame worker threads spawned so far (frame workers
+    /// are dedicated to epochs and never touch the sequential
+    /// assignment/free-list machinery above).
+    pub(crate) frame_workers: usize,
+    /// Parallel mode: frame workers currently pinned by a parked activity
+    /// (the activity's native stack lives on the worker's thread until its
+    /// closure returns, so the worker cannot claim tiles meanwhile). The
+    /// coordinator keeps `frame_workers - pinned_workers` at least the
+    /// claimable-tile count of every frame it launches.
+    pub(crate) pinned_workers: usize,
     /// Parallel mode: per-tile shards of the synchronization hot-path
     /// counters (empty — length 0 — under the sequential engine). Merged
     /// into `stats` in tile order at teardown.
@@ -846,7 +852,6 @@ pub fn simulate(
         stats: SimStats::default(),
         worker_cvs: Vec::new(),
         worker_assigned: Vec::new(),
-        worker_backlog: Vec::new(),
         free_workers: Vec::new(),
         shutdown: false,
         failure: None,
@@ -862,12 +867,12 @@ pub fn simulate(
         stamp_cur: 0,
         core_fail_announced: vec![false; n as usize],
         sanitizer: None,
-        epoch_outstanding: 0,
-        epoch_pending: Vec::new(),
-        tile_outboxes: (0..n_tiles).map(|_| Vec::new()).collect(),
+        frame_workers: 0,
+        pinned_workers: 0,
         tile_stats: vec![crate::stats::TileStats::default(); n_tiles],
         scratch_ready: Vec::new(),
     };
+    let frame = (n_tiles > 0).then(|| crate::frame::FrameSync::new(n_tiles, config.threads));
     let shared = Arc::new(Shared {
         sim: Mutex::new(sim),
         sched_cv: Condvar::new(),
@@ -875,6 +880,7 @@ pub fn simulate(
         config,
         topo,
         partition,
+        frame,
     });
 
     let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
@@ -894,10 +900,14 @@ pub fn simulate(
             run_sequential(&shared, sim, &mut handles, cfg_digest, resume_target)
         };
 
-        // Teardown: release every parked worker.
+        // Teardown: release every parked worker, and every frame worker
+        // spinning or parked at the frame gate.
         sim.shutdown = true;
         for cv in &sim.worker_cvs {
             cv.notify_one();
+        }
+        if let Some(fs) = &shared.frame {
+            fs.request_shutdown();
         }
     }
     for h in handles {
@@ -916,6 +926,19 @@ pub fn simulate(
     // order). Empty — a no-op — under the sequential engine.
     for shard in &sim.tile_stats {
         stats.absorb_tile(shard);
+    }
+    // Fold the frame workers' contention diagnostics (spin/park/claim
+    // counts). The values are host-scheduling races — diagnostics only —
+    // but the fold order is fixed (worker spawn order) so the vector shape
+    // is stable.
+    if let Some(fs) = &shared.frame {
+        let mut ws = fs.take_worker_stats();
+        ws.sort_by_key(|w| w.0);
+        for (_, claimed, spins, parks) in ws {
+            stats.tiles_claimed.push(claimed);
+            stats.frame_spins += spins;
+            stats.frame_parks += parks;
+        }
     }
     stats.final_vtime = sim
         .cores
@@ -1132,23 +1155,6 @@ fn run_sequential<'a>(
     sim
 }
 
-/// Return worker `w`'s unstarted backlog members to the scheduler: the
-/// member pinning the thread parked (or panicked), so they cannot run this
-/// epoch. Each reverts to `Pending` — the state it was stashed from (only
-/// never-run activities are backlogged) — and its core is requeued by the
-/// epoch's serial phase (the batch requeue pass). The stash's resume count
-/// and the epoch's outstanding count are rolled back so a later epoch
-/// counts the actual grant exactly once.
-pub(crate) fn spill_backlog(sim: &mut Sim, w: usize) {
-    while let Some(aid) = sim.worker_backlog[w].pop_front() {
-        debug_assert!(matches!(sim.act(aid).state, ActivityState::Granted));
-        debug_assert!(sim.act(aid).worker.is_none());
-        sim.act_mut(aid).state = ActivityState::Pending;
-        sim.stats.activity_resumes -= 1;
-        sim.epoch_outstanding -= 1;
-    }
-}
-
 /// Resolve the worker thread slot for `aid`, binding it to one (reusing a
 /// free slot or spawning) if it has never run.
 pub(crate) fn assign_worker(
@@ -1195,7 +1201,6 @@ fn spawn_worker(
     let cv = Arc::new(Condvar::new());
     sim.worker_cvs.push(cv.clone());
     sim.worker_assigned.push(None);
-    sim.worker_backlog.push(std::collections::VecDeque::new());
     let shared2 = Arc::clone(shared);
     let handle = std::thread::Builder::new()
         .name(format!("simany-worker-{idx}"))
@@ -1216,23 +1221,18 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
-    'outer: loop {
-        // Wait for an assignment with a granted token. An exclusive grant
-        // names this activity in the token; an epoch grant (parallel mode)
-        // sets `Token::Epoch`, and membership in the batch is what flipped
-        // the activity's state to `Granted`.
-        let (mut aid, mut core, mut name, mut job) = {
+    loop {
+        // Wait for an assignment with an exclusive grant naming this
+        // activity in the token. (Parallel epochs never use this pool:
+        // frame workers — see `frame_worker_main` — run batch members.)
+        let (aid, core, name, job) = {
             let mut sim = shared.sim.lock();
             loop {
                 if sim.shutdown {
                     return;
                 }
                 if let Some(aid) = sim.worker_assigned[idx] {
-                    let token_ok = match sim.token {
-                        Token::Act(a) => a == aid,
-                        Token::Epoch => true,
-                        Token::Scheduler => false,
-                    };
+                    let token_ok = matches!(sim.token, Token::Act(a) if a == aid);
                     if token_ok && matches!(sim.act(aid).state, ActivityState::Granted) {
                         break;
                     }
@@ -1244,82 +1244,217 @@ fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
             (aid, sim.act(aid).core, sim.act(aid).name, job)
         };
 
-        loop {
-            let mut ctx = crate::ctx::ExecCtx::new(Arc::clone(&shared), aid, core, cv.clone());
-            let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
+        let mut ctx = crate::ctx::ExecCtx::new(Arc::clone(&shared), aid, core, cv.clone(), None);
+        let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
 
+        let mut sim = shared.sim.lock();
+        // The body may have ended on a run of lock-free confined
+        // advances; land them before anything reads this core's clock.
+        ctx.flush_confined(&mut sim);
+        match result {
+            Ok(()) => finish_activity(&mut sim, &shared, aid),
+            Err(payload) => {
+                if payload.downcast_ref::<ShutdownSignal>().is_none() && sim.failure.is_none() {
+                    let msg = panic_message(payload.as_ref());
+                    sim.failure = Some(Failure::TaskPanic {
+                        core,
+                        at: sim.cores[core.index()].vtime,
+                        name,
+                        msg,
+                    });
+                }
+            }
+        }
+        sim.worker_assigned[idx] = None;
+        sim.free_workers.push(idx);
+        sim.token = Token::Scheduler;
+        shared.sched_cv.notify_one();
+        if sim.shutdown {
+            return;
+        }
+    }
+}
+
+/// Spawn one frame worker (parallel mode). Frame workers take their work
+/// from the lock-free frame coordinator, not from `worker_assigned`; they
+/// still own a condvar slot in `worker_cvs` so a parked (pinned) activity
+/// can be re-granted the token through the ordinary wake path.
+pub(crate) fn spawn_frame_worker(
+    sim: &mut Sim,
+    shared: &Arc<Shared>,
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+) {
+    let idx = sim.worker_cvs.len();
+    let cv = Arc::new(Condvar::new());
+    sim.worker_cvs.push(cv.clone());
+    sim.worker_assigned.push(None);
+    sim.frame_workers += 1;
+    let shared2 = Arc::clone(shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("simany-frame-{idx}"))
+        .stack_size(shared.config.worker_stack_bytes)
+        .spawn(move || frame_worker_main(shared2, idx, cv))
+        .expect("failed to spawn frame worker thread");
+    handles.push(handle);
+}
+
+/// How one claimed execution tile ended.
+#[derive(PartialEq, Eq)]
+enum TileRun {
+    /// The tile's lane is drained (or stranded behind a park/panic); the
+    /// worker may claim another tile.
+    Done,
+    /// Teardown: the worker thread must exit.
+    Exit,
+}
+
+/// A frame worker's main loop: wait for the frame counter to advance,
+/// then claim tiles off the cursor until the frame is exhausted. Holds no
+/// lock between claims; the simulation mutex is only taken inside task
+/// bodies (at their interaction points) and at member completion.
+fn frame_worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
+    let fs = shared.frame.as_ref().expect("frame worker without frames");
+    let (mut claimed, mut spins, mut parks) = (0u64, 0u64, 0u64);
+    let mut last_frame = 0u64;
+    'outer: while let Some(f) = fs.wait_frame(last_frame, &mut spins, &mut parks) {
+        last_frame = f;
+        while let Some(tile) = fs.claim() {
+            claimed += 1;
+            match fs.kind() {
+                crate::frame::FrameKind::Exec => {
+                    if run_exec_tile(&shared, fs, tile, idx, &cv) == TileRun::Exit {
+                        break 'outer;
+                    }
+                }
+                crate::frame::FrameKind::Replay => {
+                    // SAFETY: the coordinator published this tile in a
+                    // replay frame: the cores base pointer is set, tiles
+                    // are pairwise disjoint, and the claim guarantees sole
+                    // ownership of this tile's lane and core states.
+                    unsafe { crate::frame::replay_lane(fs, tile) };
+                    fs.retire(1);
+                }
+            }
+        }
+    }
+    fs.fold_worker_stats(idx, claimed, spins, parks);
+}
+
+/// Run the fresh members of one claimed execution tile, in lane order.
+///
+/// Unpinned completions (the common case) are lock-free: the finish (or
+/// panic) is deposited into the tile's lane and the member retired without
+/// touching the simulation mutex. A member that *parked* inside its body
+/// pins this thread (its native stack lives here); when its closure
+/// finally returns the activity holds the token exclusively or is an
+/// epoch solo, and completion goes through the locked path.
+fn run_exec_tile(
+    shared: &Arc<Shared>,
+    fs: &crate::frame::FrameSync,
+    tile: usize,
+    idx: usize,
+    cv: &Arc<Condvar>,
+) -> TileRun {
+    loop {
+        // SAFETY: this worker claimed `tile` in the current execution
+        // frame, making it the lane's sole owner until it retires the
+        // tile's members.
+        let Some(fj) = (unsafe { fs.lane_mut(tile) }).queue.pop_front() else {
+            return TileRun::Done;
+        };
+        let (aid, core, name) = (fj.aid, fj.core, fj.name);
+        let job = fj.job;
+        let mut ctx =
+            crate::ctx::ExecCtx::new(Arc::clone(shared), aid, core, cv.clone(), Some(idx));
+        let result = catch_unwind(AssertUnwindSafe(|| job(&mut ctx)));
+        if let Err(payload) = &result {
+            if payload.downcast_ref::<ShutdownSignal>().is_some() {
+                return TileRun::Exit;
+            }
+        }
+        if ctx.epoch_pinned() {
+            // The member parked at least once: this thread hosted its
+            // stack and the activity was re-granted through the condvar
+            // path. Completion must route by the token it holds NOW.
             let mut sim = shared.sim.lock();
-            // The body may have ended on a run of lock-free confined
-            // advances; land them before anything reads this core's clock.
             ctx.flush_confined(&mut sim);
-            // An activity first granted inside an epoch may outlive it (it
-            // can be re-granted exclusively or inside later epochs before
-            // its closure returns); route its completion by the token it
-            // holds NOW.
-            if sim.token == Token::Epoch {
-                let tile = shared.tile_of(core) as u32;
-                match result {
-                    Ok(()) => sim.epoch_pending.push((tile, EpochPending::Finish(aid))),
-                    Err(payload) => {
-                        if payload.downcast_ref::<ShutdownSignal>().is_none() {
+            match sim.token {
+                Token::Epoch => {
+                    // Re-granted as an epoch solo and ran to completion
+                    // confined: deposit the completion in the lane of its
+                    // own (solo) tile and retire the member.
+                    let t = shared.tile_of(core);
+                    // SAFETY: a solo's host thread is the tile's sole
+                    // executor this frame (solos have no fresh lane
+                    // claimant — their tile was not in the claimable set).
+                    let lane = unsafe { fs.lane_mut(t) };
+                    match result {
+                        Ok(()) => lane.pending.push(EpochPending::Finish(aid)),
+                        Err(payload) => {
                             let msg = panic_message(payload.as_ref());
-                            sim.epoch_pending
-                                .push((tile, EpochPending::Panic { core, name, msg }));
+                            lane.pending.push(EpochPending::Panic { core, name, msg });
                         }
-                        // A panicking member strands the rest of this
-                        // worker's queue; hand it back to the scheduler.
-                        spill_backlog(&mut sim, idx);
+                    }
+                    sim.pinned_workers -= 1;
+                    let shutdown = sim.shutdown;
+                    drop(sim);
+                    fs.retire(1);
+                    if shutdown {
+                        return TileRun::Exit;
                     }
                 }
-                sim.epoch_outstanding -= 1;
-                if sim.epoch_outstanding == 0 {
+                Token::Act(a) if a == aid => {
+                    // Exclusive completion, exactly like `worker_main`.
+                    match result {
+                        Ok(()) => finish_activity(&mut sim, shared, aid),
+                        Err(payload) => {
+                            if sim.failure.is_none() {
+                                let msg = panic_message(payload.as_ref());
+                                sim.failure = Some(Failure::TaskPanic {
+                                    core,
+                                    at: sim.cores[core.index()].vtime,
+                                    name,
+                                    msg,
+                                });
+                            }
+                        }
+                    }
+                    sim.pinned_workers -= 1;
+                    sim.token = Token::Scheduler;
                     shared.sched_cv.notify_one();
-                }
-                if sim.shutdown {
-                    return;
-                }
-                // Run the next queued member of this epoch directly — no
-                // scheduler round trip, no condvar sleep.
-                if let Some(next) = sim.worker_backlog[idx].pop_front() {
-                    debug_assert!(matches!(sim.act(next).state, ActivityState::Granted));
-                    sim.worker_assigned[idx] = Some(next);
-                    sim.act_mut(next).worker = Some(idx);
-                    aid = next;
-                    core = sim.act(next).core;
-                    name = sim.act(next).name;
-                    job = sim
-                        .act_mut(next)
-                        .job
-                        .take()
-                        .expect("backlogged without job");
-                    continue;
-                }
-                sim.worker_assigned[idx] = None;
-                sim.free_workers.push(idx);
-                continue 'outer;
-            }
-            match result {
-                Ok(()) => finish_activity(&mut sim, &shared, aid),
-                Err(payload) => {
-                    if payload.downcast_ref::<ShutdownSignal>().is_none() && sim.failure.is_none() {
-                        let msg = panic_message(payload.as_ref());
-                        sim.failure = Some(Failure::TaskPanic {
-                            core,
-                            at: sim.cores[core.index()].vtime,
-                            name,
-                            msg,
-                        });
+                    if sim.shutdown {
+                        return TileRun::Exit;
                     }
                 }
+                _ => unreachable!("pinned activity completed without holding the token"),
             }
-            sim.worker_assigned[idx] = None;
-            sim.free_workers.push(idx);
-            sim.token = Token::Scheduler;
-            shared.sched_cv.notify_one();
-            if sim.shutdown {
-                return;
+            // A park stranded any members queued behind this one (they
+            // were spilled by `park_epoch`), so the tile is done either
+            // way.
+            return TileRun::Done;
+        }
+        // Never pinned: the body ran start-to-finish confined under
+        // `Token::Epoch`. Lock-free completion into the lane.
+        // SAFETY: still the sole claimant of `tile`.
+        let lane = unsafe { fs.lane_mut(tile) };
+        match result {
+            Ok(()) => {
+                if let Some((d, n)) = ctx.take_confined_flush() {
+                    lane.flushes.push((core, d, n));
+                }
+                lane.pending.push(EpochPending::Finish(aid));
+                fs.retire(1);
             }
-            continue 'outer;
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                lane.pending.push(EpochPending::Panic { core, name, msg });
+                // A panicking member strands the rest of the lane: spill
+                // them back to the coordinator and retire them all.
+                let stranded = lane.queue.len();
+                lane.spilled.extend(lane.queue.drain(..));
+                fs.retire(1 + stranded);
+                return TileRun::Done;
+            }
         }
     }
 }

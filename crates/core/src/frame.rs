@@ -1,0 +1,421 @@
+//! Lock-free frame coordination for parallel host execution.
+//!
+//! The PR 5 epoch coordinator woke one worker per tile through a condvar
+//! and slept on `Mutex<Sim>` until a counter under the same lock hit zero:
+//! every epoch paid one lock round-trip per tile just to start, and the
+//! coordinator held the simulation mutex for the whole concurrent phase.
+//! This module replaces that handoff with a simulon-style *frame* protocol
+//! built from three atomics and a pair of parking condvars:
+//!
+//! * [`FrameSync::launch`] publishes a frame: a list of claimable tiles,
+//!   the per-tile work lanes, and an `outstanding` member count. Workers
+//!   observe the bumped `frame` counter (spin first, park after a budget).
+//! * Workers *claim* tiles off an atomic `cursor` with one `fetch_add`
+//!   each — no condvar, no lock, no coordinator involvement. The cursor
+//!   packs `(frame, index)` into one word so a worker that was descheduled
+//!   across a frame boundary can never mistake a stale index for current
+//!   work (see [`FrameSync::claim`]).
+//! * Each piece of work *retires* by decrementing `outstanding`; the last
+//!   decrement wakes the coordinator, which parked on a condvar of its own
+//!   — crucially *not* on the simulation mutex, so phase A runs with no
+//!   `Mutex<Sim>` held by anyone but the activities' own brief locked
+//!   interactions.
+//!
+//! ## Lanes and the `UnsafeCell` ownership discipline
+//!
+//! Per-tile scratch ([`LaneState`]) lives in `UnsafeCell` slots indexed by
+//! tile. No lock guards them; soundness is a strict ownership handoff:
+//!
+//! * **Between frames** the coordinator owns every lane. `outstanding`
+//!   reaching zero is the handoff point: every worker's lane writes are
+//!   sequenced before its `retire` (an `AcqRel` read-modify-write on
+//!   `outstanding`), the RMWs form a release sequence, and the
+//!   coordinator's `Acquire` read of zero synchronizes with all of them.
+//! * **During an execution frame** each tile's lane has exactly one
+//!   accessor: the worker that claimed it off the cursor (fresh tiles), or
+//!   the already-pinned thread hosting the tile's solo member — the
+//!   collector guarantees a tile is never both. The claim's `AcqRel`
+//!   `fetch_add` reads (a successor of) the coordinator's `Release` cursor
+//!   store, so the lane contents published at launch are visible.
+//! * **During a replay frame** the claimant of destination tile `t` owns
+//!   lane `t` *and* the `CoreState`s of tile `t`'s cores, reached through a
+//!   raw base pointer ([`FrameSync::set_cores_ptr`]) — disjoint index sets
+//!   per tile, `split_at_mut`-style. The coordinator keeps holding the
+//!   simulation guard but touches no core state until the frame retires.
+//!
+//! Worker *identities* (who claimed which tile, who spun vs parked) are
+//! racy and are only ever folded into diagnostics counters that no digest,
+//! fingerprint or CI diff includes.
+
+use crate::activity::{ActivityId, TaskFn};
+use crate::engine::{EpochPending, OutMsg};
+use crate::state::CoreState;
+use parking_lot::{Condvar, Mutex};
+use simany_net::Envelope;
+use simany_time::{VDuration, VirtualTime};
+use simany_topology::CoreId;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+/// Bits of the packed cursor word that hold the claim index; the rest hold
+/// the frame generation. 24 bits bound the tile count (and the per-frame
+/// claim overrun, one failed `fetch_add` per worker) far above any real
+/// configuration, while 40 frame bits make generation wraparound
+/// unreachable (decades at a microsecond per frame).
+const IDX_BITS: u32 = 24;
+const IDX_MASK: u64 = (1 << IDX_BITS) - 1;
+
+#[inline]
+fn pack(frame: u64, idx: u64) -> u64 {
+    debug_assert!(idx <= IDX_MASK);
+    (frame << IDX_BITS) | idx
+}
+
+#[inline]
+fn unpack(v: u64) -> (u64, u64) {
+    (v >> IDX_BITS, v & IDX_MASK)
+}
+
+/// What workers do with a claimed tile this frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum FrameKind {
+    /// Run the tile's queued fresh members ([`LaneState::queue`]).
+    Exec,
+    /// Apply the tile's buffered phase-B effects ([`replay_lane`]).
+    Replay,
+}
+
+/// A never-run epoch member, extracted (with its closure) by the collector
+/// so workers can start it without touching `Mutex<Sim>`.
+pub(crate) struct FreshJob {
+    pub(crate) aid: ActivityId,
+    pub(crate) core: CoreId,
+    pub(crate) name: &'static str,
+    pub(crate) job: TaskFn,
+}
+
+/// Per-tile scratch, owned per the handoff discipline in the module docs.
+#[derive(Default)]
+pub(crate) struct LaneState {
+    /// Fresh members to execute this frame, in deterministic stash order.
+    pub(crate) queue: VecDeque<FreshJob>,
+    /// Members stranded by a park or panic ahead of them in `queue`; the
+    /// coordinator reverts them to `Pending` for a later epoch.
+    pub(crate) spilled: Vec<FreshJob>,
+    /// Serial-phase work in tile execution order (finishes, parks, panics).
+    pub(crate) pending: Vec<EpochPending>,
+    /// Messages sent by this tile's members, in program order.
+    pub(crate) outbox: Vec<OutMsg>,
+    /// End-of-body confined-advance flushes `(core, delta, annotations)`
+    /// recorded lock-free; the coordinator lands them at phase B start.
+    pub(crate) flushes: Vec<(CoreId, VDuration, u64)>,
+    /// Replay frame: routed envelopes destined for this tile's cores.
+    pub(crate) deliveries: Vec<Envelope>,
+    /// Replay frame: `(core, new published value)` boundary-clock writes
+    /// for this tile's own member cores.
+    pub(crate) pub_cores: Vec<(CoreId, VirtualTime)>,
+    /// Replay frame: `(core, old published value)` neighbor-floor cache
+    /// invalidations targeting this tile's cores.
+    pub(crate) inval_events: Vec<(CoreId, VirtualTime)>,
+}
+
+struct Lane(UnsafeCell<LaneState>);
+
+/// The lock-free frame coordinator (one per parallel simulation).
+pub(crate) struct FrameSync {
+    /// Frame generation; bumped with `Release` to publish a frame.
+    frame: AtomicU64,
+    /// Packed `(frame, next claim index)`; the claim gate.
+    cursor: AtomicU64,
+    /// Packed `(frame, claimable length)`, published before `cursor`.
+    claim_info: AtomicU64,
+    /// Un-retired members of the in-flight frame.
+    outstanding: AtomicUsize,
+    shutdown: AtomicBool,
+    /// What a claimed tile means this frame; written only between frames,
+    /// read only after a valid claim.
+    kind: UnsafeCell<FrameKind>,
+    /// Fixed-capacity claimable-tile slots (capacity = tile count), so a
+    /// stale reader can never observe a reallocation.
+    claimable: Box<[AtomicU32]>,
+    lanes: Box<[Lane]>,
+    /// Base pointer into `Sim::cores`, non-null only while a replay frame
+    /// is in flight (the coordinator holds the simulation guard for its
+    /// whole duration).
+    cores: AtomicPtr<CoreState>,
+    /// Spin iterations before parking (0 when the host has fewer CPUs
+    /// than worker threads — spinning there only steals cycles from the
+    /// thread being waited on).
+    spin_budget: u32,
+    gate: Mutex<()>,
+    gate_cv: Condvar,
+    coord: Mutex<()>,
+    coord_cv: Condvar,
+    /// `(worker index, tiles claimed, frame spins, frame parks)`, folded
+    /// by each worker at thread exit. Diagnostics only — nondeterministic.
+    worker_stats: Mutex<Vec<(usize, u64, u64, u64)>>,
+}
+
+// SAFETY: the `UnsafeCell` fields follow the single-owner-per-frame
+// handoff discipline documented in the module docs; everything else is
+// atomics and locks.
+unsafe impl Send for FrameSync {}
+unsafe impl Sync for FrameSync {}
+
+impl FrameSync {
+    pub(crate) fn new(n_tiles: usize, threads: u32) -> FrameSync {
+        assert!(
+            (n_tiles as u64) < IDX_MASK,
+            "tile count overflows claim index"
+        );
+        let host_cpus = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let spin_budget = if host_cpus > threads as usize {
+            4096
+        } else {
+            0
+        };
+        FrameSync {
+            frame: AtomicU64::new(0),
+            cursor: AtomicU64::new(0),
+            claim_info: AtomicU64::new(0),
+            outstanding: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            kind: UnsafeCell::new(FrameKind::Exec),
+            claimable: (0..n_tiles).map(|_| AtomicU32::new(0)).collect(),
+            lanes: (0..n_tiles)
+                .map(|_| Lane(UnsafeCell::new(LaneState::default())))
+                .collect(),
+            cores: AtomicPtr::new(std::ptr::null_mut()),
+            spin_budget,
+            gate: Mutex::new(()),
+            gate_cv: Condvar::new(),
+            coord: Mutex::new(()),
+            coord_cv: Condvar::new(),
+            worker_stats: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Tile `t`'s lane.
+    ///
+    /// # Safety
+    /// The caller must be the lane's current owner per the handoff
+    /// discipline: the coordinator between frames, the tile's unique
+    /// claimant (or pinned solo host) during one.
+    #[allow(clippy::mut_from_ref)]
+    pub(crate) unsafe fn lane_mut(&self, t: usize) -> &mut LaneState {
+        &mut *self.lanes[t].0.get()
+    }
+
+    /// Publish a frame: `members` pieces of work, of which the tiles in
+    /// `claimable` are claimed off the cursor (the rest are solo members
+    /// the coordinator wakes through their own condvars). Lane contents
+    /// must be fully written before the call.
+    pub(crate) fn launch(&self, members: usize, claimable: &[u32], kind: FrameKind) {
+        debug_assert!(claimable.len() <= self.claimable.len());
+        self.outstanding.store(members, Ordering::Relaxed);
+        if claimable.is_empty() {
+            return; // solo-only frame: nothing for the claim loop
+        }
+        // SAFETY: no frame is in flight, so no worker reads `kind`.
+        unsafe { *self.kind.get() = kind };
+        for (slot, &t) in self.claimable.iter().zip(claimable) {
+            slot.store(t, Ordering::Relaxed);
+        }
+        let f = self.frame.load(Ordering::Relaxed) + 1;
+        // Publication order matters: lanes and slots are written above,
+        // then `claim_info`, then the cursor reset, then the gate bump.
+        // A worker's claim reads (a successor of) the cursor store with
+        // `AcqRel`, acquiring everything written before it.
+        self.claim_info
+            .store(pack(f, claimable.len() as u64), Ordering::Release);
+        self.cursor.store(pack(f, 0), Ordering::Release);
+        self.frame.store(f, Ordering::Release);
+        drop(self.gate.lock());
+        self.gate_cv.notify_all();
+    }
+
+    /// Claim the next tile of the current frame, or `None` when the frame
+    /// is exhausted (or the caller raced a frame boundary and should go
+    /// back to [`Self::wait_frame`]).
+    pub(crate) fn claim(&self) -> Option<usize> {
+        let v = self.cursor.fetch_add(1, Ordering::AcqRel);
+        let (f, i) = unpack(v);
+        let (fi, len) = unpack(self.claim_info.load(Ordering::Acquire));
+        // The frame tags close the descheduled-claimant race: an index is
+        // only meaningful against the claimable list of its own frame. A
+        // mismatch means our increment landed on a dying frame's cursor
+        // (the coordinator's reset overwrites it; nothing is lost) or the
+        // list we can see is not ours — either way, don't execute.
+        if f != fi || i >= len {
+            return None;
+        }
+        Some(self.claimable[i as usize].load(Ordering::Relaxed) as usize)
+    }
+
+    /// The in-flight frame's kind. Only meaningful after a valid claim.
+    pub(crate) fn kind(&self) -> FrameKind {
+        // SAFETY: `kind` is written only between frames; a valid claim
+        // proves a frame is in flight and pins the value.
+        unsafe { *self.kind.get() }
+    }
+
+    /// Retire `n` pieces of frame work; the last retirement wakes the
+    /// coordinator. All lane writes of the retiring thread are sequenced
+    /// before this call (release via the `AcqRel` RMW).
+    pub(crate) fn retire(&self, n: usize) {
+        if self.outstanding.fetch_sub(n, Ordering::AcqRel) == n {
+            // Empty critical section: pairs with the predicate re-check
+            // under `coord`, closing the decide-then-sleep race.
+            drop(self.coord.lock());
+            self.coord_cv.notify_one();
+        }
+    }
+
+    /// Coordinator: wait until every member of the launched frame retired.
+    pub(crate) fn wait_quiescent(&self) {
+        for _ in 0..self.spin_budget {
+            if self.outstanding.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            std::hint::spin_loop();
+        }
+        let mut g = self.coord.lock();
+        while self.outstanding.load(Ordering::Acquire) != 0 {
+            self.coord_cv.wait(&mut g);
+        }
+    }
+
+    /// Worker: wait for a frame newer than `last`, spinning up to the
+    /// budget before parking on the gate. Returns the new frame number, or
+    /// `None` at shutdown. `spins`/`parks` count how each wait resolved.
+    pub(crate) fn wait_frame(&self, last: u64, spins: &mut u64, parks: &mut u64) -> Option<u64> {
+        for _ in 0..self.spin_budget {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let f = self.frame.load(Ordering::Acquire);
+            if f != last {
+                *spins += 1;
+                return Some(f);
+            }
+            std::hint::spin_loop();
+        }
+        let mut g = self.gate.lock();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            let f = self.frame.load(Ordering::Acquire);
+            if f != last {
+                *parks += 1;
+                return Some(f);
+            }
+            self.gate_cv.wait(&mut g);
+        }
+    }
+
+    /// Wake every gate-parked worker for teardown.
+    pub(crate) fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        drop(self.gate.lock());
+        self.gate_cv.notify_all();
+    }
+
+    /// Publish the base pointer of `Sim::cores` for a replay frame.
+    pub(crate) fn set_cores_ptr(&self, base: *mut CoreState) {
+        self.cores.store(base, Ordering::Release);
+    }
+
+    pub(crate) fn clear_cores_ptr(&self) {
+        self.cores.store(std::ptr::null_mut(), Ordering::Release);
+    }
+
+    /// Fold a worker's lifetime counters; called once at thread exit.
+    pub(crate) fn fold_worker_stats(&self, idx: usize, claimed: u64, spins: u64, parks: u64) {
+        self.worker_stats.lock().push((idx, claimed, spins, parks));
+    }
+
+    /// Harvest the folded worker counters (teardown, after joins).
+    pub(crate) fn take_worker_stats(&self) -> Vec<(usize, u64, u64, u64)> {
+        std::mem::take(&mut *self.worker_stats.lock())
+    }
+}
+
+/// Apply destination tile `t`'s buffered phase-B effects: boundary-clock
+/// publishes, neighbor-floor cache invalidations, and inbox deliveries.
+/// All three touch disjoint `CoreState` fields, and every referenced core
+/// belongs to tile `t`, so concurrent replay of distinct tiles commutes
+/// with — and is bit-identical to — the serial tile-order application.
+///
+/// # Safety
+/// The caller owns lane `t` and tile `t`'s cores: either a replay-frame
+/// claimant (the coordinator holds the simulation guard and touches no
+/// core state until the frame retires), or the coordinator itself applying
+/// lanes serially. [`FrameSync::set_cores_ptr`] must have been called with
+/// the live `Sim::cores` base pointer.
+pub(crate) unsafe fn replay_lane(fs: &FrameSync, t: usize) {
+    let base = fs.cores.load(Ordering::Acquire);
+    debug_assert!(!base.is_null());
+    let lane = fs.lane_mut(t);
+    for &(c, v) in &lane.pub_cores {
+        (*base.add(c.index())).published = v;
+    }
+    for &(m, old) in &lane.inval_events {
+        let k = &mut *base.add(m.index());
+        if k.floor_nb_valid && k.floor_nb == old {
+            k.floor_nb_valid = false;
+        }
+    }
+    for env in lane.deliveries.drain(..) {
+        let dst = env.dst;
+        (*base.add(dst.index())).inbox.push(env);
+    }
+    lane.pub_cores.clear();
+    lane.inval_events.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        for (f, i) in [(0u64, 0u64), (1, 3), (1 << 39, IDX_MASK - 1)] {
+            assert_eq!(unpack(pack(f, i)), (f, i));
+        }
+    }
+
+    #[test]
+    fn claim_is_frame_tagged() {
+        let fs = FrameSync::new(4, 2);
+        // No frame launched: claims fail.
+        assert_eq!(fs.claim(), None);
+        fs.launch(2, &[1, 3], FrameKind::Exec);
+        assert_eq!(fs.claim(), Some(1));
+        assert_eq!(fs.claim(), Some(3));
+        assert_eq!(fs.claim(), None);
+        fs.retire(1);
+        fs.retire(1);
+        fs.wait_quiescent();
+        // Next frame invalidates leftover indices even though the cursor
+        // overran: the tag differs.
+        fs.launch(1, &[0], FrameKind::Replay);
+        assert_eq!(fs.claim(), Some(0));
+        assert_eq!(fs.kind(), FrameKind::Replay);
+        assert_eq!(fs.claim(), None);
+        fs.retire(1);
+        fs.wait_quiescent();
+    }
+
+    #[test]
+    fn solo_only_frame_skips_the_gate() {
+        let fs = FrameSync::new(2, 2);
+        let before = fs.frame.load(Ordering::Relaxed);
+        fs.launch(1, &[], FrameKind::Exec);
+        assert_eq!(fs.frame.load(Ordering::Relaxed), before);
+        assert_eq!(fs.claim(), None);
+        fs.retire(1);
+        fs.wait_quiescent();
+    }
+}

@@ -43,6 +43,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod ctx;
 pub mod engine;
+pub(crate) mod frame;
 pub mod hooks;
 pub mod ops;
 pub(crate) mod parallel;

@@ -14,66 +14,85 @@
 //!    an activity whose earlier run still pins a worker thread claims its
 //!    tile exclusively. Extra grantable activities on full tiles are
 //!    deferred to the next epoch.
-//! 2. **Phase A** (concurrent): hand the batch an epoch-wide run token
-//!    ([`crate::engine::Token::Epoch`]) and wake one worker per tile; each
-//!    worker runs its tile's members back to back without further
-//!    scheduler round trips. Each activity runs its task code natively,
+//! 2. **Phase A** (concurrent, lock-free coordination): publish the batch
+//!    as an *execution frame* ([`crate::frame::FrameSync`]): the
+//!    coordinator fills each fresh tile's lane with its queued members,
+//!    bumps an atomic frame counter and **releases the simulation lock**.
+//!    Frame workers spin/park on the counter and claim tiles off an
+//!    atomic cursor — no condvar wake per tile, no `Mutex<Sim>` on the
+//!    coordination path. Each activity runs its task code natively,
 //!    *confined* to mutating its own core: publishes are deferred, sends
-//!    are buffered into per-tile outboxes, synchronization checks run
+//!    are pushed into the tile's lane outbox (lock-free while the
+//!    confined cache is armed), synchronization checks run
 //!    side-effect-free against frozen published values
 //!    ([`crate::sync::sync_ok_frozen`]), and annotations that stay inside
 //!    the frozen drift headroom advance the clock without taking the
-//!    simulation lock at all (see `Confined` in [`crate::ctx`]). Anything
-//!    needing shared state parks with an [`EpochPending`] entry; a parked
-//!    member's queued successors spill back to the scheduler (the member
-//!    pins its worker thread) and are simply picked again next epoch.
-//! 3. **Phase B** (serial): once every member has parked or finished,
-//!    replay the cross-core effects in deterministic tile order — flush
-//!    the deferred boundary-clock publishes, route and deliver the
-//!    buffered messages, and resolve the pending entries: parked
-//!    activities are re-granted the token *exclusively*, one at a time,
-//!    so each replays the authoritative sequential logic (publish, drain,
-//!    policy check, compound `Ops`) and runs until it yields; completions
-//!    and panics are applied in tile order.
+//!    simulation lock at all (see `Confined` in [`crate::ctx`]).
+//!    Completions deposit into the lane and retire from an atomic
+//!    countdown — also lock-free. Anything needing shared state parks
+//!    with an [`EpochPending`] entry (pinning its host thread); a parked
+//!    member's queued successors are spilled into the lane and revert to
+//!    `Pending` at phase B. The countdown reaching zero wakes the
+//!    coordinator.
+//! 3. **Phase B**: once every member has parked or finished, replay the
+//!    cross-core effects in deterministic tile order. The *scheduler-
+//!    visible* part stays serial: landing batched confined advances,
+//!    routing buffered messages through the shared network model (with
+//!    every ready-queue decision precomputed against the frozen clocks),
+//!    and the serial tail — park resolution (parked activities re-granted
+//!    the token *exclusively*, one at a time, replaying the authoritative
+//!    sequential logic), finishes and panics in tile order. The *per-core
+//!    commuting* part — writing published boundary clocks, invalidating
+//!    neighbor floor caches, depositing routed envelopes into inboxes —
+//!    is bucketed by destination tile during the serial walk and applied
+//!    by the workers in a parallel *replay frame* (serially below a size
+//!    threshold; bit-identical either way, see `shard_phase_b`).
 //!
 //! ## Determinism
 //!
 //! Everything that can influence another core serializes through phase B
-//! in tile order. Within a tile, order is a single worker thread's
-//! execution order over a deterministically collected queue, so the replay
-//! order is a pure function of the batch — not of thread scheduling.
-//! Worker *identities* are the only racy quantity (the free-worker pool is
-//! refilled in completion order), and they are never observable: no
-//! statistic, trace, digest or simulation outcome depends on which OS
-//! thread hosts an activity. Fixed `--threads N` + seed therefore
-//! reproduces bit-identically, and `threads <= 1` never constructs a
-//! partition at all — it runs the unmodified sequential engine.
+//! in tile order. Within a tile, order is a single claimant's execution
+//! order over a deterministically collected lane queue, so the replay
+//! order is a pure function of the batch — not of thread scheduling. The
+//! sharded replay applies only pairwise-commuting per-core writes, with
+//! per-destination order fixed by the serial walk (source-tile order,
+//! then outbox sequence), so worker interleaving cannot reorder anything
+//! observable. Worker *identities* are the only racy quantity (which
+//! worker wins a claim is a host race), and they are never observable: no
+//! statistic a digest covers, trace, or simulation outcome depends on
+//! which OS thread hosts an activity (the spin/park/claim diagnostics in
+//! [`crate::stats::SimStats`] are explicitly excluded). Fixed
+//! `--threads N` + seed therefore reproduces bit-identically, and
+//! `threads <= 1` never constructs a partition at all — it runs the
+//! unmodified sequential engine.
 //!
-//! ## Why this is faster on one host CPU too
+//! ## Why this is faster
 //!
 //! A sequential grant costs two condvar handoffs (scheduler → worker,
-//! worker → scheduler). An epoch of `B` confined grants spread over `W`
-//! tile workers costs `W` worker wakeups plus one coordinator wakeup —
-//! ~`(W + 1) / B` handoffs per grant, since each worker chews through its
-//! whole queue on one wakeup — and confined annotations inside the frozen
-//! drift headroom skip the simulation lock entirely. Annotation-dense
-//! workloads whose checks mostly pass confined therefore spend
-//! proportionally less wall-clock time in scheduler handoffs and lock
-//! traffic. Grants that do need the serial phase (failed checks, compound
-//! `Ops`) cost the same handoffs as a sequential grant, no more. On
-//! multi-CPU hosts phase A additionally overlaps the native task bodies.
+//! worker → scheduler). An epoch of `B` confined grants costs one frame
+//! launch (one atomic store + one `notify_all`, and none at all for
+//! workers inside their spin budget) plus one coordinator wakeup —
+//! handoff cost amortizes over the whole batch — and confined annotations
+//! inside the frozen drift headroom skip the simulation lock entirely;
+//! with the lane outbox, so do confined sends. Grants that do need the
+//! serial phase (failed checks, compound `Ops`) cost the same handoffs as
+//! a sequential grant, no more. On multi-CPU hosts phase A overlaps the
+//! native task bodies, and the destination-sharded replay overlaps the
+//! inbox/publish writes that used to serialize phase B.
 
 use crate::activity::{ActivityId, ActivityState};
 use crate::config::SyncPolicy;
 use crate::engine::{
-    assign_worker, decide, deliver, diagnostic_snapshot, is_ready, make_current, process_message,
-    push_ready, Action, EpochPending, Failure, Shared, Sim, Token,
+    decide, deliver, diagnostic_snapshot, is_ready, make_current, process_message, push_ready,
+    spawn_frame_worker, Action, EpochPending, Failure, Shared, Sim, Token,
 };
+use crate::frame::{FrameKind, FrameSync, FreshJob};
 use crate::sync;
 use parking_lot::MutexGuard;
 use simany_time::VirtualTime;
 use simany_topology::CoreId;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Most members one tile contributes to one epoch. A tile's fresh members
 /// all run from a single worker's queue (one condvar wakeup for the lot),
@@ -81,6 +100,15 @@ use std::sync::Arc;
 /// bounds how much work one epoch defers ahead of the serial phase's
 /// checkpoint/sanitizer/watchdog bookkeeping.
 const MEMBERS_PER_TILE: usize = 8;
+
+/// Minimum bucketed phase-B work (published-clock writes + floor-cache
+/// invalidations + inbox deposits) before the replay runs as a parallel
+/// frame; below it the coordinator applies the buckets serially through
+/// the same code. Purely a latency trade (a frame launch costs a release
+/// store plus worker wakeups), never a semantic one: the threshold reads
+/// only the epoch's bucketed work, so the decision is deterministic, and
+/// the applied writes are identical either way.
+const REPLAY_FRAME_MIN_WORK: usize = 32;
 
 /// Stash `aid` into the running batch: mark it granted *now* so the
 /// collection loop cannot pick it (or its core) again before the epoch
@@ -124,11 +152,97 @@ fn try_stash(
     true
 }
 
+/// Attempt to run the epoch's deferred boundary-clock publications as
+/// bucketed replay-frame writes instead of serial [`sync::publish`] calls.
+/// Returns `false` (having mutated nothing) if any member falls outside
+/// the reduced shape; the caller then takes the serial walk for the whole
+/// epoch.
+///
+/// Under the spatial policy, `publish` on a non-idle core whose clock only
+/// *rose*, with no idle neighbors (the shadow-relaxation worklist starts
+/// empty) and no registered waiters (`take_waiters` is a no-op), reduces
+/// to exactly: clear `publish_pending`, fold the clock into `max_vtime`,
+/// count a sweep, mark the floor dirty, store the new published value,
+/// and conditionally invalidate each neighbor's cached floor minimum
+/// (the rising arm of `note_published_change`). The first four are
+/// scheduler bookkeeping — committed here, serially, in batch order,
+/// because checkpoints and the watchdog read `max_vtime` before the next
+/// epoch. The last two touch only the written core's state, so they are
+/// bucketed by that core's tile for the replay frame. Per-target bucket
+/// order is append order = batch order = the serial publish order, so the
+/// replayed invalidation conditionals read exactly the state their serial
+/// counterparts would have.
+fn try_shard_publishes(
+    sim: &mut Sim,
+    shared: &Shared,
+    fs: &FrameSync,
+    batch: &[ActivityId],
+) -> bool {
+    // Pass 1: the gate, read-only. Batch members sit on distinct cores,
+    // and nothing a gated publish does can change another member's
+    // idleness, waiter set or published value, so checking against the
+    // pre-publish state is exact.
+    for &aid in batch {
+        let Some(act) = sim.acts.get(&aid.0) else {
+            continue;
+        };
+        let c = act.core;
+        let core = &sim.cores[c.index()];
+        if !core.publish_pending {
+            continue;
+        }
+        if core.is_idle()
+            || core.vtime < core.published
+            || !sim.waiters[c.index()].is_empty()
+            || shared
+                .topo
+                .neighbors(c)
+                .iter()
+                .any(|&(m, _)| sim.cores[m.index()].is_idle())
+        {
+            return false;
+        }
+    }
+    // Pass 2: commit, in batch order.
+    for &aid in batch {
+        let Some(act) = sim.acts.get(&aid.0) else {
+            continue;
+        };
+        let c = act.core;
+        let core = &mut sim.cores[c.index()];
+        if !core.publish_pending {
+            continue;
+        }
+        core.publish_pending = false;
+        let newval = core.vtime;
+        let oldval = core.published;
+        if newval > sim.max_vtime {
+            sim.max_vtime = newval;
+        }
+        if newval == oldval {
+            continue; // serial publish returns before the sweep, too
+        }
+        sim.stats.publish_sweeps += 1;
+        sim.floor_dirty = true;
+        // SAFETY: no frame in flight between phase A's quiescence and the
+        // replay launch; the coordinator is the sole lane accessor.
+        unsafe { fs.lane_mut(shared.tile_of(c)) }
+            .pub_cores
+            .push((c, newval));
+        for &(m, _) in shared.topo.neighbors(c) {
+            unsafe { fs.lane_mut(shared.tile_of(m)) }
+                .inval_events
+                .push((m, oldval));
+        }
+    }
+    true
+}
+
 /// The parallel scheduler loop. Mirrors the sequential loop's observable
 /// bookkeeping; see the module docs for the epoch protocol. Takes and
 /// returns the simulation guard so `simulate` runs the common teardown.
 pub(crate) fn run_scheduler<'a>(
-    shared: &Arc<Shared>,
+    shared: &'a Arc<Shared>,
     mut sim: MutexGuard<'a, Sim>,
     handles: &mut Vec<std::thread::JoinHandle<()>>,
     cfg_digest: u64,
@@ -154,7 +268,17 @@ pub(crate) fn run_scheduler<'a>(
     let mut deferred: Vec<CoreId> = Vec::new();
     let mut tile_solo: Vec<Option<ActivityId>> = vec![None; n_tiles];
     let mut tile_fresh: Vec<Vec<ActivityId>> = vec![Vec::new(); n_tiles];
-    let mut workers: Vec<usize> = Vec::new();
+    // Frame-protocol scratch: the claimable-tile list handed to the frame,
+    // the replay-tile list for phase B, and the per-destination pending
+    // earliest-arrival minimum used to precompute ready-queue decisions
+    // while inbox pushes are still bucketed (MAX = "nothing pending").
+    let mut claimable: Vec<u32> = Vec::new();
+    let mut replay_tiles: Vec<u32> = Vec::new();
+    let mut pend_min: Vec<VirtualTime> = vec![VirtualTime::MAX; sim.cores.len()];
+    let mut pend_touched: Vec<CoreId> = Vec::new();
+    let mut phase_a_ns: u64 = 0;
+    let mut phase_b_ns: u64 = 0;
+    let mut serial_tail_ns: u64 = 0;
 
     'run: loop {
         // ------------------------------------------------------ collect
@@ -332,109 +456,270 @@ pub(crate) fn run_scheduler<'a>(
 
         // ------------------------------------------------------ phase A
         // Members sorted by tile: phase B replays in tile order by
-        // construction and worker wakeup order is deterministic (it is not
+        // construction and the lane fill order is deterministic (it is not
         // observable either way, but determinism-by-construction is
         // cheaper to audit than determinism-by-argument). The sort is
         // stable, so a tile's fresh members keep their stash order — the
-        // order their shared worker executes them in.
+        // order their claimant executes them in.
         batch.sort_by_key(|&aid| shared.tile_of(sim.act(aid).core));
         sim.stats.parallel_epochs += 1;
         sim.stats.epoch_grants += batch.len() as u64;
-        workers.clear();
-        for t in 0..n_tiles {
-            let w = if let Some(aid) = tile_solo[t] {
-                assign_worker(&mut sim, shared, handles, aid)
-            } else if let Some((&first, rest)) = tile_fresh[t].split_first() {
-                // One wakeup runs the whole queue: the worker pops the
-                // next member itself after each completion.
-                let w = assign_worker(&mut sim, shared, handles, first);
-                debug_assert!(sim.worker_backlog[w].is_empty());
-                sim.worker_backlog[w].extend(rest.iter().copied());
-                w
-            } else {
+        let fs = shared.frame.as_ref().expect("parallel mode without frames");
+        claimable.clear();
+        for (t, fresh) in tile_fresh.iter().enumerate() {
+            if fresh.is_empty() {
                 continue;
-            };
-            workers.push(w);
+            }
+            // SAFETY: no frame is in flight (the previous one quiesced
+            // before phase B and the next launches below), so the
+            // coordinator is the only lane accessor.
+            let lane = unsafe { fs.lane_mut(t) };
+            debug_assert!(lane.queue.is_empty() && lane.spilled.is_empty());
+            for &aid in fresh {
+                let act = sim.act_mut(aid);
+                // Fresh members are `Pending` by construction: any activity
+                // that ran before either finished or parked (which pinned a
+                // worker, making it a solo), so its closure is still here.
+                let job = act.job.take().expect("fresh epoch member without a job");
+                lane.queue.push_back(FreshJob {
+                    aid,
+                    core: act.core,
+                    name: act.name,
+                    job,
+                });
+            }
+            claimable.push(t as u32);
         }
-        sim.epoch_outstanding = batch.len();
+        // Every claimable tile must find an unpinned worker even if every
+        // other tile's claimant parks mid-frame (parking pins the thread
+        // for the activity's lifetime, taking it out of the claim pool).
+        while sim.frame_workers - sim.pinned_workers < claimable.len() {
+            spawn_frame_worker(&mut sim, shared, handles);
+        }
         sim.token = Token::Epoch;
-        for &w in &workers {
+        let ta = Instant::now();
+        fs.launch(batch.len(), &claimable, FrameKind::Exec);
+        // Solo members (pinned by an earlier park) re-enter through their
+        // own thread's condvar under the epoch-wide token, not through a
+        // frame claim: their stacks are already parked in `wait_for_grant`.
+        for aid in tile_solo.iter().take(n_tiles).filter_map(|s| *s) {
+            let w = sim.act(aid).worker.expect("pinned solo without a worker");
             sim.worker_cvs[w].notify_one();
         }
-        while sim.epoch_outstanding > 0 {
-            shared.sched_cv.wait(&mut sim);
-        }
+        // The whole point: the coordinator drops the simulation lock for
+        // the duration of phase A. Workers coordinate through the frame's
+        // atomics alone and only take the lock at interaction points.
+        drop(sim);
+        fs.wait_quiescent();
+        sim = shared.sim.lock();
+        phase_a_ns += ta.elapsed().as_nanos() as u64;
         sim.token = Token::Scheduler;
 
         // ------------------------------------------------------ phase B
+        let tb = Instant::now();
+        // 0. Land the lock-free residue of phase A, in tile order: batched
+        //    confined advances whose member completed without another
+        //    locked interaction (bit-exact: no phase-A reader observes
+        //    another core's raw clock, so landing the flush here instead
+        //    of at member completion is unobservable), and members
+        //    stranded behind a park — they revert to `Pending` and simply
+        //    get picked again.
+        for t in 0..n_tiles {
+            // SAFETY: the frame quiesced; the coordinator is the only lane
+            // accessor until the next launch.
+            let lane = unsafe { fs.lane_mut(t) };
+            for (c, d, n) in lane.flushes.drain(..) {
+                sim.cores[c.index()].advance(d);
+                sim.cores[c.index()].publish_pending = true;
+                sim.count_fast_path_n(shared, c, n);
+            }
+            for fj in lane.spilled.drain(..) {
+                let act = sim.act_mut(fj.aid);
+                debug_assert!(matches!(act.state, ActivityState::Granted));
+                act.state = ActivityState::Pending;
+                act.job = Some(fj.job);
+                sim.stats.activity_resumes -= 1;
+            }
+        }
         // 1. Boundary-clock publication: flush the deferred publishes of
         //    every batch core, in tile order. This is the one point where
         //    an epoch's clock advances become visible to other tiles.
-        for &aid in &batch {
-            if let Some(act) = sim.acts.get(&aid.0) {
-                let c = act.core;
-                sync::flush_deferred(&mut sim, shared, c);
+        //    Under the spatial policy, when every pending member fits the
+        //    reduced publish shape (non-idle, clock rose, no waiters, no
+        //    idle neighbors), the commuting per-core writes are bucketed
+        //    for the replay frame instead; anything else falls back to the
+        //    serial walk for the whole epoch.
+        let shard = shared.config.shard_phase_b && sim.sanitizer.is_none() && n_tiles > 1;
+        let publishes_sharded = shard
+            && matches!(shared.config.sync, SyncPolicy::Spatial { .. })
+            && try_shard_publishes(&mut sim, shared, fs, &batch);
+        if !publishes_sharded {
+            for &aid in &batch {
+                if let Some(act) = sim.acts.get(&aid.0) {
+                    let c = act.core;
+                    sync::flush_deferred(&mut sim, shared, c);
+                }
             }
         }
-        // 2. Cross-tile messages: route and deliver the buffered sends,
-        //    tile by tile (within a tile the outbox preserves the sending
-        //    activity's program order, so per-sender FIFO holds).
+        // 2. Cross-tile messages: route the buffered sends through the
+        //    shared network model, tile by tile (within a tile the lane
+        //    preserves the sending activity's program order, so per-sender
+        //    FIFO holds). Routing is inherently serial — it consumes the
+        //    global send sequence and link occupancy — but when sharding,
+        //    the inbox deposits are bucketed by destination tile for the
+        //    replay frame, and every ready-queue decision `deliver` would
+        //    have made is precomputed here against the frozen clocks: a
+        //    per-destination pending-arrival minimum stands in for the
+        //    not-yet-deposited envelopes.
         for t in 0..n_tiles {
-            let mut outbox = std::mem::take(&mut sim.tile_outboxes[t]);
+            // SAFETY: frame quiescent; sole accessor. The outbox is
+            // detached so bucketing into a destination lane (possibly this
+            // very tile) never aliases the vector being drained.
+            let mut outbox = std::mem::take(&mut (unsafe { fs.lane_mut(t) }).outbox);
             for m in outbox.drain(..) {
                 let env = sim.net.send(m.src, m.dst, m.size_bytes, m.sent, m.payload);
-                deliver(&mut sim, shared, env);
+                if !shard {
+                    deliver(&mut sim, shared, env);
+                    continue;
+                }
+                crate::engine::trace(shared, || crate::trace::TraceEvent::Send {
+                    t: env.sent,
+                    src: env.src,
+                    dst: env.dst,
+                    bytes: env.size_bytes,
+                });
+                let dst = env.dst;
+                let arrival = env.arrival;
+                let vtime = sim.cores[dst.index()].vtime;
+                let pend = pend_min[dst.index()];
+                if pend == VirtualTime::MAX {
+                    pend_touched.push(dst);
+                }
+                // What `inbox.earliest_arrival()` would return after the
+                // push, were the bucketed envelopes already deposited.
+                let eff = sim.cores[dst.index()]
+                    .inbox
+                    .earliest_arrival()
+                    .map_or(pend, |a| a.min(pend))
+                    .min(arrival);
+                let prio = eff.min(vtime);
+                if sim.cores[dst.index()].in_ready {
+                    // Possible priority raise: re-push with the (possibly
+                    // earlier) next-event time, exactly like `deliver`.
+                    if arrival < vtime {
+                        sim.ready.push(dst, prio);
+                    }
+                } else {
+                    sim.cores[dst.index()].in_ready = true;
+                    sim.ready.push(dst, prio);
+                }
+                pend_min[dst.index()] = eff;
+                // SAFETY: frame quiescent; sole accessor (see above).
+                (unsafe { fs.lane_mut(shared.tile_of(dst)) })
+                    .deliveries
+                    .push(env);
             }
-            sim.tile_outboxes[t] = outbox; // keep the capacity
+            unsafe { fs.lane_mut(t) }.outbox = outbox; // keep the capacity
         }
-        // 3. Pending entries, stable-sorted by tile id. A tile can
-        //    contribute several entries (its members' completions and at
-        //    most one park, after which the rest of its queue spilled);
-        //    they were pushed by the tile's single worker in execution
-        //    order, so the within-tile order the stable sort preserves is
-        //    deterministic.
-        let mut pending = std::mem::take(&mut sim.epoch_pending);
-        pending.sort_by_key(|&(t, _)| t);
-        for (_, p) in pending.drain(..) {
-            match p {
-                EpochPending::Resume(aid) => {
-                    if sim.failure.is_some() {
-                        // Leave it parked; teardown unwinds it.
-                        continue;
-                    }
-                    // Re-grant exclusively: the activity replays the
-                    // authoritative sequential logic it could not run
-                    // confined (publish + drain + policy check with its
-                    // stall bookkeeping, or the compound operation) and
-                    // runs under the ordinary token protocol until it
-                    // yields — by stalling, blocking or finishing.
-                    debug_assert!(matches!(sim.act(aid).state, ActivityState::Parked));
-                    sim.act_mut(aid).state = ActivityState::Granted;
-                    sim.token = Token::Act(aid);
-                    let w = sim.act(aid).worker.expect("parked activity has a worker");
-                    sim.worker_cvs[w].notify_one();
-                    while sim.token != Token::Scheduler {
-                        shared.sched_cv.wait(&mut sim);
-                    }
+        for c in pend_touched.drain(..) {
+            pend_min[c.index()] = VirtualTime::MAX;
+        }
+        // 3. Apply the bucketed per-core writes: published clocks, floor-
+        //    cache invalidations, inbox deposits. The classes touch
+        //    pairwise-disjoint `CoreState` fields and are bucketed by the
+        //    written core's tile, so tiles replay independently — as a
+        //    parallel frame when there is enough work to pay for the
+        //    launch, serially through the same code otherwise. The
+        //    threshold reads only the epoch's bucketed work, so the choice
+        //    (and the `sharded_replays` counter) is deterministic; the
+        //    applied state is bit-identical either way.
+        replay_tiles.clear();
+        let mut replay_work = 0usize;
+        for t in 0..n_tiles {
+            // SAFETY: frame quiescent; sole accessor.
+            let lane = unsafe { fs.lane_mut(t) };
+            let w = lane.pub_cores.len() + lane.inval_events.len() + lane.deliveries.len();
+            if w > 0 {
+                replay_work += w;
+                replay_tiles.push(t as u32);
+            }
+        }
+        if !replay_tiles.is_empty() {
+            fs.set_cores_ptr(sim.cores.as_mut_ptr());
+            if replay_tiles.len() >= 2 && replay_work >= REPLAY_FRAME_MIN_WORK {
+                if sim.frame_workers == sim.pinned_workers {
+                    spawn_frame_worker(&mut sim, shared, handles);
                 }
-                EpochPending::Finish(aid) => {
-                    crate::engine::finish_activity(&mut sim, shared, aid);
+                sim.stats.sharded_replays += 1;
+                fs.launch(replay_tiles.len(), &replay_tiles, FrameKind::Replay);
+                // Replay workers write through the raw cores pointer and
+                // never take the simulation lock, so the coordinator keeps
+                // holding it across the wait.
+                fs.wait_quiescent();
+            } else {
+                for &t in &replay_tiles {
+                    // SAFETY: serial fallback — the coordinator is the
+                    // sole accessor of every lane and of `sim.cores`.
+                    unsafe { crate::frame::replay_lane(fs, t as usize) };
                 }
-                EpochPending::Panic { core, name, msg } => {
-                    if sim.failure.is_none() {
-                        sim.failure = Some(Failure::TaskPanic {
-                            core,
-                            at: sim.cores[core.index()].vtime,
-                            name,
-                            msg,
-                        });
+            }
+            fs.clear_cores_ptr();
+        }
+        // 4. The serial tail: pending entries drained in tile order. A
+        //    tile can contribute several entries (its members' completions
+        //    and at most one park, after which the rest of its queue
+        //    spilled); they were pushed by the tile's single claimant in
+        //    execution order, so the drain order is deterministic.
+        let tt = Instant::now();
+        for t in 0..n_tiles {
+            // SAFETY: frame quiescent; sole accessor. Detached so the
+            // re-granted activities below (which run arbitrary interaction
+            // code) can never observe a half-drained lane.
+            let mut pending = std::mem::take(&mut (unsafe { fs.lane_mut(t) }).pending);
+            for p in pending.drain(..) {
+                match p {
+                    EpochPending::Resume(aid) => {
+                        if sim.failure.is_some() {
+                            // Leave it parked; teardown unwinds it.
+                            continue;
+                        }
+                        // Re-grant exclusively: the activity replays the
+                        // authoritative sequential logic it could not run
+                        // confined (publish + drain + policy check with
+                        // its stall bookkeeping, or the compound
+                        // operation) and runs under the ordinary token
+                        // protocol until it yields — by stalling,
+                        // blocking or finishing.
+                        debug_assert!(matches!(sim.act(aid).state, ActivityState::Parked));
+                        sim.act_mut(aid).state = ActivityState::Granted;
+                        sim.token = Token::Act(aid);
+                        let w = sim.act(aid).worker.expect("parked activity has a worker");
+                        sim.worker_cvs[w].notify_one();
+                        while sim.token != Token::Scheduler {
+                            shared.sched_cv.wait(&mut sim);
+                        }
+                    }
+                    EpochPending::Finish(aid) => {
+                        crate::engine::finish_activity(&mut sim, shared, aid);
+                    }
+                    EpochPending::Panic { core, name, msg } => {
+                        if sim.failure.is_none() {
+                            sim.failure = Some(Failure::TaskPanic {
+                                core,
+                                at: sim.cores[core.index()].vtime,
+                                name,
+                                msg,
+                            });
+                        }
                     }
                 }
             }
+            unsafe { fs.lane_mut(t) }.pending = pending; // keep the capacity
         }
-        sim.epoch_pending = pending; // keep the capacity
+        serial_tail_ns += tt.elapsed().as_nanos() as u64;
+        phase_b_ns += tb.elapsed().as_nanos() as u64;
 
-        // 4. Requeue: batch cores first (tile order — including members
+        // 5. Requeue: batch cores first (tile order — including members
         //    spilled from a parked worker's queue, which reverted to
         //    `Pending` and simply get picked again), then the grants
         //    deferred during collection (pick order).
@@ -460,6 +745,9 @@ pub(crate) fn run_scheduler<'a>(
         }
     }
 
+    sim.stats.phase_a_wall_ns = phase_a_ns;
+    sim.stats.phase_b_wall_ns = phase_b_ns;
+    sim.stats.serial_tail_ns = serial_tail_ns;
     if sim.failure.is_none() {
         if sim.sanitizer.is_some() {
             // Final machine-wide scan over the quiescent end state.

@@ -57,6 +57,17 @@ impl ReadyQueue {
     }
 
     /// Insert a core with its current published time as priority.
+    ///
+    /// For `LowestVtime`, pop order over distinct `(time, rank, id)` keys
+    /// is a pure function of the key *set* — insertion order cannot leak
+    /// into it. The parallel engine's sharded phase B leans on this: it
+    /// replays deliveries bucketed by destination tile, and although the
+    /// ready pushes themselves happen on the serial walk in a fixed
+    /// (source tile, outbox index) order, the insensitivity means the
+    /// bucketing could not perturb scheduling even if that order changed.
+    /// `RoundRobin` is FIFO by definition (push order *is* the contract),
+    /// and `Random` draws from the seeded stream in pop order, so both
+    /// stay deterministic under the same fixed push sequence.
     pub fn push(&mut self, core: CoreId, published: VirtualTime) {
         match self {
             ReadyQueue::LowestVtime(h, ranks) => {
@@ -149,6 +160,32 @@ mod tests {
         q.push(CoreId(0), t(6));
         assert_eq!(q.pop(), Some(CoreId(3)));
         assert_eq!(q.pop(), Some(CoreId(0)));
+    }
+
+    #[test]
+    fn pop_order_is_insertion_order_insensitive_for_distinct_keys() {
+        // The sharded phase-B contract (see `push`): any permutation of
+        // the same distinct (time, rank, id) entries pops identically.
+        let entries: Vec<(u32, u64)> = (0..12u32).map(|c| (c, 7 + u64::from(c * c % 13))).collect();
+        let pop_all = |order: &[usize]| {
+            let mut q = ReadyQueue::new(PickPolicy::LowestVtime, 0);
+            q.set_tiebreak_ranks((0..12u32).rev().collect());
+            for &i in order {
+                let (c, at) = entries[i];
+                q.push(CoreId(c), t(at));
+            }
+            let mut out = Vec::new();
+            while let Some(c) = q.pop() {
+                out.push(c.0);
+            }
+            out
+        };
+        let forward: Vec<usize> = (0..12).collect();
+        let reverse: Vec<usize> = (0..12).rev().collect();
+        let shuffled: Vec<usize> = (0..12).map(|i| (i * 5) % 12).collect();
+        let a = pop_all(&forward);
+        assert_eq!(a, pop_all(&reverse));
+        assert_eq!(a, pop_all(&shuffled));
     }
 
     #[test]

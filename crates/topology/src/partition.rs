@@ -22,6 +22,7 @@ use std::collections::VecDeque;
 pub struct Partition {
     tile_of: Vec<u32>,
     tiles: Vec<Vec<CoreId>>,
+    boundary: Vec<bool>,
 }
 
 impl Partition {
@@ -41,11 +42,28 @@ impl Partition {
     }
 
     /// True iff `core` has a topological neighbor in a different tile.
+    ///
+    /// O(1): the partitioner precomputes a boundary bitmap, so the hot
+    /// paths of the parallel engine (per-message tile routing, publish
+    /// gating) never rescan adjacency lists. The `topo` argument is kept
+    /// for API stability and consistency checking in debug builds.
     pub fn is_boundary(&self, topo: &Topology, core: CoreId) -> bool {
-        let t = self.tile_of[core.index()];
-        topo.neighbors(core)
-            .iter()
-            .any(|&(n, _)| self.tile_of[n.index()] != t)
+        debug_assert_eq!(
+            self.boundary[core.index()],
+            topo.neighbors(core)
+                .iter()
+                .any(|&(n, _)| self.tile_of[n.index()] != self.tile_of[core.index()]),
+            "boundary bitmap out of sync with the topology"
+        );
+        let _ = topo;
+        self.boundary[core.index()]
+    }
+
+    /// Number of boundary cores (cores with a neighbor in another tile) —
+    /// the surface area the parallel engine's cross-tile machinery pays
+    /// for. Interior cores take none of the phase-B replay cost.
+    pub fn boundary_count(&self) -> usize {
+        self.boundary.iter().filter(|&&b| b).count()
     }
 }
 
@@ -90,7 +108,19 @@ pub fn partition_bfs(topo: &Topology, n_tiles: usize) -> Partition {
         }
         tiles.push(chunk);
     }
-    Partition { tile_of, tiles }
+    let boundary: Vec<bool> = (0..n)
+        .map(|c| {
+            let t = tile_of[c];
+            topo.neighbors(CoreId(c as u32))
+                .iter()
+                .any(|&(m, _)| tile_of[m.index()] != t)
+        })
+        .collect();
+    Partition {
+        tile_of,
+        tiles,
+        boundary,
+    }
 }
 
 #[cfg(test)]
@@ -148,5 +178,16 @@ mod tests {
         let boundary: Vec<bool> = (0..8).map(|c| p.is_boundary(&topo, CoreId(c))).collect();
         // A 2-tile ring split has exactly two cut edges = four boundary cores.
         assert_eq!(boundary.iter().filter(|&&b| b).count(), 4);
+        assert_eq!(p.boundary_count(), 4);
+    }
+
+    #[test]
+    fn single_tile_has_no_boundary() {
+        let topo = mesh_2d(16);
+        let p = partition_bfs(&topo, 1);
+        assert_eq!(p.boundary_count(), 0);
+        for c in 0..16 {
+            assert!(!p.is_boundary(&topo, CoreId(c)));
+        }
     }
 }
