@@ -13,7 +13,7 @@
 use simany::core::{CoreId, MemoryTracer};
 use simany::kernels::{kernel_by_name, Scale};
 use simany::prelude::*;
-use simany::presets;
+use simany_serve::Scenario;
 
 struct Args {
     kernel: String,
@@ -23,6 +23,7 @@ struct Args {
     clusters: u32,
     scale: f64,
     seed: u64,
+    sync: String,
     drift: Option<u64>,
     topology_file: Option<String>,
     trace: bool,
@@ -32,6 +33,7 @@ struct Args {
     checkpoint_every: Option<u64>,
     checkpoint_file: String,
     resume: Option<String>,
+    preempt_after_checkpoints: Option<u64>,
     json: Option<String>,
     link_fail_prob: f64,
     repair_after: Option<u64>,
@@ -51,6 +53,7 @@ impl Default for Args {
             clusters: 4,
             scale: 0.5,
             seed: 1,
+            sync: "spatial".into(),
             drift: None,
             topology_file: None,
             trace: false,
@@ -60,6 +63,7 @@ impl Default for Args {
             checkpoint_every: None,
             checkpoint_file: "simany.checkpoint".into(),
             resume: None,
+            preempt_after_checkpoints: None,
             json: None,
             link_fail_prob: 0.0,
             repair_after: None,
@@ -82,7 +86,9 @@ options:
   --clusters N        clusters for --machine clustered (default 4)
   --scale F           workload scale (default 0.5)
   --seed N            workload seed
-  --drift T           spatial drift bound in cycles (default 100)
+  --sync POLICY       spatial | bounded-slack | random-referee |
+                      conservative | unbounded (default spatial)
+  --drift T           drift bound / slack window in cycles (default 100)
   --topology FILE     adjacency-matrix config file (overrides --machine)
   --trace             collect and print an event timeline
   --fast-path on|off  drift-headroom fast path (default on; bit-exact)
@@ -95,6 +101,12 @@ checkpoint / resume (see crates/core/src/checkpoint.rs for the model):
   --checkpoint-every T  write a verification checkpoint every T virtual cycles
   --checkpoint-file F   checkpoint file path (default simany.checkpoint)
   --resume F            replay and verify against the checkpoint at F
+  --preempt-after-checkpoints N
+                        stop with exit code 15 after N fresh checkpoints
+                        (external preemption; resume later with --resume)
+
+exit codes: 0 success, 2 usage, 10 stalled, 11 checkpoint mismatch,
+12 checkpoint error, 13 task panic, 14 deadlock, 15 preempted.
 
 fault injection (sampled deterministically from --seed; all default off):
   --link-fail-prob F  probability each physical link pair fails
@@ -126,6 +138,7 @@ fn parse_args() -> Args {
             "--clusters" => args.clusters = val().parse().expect("--clusters"),
             "--scale" => args.scale = val().parse().expect("--scale"),
             "--seed" => args.seed = val().parse().expect("--seed"),
+            "--sync" => args.sync = val(),
             "--drift" => args.drift = Some(val().parse().expect("--drift")),
             "--topology" => args.topology_file = Some(val()),
             "--trace" => args.trace = true,
@@ -155,6 +168,10 @@ fn parse_args() -> Args {
             }
             "--checkpoint-file" => args.checkpoint_file = val(),
             "--resume" => args.resume = Some(val()),
+            "--preempt-after-checkpoints" => {
+                args.preempt_after_checkpoints =
+                    Some(val().parse().expect("--preempt-after-checkpoints"))
+            }
             "--json" => args.json = Some(val()),
             "--link-fail-prob" => args.link_fail_prob = val().parse().expect("--link-fail-prob"),
             "--repair-after" => args.repair_after = Some(val().parse().expect("--repair-after")),
@@ -175,33 +192,40 @@ fn parse_args() -> Args {
     args
 }
 
-fn build_spec(args: &Args) -> ProgramSpec {
-    if args.cores == 0 {
-        eprintln!("--cores must be at least 1\n{USAGE}");
+/// The scenario (shared with the sweep service) carrying everything that
+/// defines the run's identity digest.
+fn build_scenario(args: &Args) -> Scenario {
+    Scenario {
+        label: String::new(),
+        kernel: args.kernel.clone(),
+        cores: args.cores,
+        machine: args.machine.clone(),
+        arch: args.arch.clone(),
+        clusters: args.clusters,
+        scale: args.scale,
+        seed: args.seed,
+        sync: args.sync.clone(),
+        drift: args.drift,
+        threads: args.threads,
+        priority: 0,
+        faults: simany_serve::FaultKnobs {
+            link_fail_prob: args.link_fail_prob,
+            repair_after: args.repair_after,
+            drop_prob: args.drop_prob,
+            corrupt_prob: args.corrupt_prob,
+            core_fail_prob: args.core_fail_prob,
+            fault_horizon: args.fault_horizon,
+        },
+    }
+}
+
+fn build_spec(args: &Args, scenario: &Scenario) -> ProgramSpec {
+    // The shared scenario builder covers everything the sweep service can
+    // express; the flags below are CLI-only extras layered on top.
+    let mut spec = scenario.build_spec().unwrap_or_else(|e| {
+        eprintln!("{e}\n{USAGE}");
         std::process::exit(2);
-    }
-    let mut spec = match args.machine.as_str() {
-        "mesh" => presets::uniform_mesh_sm(args.cores),
-        "mesh3d" => presets::mesh3d_sm(args.cores),
-        "clustered" => presets::clustered_dm(args.cores, args.clusters),
-        "polymorphic" => presets::polymorphic_sm(args.cores),
-        "cycle-level" => presets::cycle_level(args.cores),
-        other => {
-            eprintln!("unknown machine '{other}'\n{USAGE}");
-            std::process::exit(2);
-        }
-    };
-    if args.machine != "cycle-level" {
-        spec.runtime = match args.arch.as_str() {
-            "sm" => RuntimeParams::shared_memory(),
-            "dm" => RuntimeParams::distributed_memory(),
-            "smc" => RuntimeParams::shared_memory_coherent(),
-            other => {
-                eprintln!("unknown arch '{other}'\n{USAGE}");
-                std::process::exit(2);
-            }
-        };
-    }
+    });
     if let Some(path) = &args.topology_file {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
             eprintln!("cannot read topology file {path}: {e}");
@@ -211,16 +235,21 @@ fn build_spec(args: &Args) -> ProgramSpec {
             eprintln!("bad topology config {path}: {e}");
             std::process::exit(2);
         });
-    }
-    if let Some(t) = args.drift {
-        spec.engine = spec.engine.with_drift_cycles(t);
+        // The fault plan was sampled on the preset topology; resample it
+        // on the one actually being simulated.
+        if scenario.faults.any() {
+            let plan = simany::fault::FaultPlan::sample(
+                &spec.topo,
+                &scenario.faults.to_config(),
+                args.seed,
+            );
+            spec.engine = spec.engine.with_fault_plan(std::sync::Arc::new(plan));
+        }
     }
     spec.engine = spec
         .engine
-        .with_seed(args.seed)
         .with_fast_path(args.fast_path)
-        .with_sanitize(args.sanitize)
-        .with_threads(args.threads);
+        .with_sanitize(args.sanitize);
     if let Some(every) = args.checkpoint_every {
         spec.engine = spec
             .engine
@@ -229,31 +258,15 @@ fn build_spec(args: &Args) -> ProgramSpec {
     if let Some(path) = &args.resume {
         spec.engine = spec.engine.with_resume(path);
     }
-    let faults_requested = args.link_fail_prob > 0.0
-        || args.drop_prob > 0.0
-        || args.corrupt_prob > 0.0
-        || args.core_fail_prob > 0.0;
-    if faults_requested {
-        let mut cfg = FaultConfig {
-            link_fail_prob: args.link_fail_prob,
-            repair_after: args.repair_after.map(VDuration::from_cycles),
-            drop_prob: args.drop_prob,
-            corrupt_prob: args.corrupt_prob,
-            core_fail_prob: args.core_fail_prob,
-            ..FaultConfig::default()
-        };
-        if let Some(h) = args.fault_horizon {
-            cfg.horizon = VirtualTime::from_cycles(h);
-        }
-        let plan = FaultPlan::sample(&spec.topo, &cfg, args.seed);
-        spec.engine = spec.engine.with_fault_plan(std::sync::Arc::new(plan));
-    }
+    spec.engine = spec
+        .engine
+        .with_preempt_after_checkpoints(args.preempt_after_checkpoints);
     spec
 }
 
 /// Hand-rolled JSON dump of the run's wall clock and counters (kept
 /// dependency-free on purpose).
-fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
+fn write_json(path: &str, args: &Args, digest: u64, r: &simany::kernels::KernelResult) {
     let s = &r.out.stats;
     let tiles_claimed = s
         .tiles_claimed
@@ -262,13 +275,14 @@ fn write_json(path: &str, args: &Args, r: &simany::kernels::KernelResult) {
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]\n}}\n",
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"config_digest\": \"{:016x}\",\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]\n}}\n",
         args.kernel,
         args.cores,
         args.machine,
         args.arch,
         args.scale,
         args.seed,
+        digest,
         args.fast_path,
         args.threads,
         s.wall.as_nanos(),
@@ -319,7 +333,9 @@ fn main() {
         }
         std::process::exit(2);
     });
-    let mut spec = build_spec(&args);
+    let scenario = build_scenario(&args);
+    let mut spec = build_spec(&args, &scenario);
+    let cfg_digest = simany::core::config_digest(&spec.engine);
     let tracer = if args.trace {
         let t = MemoryTracer::new();
         spec.engine.tracer = Some(t.clone());
@@ -330,19 +346,26 @@ fn main() {
     let n_cores = spec.topo.n_cores();
 
     println!(
-        "running {} on {} cores ({} / {}), scale {}, seed {}",
+        "running {} on {} cores ({} / {}), scale {}, seed {}, config digest {:016x}",
         kernel.name(),
         n_cores,
         args.machine,
         args.arch,
         args.scale,
-        args.seed
+        args.seed,
+        cfg_digest
     );
     let r = kernel
         .run_sim(spec, Scale(args.scale), args.seed)
         .unwrap_or_else(|e| {
-            eprintln!("simulation failed: {e}");
-            std::process::exit(1);
+            // Typed exit codes let a supervising process (the sweep
+            // service) tell preemption and failure classes apart.
+            if let simany::core::SimError::Preempted { at, checkpoints } = &e {
+                println!("preempted at {at:?} after {checkpoints} fresh checkpoints");
+            } else {
+                eprintln!("simulation failed: {e}");
+            }
+            std::process::exit(e.exit_code());
         });
 
     println!("\nvirtual time      : {} cycles", r.cycles());
@@ -422,8 +445,10 @@ fn main() {
         );
     }
 
+    println!("config digest     : {cfg_digest:016x}");
+
     if let Some(path) = &args.json {
-        write_json(path, &args, &r);
+        write_json(path, &args, cfg_digest, &r);
         println!("json dump         : {path}");
     }
 

@@ -1249,6 +1249,121 @@ pub fn scaling_benchmark(opts: &Options) -> String {
     )
 }
 
+/// PR 7 benchmark: run the EXPERIMENTS.md drift sweep (Figs. 10 & 11)
+/// through the `simany-serve` sweep service — the committed
+/// `examples/sweeps/drift.toml` spec — over a pool of `simulate` worker
+/// processes with checkpoint-based preemption enabled. Records sweep
+/// throughput (scenarios/hour), the dedup hit rate (the spec's baseline
+/// block duplicates the drift block's T = 100 points on purpose) and the
+/// preempt/resume counts to `BENCH_PR7.json`, plus a kernel × T
+/// virtual-time table assembled from the streamed per-scenario results.
+///
+/// Needs the `simulate` binary next to `repro` (`cargo build --release
+/// -p simany-bench` builds both), so it is not part of `repro all`.
+pub fn sweep_benchmark(opts: &Options) -> String {
+    use simany_serve::{ServeConfig, Service};
+
+    let spec_path = [
+        "examples/sweeps/drift.toml",
+        "../examples/sweeps/drift.toml",
+    ]
+    .iter()
+    .find(|p| std::path::Path::new(p).is_file())
+    .expect("examples/sweeps/drift.toml not found; run from the repo root")
+    .to_string();
+    let out_dir = std::env::temp_dir().join(format!("simany-sweep-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+    let workers = std::thread::available_parallelism().map_or(2, |p| p.get().min(4));
+
+    let cfg = ServeConfig {
+        spec_path,
+        out_dir: out_dir.clone(),
+        workers,
+        checkpoint_every: Some(10_000),
+        preempt_after: Some(2),
+        max_resumes: 3,
+        ..ServeConfig::default()
+    };
+    let mut svc = Service::new(cfg).expect("sweep service setup failed");
+    let shutdown = std::sync::atomic::AtomicBool::new(false);
+    let summary = svc.run(&shutdown).expect("sweep service run failed");
+    assert_eq!(summary.failed, 0, "sweep scenarios failed");
+    assert!(!summary.interrupted, "sweep was interrupted");
+    assert_eq!(
+        summary.scenarios,
+        summary.completed + summary.dedup_hits as usize,
+        "every scenario must map to a completed job"
+    );
+
+    // Assemble the kernel × T virtual-time table from the per-scenario
+    // stream (label shape: `drift/kernel=K,drift=T`).
+    let records = simany_serve::read_results(&out_dir.join("results.jsonl"))
+        .expect("results.jsonl unreadable");
+    let drifts = [50u64, 100, 500, 1000];
+    let mut vt: std::collections::BTreeMap<String, std::collections::BTreeMap<u64, f64>> =
+        std::collections::BTreeMap::new();
+    for r in &records {
+        let Some(label) = r.get("label").and_then(|v| v.as_str()) else {
+            continue;
+        };
+        let Some(rest) = label.strip_prefix("drift/kernel=") else {
+            continue;
+        };
+        let Some((kernel, drift)) = rest.split_once(",drift=") else {
+            continue;
+        };
+        if let (Ok(t), Some(cycles)) = (
+            drift.parse::<u64>(),
+            r.get("final_vtime_cycles").and_then(|v| v.as_f64()),
+        ) {
+            vt.entry(kernel.to_string()).or_default().insert(t, cycles);
+        }
+    }
+    let mut table = Table::new(&["kernel", "T=50", "T=100", "T=500", "T=1000"]);
+    for (kernel, by_t) in &vt {
+        let mut row = vec![kernel.clone()];
+        for t in drifts {
+            row.push(by_t.get(&t).map_or("-".into(), |c| format!("{c:.0}")));
+        }
+        table.row(row);
+    }
+
+    let per_hour = summary.scenarios as f64 / (summary.wall_secs / 3600.0).max(1e-9);
+    let hit_rate = summary.dedup_hits as f64 / summary.scenarios.max(1) as f64;
+    let json = format!(
+        "{{\n  \"bench\": \"sweep_service\",\n  \"spec\": \"examples/sweeps/drift.toml\",\n  \
+         \"workers\": {workers},\n  \"scenarios\": {},\n  \"unique_jobs\": {},\n  \
+         \"dedup_hits\": {},\n  \"dedup_hit_rate\": {hit_rate:.4},\n  \"completed\": {},\n  \
+         \"failed\": {},\n  \"preempts\": {},\n  \"resumes\": {},\n  \
+         \"wall_secs\": {:.3},\n  \"scenarios_per_hour\": {per_hour:.1}\n}}\n",
+        summary.scenarios,
+        summary.unique_jobs,
+        summary.dedup_hits,
+        summary.completed,
+        summary.failed,
+        summary.preempts,
+        summary.resumes,
+        summary.wall_secs,
+    );
+    std::fs::write("BENCH_PR7.json", &json).expect("cannot write BENCH_PR7.json");
+    let _ = opts; // sweep shape is fixed by the committed spec file
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    format!(
+        "### Sweep-service benchmark (PR 7) — results written to BENCH_PR7.json\n\n\
+         {} scenarios / {} unique jobs on {workers} workers: {:.1}s wall \
+         ({per_hour:.0} scenarios/hour), dedup hit rate {:.1}%, {} preemptions / {} resumes.\n\n\
+         Final virtual time (cycles) by kernel and drift bound T:\n\n{}",
+        summary.scenarios,
+        summary.unique_jobs,
+        summary.wall_secs,
+        hit_rate * 100.0,
+        summary.preempts,
+        summary.resumes,
+        table.to_markdown()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

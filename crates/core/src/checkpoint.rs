@@ -29,7 +29,7 @@
 //! file at `checkpoint_path` is atomically replaced (write + rename) each
 //! time the watermark crosses a `checkpoint_every` boundary.
 
-use crate::engine::Sim;
+use crate::engine::{Failure, Shared, Sim};
 use crate::hooks::RuntimeHooks;
 use simany_time::{VDuration, VirtualTime};
 use std::io::Write as _;
@@ -108,6 +108,117 @@ impl Checkpoint {
             picks,
             state_digest,
         })
+    }
+}
+
+/// Per-run checkpoint/resume bookkeeping, shared by the sequential and
+/// parallel scheduler loops. Both loops call [`CheckpointDriver::observe`]
+/// once per scheduler-time instant (quiescence: deferred publishes are
+/// flushed at every token yield), which performs, in order:
+///
+/// 1. **resume verification** — the first instant whose `max_vtime`
+///    reaches the resume watermark compares pick count and state digest
+///    and records a [`Failure::CheckpointMismatch`] on divergence;
+/// 2. **checkpoint writes** — every `checkpoint_every` boundary crossing
+///    atomically replaces the checkpoint file;
+/// 3. **external preemption** — once
+///    [`crate::EngineConfig::preempt_after_checkpoints`] fresh-ground
+///    checkpoints (watermark strictly beyond the resume watermark) have
+///    been written, records a [`Failure::Preempted`]. The strict
+///    inequality guarantees each preempt/resume round advances at least
+///    one checkpoint interval, so a driver that loops preempt → resume
+///    always terminates.
+pub(crate) struct CheckpointDriver {
+    pending_resume: Option<Checkpoint>,
+    resume_watermark: Option<VirtualTime>,
+    next_checkpoint: Option<VirtualTime>,
+    fresh_written: u64,
+    preempt_budget: Option<u64>,
+}
+
+impl CheckpointDriver {
+    pub(crate) fn new(config: &crate::EngineConfig, resume_target: Option<Checkpoint>) -> Self {
+        CheckpointDriver {
+            resume_watermark: resume_target.as_ref().map(|cp| cp.watermark),
+            pending_resume: resume_target,
+            next_checkpoint: config
+                .checkpoint_every
+                .map(|every| VirtualTime::ZERO + every),
+            fresh_written: 0,
+            preempt_budget: config.preempt_after_checkpoints,
+        }
+    }
+
+    /// Run the bookkeeping for the current instant. Returns `false` (after
+    /// setting `sim.failure`) when the scheduler loop must stop.
+    pub(crate) fn observe(&mut self, sim: &mut Sim, shared: &Shared, cfg_digest: u64) -> bool {
+        if self
+            .pending_resume
+            .as_ref()
+            .is_some_and(|cp| sim.max_vtime >= cp.watermark)
+        {
+            let cp = self.pending_resume.take().unwrap();
+            sim.stats.checkpoint_verifications += 1;
+            let digest = state_digest(sim, shared.hooks.as_ref());
+            if sim.stats.scheduler_picks != cp.picks || digest != cp.state_digest {
+                sim.failure = Some(Failure::CheckpointMismatch(format!(
+                    "replay diverged at watermark {}: picks {} (checkpoint {}), \
+                     state digest {:016x} (checkpoint {:016x})",
+                    cp.watermark, sim.stats.scheduler_picks, cp.picks, digest, cp.state_digest
+                )));
+                return false;
+            }
+        }
+        if self.next_checkpoint.is_some_and(|nc| sim.max_vtime >= nc) {
+            let every = shared.config.checkpoint_every.unwrap();
+            let mut nc = self.next_checkpoint.unwrap();
+            while sim.max_vtime >= nc {
+                nc += every;
+            }
+            self.next_checkpoint = Some(nc);
+            let cp = Checkpoint {
+                config_digest: cfg_digest,
+                watermark: sim.max_vtime,
+                picks: sim.stats.scheduler_picks,
+                state_digest: state_digest(sim, shared.hooks.as_ref()),
+            };
+            let path = shared.config.checkpoint_path.as_ref().unwrap();
+            match cp.write_to(path) {
+                Ok(()) => sim.stats.checkpoints_written += 1,
+                Err(e) => {
+                    sim.failure = Some(Failure::Checkpoint(format!(
+                        "cannot write checkpoint {}: {e}",
+                        path.display()
+                    )));
+                    return false;
+                }
+            }
+            if self.pending_resume.is_none()
+                && self.resume_watermark.is_none_or(|w| cp.watermark > w)
+            {
+                self.fresh_written += 1;
+                if self.preempt_budget.is_some_and(|b| self.fresh_written >= b) {
+                    sim.failure = Some(Failure::Preempted {
+                        at: cp.watermark,
+                        checkpoints: self.fresh_written,
+                    });
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// End-of-run check: a resume watermark the program never reached is a
+    /// checkpoint error (the checkpoint belongs to a different program or
+    /// a longer run).
+    pub(crate) fn finish(&mut self, sim: &mut Sim) {
+        if let Some(cp) = self.pending_resume.take() {
+            sim.failure = Some(Failure::Checkpoint(format!(
+                "resume watermark {} never reached (run ended at {})",
+                cp.watermark, sim.max_vtime
+            )));
+        }
     }
 }
 

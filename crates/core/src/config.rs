@@ -142,6 +142,18 @@ pub struct EngineConfig {
     /// watermark the engine compares state digests and aborts with
     /// [`crate::SimError::CheckpointMismatch`] on divergence.
     pub resume_from: Option<std::path::PathBuf>,
+    /// External-preemption budget: stop with [`crate::SimError::Preempted`]
+    /// after this many *fresh-ground* checkpoints have been written — ones
+    /// whose watermark lies strictly beyond the resume watermark (all
+    /// checkpoints are fresh when not resuming). The checkpoint on disk is
+    /// valid at the instant of preemption, so a driver (e.g. the
+    /// `simany-serve` sweep scheduler) can park the run and later resume it
+    /// with [`Self::resume_from`] under the usual bit-identity contract;
+    /// the strict-progress rule guarantees each preempt/resume round
+    /// advances at least one checkpoint interval. Requires
+    /// [`Self::checkpoint_every`]. Observation-only: excluded from the
+    /// config digest, like the checkpoint paths themselves.
+    pub preempt_after_checkpoints: Option<u64>,
     /// Host worker parallelism: partition the topology into up to this
     /// many contiguous tiles and let one activity per tile execute
     /// concurrently (see `engine` module docs, *Parallel host execution*).
@@ -183,6 +195,7 @@ impl std::fmt::Debug for EngineConfig {
             .field("checkpoint_every", &self.checkpoint_every)
             .field("checkpoint_path", &self.checkpoint_path)
             .field("resume_from", &self.resume_from)
+            .field("preempt_after_checkpoints", &self.preempt_after_checkpoints)
             .field("threads", &self.threads)
             .field("shard_phase_b", &self.shard_phase_b)
             .finish()
@@ -210,6 +223,7 @@ impl Default for EngineConfig {
             checkpoint_every: None,
             checkpoint_path: None,
             resume_from: None,
+            preempt_after_checkpoints: None,
             threads: 1,
             shard_phase_b: true,
         }
@@ -273,6 +287,13 @@ impl EngineConfig {
     /// Resume from (replay and verify against) the checkpoint at `path`.
     pub fn with_resume(mut self, path: impl Into<std::path::PathBuf>) -> Self {
         self.resume_from = Some(path.into());
+        self
+    }
+
+    /// Set (or clear) the external-preemption budget (see
+    /// [`Self::preempt_after_checkpoints`]).
+    pub fn with_preempt_after_checkpoints(mut self, checkpoints: Option<u64>) -> Self {
+        self.preempt_after_checkpoints = checkpoints;
         self
     }
 

@@ -321,6 +321,37 @@ pub enum SimError {
     /// A resumed run diverged from its checkpoint at the watermark
     /// (changed binary, configuration drift, or a nondeterminism bug).
     CheckpointMismatch(String),
+    /// The run was preempted by the external-preemption budget
+    /// ([`crate::EngineConfig::preempt_after_checkpoints`]): the budgeted
+    /// number of fresh-ground checkpoints was written and the engine
+    /// stopped cleanly. Not a failure — the checkpoint on disk is valid and
+    /// the run can be completed later via
+    /// [`crate::EngineConfig::resume_from`].
+    Preempted {
+        /// Virtual-time watermark of the last checkpoint written (where a
+        /// resumed run will verify).
+        at: VirtualTime,
+        /// Fresh-ground checkpoints written before stopping (the budget).
+        checkpoints: u64,
+    },
+}
+
+impl SimError {
+    /// Typed process exit code for embedding binaries (`simulate`,
+    /// `simany-serve` workers): lets a driving scheduler classify worker
+    /// failures without parsing stderr. Success is `0` by convention;
+    /// usage errors are `2` (the binaries' own convention); everything
+    /// here is `>= 10` so the three ranges cannot collide.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            SimError::Stalled { .. } => 10,
+            SimError::CheckpointMismatch(_) => 11,
+            SimError::Checkpoint(_) => 12,
+            SimError::TaskPanic { .. } => 13,
+            SimError::Deadlock(_) => 14,
+            SimError::Preempted { .. } => 15,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -339,6 +370,10 @@ impl fmt::Display for SimError {
             ),
             SimError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
             SimError::CheckpointMismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            SimError::Preempted { at, checkpoints } => write!(
+                f,
+                "preempted at {at} after {checkpoints} checkpoint(s); resume from the checkpoint file to continue"
+            ),
         }
     }
 }
@@ -363,6 +398,10 @@ pub(crate) enum Failure {
     },
     Checkpoint(String),
     CheckpointMismatch(String),
+    Preempted {
+        at: VirtualTime,
+        checkpoints: u64,
+    },
 }
 
 impl Failure {
@@ -383,6 +422,7 @@ impl Failure {
             },
             Failure::Checkpoint(m) => SimError::Checkpoint(m),
             Failure::CheckpointMismatch(m) => SimError::CheckpointMismatch(m),
+            Failure::Preempted { at, checkpoints } => SimError::Preempted { at, checkpoints },
         }
     }
 }
@@ -774,6 +814,7 @@ pub fn simulate(
     setup: impl FnOnce(&mut Ops<'_>),
 ) -> Result<SimStats, SimError> {
     let n = topo.n_cores();
+    silence_shutdown_panics();
     if let Some(speeds) = &config.speeds {
         assert_eq!(
             speeds.len(),
@@ -785,6 +826,11 @@ pub fn simulate(
     if config.checkpoint_every.is_some() && config.checkpoint_path.is_none() {
         return Err(SimError::Checkpoint(
             "checkpoint_every set without checkpoint_path".to_string(),
+        ));
+    }
+    if config.preempt_after_checkpoints.is_some() && config.checkpoint_every.is_none() {
+        return Err(SimError::Checkpoint(
+            "preempt_after_checkpoints set without checkpoint_every".to_string(),
         ));
     }
     let cfg_digest = crate::checkpoint::config_digest(&config);
@@ -988,11 +1034,7 @@ fn run_sequential<'a>(
         // the machine at scheduler-time quiescence only (deferred publishes
         // are flushed at every token yield), so `max_vtime`, pick counts
         // and state digests are well-defined at these points.
-        let mut pending_resume = resume_target;
-        let mut next_checkpoint = shared
-            .config
-            .checkpoint_every
-            .map(|every| VirtualTime::ZERO + every);
+        let mut ckpt = crate::checkpoint::CheckpointDriver::new(&shared.config, resume_target);
         let mut wd_last_vtime = sim.max_vtime;
         let mut wd_last_pick: u64 = 0;
 
@@ -1000,46 +1042,8 @@ fn run_sequential<'a>(
             if sim.failure.is_some() {
                 break;
             }
-            if pending_resume
-                .as_ref()
-                .is_some_and(|cp| sim.max_vtime >= cp.watermark)
-            {
-                let cp = pending_resume.take().unwrap();
-                sim.stats.checkpoint_verifications += 1;
-                let digest = crate::checkpoint::state_digest(&sim, shared.hooks.as_ref());
-                if sim.stats.scheduler_picks != cp.picks || digest != cp.state_digest {
-                    sim.failure = Some(Failure::CheckpointMismatch(format!(
-                        "replay diverged at watermark {}: picks {} (checkpoint {}), \
-                         state digest {:016x} (checkpoint {:016x})",
-                        cp.watermark, sim.stats.scheduler_picks, cp.picks, digest, cp.state_digest
-                    )));
-                    break;
-                }
-            }
-            if next_checkpoint.is_some_and(|nc| sim.max_vtime >= nc) {
-                let every = shared.config.checkpoint_every.unwrap();
-                let mut nc = next_checkpoint.unwrap();
-                while sim.max_vtime >= nc {
-                    nc += every;
-                }
-                next_checkpoint = Some(nc);
-                let cp = crate::checkpoint::Checkpoint {
-                    config_digest: cfg_digest,
-                    watermark: sim.max_vtime,
-                    picks: sim.stats.scheduler_picks,
-                    state_digest: crate::checkpoint::state_digest(&sim, shared.hooks.as_ref()),
-                };
-                let path = shared.config.checkpoint_path.as_ref().unwrap();
-                match cp.write_to(path) {
-                    Ok(()) => sim.stats.checkpoints_written += 1,
-                    Err(e) => {
-                        sim.failure = Some(Failure::Checkpoint(format!(
-                            "cannot write checkpoint {}: {e}",
-                            path.display()
-                        )));
-                        break;
-                    }
-                }
+            if !ckpt.observe(&mut sim, shared.as_ref(), cfg_digest) {
+                break;
             }
             if global_policy && sim.floor_dirty {
                 sim.floor_dirty = false;
@@ -1144,12 +1148,7 @@ fn run_sequential<'a>(
                 // Final machine-wide scan over the quiescent end state.
                 crate::sanitizer::scan(&mut sim, shared);
             }
-            if let Some(cp) = pending_resume.take() {
-                sim.failure = Some(Failure::Checkpoint(format!(
-                    "resume watermark {} never reached (run ended at {})",
-                    cp.watermark, sim.max_vtime
-                )));
-            }
+            ckpt.finish(&mut sim);
         }
     }
     sim
@@ -1209,6 +1208,24 @@ fn spawn_worker(
         .expect("failed to spawn worker thread");
     handles.push(handle);
     idx
+}
+
+/// Keep the default panic hook from printing a message-and-backtrace for
+/// every [`ShutdownSignal`] unwind: those are the engine's own cancellation
+/// mechanism (stall watchdog, preemption, early failure), caught and
+/// handled by the worker loops, and with external preemption they are
+/// routine rather than exceptional. Real panics still reach the previous
+/// hook untouched.
+fn silence_shutdown_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<ShutdownSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Stringify a caught panic payload for failure reports.

@@ -256,11 +256,7 @@ pub(crate) fn run_scheduler<'a>(
             | SyncPolicy::RandomReferee { .. }
     );
 
-    let mut pending_resume = resume_target;
-    let mut next_checkpoint = shared
-        .config
-        .checkpoint_every
-        .map(|every| VirtualTime::ZERO + every);
+    let mut ckpt = crate::checkpoint::CheckpointDriver::new(&shared.config, resume_target);
     let mut wd_last_vtime = sim.max_vtime;
     let mut wd_last_pick: u64 = 0;
 
@@ -286,46 +282,8 @@ pub(crate) fn run_scheduler<'a>(
             if sim.failure.is_some() {
                 break 'run;
             }
-            if pending_resume
-                .as_ref()
-                .is_some_and(|cp| sim.max_vtime >= cp.watermark)
-            {
-                let cp = pending_resume.take().unwrap();
-                sim.stats.checkpoint_verifications += 1;
-                let digest = crate::checkpoint::state_digest(&sim, shared.hooks.as_ref());
-                if sim.stats.scheduler_picks != cp.picks || digest != cp.state_digest {
-                    sim.failure = Some(Failure::CheckpointMismatch(format!(
-                        "replay diverged at watermark {}: picks {} (checkpoint {}), \
-                         state digest {:016x} (checkpoint {:016x})",
-                        cp.watermark, sim.stats.scheduler_picks, cp.picks, digest, cp.state_digest
-                    )));
-                    break 'run;
-                }
-            }
-            if next_checkpoint.is_some_and(|nc| sim.max_vtime >= nc) {
-                let every = shared.config.checkpoint_every.unwrap();
-                let mut nc = next_checkpoint.unwrap();
-                while sim.max_vtime >= nc {
-                    nc += every;
-                }
-                next_checkpoint = Some(nc);
-                let cp = crate::checkpoint::Checkpoint {
-                    config_digest: cfg_digest,
-                    watermark: sim.max_vtime,
-                    picks: sim.stats.scheduler_picks,
-                    state_digest: crate::checkpoint::state_digest(&sim, shared.hooks.as_ref()),
-                };
-                let path = shared.config.checkpoint_path.as_ref().unwrap();
-                match cp.write_to(path) {
-                    Ok(()) => sim.stats.checkpoints_written += 1,
-                    Err(e) => {
-                        sim.failure = Some(Failure::Checkpoint(format!(
-                            "cannot write checkpoint {}: {e}",
-                            path.display()
-                        )));
-                        break 'run;
-                    }
-                }
+            if !ckpt.observe(&mut sim, shared.as_ref(), cfg_digest) {
+                break 'run;
             }
             if global_policy && sim.floor_dirty {
                 sim.floor_dirty = false;
@@ -753,12 +711,7 @@ pub(crate) fn run_scheduler<'a>(
             // Final machine-wide scan over the quiescent end state.
             crate::sanitizer::scan(&mut sim, shared);
         }
-        if let Some(cp) = pending_resume.take() {
-            sim.failure = Some(Failure::Checkpoint(format!(
-                "resume watermark {} never reached (run ended at {})",
-                cp.watermark, sim.max_vtime
-            )));
-        }
+        ckpt.finish(&mut sim);
     }
     sim
 }

@@ -1,0 +1,216 @@
+//! Crash-safe queue journal.
+//!
+//! The service appends one line per job state transition, flushing after
+//! each write, so a killed or crashed service can reconstruct the queue on
+//! restart. Format (`sweeps/<out>/journal.log`):
+//!
+//! ```text
+//! simany-serve journal v1
+//! enqueued <digest16> <label...>
+//! started <digest16>
+//! preempted <digest16>
+//! done <digest16> <status>
+//! failed <digest16> <status>
+//! ```
+//!
+//! `digest16` is the scenario's 16-hex identity digest; one `enqueued`
+//! line per fanout label makes the journal self-describing. Recovery rules
+//! (see [`Recovery`]): a digest whose last event is `done` is finished; a
+//! digest with `started`/`preempted` but no terminal event was interrupted
+//! — its checkpoint (if any) is reused on restart, so no work is lost and
+//! nothing completed is re-run.
+
+use std::collections::HashMap;
+use std::io::Write;
+
+/// Format tag on the journal's first line; bump on breaking change.
+pub const JOURNAL_VERSION: &str = "simany-serve journal v1";
+
+/// An append-only, flushed-per-event journal file.
+pub struct Journal {
+    file: std::fs::File,
+}
+
+impl Journal {
+    /// Open (creating or appending) the journal at `path`, writing the
+    /// version header to new files and verifying it on existing ones.
+    pub fn open(path: &std::path::Path) -> Result<Journal, String> {
+        let fresh = !path.exists();
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?;
+        if fresh {
+            writeln!(file, "{JOURNAL_VERSION}").map_err(|e| e.to_string())?;
+            file.flush().map_err(|e| e.to_string())?;
+        }
+        Ok(Journal { file })
+    }
+
+    /// Append one event line and flush it to the OS.
+    pub fn append(&mut self, event: &str, digest: u64, detail: &str) -> Result<(), String> {
+        if detail.is_empty() {
+            writeln!(self.file, "{event} {digest:016x}")
+        } else {
+            writeln!(self.file, "{event} {digest:016x} {detail}")
+        }
+        .map_err(|e| format!("journal write failed: {e}"))?;
+        self.file
+            .flush()
+            .map_err(|e| format!("journal flush failed: {e}"))
+    }
+}
+
+/// Per-digest facts reconstructed from a journal.
+#[derive(Clone, Debug, Default)]
+pub struct Recovery {
+    /// Digests whose last event is `done <status>` — finished, do not
+    /// re-run.
+    pub done: HashMap<u64, String>,
+    /// Digests whose last event is `failed <status>` — terminally failed.
+    pub failed: HashMap<u64, String>,
+    /// Digests that were `started` (or `preempted`) without reaching a
+    /// terminal event — interrupted mid-run; restart resumes them.
+    pub interrupted: Vec<u64>,
+    /// `preempted` event count per digest (caps resume attempts across
+    /// restarts).
+    pub preempts: HashMap<u64, u64>,
+}
+
+/// Replay a journal file into a [`Recovery`]. A missing file is an empty
+/// recovery; a bad header or malformed line is an error (the journal is
+/// the source of truth for what ran — guessing would risk re-running
+/// completed work).
+pub fn replay(path: &std::path::Path) -> Result<Recovery, String> {
+    let mut rec = Recovery::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(rec),
+        Err(e) => return Err(format!("cannot read journal {}: {e}", path.display())),
+    };
+    let mut lines = text.lines();
+    match lines.next() {
+        Some(JOURNAL_VERSION) => {}
+        Some(other) => {
+            return Err(format!(
+                "journal {} has unsupported header '{other}' (expected '{JOURNAL_VERSION}')",
+                path.display()
+            ))
+        }
+        None => return Ok(rec),
+    }
+    // `open` (not running) is the set of started-but-not-terminal digests,
+    // kept in first-started order so restart re-launches in launch order.
+    let mut open: Vec<u64> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| format!("journal {} line {}: {msg}", path.display(), lineno + 2);
+        let mut parts = line.splitn(3, ' ');
+        let event = parts.next().unwrap();
+        let digest = parts
+            .next()
+            .and_then(|d| u64::from_str_radix(d, 16).ok())
+            .ok_or_else(|| err(format!("bad digest in '{line}'")))?;
+        let detail = parts.next().unwrap_or("");
+        match event {
+            "enqueued" => {}
+            "started" => {
+                if !open.contains(&digest) {
+                    open.push(digest);
+                }
+            }
+            "preempted" => {
+                *rec.preempts.entry(digest).or_insert(0) += 1;
+                if !open.contains(&digest) {
+                    open.push(digest);
+                }
+            }
+            "done" => {
+                open.retain(|&d| d != digest);
+                rec.failed.remove(&digest);
+                rec.done.insert(digest, detail.to_string());
+            }
+            "failed" => {
+                open.retain(|&d| d != digest);
+                rec.failed.insert(digest, detail.to_string());
+            }
+            other => return Err(err(format!("unknown event '{other}'"))),
+        }
+    }
+    rec.interrupted = open;
+    Ok(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "simany-serve-journal-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.log")
+    }
+
+    #[test]
+    fn roundtrip_and_recovery() {
+        let path = temp_path("roundtrip");
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append("enqueued", 0x1, "drift/drift=50").unwrap();
+            j.append("enqueued", 0x2, "drift/drift=100").unwrap();
+            j.append("enqueued", 0x3, "drift/drift=500").unwrap();
+            j.append("started", 0x1, "").unwrap();
+            j.append("started", 0x2, "").unwrap();
+            j.append("done", 0x1, "ok").unwrap();
+            j.append("preempted", 0x2, "").unwrap();
+            j.append("started", 0x3, "").unwrap();
+            j.append("failed", 0x3, "stalled").unwrap();
+        }
+        let rec = replay(&path).unwrap();
+        assert_eq!(rec.done.get(&0x1).map(String::as_str), Some("ok"));
+        assert_eq!(rec.interrupted, vec![0x2]);
+        assert_eq!(rec.preempts.get(&0x2), Some(&1));
+        assert_eq!(rec.failed.get(&0x3).map(String::as_str), Some("stalled"));
+
+        // Re-opening appends under the same header; a later done clears the
+        // interrupted state.
+        {
+            let mut j = Journal::open(&path).unwrap();
+            j.append("started", 0x2, "").unwrap();
+            j.append("done", 0x2, "ok").unwrap();
+        }
+        let rec = replay(&path).unwrap();
+        assert!(rec.interrupted.is_empty());
+        assert_eq!(rec.done.len(), 2);
+    }
+
+    #[test]
+    fn missing_file_is_empty_bad_header_is_error() {
+        let path = temp_path("header");
+        assert!(replay(&path).unwrap().done.is_empty());
+        std::fs::write(&path, "some other file\n").unwrap();
+        assert!(replay(&path).is_err());
+    }
+
+    #[test]
+    fn retry_after_failure_can_succeed() {
+        let path = temp_path("retry");
+        let mut j = Journal::open(&path).unwrap();
+        j.append("started", 0x7, "").unwrap();
+        j.append("failed", 0x7, "task-panic").unwrap();
+        j.append("started", 0x7, "").unwrap();
+        j.append("done", 0x7, "ok").unwrap();
+        drop(j);
+        let rec = replay(&path).unwrap();
+        assert!(rec.failed.is_empty());
+        assert_eq!(rec.done.get(&0x7).map(String::as_str), Some("ok"));
+        assert!(rec.interrupted.is_empty());
+    }
+}

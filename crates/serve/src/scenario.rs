@@ -1,0 +1,363 @@
+//! One fully-specified simulation run, and how to build/identify/launch it.
+//!
+//! `Scenario` is the unit the sweep service schedules: a (kernel, machine,
+//! cores, scale, seed, sync policy, drift, fault knobs, threads) tuple.
+//! The same struct backs the `simulate` CLI (which builds a [`ProgramSpec`]
+//! from it in-process) and the service (which serializes it back to
+//! `simulate` arguments for a worker subprocess) — so the spec a worker
+//! runs is by construction the spec the digest was computed over.
+
+use simany::prelude::*;
+use simany::presets;
+
+/// Deterministic fault-injection knobs, all off by default. Mirrors the
+/// `simulate` fault flags one-for-one.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultKnobs {
+    /// Probability each physical link pair fails.
+    pub link_fail_prob: f64,
+    /// Repair failed links after this many cycles (`None` = permanent).
+    pub repair_after: Option<u64>,
+    /// Per-link message drop probability.
+    pub drop_prob: f64,
+    /// Per-link message corruption probability.
+    pub corrupt_prob: f64,
+    /// Probability each core (except core 0) fails.
+    pub core_fail_prob: f64,
+    /// Window in cycles for sampled failure instants.
+    pub fault_horizon: Option<u64>,
+}
+
+impl FaultKnobs {
+    /// True when any fault probability is non-zero (a fault plan will be
+    /// sampled).
+    pub fn any(&self) -> bool {
+        self.link_fail_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.corrupt_prob > 0.0
+            || self.core_fail_prob > 0.0
+    }
+
+    /// Lower these knobs into the engine's [`FaultConfig`].
+    pub fn to_config(&self) -> FaultConfig {
+        let mut cfg = FaultConfig {
+            link_fail_prob: self.link_fail_prob,
+            repair_after: self.repair_after.map(VDuration::from_cycles),
+            drop_prob: self.drop_prob,
+            corrupt_prob: self.corrupt_prob,
+            core_fail_prob: self.core_fail_prob,
+            ..FaultConfig::default()
+        };
+        if let Some(h) = self.fault_horizon {
+            cfg.horizon = VirtualTime::from_cycles(h);
+        }
+        cfg
+    }
+}
+
+/// A single sweep point: everything needed to run one simulation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Human-readable unique label, e.g. `drift/kernel=quicksort,drift=500`.
+    pub label: String,
+    /// Dwarf kernel name (`quicksort`, `connected`, ...).
+    pub kernel: String,
+    /// Simulated core count.
+    pub cores: u32,
+    /// Machine preset: `mesh` | `mesh3d` | `clustered` | `polymorphic` |
+    /// `cycle-level`.
+    pub machine: String,
+    /// Memory architecture: `sm` | `dm` | `smc`.
+    pub arch: String,
+    /// Cluster count (used only by `machine = "clustered"`).
+    pub clusters: u32,
+    /// Workload scale factor.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Synchronization policy name: `spatial` | `bounded-slack` |
+    /// `random-referee` | `conservative` | `unbounded`.
+    pub sync: String,
+    /// Drift bound / slack window `T` in cycles (policy-dependent;
+    /// `None` keeps the preset default).
+    pub drift: Option<u64>,
+    /// Host worker threads (1 = sequential engine).
+    pub threads: u32,
+    /// Scheduling priority: higher runs earlier; ties resolve FIFO.
+    pub priority: i64,
+    /// Fault-injection knobs.
+    pub faults: FaultKnobs,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            label: String::new(),
+            kernel: "quicksort".into(),
+            cores: 16,
+            machine: "mesh".into(),
+            arch: "sm".into(),
+            clusters: 4,
+            scale: 0.5,
+            seed: 1,
+            sync: "spatial".into(),
+            drift: None,
+            threads: 1,
+            priority: 0,
+            faults: FaultKnobs::default(),
+        }
+    }
+}
+
+/// Map a sync-policy name + window to a [`SyncPolicy`]. `drift` falls back
+/// to the paper default `T = 100` for windowed policies.
+pub fn sync_policy(name: &str, drift: Option<u64>) -> Result<SyncPolicy, String> {
+    let window = VDuration::from_cycles(drift.unwrap_or(100));
+    Ok(match name {
+        "spatial" => SyncPolicy::Spatial { t: window },
+        "bounded-slack" => SyncPolicy::BoundedSlack { window },
+        "random-referee" => SyncPolicy::RandomReferee { slack: window },
+        "conservative" => SyncPolicy::Conservative,
+        "unbounded" => SyncPolicy::Unbounded,
+        other => {
+            return Err(format!(
+                "unknown sync policy '{other}' (expected spatial | bounded-slack | \
+                 random-referee | conservative | unbounded)"
+            ))
+        }
+    })
+}
+
+impl Scenario {
+    /// Build the [`ProgramSpec`] this scenario describes. Mirrors the
+    /// `simulate` CLI's spec construction exactly — `simulate` itself calls
+    /// this — so a scenario's digest matches the worker's run.
+    pub fn build_spec(&self) -> Result<ProgramSpec, String> {
+        if self.cores == 0 {
+            return Err("cores must be at least 1".into());
+        }
+        let mut spec = match self.machine.as_str() {
+            "mesh" => presets::uniform_mesh_sm(self.cores),
+            "mesh3d" => presets::mesh3d_sm(self.cores),
+            "clustered" => presets::clustered_dm(self.cores, self.clusters),
+            "polymorphic" => presets::polymorphic_sm(self.cores),
+            "cycle-level" => presets::cycle_level(self.cores),
+            other => {
+                return Err(format!(
+                    "unknown machine '{other}' (expected mesh | mesh3d | clustered | \
+                     polymorphic | cycle-level)"
+                ))
+            }
+        };
+        if self.machine != "cycle-level" {
+            spec.runtime = match self.arch.as_str() {
+                "sm" => RuntimeParams::shared_memory(),
+                "dm" => RuntimeParams::distributed_memory(),
+                "smc" => RuntimeParams::shared_memory_coherent(),
+                other => return Err(format!("unknown arch '{other}' (expected sm | dm | smc)")),
+            };
+        }
+        // The preset's policy survives unless the spec asks for something:
+        // cycle-level machines pin Conservative, and overriding it with the
+        // default "spatial" would silently change what is being measured.
+        if self.drift.is_some() || self.sync != "spatial" {
+            spec.engine.sync = sync_policy(&self.sync, self.drift)?;
+        }
+        spec.engine = spec.engine.with_seed(self.seed).with_threads(self.threads);
+        if self.faults.any() {
+            let plan = FaultPlan::sample(&spec.topo, &self.faults.to_config(), self.seed);
+            spec.engine = spec.engine.with_fault_plan(std::sync::Arc::new(plan));
+        }
+        Ok(spec)
+    }
+
+    /// The scenario's identity digest: the engine's 16-hex config digest
+    /// (sync policy, seed, fault-plan shape, threads, ...) folded with the
+    /// workload identity the engine cannot see (kernel, machine, scale).
+    /// Scenarios with equal digests produce bit-identical runs, so the
+    /// service runs each digest once and fans the result out.
+    pub fn digest(&self) -> Result<u64, String> {
+        let spec = self.build_spec()?;
+        let mut h = simany::core::config_digest(&spec.engine);
+        for part in [
+            self.kernel.as_str(),
+            self.machine.as_str(),
+            self.arch.as_str(),
+        ] {
+            h = fold_str(h, part);
+        }
+        if self.machine == "clustered" {
+            h = fold_u64(h, self.clusters as u64);
+        }
+        h = fold_u64(h, self.cores as u64);
+        h = fold_u64(h, self.scale.to_bits());
+        h = fold_u64(h, self.seed);
+        Ok(h)
+    }
+
+    /// The digest as the canonical 16-hex string used in journals, file
+    /// names and result records.
+    pub fn digest_hex(&self) -> Result<String, String> {
+        Ok(format!("{:016x}", self.digest()?))
+    }
+
+    /// Serialize back to `simulate` command-line arguments (everything
+    /// except checkpoint/resume/json flags, which the service owns).
+    pub fn to_simulate_args(&self) -> Vec<String> {
+        let mut args = vec![
+            "--kernel".into(),
+            self.kernel.clone(),
+            "--cores".into(),
+            self.cores.to_string(),
+            "--machine".into(),
+            self.machine.clone(),
+            "--arch".into(),
+            self.arch.clone(),
+            "--scale".into(),
+            self.scale.to_string(),
+            "--seed".into(),
+            self.seed.to_string(),
+            "--threads".into(),
+            self.threads.to_string(),
+        ];
+        if self.machine == "clustered" {
+            args.extend(["--clusters".into(), self.clusters.to_string()]);
+        }
+        if self.sync != "spatial" {
+            args.extend(["--sync".into(), self.sync.clone()]);
+        }
+        if let Some(t) = self.drift {
+            args.extend(["--drift".into(), t.to_string()]);
+        }
+        let f = &self.faults;
+        if f.link_fail_prob > 0.0 {
+            args.extend(["--link-fail-prob".into(), f.link_fail_prob.to_string()]);
+        }
+        if let Some(t) = f.repair_after {
+            args.extend(["--repair-after".into(), t.to_string()]);
+        }
+        if f.drop_prob > 0.0 {
+            args.extend(["--drop-prob".into(), f.drop_prob.to_string()]);
+        }
+        if f.corrupt_prob > 0.0 {
+            args.extend(["--corrupt-prob".into(), f.corrupt_prob.to_string()]);
+        }
+        if f.core_fail_prob > 0.0 {
+            args.extend(["--core-fail-prob".into(), f.core_fail_prob.to_string()]);
+        }
+        if let Some(t) = f.fault_horizon {
+            args.extend(["--fault-horizon".into(), t.to_string()]);
+        }
+        args
+    }
+}
+
+fn fold_u64(h: u64, x: u64) -> u64 {
+    // Same FNV-1a-style fold as the engine's config digest, applied to the
+    // workload identity on top of the engine digest.
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = h;
+    for byte in x.to_le_bytes() {
+        h = (h ^ byte as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
+fn fold_str(h: u64, s: &str) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = h;
+    for byte in s.bytes() {
+        h = (h ^ byte as u64).wrapping_mul(PRIME);
+    }
+    // Terminator so ("ab","c") and ("a","bc") fold differently.
+    (h ^ 0xff).wrapping_mul(PRIME)
+}
+
+/// Locate a sibling binary of the current executable (e.g. `simulate` next
+/// to `simany-serve`, or one directory up from a test executable living in
+/// `target/<profile>/deps/`). Returns `None` if not found.
+pub fn sibling_binary(name: &str) -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let file = format!("{name}{}", std::env::consts::EXE_SUFFIX);
+    let mut dir = exe.parent()?;
+    for _ in 0..3 {
+        let candidate = dir.join(&file);
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        dir = dir.parent()?;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_stable_and_discriminating() {
+        let a = Scenario::default();
+        let b = Scenario::default();
+        assert_eq!(a.digest().unwrap(), b.digest().unwrap());
+
+        let mut c = Scenario::default();
+        c.seed = 2;
+        assert_ne!(a.digest().unwrap(), c.digest().unwrap());
+
+        let mut d = Scenario::default();
+        d.kernel = "connected".into();
+        assert_ne!(a.digest().unwrap(), d.digest().unwrap());
+
+        let mut e = Scenario::default();
+        e.drift = Some(500);
+        assert_ne!(a.digest().unwrap(), e.digest().unwrap());
+    }
+
+    #[test]
+    fn label_is_not_part_of_identity() {
+        let mut a = Scenario::default();
+        a.label = "first".into();
+        let mut b = Scenario::default();
+        b.label = "second".into();
+        assert_eq!(a.digest().unwrap(), b.digest().unwrap());
+    }
+
+    #[test]
+    fn priority_is_not_part_of_identity() {
+        let mut a = Scenario::default();
+        a.priority = 5;
+        assert_eq!(a.digest().unwrap(), Scenario::default().digest().unwrap());
+    }
+
+    #[test]
+    fn bad_machine_and_sync_are_rejected() {
+        let mut s = Scenario::default();
+        s.machine = "torus".into();
+        assert!(s.build_spec().is_err());
+
+        let mut s = Scenario::default();
+        s.sync = "psychic".into();
+        assert!(s.build_spec().is_err());
+    }
+
+    #[test]
+    fn cycle_level_keeps_conservative_sync() {
+        let mut s = Scenario::default();
+        s.machine = "cycle-level".into();
+        let spec = s.build_spec().unwrap();
+        assert!(matches!(spec.engine.sync, SyncPolicy::Conservative));
+    }
+
+    #[test]
+    fn simulate_args_roundtrip_shape() {
+        let mut s = Scenario::default();
+        s.drift = Some(500);
+        s.sync = "bounded-slack".into();
+        s.faults.drop_prob = 0.01;
+        let args = s.to_simulate_args();
+        assert!(args.windows(2).any(|w| w == ["--drift", "500"]));
+        assert!(args.windows(2).any(|w| w == ["--sync", "bounded-slack"]));
+        assert!(args.windows(2).any(|w| w == ["--drop-prob", "0.01"]));
+        assert!(!args.iter().any(|a| a == "--clusters"));
+    }
+}

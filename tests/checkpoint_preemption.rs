@@ -1,0 +1,167 @@
+//! External preemption must be invisible in virtual time: a scenario
+//! preempted mid-run (engine stops after a budget of fresh checkpoints),
+//! dropped, and resumed from its checkpoint must end bit-identical to an
+//! uninterrupted run — under the sequential engine and under parallel host
+//! execution, including across several chained preempt/resume rounds.
+
+use simany::core::{SimError, SimStats, VDuration};
+use simany::kernels::{kernel_by_name, Scale};
+use simany::presets;
+
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    final_vtime_cycles: u64,
+    stall_events: u64,
+    late_messages: u64,
+    on_time_messages: u64,
+    scheduler_picks: u64,
+    activities_started: u64,
+    net_messages: u64,
+    net_bytes: u64,
+}
+
+impl Fingerprint {
+    fn of(stats: &SimStats) -> Self {
+        Fingerprint {
+            final_vtime_cycles: stats.final_vtime.cycles(),
+            stall_events: stats.stall_events,
+            late_messages: stats.late_messages,
+            on_time_messages: stats.on_time_messages,
+            scheduler_picks: stats.scheduler_picks,
+            activities_started: stats.activities_started,
+            net_messages: stats.net.messages,
+            net_bytes: stats.net.bytes,
+        }
+    }
+}
+
+fn ckpt_path(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("simany-preempt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join("scenario.checkpoint")
+}
+
+fn spec(threads: u32, path: &std::path::Path) -> simany::runtime::ProgramSpec {
+    let mut spec = presets::uniform_mesh_sm(16);
+    spec.engine = spec
+        .engine
+        .with_seed(42)
+        .with_threads(threads)
+        .with_checkpoint(VDuration::from_cycles(2_000), path);
+    spec
+}
+
+/// Run to completion with checkpointing but no interruptions.
+fn uninterrupted(threads: u32, tag: &str) -> Fingerprint {
+    let path = ckpt_path(tag);
+    let kernel = kernel_by_name("Quicksort").unwrap();
+    let res = kernel
+        .run_sim(spec(threads, &path), Scale(0.1), 42)
+        .expect("uninterrupted run failed");
+    assert!(res.verified);
+    Fingerprint::of(&res.out.stats)
+}
+
+/// Preempt after `budget` fresh checkpoints, drop the engine, resume from
+/// the waypoint — repeatedly, until the run completes. Each round is a
+/// brand-new engine (the old one is gone); resume replays from the start
+/// and bit-verifies at the watermark before continuing.
+fn preempted_then_resumed(threads: u32, budget: u64, tag: &str) -> Fingerprint {
+    let path = ckpt_path(tag);
+    let kernel = kernel_by_name("Quicksort").unwrap();
+
+    // First slice: must hit the preemption budget, not finish.
+    let mut s = spec(threads, &path);
+    s.engine = s.engine.with_preempt_after_checkpoints(Some(budget));
+    let first = kernel.run_sim(s, Scale(0.1), 42);
+    let at0 = match first {
+        Err(SimError::Preempted { at, checkpoints }) => {
+            assert_eq!(checkpoints, budget);
+            at
+        }
+        other => panic!("expected preemption, got {other:?}"),
+    };
+    assert!(path.is_file(), "preemption must leave a checkpoint behind");
+
+    // Keep resuming with the same budget; every round must make progress
+    // (the budget counts only checkpoints *beyond* the resume watermark),
+    // so this terminates. Cap the rounds to catch a livelock regression.
+    let mut last_at = at0;
+    for _round in 0..200 {
+        let mut s = spec(threads, &path);
+        s.engine = s
+            .engine
+            .with_resume(&path)
+            .with_preempt_after_checkpoints(Some(budget));
+        match kernel.run_sim(s, Scale(0.1), 42) {
+            Err(SimError::Preempted { at, .. }) => {
+                assert!(
+                    at > last_at,
+                    "preempt/resume round made no progress: {at:?} <= {last_at:?}"
+                );
+                last_at = at;
+            }
+            Ok(res) => {
+                assert!(res.verified);
+                return Fingerprint::of(&res.out.stats);
+            }
+            Err(other) => panic!("resume failed: {other}"),
+        }
+    }
+    panic!("run did not complete within 200 preempt/resume rounds");
+}
+
+#[test]
+fn preempt_resume_is_bit_identical_sequential() {
+    let base = uninterrupted(1, "seq-base");
+    let resumed = preempted_then_resumed(1, 2, "seq-preempt");
+    assert_eq!(base, resumed, "sequential preempt/resume changed the run");
+}
+
+#[test]
+fn preempt_resume_is_bit_identical_threads4() {
+    let base = uninterrupted(4, "par-base");
+    let resumed = preempted_then_resumed(4, 2, "par-preempt");
+    assert_eq!(base, resumed, "threads=4 preempt/resume changed the run");
+}
+
+/// A budget of one fresh checkpoint is the tightest slicing the contract
+/// allows; every round still advances at least one checkpoint interval.
+#[test]
+fn single_checkpoint_budget_still_makes_progress() {
+    let base = uninterrupted(1, "tight-base");
+    let resumed = preempted_then_resumed(1, 1, "tight-preempt");
+    assert_eq!(base, resumed);
+}
+
+/// Preemption without checkpointing configured is a config error, caught
+/// before anything runs.
+#[test]
+fn preempt_without_checkpointing_is_rejected() {
+    let mut spec = presets::uniform_mesh_sm(16);
+    spec.engine = spec
+        .engine
+        .with_seed(42)
+        .with_preempt_after_checkpoints(Some(2));
+    let kernel = kernel_by_name("Quicksort").unwrap();
+    match kernel.run_sim(spec, Scale(0.1), 42) {
+        Err(SimError::Checkpoint(msg)) => {
+            assert!(msg.contains("preempt_after_checkpoints"), "{msg}")
+        }
+        other => panic!("expected config error, got {other:?}"),
+    }
+}
+
+/// The typed exit codes the sweep service relies on are stable.
+#[test]
+fn exit_codes_are_stable() {
+    use simany::core::VirtualTime;
+    let preempted = SimError::Preempted {
+        at: VirtualTime::from_cycles(1),
+        checkpoints: 2,
+    };
+    assert_eq!(preempted.exit_code(), 15);
+    assert_eq!(SimError::Checkpoint(String::new()).exit_code(), 12);
+    assert_eq!(SimError::CheckpointMismatch(String::new()).exit_code(), 11);
+}
