@@ -30,6 +30,7 @@ struct Args {
     fast_path: bool,
     sanitize: bool,
     threads: u32,
+    shard_phase_b: bool,
     checkpoint_every: Option<u64>,
     checkpoint_file: String,
     resume: Option<String>,
@@ -60,6 +61,7 @@ impl Default for Args {
             fast_path: true,
             sanitize: false,
             threads: 1,
+            shard_phase_b: true,
             checkpoint_every: None,
             checkpoint_file: "simany.checkpoint".into(),
             resume: None,
@@ -81,9 +83,11 @@ usage: simulate [OPTIONS]
 options:
   --kernel NAME       quicksort | connected | dijkstra | barnes | spmxv | octree
   --cores N           core count (default 16)
-  --machine KIND      mesh | mesh3d | clustered | polymorphic | cycle-level (default mesh)
+  --machine KIND      mesh | mesh3d | clustered | chiplet | polymorphic |
+                      cycle-level (default mesh)
   --arch sm|dm|smc    shared / distributed / shared+coherence (default sm)
-  --clusters N        clusters for --machine clustered (default 4)
+  --clusters N        clusters for --machine clustered, chiplets for
+                      --machine chiplet (default 4)
   --scale F           workload scale (default 0.5)
   --seed N            workload seed
   --sync POLICY       spatial | bounded-slack | random-referee |
@@ -95,6 +99,9 @@ options:
   --sanitize on|off   online invariant sanitizer (default off; observation-only)
   --threads N         host worker tiles for parallel execution (default 1 =
                       sequential engine; deterministic per fixed N + seed)
+  --shard-phase-b on|off
+                      destination-sharded phase-B replay in parallel mode
+                      (default on; bit-identical either way)
   --json FILE         also write wall-clock + counters as JSON to FILE
 
 checkpoint / resume (see crates/core/src/checkpoint.rs for the model):
@@ -163,6 +170,16 @@ fn parse_args() -> Args {
                 }
             }
             "--threads" => args.threads = val().parse().expect("--threads"),
+            "--shard-phase-b" => {
+                args.shard_phase_b = match val().as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        eprintln!("--shard-phase-b must be on or off, got '{other}'\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--checkpoint-every" => {
                 args.checkpoint_every = Some(val().parse().expect("--checkpoint-every"))
             }
@@ -207,6 +224,7 @@ fn build_scenario(args: &Args) -> Scenario {
         sync: args.sync.clone(),
         drift: args.drift,
         threads: args.threads,
+        shard_phase_b: args.shard_phase_b,
         priority: 0,
         faults: simany_serve::FaultKnobs {
             link_fail_prob: args.link_fail_prob,
@@ -266,8 +284,16 @@ fn build_spec(args: &Args, scenario: &Scenario) -> ProgramSpec {
 
 /// Hand-rolled JSON dump of the run's wall clock and counters (kept
 /// dependency-free on purpose).
-fn write_json(path: &str, args: &Args, digest: u64, r: &simany::kernels::KernelResult) {
+fn write_json(
+    path: &str,
+    args: &Args,
+    digest: u64,
+    n_cores: u32,
+    r: &simany::kernels::KernelResult,
+) {
     let s = &r.out.stats;
+    let peak_rss = simany_bench::peak_rss_bytes();
+    let cores_per_sec = f64::from(n_cores) / s.wall.as_secs_f64().max(1e-9);
     let tiles_claimed = s
         .tiles_claimed
         .iter()
@@ -275,7 +301,7 @@ fn write_json(path: &str, args: &Args, digest: u64, r: &simany::kernels::KernelR
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"config_digest\": \"{:016x}\",\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]\n}}\n",
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"config_digest\": \"{:016x}\",\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cores_per_sec\": {cores_per_sec:.0},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]\n}}\n",
         args.kernel,
         args.cores,
         args.machine,
@@ -375,6 +401,18 @@ fn main() {
     );
     println!("work items        : {}", r.work_items);
     println!("wall time         : {:?}", r.out.stats.wall);
+    println!(
+        "throughput        : {:.0} cores/sec",
+        f64::from(n_cores) / r.out.stats.wall.as_secs_f64().max(1e-9)
+    );
+    let peak_rss = simany_bench::peak_rss_bytes();
+    if peak_rss > 0 {
+        println!(
+            "peak RSS          : {:.1} MB ({:.0} bytes/core)",
+            peak_rss as f64 / (1024.0 * 1024.0),
+            peak_rss as f64 / f64::from(n_cores)
+        );
+    }
     println!("tasks started     : {}", r.out.stats.activities_started);
     println!(
         "spawns / fallbacks: {} / {}",
@@ -448,7 +486,7 @@ fn main() {
     println!("config digest     : {cfg_digest:016x}");
 
     if let Some(path) = &args.json {
-        write_json(path, &args, cfg_digest, &r);
+        write_json(path, &args, cfg_digest, n_cores, &r);
         println!("json dump         : {path}");
     }
 
@@ -463,17 +501,10 @@ fn main() {
         println!("\nactivity timeline ({} events):", tracer.len());
         print!("{}", tracer.timeline(n_cores, 72));
         println!("\nbusiest cores:");
-        let mut busy: Vec<(usize, u64)> = r
-            .out
-            .stats
-            .core_busy
-            .iter()
-            .map(|d| d.cycles())
-            .enumerate()
-            .collect();
-        busy.sort_by_key(|&(_, b)| std::cmp::Reverse(b));
-        for (i, b) in busy.iter().take(8) {
-            let (starts, stalls, sends, late) = tracer.core_summary(CoreId(*i as u32));
+        for &(c, d) in &r.out.stats.busy.top {
+            let i = c.index();
+            let b = d.cycles();
+            let (starts, stalls, sends, late) = tracer.core_summary(CoreId(i as u32));
             println!(
                 "  core{i:<4} busy {b:>9} cy  tasks {starts:>4}  stalls {stalls:>5}  sends {sends:>5}  late {late:>4}"
             );

@@ -1364,6 +1364,161 @@ pub fn sweep_benchmark(opts: &Options) -> String {
     )
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where the proc filesystem is unavailable
+/// (non-Linux hosts). Monotonic over the process lifetime: after several
+/// runs in one process it reports the largest footprint any of them
+/// reached.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// One point of the memory-scale benchmark: a hierarchical chiplet mesh
+/// where every core runs exactly one small message-free task, staggered
+/// through `queue_hint` so activities materialize lazily instead of
+/// allocating a million boxed closures up front. Returns the stats plus
+/// the process peak RSS (bytes) observed right after the run.
+fn scale_run(chips: u32, chip_side: u32, seed: u64) -> (simany::core::SimStats, u64) {
+    use simany::core::{CoreId, EngineConfig, Envelope, ExecCtx, Ops, RuntimeHooks};
+
+    struct OneShot;
+    impl RuntimeHooks for OneShot {
+        fn on_message(&self, _: &mut Ops<'_>, _: Envelope) {}
+        fn on_idle(&self, ops: &mut Ops<'_>, c: CoreId) {
+            ops.queue_hint_sub(c, 1);
+            let step = 3 + u64::from(c.0 % 5);
+            ops.start_activity(
+                c,
+                "scale",
+                Box::new(()),
+                Box::new(move |ctx: &mut ExecCtx| {
+                    for _ in 0..16 {
+                        ctx.advance_cycles(step);
+                    }
+                }),
+            );
+        }
+        fn on_activity_end(&self, _: &mut Ops<'_>, _: CoreId, _: Box<dyn std::any::Any + Send>) {}
+    }
+
+    let topo = simany::topology::chiplet_mesh(
+        chips,
+        chips,
+        chip_side,
+        chip_side,
+        simany::topology::ChipletParams::default(),
+    );
+    let n = topo.n_cores();
+    let config = EngineConfig::default()
+        .with_drift_cycles(10_000)
+        .with_seed(seed);
+    let stats = simany::core::simulate(topo, config, std::sync::Arc::new(OneShot), move |ops| {
+        for c in 0..n {
+            ops.queue_hint_add(CoreId(c), 1);
+        }
+    })
+    .expect("scale benchmark run failed");
+    (stats, peak_rss_bytes())
+}
+
+/// PR 8 acceptance benchmark: how big can one simulation get? Runs one
+/// small task on *every* core of hierarchical chiplet meshes up to a
+/// million cores (16×16 chiplets of 64×64), sequentially, and records
+/// wall time, throughput (cores/second) and the process peak RSS after
+/// each point. Results are dumped to `BENCH_PR8.json`.
+///
+/// Points run in ascending size, so each point's peak RSS is dominated by
+/// its own footprint; the number is still process-cumulative (`VmHWM`),
+/// which the JSON notes. Ignores `--max-cores` — the axis *is* the
+/// experiment.
+pub fn scale_benchmark(opts: &Options) -> String {
+    // (chips per side, cores per chiplet side): 4×4, 8×8, 16×16 chiplets
+    // of 64×64 cores = 65_536, 262_144, 1_048_576 cores.
+    let points = [(4u32, 64u32), (8, 64), (16, 64)];
+
+    let mut entries = String::new();
+    let mut t = Table::new(&[
+        "cores",
+        "chiplets",
+        "wall",
+        "cores/sec",
+        "peak RSS",
+        "bytes/core",
+        "peak live acts",
+    ]);
+    let mut last: Option<(u32, f64, u64)> = None;
+    for (i, &(chips, side)) in points.iter().enumerate() {
+        let n = chips * chips * side * side;
+        let (s, rss) = scale_run(chips, side, opts.seed);
+        let wall = s.wall.as_secs_f64().max(1e-9);
+        let cores_per_sec = f64::from(n) / wall;
+        let bytes_per_core = rss as f64 / f64::from(n);
+        assert_eq!(
+            s.busy.n_cores,
+            u64::from(n),
+            "busy summary lost cores at n={n}"
+        );
+        assert_eq!(s.busy.active, u64::from(n), "a core never ran its task");
+        entries.push_str(&format!(
+            "    {{\n      \"cores\": {n},\n      \"chiplets\": {},\n      \
+             \"wall_ns\": {},\n      \"cores_per_sec\": {cores_per_sec:.0},\n      \
+             \"peak_rss_bytes\": {rss},\n      \"rss_bytes_per_core\": {bytes_per_core:.1},\n      \
+             \"scheduler_picks\": {},\n      \"peak_live_activities\": {},\n      \
+             \"fast_path_advances\": {},\n      \"final_vtime_cycles\": {}\n    }}{}\n",
+            chips * chips,
+            s.wall.as_nanos(),
+            s.scheduler_picks,
+            s.peak_live_activities,
+            s.fast_path_advances,
+            s.final_vtime.cycles(),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+        t.row(vec![
+            n.to_string(),
+            format!("{0}x{0}", chips),
+            format!("{:?}", s.wall),
+            format!("{cores_per_sec:.0}"),
+            format!("{:.1} MB", rss as f64 / (1024.0 * 1024.0)),
+            format!("{bytes_per_core:.0}"),
+            s.peak_live_activities.to_string(),
+        ]);
+        last = Some((n, cores_per_sec, rss));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"memory_scale\",\n  \
+         \"note\": \"peak_rss_bytes is process-cumulative (VmHWM); points run ascending\",\n  \
+         \"task_annotations_per_core\": 16,\n  \"threads\": 1,\n  \"seed\": {},\n  \
+         \"results\": [\n{entries}  ]\n}}\n",
+        opts.seed,
+    );
+    std::fs::write("BENCH_PR8.json", &json).expect("cannot write BENCH_PR8.json");
+
+    let (n, cps, rss) = last.expect("no scale points ran");
+    format!(
+        "### Memory-scale benchmark (PR 8) — results written to BENCH_PR8.json\n\n\
+         One task on every core of hierarchical chiplet meshes; largest point \
+         {n} cores at {cps:.0} cores/sec, peak RSS {:.1} MB \
+         ({:.0} bytes/core, process-cumulative).\n\n{}",
+        rss as f64 / (1024.0 * 1024.0),
+        rss as f64 / f64::from(n),
+        t.to_markdown()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

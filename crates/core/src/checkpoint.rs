@@ -305,17 +305,27 @@ pub fn config_digest(config: &crate::EngineConfig) -> u64 {
 pub(crate) fn state_digest(sim: &Sim, hooks: &dyn RuntimeHooks) -> u64 {
     let mut d = Digest::new();
     d.u64(sim.cores.len() as u64);
-    for core in &sim.cores {
-        d.u64(core.vtime.ticks());
-        d.u64(core.published.ticks());
-        d.u64(core.busy.ticks());
-        d.u64(u64::from(core.lock_depth));
-        d.u64(u64::from(core.queue_hint));
-        d.u64(u64::from(core.resident));
-        d.u64(core.inbox.len() as u64);
-        d.u64(core.inbox.earliest_arrival().map_or(0, |a| a.ticks()));
-        d.u64(core.births.len() as u64);
-        d.u64(core.min_birth().map_or(0, |b| b.ticks()));
+    for i in 0..sim.cores.len() {
+        // Field order is part of the on-disk contract: it must match the
+        // pre-SoA per-core digest exactly. Arena slot indices never enter
+        // the digest — only lengths, times and ids — so pooled storage and
+        // slot reuse are invisible here.
+        let c = simany_topology::CoreId(i as u32);
+        d.u64(sim.cores.vtime[i].ticks());
+        d.u64(sim.cores.published[i].ticks());
+        d.u64(sim.cores.busy[i].ticks());
+        d.u64(u64::from(sim.cores.lock_depth[i]));
+        d.u64(u64::from(sim.cores.queue_hint[i]));
+        d.u64(u64::from(sim.cores.resident[i]));
+        d.u64(sim.cores.inboxes.len(c) as u64);
+        d.u64(
+            sim.cores
+                .inboxes
+                .earliest_arrival(c)
+                .map_or(0, |a| a.ticks()),
+        );
+        d.u64(sim.cores.birth_count(i) as u64);
+        d.u64(sim.cores.min_birth(i).map_or(0, |b| b.ticks()));
     }
     d.u64(sim.live_activities as u64);
     d.u64(sim.next_act);

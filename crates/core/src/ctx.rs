@@ -36,7 +36,7 @@ struct Confined {
     active: Cell<bool>,
     /// Private copy of this core's clock (authoritative while `active`).
     vtime: Cell<VirtualTime>,
-    /// Frozen drift-headroom bound (`CoreState::headroom_limit`).
+    /// Frozen drift-headroom bound (`Cores::headroom_limit`).
     limit: Cell<VirtualTime>,
     /// Frozen earliest inbox arrival; a lock-free advance must stay short
     /// of it (reaching a due message needs the authoritative drain).
@@ -99,18 +99,20 @@ impl ExecCtx {
         if sim.token != Token::Epoch {
             return;
         }
-        let core = &sim.cores[self.core.index()];
-        if core.lock_depth != 0 {
+        let i = self.core.index();
+        if sim.cores.lock_depth[i] != 0 {
             return;
         }
-        let Some(limit) = core.headroom_limit else {
+        let Some(limit) = sim.cores.headroom_limit[i] else {
             return;
         };
         debug_assert_eq!(self.confined.pending.get(), 0);
-        self.confined.vtime.set(core.vtime);
+        self.confined.vtime.set(sim.cores.vtime[i]);
         self.confined.limit.set(limit);
-        self.confined.due.set(core.inbox.earliest_arrival());
-        self.confined.speed.set(core.speed);
+        self.confined
+            .due
+            .set(sim.cores.inboxes.earliest_arrival(self.core));
+        self.confined.speed.set(sim.cores.speed[i]);
         self.confined.active.set(true);
     }
 
@@ -144,8 +146,8 @@ impl ExecCtx {
             return;
         }
         let d = self.confined.accum.replace(VDuration::ZERO);
-        sim.cores[self.core.index()].advance(d);
-        sim.cores[self.core.index()].publish_pending = true;
+        sim.cores.advance(self.core.index(), d);
+        sim.cores.publish_pending[self.core.index()] = true;
         sim.count_fast_path_n(&self.shared, self.core, n);
     }
 
@@ -187,7 +189,7 @@ impl ExecCtx {
         if self.confined.active.get() {
             return self.confined.vtime.get();
         }
-        self.shared.sim.lock().cores[self.core.index()].vtime
+        self.shared.sim.lock().cores.vtime[self.core.index()]
     }
 
     /// Number of simulated cores.
@@ -223,12 +225,13 @@ impl ExecCtx {
         self.flush_confined(&mut sim);
         let mut cycles = base;
         if branches > 0 {
-            cycles += sim.cores[self.core.index()]
-                .predictor
+            cycles += sim
+                .cores
+                .predictor(self.core.index())
                 .predict_many(branches);
         }
-        let d = sim.cores[self.core.index()].speed.scale_cycles(cycles);
-        sim.cores[self.core.index()].advance(d);
+        let d = sim.cores.speed[self.core.index()].scale_cycles(cycles);
+        sim.cores.advance(self.core.index(), d);
         self.after_advance(&mut sim);
     }
 
@@ -242,8 +245,8 @@ impl ExecCtx {
         }
         let mut sim = self.shared.sim.lock();
         self.flush_confined(&mut sim);
-        let d = sim.cores[self.core.index()].speed.scale_cycles(base_cycles);
-        sim.cores[self.core.index()].advance(d);
+        let d = sim.cores.speed[self.core.index()].scale_cycles(base_cycles);
+        sim.cores.advance(self.core.index(), d);
         self.after_advance(&mut sim);
     }
 
@@ -255,7 +258,7 @@ impl ExecCtx {
         }
         let mut sim = self.shared.sim.lock();
         self.flush_confined(&mut sim);
-        sim.cores[self.core.index()].advance(d);
+        sim.cores.advance(self.core.index(), d);
         self.after_advance(&mut sim);
     }
 
@@ -270,12 +273,17 @@ impl ExecCtx {
     /// publishes into one final publish reaches the same relaxation fixed
     /// point, so the deferral is bit-exact.
     fn after_advance(&self, sim: &mut MutexGuard<'_, Sim>) {
-        let core = &sim.cores[self.core.index()];
-        let fast = core.lock_depth == 0
-            && core.headroom_limit.is_some_and(|limit| core.vtime <= limit)
-            && core.inbox.earliest_arrival().is_none_or(|a| a > core.vtime);
+        let i = self.core.index();
+        let vtime = sim.cores.vtime[i];
+        let fast = sim.cores.lock_depth[i] == 0
+            && sim.cores.headroom_limit[i].is_some_and(|limit| vtime <= limit)
+            && sim
+                .cores
+                .inboxes
+                .earliest_arrival(self.core)
+                .is_none_or(|a| a > vtime);
         if fast {
-            sim.cores[self.core.index()].publish_pending = true;
+            sim.cores.publish_pending[self.core.index()] = true;
             sim.count_fast_path(&self.shared, self.core);
             // Under an epoch grant the bounds just checked stay frozen
             // until the epoch quiesces: later annotations inside them can
@@ -292,12 +300,12 @@ impl ExecCtx {
             // activity; the coordinator's serial phase re-grants it
             // exclusively and it falls through to the authoritative
             // sequential path below.
-            sim.cores[self.core.index()].publish_pending = true;
-            let core = &sim.cores[self.core.index()];
-            let due = core
-                .inbox
-                .earliest_arrival()
-                .is_some_and(|a| a <= core.vtime);
+            sim.cores.publish_pending[self.core.index()] = true;
+            let due = sim
+                .cores
+                .inboxes
+                .earliest_arrival(self.core)
+                .is_some_and(|a| a <= sim.cores.vtime[self.core.index()]);
             if !due && sync::sync_ok_frozen(sim, &self.shared, self.core) {
                 // The frozen check may have refreshed the headroom bound.
                 self.arm_confined(sim);
@@ -308,7 +316,7 @@ impl ExecCtx {
             // advance may have run into a due message past the bound), and
             // the serial replay recomputes it from scratch. Drop it so the
             // coordinator's flush-time sanitizer check stays meaningful.
-            sim.cores[self.core.index()].headroom_limit = None;
+            sim.cores.headroom_limit[self.core.index()] = None;
             self.park_epoch(sim, crate::engine::EpochPending::Resume(self.aid));
             debug_assert_eq!(sim.token, Token::Act(self.aid));
         }
@@ -339,7 +347,7 @@ impl ExecCtx {
             return;
         }
         let mut sim = self.shared.sim.lock();
-        let sent = sim.cores[self.core.index()].vtime;
+        let sent = sim.cores.vtime[self.core.index()];
         if sim.token == Token::Epoch {
             // Confined but the cache is not armed (before the first
             // passing sync check). Routing consumes shared network state
@@ -416,15 +424,15 @@ impl ExecCtx {
         self.exclusive_for_ops(&mut sim);
         {
             let core = self.core;
-            debug_assert_eq!(sim.cores[core.index()].current, Some(self.aid));
+            debug_assert_eq!(sim.cores.current[core.index()], Some(self.aid));
             sim.act_mut(self.aid).charge_resume = charge_resume;
             sim.act_mut(self.aid).state = ActivityState::Blocked(reason);
             crate::engine::trace(&self.shared, || crate::trace::TraceEvent::Block {
-                t: sim.cores[core.index()].vtime,
+                t: sim.cores.vtime[core.index()],
                 core,
                 reason,
             });
-            sim.cores[core.index()].current = None;
+            sim.cores.current[core.index()] = None;
             sim.floor_dirty = true;
             // The core may have become idle: switch it to shadow time so
             // its neighborhood is not stalled on a frozen clock.
@@ -452,7 +460,7 @@ impl ExecCtx {
     pub fn critical_enter(&mut self) {
         let mut sim = self.shared.sim.lock();
         self.flush_confined(&mut sim);
-        sim.cores[self.core.index()].lock_depth += 1;
+        sim.cores.lock_depth[self.core.index()] += 1;
     }
 
     /// Leave a critical section; when the depth reaches zero the policy
@@ -460,7 +468,7 @@ impl ExecCtx {
     pub fn critical_exit(&mut self) {
         let mut sim = self.shared.sim.lock();
         self.flush_confined(&mut sim);
-        let depth = &mut sim.cores[self.core.index()].lock_depth;
+        let depth = &mut sim.cores.lock_depth[self.core.index()];
         assert!(*depth > 0, "critical_exit without critical_enter");
         *depth -= 1;
         if *depth == 0 {
@@ -505,7 +513,7 @@ impl ExecCtx {
             if sync::sync_ok(sim, &self.shared, self.core) {
                 if stalled {
                     crate::engine::trace(&self.shared, || crate::trace::TraceEvent::Resume {
-                        t: sim.cores[self.core.index()].vtime,
+                        t: sim.cores.vtime[self.core.index()],
                         core: self.core,
                     });
                 }
@@ -514,7 +522,7 @@ impl ExecCtx {
             sim.stats.stall_events += 1;
             if !stalled {
                 crate::engine::trace(&self.shared, || crate::trace::TraceEvent::Stall {
-                    t: sim.cores[self.core.index()].vtime,
+                    t: sim.cores.vtime[self.core.index()],
                     core: self.core,
                 });
                 stalled = true;

@@ -45,13 +45,13 @@ use crate::config::{EngineConfig, SyncPolicy};
 use crate::hooks::RuntimeHooks;
 use crate::ops::Ops;
 use crate::ready::ReadyQueue;
-use crate::state::CoreState;
+use crate::state::Cores;
 use crate::stats::SimStats;
 use crate::sync;
 use crate::trace::TraceEvent;
 use parking_lot::{Condvar, Mutex};
-use simany_net::{Envelope, NetworkModel};
-use simany_time::{ProbBranchPredictor, VirtualTime, Xoshiro256StarStar};
+use simany_net::{Envelope, InboxPool, NetworkModel};
+use simany_time::{VirtualTime, Xoshiro256StarStar};
 use simany_topology::{CoreId, Topology};
 use std::collections::HashMap;
 use std::fmt;
@@ -145,7 +145,7 @@ pub(crate) enum EpochPending {
 
 /// All mutable simulator state.
 pub(crate) struct Sim {
-    pub(crate) cores: Vec<CoreState>,
+    pub(crate) cores: Cores,
     pub(crate) net: NetworkModel,
     pub(crate) acts: HashMap<u64, Activity>,
     pub(crate) next_act: u64,
@@ -159,6 +159,11 @@ pub(crate) struct Sim {
     pub(crate) shutdown: bool,
     pub(crate) failure: Option<Failure>,
     pub(crate) live_activities: usize,
+    /// Machine-wide sum of every core's `queue_hint`, maintained at the
+    /// two mutation sites in `Ops`. Gives the scheduler an O(1)
+    /// nothing-queued check (together with the inbox pool's message total)
+    /// instead of an O(cores) sweep per empty pick.
+    pub(crate) total_queue_hint: u64,
     pub(crate) floor_dirty: bool,
     /// Largest clock any core has reached (monotone). Bounds shadow-time
     /// propagation: shadows above `max_vtime + T` cannot influence any
@@ -429,13 +434,12 @@ impl Failure {
 
 /// True iff the scheduler has (or may have) work to perform on `c`.
 pub(crate) fn is_ready(sim: &Sim, c: CoreId) -> bool {
-    let core = &sim.cores[c.index()];
-    if !core.inbox.is_empty() {
+    if !sim.cores.inboxes.is_empty(c) {
         return true;
     }
-    match core.current {
+    match sim.cores.current[c.index()] {
         Some(a) => sim.act(a).grantable(),
-        None => !core.resumables.is_empty() || core.queue_hint > 0,
+        None => !sim.cores.res_is_empty(c.index()) || sim.cores.queue_hint[c.index()] > 0,
     }
 }
 
@@ -444,17 +448,17 @@ pub(crate) fn is_ready(sim: &Sim, c: CoreId) -> bool {
 /// published time would starve blocked cores (whose shadow time is high by
 /// construction) of their pending replies behind running neighbors.
 fn ready_priority(sim: &Sim, c: CoreId) -> VirtualTime {
-    let core = &sim.cores[c.index()];
-    match core.inbox.earliest_arrival() {
-        Some(a) => a.min(core.vtime),
-        None => core.vtime,
+    let vtime = sim.cores.vtime[c.index()];
+    match sim.cores.inboxes.earliest_arrival(c) {
+        Some(a) => a.min(vtime),
+        None => vtime,
     }
 }
 
 /// Queue `c` for scheduling if it is not already queued.
 pub(crate) fn push_ready(sim: &mut Sim, c: CoreId) {
-    if !sim.cores[c.index()].in_ready {
-        sim.cores[c.index()].in_ready = true;
+    if !sim.cores.in_ready[c.index()] {
+        sim.cores.in_ready[c.index()] = true;
         let t = ready_priority(sim, c);
         sim.ready.push(c, t);
     }
@@ -476,11 +480,11 @@ pub(crate) fn deliver(sim: &mut Sim, shared: &Shared, env: Envelope) {
     if sim.sanitizer.is_some() {
         crate::sanitizer::on_deliver(sim, shared, &env);
     }
-    sim.cores[dst.index()].inbox.push(env);
-    if sim.cores[dst.index()].in_ready {
+    sim.cores.inboxes.push(dst, env);
+    if sim.cores.in_ready[dst.index()] {
         // Possible priority raise: re-push with the (possibly earlier)
         // next-event time.
-        if arrival < sim.cores[dst.index()].vtime {
+        if arrival < sim.cores.vtime[dst.index()] {
             let t = ready_priority(sim, dst);
             sim.ready.push(dst, t);
         }
@@ -493,8 +497,8 @@ pub(crate) fn deliver(sim: &mut Sim, shared: &Shared, env: Envelope) {
 /// cost if it is resuming from a wake.
 pub(crate) fn make_current(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
     let c = sim.act(aid).core;
-    debug_assert!(sim.cores[c.index()].current.is_none());
-    sim.cores[c.index()].current = Some(aid);
+    debug_assert!(sim.cores.current[c.index()].is_none());
+    sim.cores.current[c.index()] = Some(aid);
     sim.floor_dirty = true;
     let woken = matches!(sim.act(aid).state, ActivityState::Woken);
     if woken {
@@ -504,11 +508,10 @@ pub(crate) fn make_current(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
             .take()
             .unwrap_or(VirtualTime::ZERO);
         let charge = sim.act(aid).charge_resume;
-        let core = &mut sim.cores[c.index()];
-        core.advance_to(wake_time);
+        sim.cores.advance_to(c.index(), wake_time);
         if charge {
-            let cost = core.speed.scale_duration(shared.config.resume_cost);
-            core.advance(cost);
+            let cost = sim.cores.speed[c.index()].scale_duration(shared.config.resume_cost);
+            sim.cores.advance(c.index(), cost);
         }
     }
     sim.act_mut(aid).state = ActivityState::Resumable;
@@ -528,10 +531,10 @@ pub(crate) fn start_activity_impl(
     job: TaskFn,
 ) -> ActivityId {
     assert!(
-        sim.cores[core.index()].current.is_none(),
+        sim.cores.current[core.index()].is_none(),
         "start_activity on a busy core {core}"
     );
-    let was_idle = sim.cores[core.index()].is_idle();
+    let was_idle = sim.cores.is_idle(core.index());
     let aid = ActivityId(sim.next_act);
     sim.next_act += 1;
     sim.acts.insert(
@@ -549,13 +552,13 @@ pub(crate) fn start_activity_impl(
             name,
         },
     );
-    sim.cores[core.index()].current = Some(aid);
-    sim.cores[core.index()].resident += 1;
+    sim.cores.current[core.index()] = Some(aid);
+    sim.cores.resident[core.index()] += 1;
     sim.live_activities += 1;
     sim.floor_dirty = true;
     sim.stats.activities_started += 1;
     trace(shared, || TraceEvent::ActivityStart {
-        t: sim.cores[core.index()].vtime,
+        t: sim.cores.vtime[core.index()],
         core,
         aid: aid.0,
         name,
@@ -595,10 +598,10 @@ pub(crate) fn wake_impl(
     act.wake_time = Some(at);
     let c = act.core;
     trace(shared, || TraceEvent::Wake { t: at, core: c });
-    if sim.cores[c.index()].current.is_none() {
+    if sim.cores.current[c.index()].is_none() {
         make_current(sim, shared, aid);
     } else {
-        sim.cores[c.index()].resumables.push_back(aid);
+        sim.cores.res_push_back(c.index(), aid);
     }
     push_ready(sim, c);
 }
@@ -611,15 +614,15 @@ pub(crate) fn finish_activity(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
     // The end-of-task hooks below observe published values; make any
     // fast-path deferred publish visible first.
     sync::flush_deferred(sim, shared, c);
-    debug_assert_eq!(sim.cores[c.index()].current, Some(aid));
-    sim.cores[c.index()].current = None;
-    sim.cores[c.index()].resident -= 1;
+    debug_assert_eq!(sim.cores.current[c.index()], Some(aid));
+    sim.cores.current[c.index()] = None;
+    sim.cores.resident[c.index()] -= 1;
     sim.live_activities -= 1;
     // The working set changed: global-policy floors must be recomputed.
     sim.floor_dirty = true;
     let meta = act.meta.take().expect("activity meta missing at end");
     trace(shared, || TraceEvent::ActivityEnd {
-        t: sim.cores[c.index()].vtime,
+        t: sim.cores.vtime[c.index()],
         core: c,
         aid: aid.0,
         name: act.name,
@@ -644,8 +647,8 @@ pub(crate) fn finish_activity(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
 /// remain.
 pub(crate) fn drain_due_messages(sim: &mut Sim, shared: &Shared, c: CoreId) {
     loop {
-        let now = sim.cores[c.index()].vtime;
-        let Some(env) = sim.cores[c.index()].inbox.pop_arrived(now) else {
+        let now = sim.cores.vtime[c.index()];
+        let Some(env) = sim.cores.inboxes.pop_arrived(c, now) else {
             return;
         };
         let late = now.saturating_since(env.arrival);
@@ -675,18 +678,18 @@ pub(crate) fn drain_due_messages(sim: &mut Sim, shared: &Shared, c: CoreId) {
 /// §II.A — replies still carry request-relative stamps, so the lateness
 /// does not leak into the requester's timeline).
 pub(crate) fn process_message(sim: &mut Sim, shared: &Shared, c: CoreId) {
-    let env = sim.cores[c.index()].inbox.pop().expect("no message");
-    let pre = sim.cores[c.index()].vtime;
+    let env = sim.cores.inboxes.pop(c).expect("no message");
+    let pre = sim.cores.vtime[c.index()];
     if env.arrival < pre {
         sim.stats.late_messages += 1;
         sim.stats.late_by_total += pre - env.arrival;
     } else {
         sim.stats.on_time_messages += 1;
     }
-    sim.cores[c.index()].advance_to(env.arrival);
+    sim.cores.advance_to(c.index(), env.arrival);
     trace(shared, || TraceEvent::Process {
         arrival: env.arrival,
-        t: sim.cores[c.index()].vtime,
+        t: sim.cores.vtime[c.index()],
         core: c,
         late_by: pre.saturating_since(env.arrival).ticks(),
     });
@@ -705,19 +708,20 @@ pub(crate) enum Action {
 }
 
 pub(crate) fn decide(sim: &Sim, c: CoreId) -> Action {
-    let core = &sim.cores[c.index()];
-    let cur_grantable = core.current.map(|a| sim.act(a).grantable());
-    if let Some(arr) = core.inbox.earliest_arrival() {
+    let i = c.index();
+    let vtime = sim.cores.vtime[i];
+    let cur_grantable = sim.cores.current[i].map(|a| sim.act(a).grantable());
+    if let Some(arr) = sim.cores.inboxes.earliest_arrival(c) {
         // Prefer the message unless something runnable on this core is
         // earlier in virtual time than the message's arrival: the current
         // activity's clock, or the front resumable's wake time (processing
         // a future-stamped message first would needlessly inflate the
         // resumed task's clock to the message's arrival).
         let prefer_msg = match cur_grantable {
-            Some(true) => arr <= core.vtime,
+            Some(true) => arr <= vtime,
             Some(false) => true,
-            None => match core.resumables.front().and_then(|&a| sim.act(a).wake_time) {
-                Some(wake) => arr <= wake.max(core.vtime),
+            None => match sim.cores.res_front(i).and_then(|a| sim.act(a).wake_time) {
+                Some(wake) => arr <= wake.max(vtime),
                 None => true,
             },
         };
@@ -725,13 +729,13 @@ pub(crate) fn decide(sim: &Sim, c: CoreId) -> Action {
             return Action::Message;
         }
     }
-    match core.current {
+    match sim.cores.current[i] {
         Some(a) if cur_grantable == Some(true) => Action::Grant(a),
         Some(_) => Action::Nothing, // stalled current; wait for drift event
         None => {
-            if !core.resumables.is_empty() {
+            if !sim.cores.res_is_empty(i) {
                 Action::ResumeParked
-            } else if core.queue_hint > 0 {
+            } else if sim.cores.queue_hint[i] > 0 {
                 Action::Idle
             } else {
                 Action::Nothing
@@ -771,15 +775,15 @@ pub(crate) fn diagnostic_snapshot(sim: &Sim) -> String {
 /// core with any interesting state, then every blocked activity.
 fn append_core_dump(sim: &Sim, s: &mut String) {
     use std::fmt::Write as _;
-    for (idx, core) in sim.cores.iter().enumerate() {
-        if core.resident > 0
-            || core.queue_hint > 0
-            || !core.inbox.is_empty()
-            || core.lock_depth > 0
-            || core.waiting_on.is_some()
+    for idx in 0..sim.cores.len() {
+        if sim.cores.resident[idx] > 0
+            || sim.cores.queue_hint[idx] > 0
+            || !sim.cores.inboxes.is_empty(CoreId(idx as u32))
+            || sim.cores.lock_depth[idx] > 0
+            || sim.cores.waiting_on[idx].is_some()
         {
-            let _ = write!(s, "\n  core{idx}: {}", core.debug_line());
-            if let Some(a) = core.current {
+            let _ = write!(s, "\n  core{idx}: {}", sim.cores.debug_line(idx));
+            if let Some(a) = sim.cores.current[idx] {
                 let act = sim.act(a);
                 let _ = write!(s, " current={:?}({}) {:?}", act.id, act.name, act.state);
             }
@@ -856,16 +860,25 @@ pub fn simulate(
     let partition = (config.threads > 1)
         .then(|| simany_topology::partition_bfs(&topo, config.threads as usize));
     let n_tiles = partition.as_ref().map_or(0, |p| p.n_tiles());
-    let cores: Vec<CoreState> = (0..n)
-        .map(|i| {
-            let pred = ProbBranchPredictor::new(
-                config.cost_model.branch_accuracy,
-                config.cost_model.pipeline_depth,
-                Xoshiro256StarStar::stream(config.seed, 0x1000_0000 + u64::from(i)),
-            );
-            CoreState::new(config.speed_of(i), pred)
-        })
-        .collect();
+    // One inbox-pool shard per tile so the parallel replay lanes push into
+    // disjoint shards; shard assignment is invisible to message order.
+    let inboxes = match &partition {
+        Some(part) if part.n_tiles() > 1 => {
+            let shard_of = (0..n)
+                .map(|i| part.tile_of(CoreId(i)) as u32)
+                .collect::<Vec<u32>>();
+            InboxPool::with_shards(shard_of)
+        }
+        _ => InboxPool::new(n),
+    };
+    let speeds = (0..n).map(|i| config.speed_of(i)).collect();
+    let cores = Cores::new(
+        speeds,
+        inboxes,
+        config.cost_model.branch_accuracy,
+        config.cost_model.pipeline_depth,
+        config.seed,
+    );
     if let Some(plan) = &config.fault {
         assert_eq!(
             plan.n_cores(),
@@ -902,6 +915,7 @@ pub fn simulate(
         shutdown: false,
         failure: None,
         live_activities: 0,
+        total_queue_hint: 0,
         floor_dirty: false,
         max_vtime: VirtualTime::ZERO,
         rng: Xoshiro256StarStar::stream(config.seed, 0x5EED),
@@ -986,13 +1000,17 @@ pub fn simulate(
             stats.frame_parks += parks;
         }
     }
-    stats.final_vtime = sim
-        .cores
-        .iter()
-        .map(|c| c.vtime)
-        .max()
-        .unwrap_or(VirtualTime::ZERO);
-    stats.core_busy = sim.cores.iter().map(|c| c.busy).collect();
+    // Single teardown pass over the core arrays: the final virtual time and
+    // a streaming busy-time summary (total, max, top cores) — no O(cores)
+    // vector is retained in the stats.
+    let mut busy = crate::stats::BusySummary::default();
+    let mut final_vtime = VirtualTime::ZERO;
+    for i in 0..sim.cores.len() {
+        final_vtime = final_vtime.max(sim.cores.vtime[i]);
+        busy.record(CoreId(i as u32), sim.cores.busy[i]);
+    }
+    stats.final_vtime = final_vtime;
+    stats.busy = busy;
     stats.net = sim.net.stats().clone();
     stats.msgs_dropped = stats.net.dropped + stats.net.corrupted + stats.net.unreachable;
     stats.msgs_corrupted = stats.net.corrupted;
@@ -1052,18 +1070,18 @@ fn run_sequential<'a>(
             // Pop a valid ready core (skipping stale entries).
             let mut picked = None;
             while let Some(c) = sim.ready.pop() {
-                sim.cores[c.index()].in_ready = false;
+                sim.cores.in_ready[c.index()] = false;
                 if is_ready(&sim, c) {
                     picked = Some(c);
                     break;
                 }
             }
             let Some(c) = picked else {
+                // O(1) quiet check: no live activity, no message in any
+                // inbox shard, no queued work anywhere.
                 let quiet = sim.live_activities == 0
-                    && sim
-                        .cores
-                        .iter()
-                        .all(|k| k.inbox.is_empty() && k.queue_hint == 0);
+                    && sim.cores.inboxes.total_messages() == 0
+                    && sim.total_queue_hint == 0;
                 if quiet {
                     break; // normal completion
                 }
@@ -1113,7 +1131,7 @@ fn run_sequential<'a>(
                     }
                 }
                 Action::ResumeParked => {
-                    let aid = sim.cores[c.index()].resumables.pop_front().unwrap();
+                    let aid = sim.cores.res_pop_front(c.index()).unwrap();
                     make_current(&mut sim, shared, aid);
                     // Grant immediately if still allowed (it may have become
                     // stalled by the resume-cost advance).
@@ -1125,14 +1143,14 @@ fn run_sequential<'a>(
                     }
                 }
                 Action::Idle => {
-                    let before_hint = sim.cores[c.index()].queue_hint;
+                    let before_hint = sim.cores.queue_hint[c.index()];
                     {
                         let mut ops = Ops::new(&mut sim, shared);
                         shared.hooks.on_idle(&mut ops, c);
                     }
                     assert!(
-                        sim.cores[c.index()].queue_hint < before_hint
-                            || sim.cores[c.index()].current.is_some(),
+                        sim.cores.queue_hint[c.index()] < before_hint
+                            || sim.cores.current[c.index()].is_some(),
                         "on_idle made no progress (runtime bug)"
                     );
                 }
@@ -1275,7 +1293,7 @@ fn worker_main(shared: Arc<Shared>, idx: usize, cv: Arc<Condvar>) {
                     let msg = panic_message(payload.as_ref());
                     sim.failure = Some(Failure::TaskPanic {
                         core,
-                        at: sim.cores[core.index()].vtime,
+                        at: sim.cores.vtime[core.index()],
                         name,
                         msg,
                     });
@@ -1429,7 +1447,7 @@ fn run_exec_tile(
                                 let msg = panic_message(payload.as_ref());
                                 sim.failure = Some(Failure::TaskPanic {
                                     core,
-                                    at: sim.cores[core.index()].vtime,
+                                    at: sim.cores.vtime[core.index()],
                                     name,
                                     msg,
                                 });

@@ -38,10 +38,12 @@
 //!   `fetch_add` reads (a successor of) the coordinator's `Release` cursor
 //!   store, so the lane contents published at launch are visible.
 //! * **During a replay frame** the claimant of destination tile `t` owns
-//!   lane `t` *and* the `CoreState`s of tile `t`'s cores, reached through a
-//!   raw base pointer ([`FrameSync::set_cores_ptr`]) — disjoint index sets
-//!   per tile, `split_at_mut`-style. The coordinator keeps holding the
-//!   simulation guard but touches no core state until the frame retires.
+//!   lane `t` *and* tile `t`'s slices of the struct-of-arrays core state,
+//!   reached through raw column base pointers ([`ReplayPtrs`], published
+//!   via [`FrameSync::set_replay_ptrs`]) plus the tile's inbox shard
+//!   ([`simany_net::InboxLanes`]) — disjoint index sets per tile,
+//!   `split_at_mut`-style. The coordinator keeps holding the simulation
+//!   guard but touches no core state until the frame retires.
 //!
 //! Worker *identities* (who claimed which tile, who spun vs parked) are
 //! racy and are only ever folded into diagnostics counters that no digest,
@@ -49,14 +51,13 @@
 
 use crate::activity::{ActivityId, TaskFn};
 use crate::engine::{EpochPending, OutMsg};
-use crate::state::CoreState;
 use parking_lot::{Condvar, Mutex};
-use simany_net::Envelope;
+use simany_net::{Envelope, InboxLanes};
 use simany_time::{VDuration, VirtualTime};
 use simany_topology::CoreId;
 use std::cell::UnsafeCell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 
 /// Bits of the packed cursor word that hold the claim index; the rest hold
 /// the frame generation. 24 bits bound the tile count (and the per-frame
@@ -122,6 +123,23 @@ pub(crate) struct LaneState {
 
 struct Lane(UnsafeCell<LaneState>);
 
+/// Raw column base pointers into the struct-of-arrays core state, plus the
+/// pooled inbox shard handles, published for the duration of one replay
+/// frame. A claimant of tile `t` dereferences these only at indices owned
+/// by tile `t` (and pushes only into tile `t`'s inbox shard), so distinct
+/// claimants touch disjoint memory.
+#[derive(Clone, Copy)]
+pub(crate) struct ReplayPtrs {
+    /// `Cores::published` column base.
+    pub(crate) published: *mut VirtualTime,
+    /// `Cores::floor_nb` column base.
+    pub(crate) floor_nb: *mut VirtualTime,
+    /// `Cores::floor_nb_valid` column base.
+    pub(crate) floor_nb_valid: *mut bool,
+    /// Sharded handles into the pooled inbox arena.
+    pub(crate) inboxes: InboxLanes,
+}
+
 /// The lock-free frame coordinator (one per parallel simulation).
 pub(crate) struct FrameSync {
     /// Frame generation; bumped with `Release` to publish a frame.
@@ -140,10 +158,11 @@ pub(crate) struct FrameSync {
     /// stale reader can never observe a reallocation.
     claimable: Box<[AtomicU32]>,
     lanes: Box<[Lane]>,
-    /// Base pointer into `Sim::cores`, non-null only while a replay frame
-    /// is in flight (the coordinator holds the simulation guard for its
-    /// whole duration).
-    cores: AtomicPtr<CoreState>,
+    /// Column base pointers into `Sim::cores`, `Some` only while a replay
+    /// frame is in flight (the coordinator holds the simulation guard for
+    /// its whole duration). Written only between frames, like `kind`, and
+    /// published to claimants by the launch/claim release/acquire pair.
+    replay: UnsafeCell<Option<ReplayPtrs>>,
     /// Spin iterations before parking (0 when the host has fewer CPUs
     /// than worker threads — spinning there only steals cycles from the
     /// thread being waited on).
@@ -186,7 +205,7 @@ impl FrameSync {
             lanes: (0..n_tiles)
                 .map(|_| Lane(UnsafeCell::new(LaneState::default())))
                 .collect(),
-            cores: AtomicPtr::new(std::ptr::null_mut()),
+            replay: UnsafeCell::new(None),
             spin_budget,
             gate: Mutex::new(()),
             gate_cv: Condvar::new(),
@@ -322,13 +341,23 @@ impl FrameSync {
         self.gate_cv.notify_all();
     }
 
-    /// Publish the base pointer of `Sim::cores` for a replay frame.
-    pub(crate) fn set_cores_ptr(&self, base: *mut CoreState) {
-        self.cores.store(base, Ordering::Release);
+    /// Publish the core-state column pointers for a replay frame.
+    ///
+    /// # Safety
+    /// Must be called between frames (no frame in flight), and the
+    /// pointers must stay valid until [`Self::clear_replay_ptrs`] — the
+    /// coordinator guarantees this by holding the simulation guard for the
+    /// replay frame's whole duration.
+    pub(crate) unsafe fn set_replay_ptrs(&self, p: ReplayPtrs) {
+        *self.replay.get() = Some(p);
     }
 
-    pub(crate) fn clear_cores_ptr(&self) {
-        self.cores.store(std::ptr::null_mut(), Ordering::Release);
+    /// Clear the replay pointers after [`Self::wait_quiescent`].
+    ///
+    /// # Safety
+    /// Must be called between frames (no frame in flight).
+    pub(crate) unsafe fn clear_replay_ptrs(&self) {
+        *self.replay.get() = None;
     }
 
     /// Fold a worker's lifetime counters; called once at thread exit.
@@ -344,32 +373,33 @@ impl FrameSync {
 
 /// Apply destination tile `t`'s buffered phase-B effects: boundary-clock
 /// publishes, neighbor-floor cache invalidations, and inbox deliveries.
-/// All three touch disjoint `CoreState` fields, and every referenced core
-/// belongs to tile `t`, so concurrent replay of distinct tiles commutes
-/// with — and is bit-identical to — the serial tile-order application.
+/// All three touch disjoint state columns, every referenced core belongs
+/// to tile `t`, and the deliveries land in tile `t`'s own inbox shard, so
+/// concurrent replay of distinct tiles commutes with — and is
+/// bit-identical to — the serial tile-order application.
 ///
 /// # Safety
 /// The caller owns lane `t` and tile `t`'s cores: either a replay-frame
 /// claimant (the coordinator holds the simulation guard and touches no
 /// core state until the frame retires), or the coordinator itself applying
-/// lanes serially. [`FrameSync::set_cores_ptr`] must have been called with
-/// the live `Sim::cores` base pointer.
+/// lanes serially. [`FrameSync::set_replay_ptrs`] must have been called
+/// with live column pointers, and when tiles replay concurrently the inbox
+/// pool must be sharded by tile.
 pub(crate) unsafe fn replay_lane(fs: &FrameSync, t: usize) {
-    let base = fs.cores.load(Ordering::Acquire);
-    debug_assert!(!base.is_null());
+    let p = (*fs.replay.get()).expect("replay pointers not published");
     let lane = fs.lane_mut(t);
     for &(c, v) in &lane.pub_cores {
-        (*base.add(c.index())).published = v;
+        *p.published.add(c.index()) = v;
     }
     for &(m, old) in &lane.inval_events {
-        let k = &mut *base.add(m.index());
-        if k.floor_nb_valid && k.floor_nb == old {
-            k.floor_nb_valid = false;
+        let i = m.index();
+        if *p.floor_nb_valid.add(i) && *p.floor_nb.add(i) == old {
+            *p.floor_nb_valid.add(i) = false;
         }
     }
     for env in lane.deliveries.drain(..) {
         let dst = env.dst;
-        (*base.add(dst.index())).inbox.push(env);
+        p.inboxes.push(dst, env);
     }
     lane.pub_cores.clear();
     lane.inval_events.clear();

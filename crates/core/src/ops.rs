@@ -47,13 +47,13 @@ impl<'a> Ops<'a> {
 
     /// Virtual clock of `core`.
     pub fn now(&self, core: CoreId) -> VirtualTime {
-        self.sim.cores[core.index()].vtime
+        self.sim.cores.vtime[core.index()]
     }
 
     /// Published (neighbor-visible) time of `core` — its clock while
     /// working, its shadow time while idle.
     pub fn published(&self, core: CoreId) -> VirtualTime {
-        self.sim.cores[core.index()].published
+        self.sim.cores.published[core.index()]
     }
 
     /// Topological neighbors of `core`.
@@ -68,7 +68,7 @@ impl<'a> Ops<'a> {
 
     /// Speed factor of `core`.
     pub fn speed(&self, core: CoreId) -> CoreSpeed {
-        self.sim.cores[core.index()].speed
+        self.sim.cores.speed[core.index()]
     }
 
     /// The shared instruction cost model.
@@ -83,32 +83,32 @@ impl<'a> Ops<'a> {
 
     /// True iff `core` hosts no work at all.
     pub fn is_idle(&self, core: CoreId) -> bool {
-        self.sim.cores[core.index()].is_idle()
+        self.sim.cores.is_idle(core.index())
     }
 
     /// The activity currently scheduled on `core`, if any.
     pub fn current_activity(&self, core: CoreId) -> Option<ActivityId> {
-        self.sim.cores[core.index()].current
+        self.sim.cores.current[core.index()]
     }
 
     /// Advance `core`'s clock by `base_cycles` of work, scaled by the
     /// core's speed (polymorphic cores take longer).
     pub fn advance_core(&mut self, core: CoreId, base_cycles: u64) {
-        let d = self.sim.cores[core.index()].speed.scale_cycles(base_cycles);
-        self.sim.cores[core.index()].advance(d);
+        let d = self.sim.cores.speed[core.index()].scale_cycles(base_cycles);
+        self.sim.cores.advance(core.index(), d);
         sync::publish(self.sim, self.shared, core);
     }
 
     /// Advance `core`'s clock by an exact duration (no speed scaling).
     pub fn advance_core_raw(&mut self, core: CoreId, d: VDuration) {
-        self.sim.cores[core.index()].advance(d);
+        self.sim.cores.advance(core.index(), d);
         sync::publish(self.sim, self.shared, core);
     }
 
     /// Advance `core`'s clock forward to `t` if it is later (waiting, not
     /// busy time).
     pub fn advance_core_to(&mut self, core: CoreId, t: VirtualTime) {
-        self.sim.cores[core.index()].advance_to(t);
+        self.sim.cores.advance_to(core.index(), t);
         sync::publish(self.sim, self.shared, core);
     }
 
@@ -118,8 +118,10 @@ impl<'a> Ops<'a> {
         let mut cycles = self.shared.config.cost_model.block_cycles(block);
         let branches = block.cond_branch_count();
         if branches > 0 {
-            cycles += self.sim.cores[core.index()]
-                .predictor
+            cycles += self
+                .sim
+                .cores
+                .predictor(core.index())
                 .predict_many(branches);
         }
         self.advance_core(core, cycles);
@@ -137,7 +139,7 @@ impl<'a> Ops<'a> {
         size_bytes: u32,
         payload: Payload,
     ) -> SendFate {
-        let sent = self.sim.cores[src.index()].vtime;
+        let sent = self.sim.cores.vtime[src.index()];
         self.send_at(src, dst, size_bytes, sent, payload)
     }
 
@@ -295,8 +297,9 @@ impl<'a> Ops<'a> {
     /// (the engine will call `on_idle` while the hint is positive and the
     /// core has no current activity).
     pub fn queue_hint_add(&mut self, core: CoreId, n: u32) {
-        let was_idle = self.sim.cores[core.index()].is_idle();
-        self.sim.cores[core.index()].queue_hint += n;
+        let was_idle = self.sim.cores.is_idle(core.index());
+        self.sim.cores.queue_hint[core.index()] += n;
+        self.sim.total_queue_hint += u64::from(n);
         self.sim.floor_dirty = true;
         if was_idle {
             sync::publish(self.sim, self.shared, core);
@@ -306,11 +309,12 @@ impl<'a> Ops<'a> {
 
     /// Remove `n` queued work items from `core`'s hint.
     pub fn queue_hint_sub(&mut self, core: CoreId, n: u32) {
-        let hint = &mut self.sim.cores[core.index()].queue_hint;
+        let hint = &mut self.sim.cores.queue_hint[core.index()];
         assert!(*hint >= n, "queue_hint underflow on {core}");
         *hint -= n;
+        self.sim.total_queue_hint -= u64::from(n);
         self.sim.floor_dirty = true;
-        if self.sim.cores[core.index()].is_idle() {
+        if self.sim.cores.is_idle(core.index()) {
             sync::publish(self.sim, self.shared, core);
         }
     }
@@ -326,9 +330,9 @@ impl<'a> Ops<'a> {
         }
         let id = BirthId(self.sim.next_birth);
         self.sim.next_birth += 1;
-        self.sim.cores[core.index()].births.push((id, birth));
+        self.sim.cores.birth_push(core.index(), id, birth);
         // A new birth can lower the spatial floor below any cached bound.
-        self.sim.cores[core.index()].headroom_limit = None;
+        self.sim.cores.headroom_limit[core.index()] = None;
         self.sim.floor_dirty = true;
         id
     }
@@ -336,12 +340,8 @@ impl<'a> Ops<'a> {
     /// Discard a birth entry (the spawned task landed on its destination);
     /// the spawning core may become unstalled.
     pub fn discard_birth(&mut self, core: CoreId, id: BirthId) {
-        let births = &mut self.sim.cores[core.index()].births;
-        let pos = births
-            .iter()
-            .position(|&(b, _)| b == id)
-            .expect("unknown birth id");
-        births.swap_remove(pos);
+        let removed = self.sim.cores.birth_remove(core.index(), id);
+        assert!(removed, "unknown birth id");
         self.sim.floor_dirty = true;
         sync::recheck_stall(self.sim, self.shared, core);
     }

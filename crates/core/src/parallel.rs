@@ -187,18 +187,18 @@ fn try_shard_publishes(
             continue;
         };
         let c = act.core;
-        let core = &sim.cores[c.index()];
-        if !core.publish_pending {
+        let i = c.index();
+        if !sim.cores.publish_pending[i] {
             continue;
         }
-        if core.is_idle()
-            || core.vtime < core.published
-            || !sim.waiters[c.index()].is_empty()
+        if sim.cores.is_idle(i)
+            || sim.cores.vtime[i] < sim.cores.published[i]
+            || !sim.waiters[i].is_empty()
             || shared
                 .topo
                 .neighbors(c)
                 .iter()
-                .any(|&(m, _)| sim.cores[m.index()].is_idle())
+                .any(|&(m, _)| sim.cores.is_idle(m.index()))
         {
             return false;
         }
@@ -209,13 +209,13 @@ fn try_shard_publishes(
             continue;
         };
         let c = act.core;
-        let core = &mut sim.cores[c.index()];
-        if !core.publish_pending {
+        let i = c.index();
+        if !sim.cores.publish_pending[i] {
             continue;
         }
-        core.publish_pending = false;
-        let newval = core.vtime;
-        let oldval = core.published;
+        sim.cores.publish_pending[i] = false;
+        let newval = sim.cores.vtime[i];
+        let oldval = sim.cores.published[i];
         if newval > sim.max_vtime {
             sim.max_vtime = newval;
         }
@@ -292,7 +292,7 @@ pub(crate) fn run_scheduler<'a>(
             // Pop a valid ready core (skipping stale entries).
             let mut picked = None;
             while let Some(c) = sim.ready.pop() {
-                sim.cores[c.index()].in_ready = false;
+                sim.cores.in_ready[c.index()] = false;
                 if is_ready(&sim, c) {
                     picked = Some(c);
                     break;
@@ -303,10 +303,8 @@ pub(crate) fn run_scheduler<'a>(
                     break; // launch what we have
                 }
                 let quiet = sim.live_activities == 0
-                    && sim
-                        .cores
-                        .iter()
-                        .all(|k| k.inbox.is_empty() && k.queue_hint == 0);
+                    && sim.cores.inboxes.total_messages() == 0
+                    && sim.total_queue_hint == 0;
                 if quiet {
                     break 'run; // normal completion
                 }
@@ -371,7 +369,7 @@ pub(crate) fn run_scheduler<'a>(
                     skip_repush = true;
                 }
                 Action::ResumeParked => {
-                    let aid = sim.cores[c.index()].resumables.pop_front().unwrap();
+                    let aid = sim.cores.res_pop_front(c.index()).unwrap();
                     make_current(&mut sim, shared, aid);
                     // Claim it if still allowed (it may have become stalled
                     // by the resume-cost advance).
@@ -391,14 +389,14 @@ pub(crate) fn run_scheduler<'a>(
                     }
                 }
                 Action::Idle => {
-                    let before_hint = sim.cores[c.index()].queue_hint;
+                    let before_hint = sim.cores.queue_hint[c.index()];
                     {
                         let mut ops = crate::ops::Ops::new(&mut sim, shared);
                         shared.hooks.on_idle(&mut ops, c);
                     }
                     assert!(
-                        sim.cores[c.index()].queue_hint < before_hint
-                            || sim.cores[c.index()].current.is_some(),
+                        sim.cores.queue_hint[c.index()] < before_hint
+                            || sim.cores.current[c.index()].is_some(),
                         "on_idle made no progress (runtime bug)"
                     );
                 }
@@ -487,8 +485,8 @@ pub(crate) fn run_scheduler<'a>(
             // accessor until the next launch.
             let lane = unsafe { fs.lane_mut(t) };
             for (c, d, n) in lane.flushes.drain(..) {
-                sim.cores[c.index()].advance(d);
-                sim.cores[c.index()].publish_pending = true;
+                sim.cores.advance(c.index(), d);
+                sim.cores.publish_pending[c.index()] = true;
                 sim.count_fast_path_n(shared, c, n);
             }
             for fj in lane.spilled.drain(..) {
@@ -548,27 +546,28 @@ pub(crate) fn run_scheduler<'a>(
                 });
                 let dst = env.dst;
                 let arrival = env.arrival;
-                let vtime = sim.cores[dst.index()].vtime;
+                let vtime = sim.cores.vtime[dst.index()];
                 let pend = pend_min[dst.index()];
                 if pend == VirtualTime::MAX {
                     pend_touched.push(dst);
                 }
-                // What `inbox.earliest_arrival()` would return after the
-                // push, were the bucketed envelopes already deposited.
-                let eff = sim.cores[dst.index()]
-                    .inbox
-                    .earliest_arrival()
+                // What `earliest_arrival` would return after the push,
+                // were the bucketed envelopes already deposited.
+                let eff = sim
+                    .cores
+                    .inboxes
+                    .earliest_arrival(dst)
                     .map_or(pend, |a| a.min(pend))
                     .min(arrival);
                 let prio = eff.min(vtime);
-                if sim.cores[dst.index()].in_ready {
+                if sim.cores.in_ready[dst.index()] {
                     // Possible priority raise: re-push with the (possibly
                     // earlier) next-event time, exactly like `deliver`.
                     if arrival < vtime {
                         sim.ready.push(dst, prio);
                     }
                 } else {
-                    sim.cores[dst.index()].in_ready = true;
+                    sim.cores.in_ready[dst.index()] = true;
                     sim.ready.push(dst, prio);
                 }
                 pend_min[dst.index()] = eff;
@@ -584,7 +583,7 @@ pub(crate) fn run_scheduler<'a>(
         }
         // 3. Apply the bucketed per-core writes: published clocks, floor-
         //    cache invalidations, inbox deposits. The classes touch
-        //    pairwise-disjoint `CoreState` fields and are bucketed by the
+        //    pairwise-disjoint state columns and are bucketed by the
         //    written core's tile, so tiles replay independently — as a
         //    parallel frame when there is enough work to pay for the
         //    launch, serially through the same code otherwise. The
@@ -603,14 +602,23 @@ pub(crate) fn run_scheduler<'a>(
             }
         }
         if !replay_tiles.is_empty() {
-            fs.set_cores_ptr(sim.cores.as_mut_ptr());
+            let ptrs = crate::frame::ReplayPtrs {
+                published: sim.cores.published.as_mut_ptr(),
+                floor_nb: sim.cores.floor_nb.as_mut_ptr(),
+                floor_nb_valid: sim.cores.floor_nb_valid.as_mut_ptr(),
+                inboxes: sim.cores.inboxes.lanes(),
+            };
+            // SAFETY: no frame is in flight, and the coordinator holds the
+            // simulation guard for the whole replay, so the columns cannot
+            // move or be touched by anyone but the replay claimants.
+            unsafe { fs.set_replay_ptrs(ptrs) };
             if replay_tiles.len() >= 2 && replay_work >= REPLAY_FRAME_MIN_WORK {
                 if sim.frame_workers == sim.pinned_workers {
                     spawn_frame_worker(&mut sim, shared, handles);
                 }
                 sim.stats.sharded_replays += 1;
                 fs.launch(replay_tiles.len(), &replay_tiles, FrameKind::Replay);
-                // Replay workers write through the raw cores pointer and
+                // Replay workers write through the raw column pointers and
                 // never take the simulation lock, so the coordinator keeps
                 // holding it across the wait.
                 fs.wait_quiescent();
@@ -621,7 +629,8 @@ pub(crate) fn run_scheduler<'a>(
                     unsafe { crate::frame::replay_lane(fs, t as usize) };
                 }
             }
-            fs.clear_cores_ptr();
+            // SAFETY: the frame quiesced; no claimant can still read them.
+            unsafe { fs.clear_replay_ptrs() };
         }
         // 4. The serial tail: pending entries drained in tile order. A
         //    tile can contribute several entries (its members' completions
@@ -664,7 +673,7 @@ pub(crate) fn run_scheduler<'a>(
                         if sim.failure.is_none() {
                             sim.failure = Some(Failure::TaskPanic {
                                 core,
-                                at: sim.cores[core.index()].vtime,
+                                at: sim.cores.vtime[core.index()],
                                 name,
                                 msg,
                             });

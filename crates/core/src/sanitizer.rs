@@ -111,9 +111,9 @@ fn report(sim: &mut Sim, shared: &Shared, ev: TraceEvent) {
 fn fresh_local_floor(sim: &Sim, shared: &Shared, c: CoreId) -> VirtualTime {
     let mut m = VirtualTime::MAX;
     for &(n, _) in shared.topo.neighbors(c) {
-        m = m.min(sim.cores[n.index()].published);
+        m = m.min(sim.cores.published[n.index()]);
     }
-    if let Some(b) = sim.cores[c.index()].min_birth() {
+    if let Some(b) = sim.cores.min_birth(c.index()) {
         m = m.min(b);
     }
     m
@@ -137,7 +137,7 @@ pub(crate) fn verify_spatial_floor(sim: &mut Sim, shared: &Shared, c: CoreId, ca
     sim.stats.sanitizer_checks += 1;
     let fresh = fresh_local_floor(sim, shared, c);
     if fresh != cached {
-        let t = sim.cores[c.index()].vtime;
+        let t = sim.cores.vtime[c.index()];
         let detail = format!("cached local floor {cached}, fresh recomputation {fresh}");
         report(
             sim,
@@ -157,10 +157,9 @@ pub(crate) fn verify_spatial_floor(sim: &mut Sim, shared: &Shared, c: CoreId, ca
 /// fast path may only have advanced the clock within the cached headroom.
 pub(crate) fn verify_flush(sim: &mut Sim, shared: &Shared, c: CoreId) {
     sim.stats.sanitizer_checks += 1;
-    let core = &sim.cores[c.index()];
-    if let Some(limit) = core.headroom_limit {
-        if core.vtime > limit {
-            let t = core.vtime;
+    if let Some(limit) = sim.cores.headroom_limit[c.index()] {
+        let t = sim.cores.vtime[c.index()];
+        if t > limit {
             let detail = format!("deferred clock {t} exceeds cached headroom limit {limit}");
             report(
                 sim,
@@ -182,7 +181,7 @@ pub(crate) fn verify_flush(sim: &mut Sim, shared: &Shared, c: CoreId) {
 /// spawner cannot bound its drift and indicates a runtime bug.
 pub(crate) fn verify_birth(sim: &mut Sim, shared: &Shared, c: CoreId, birth: VirtualTime) {
     sim.stats.sanitizer_checks += 1;
-    let now = sim.cores[c.index()].vtime;
+    let now = sim.cores.vtime[c.index()];
     if birth > now {
         let detail = format!("birth stamped {birth} ahead of spawner clock {now}");
         report(
@@ -205,7 +204,7 @@ pub(crate) fn verify_birth(sim: &mut Sim, shared: &Shared, c: CoreId, birth: Vir
 /// returns to the scheduler, so the running maximum covers all scan
 /// instants.
 pub(crate) fn note_clock(sim: &mut Sim, shared: &Shared, c: CoreId) {
-    if sim.cores[c.index()].is_idle() {
+    if sim.cores.is_idle(c.index()) {
         return;
     }
     let Some(slack) = policy_slack(shared) else {
@@ -218,7 +217,7 @@ pub(crate) fn note_clock(sim: &mut Sim, shared: &Shared, c: CoreId) {
     if floor == VirtualTime::MAX {
         return;
     }
-    let drift = sim.cores[c.index()].vtime.saturating_since(floor);
+    let drift = sim.cores.vtime[c.index()].saturating_since(floor);
     let over = VDuration::from_half_cycles(drift.ticks().saturating_sub(slack.ticks()));
     let s = sim.sanitizer.as_mut().expect("sanitizer installed");
     if over > s.max_overshoot {
@@ -318,15 +317,12 @@ pub(crate) fn scan(sim: &mut Sim, shared: &Shared) {
     for i in 0..sim.cores.len() {
         let c = CoreId(i as u32);
         sim.stats.sanitizer_checks += 1;
-        let (vtime, published, pending, idle) = {
-            let core = &sim.cores[i];
-            (
-                core.vtime,
-                core.published,
-                core.publish_pending,
-                core.is_idle(),
-            )
-        };
+        let (vtime, published, pending, idle) = (
+            sim.cores.vtime[i],
+            sim.cores.published[i],
+            sim.cores.publish_pending[i],
+            sim.cores.is_idle(i),
+        );
         if pending {
             let detail = "deferred publish still pending at scheduler time".to_string();
             report(
@@ -352,7 +348,7 @@ pub(crate) fn scan(sim: &mut Sim, shared: &Shared) {
                     .topo
                     .neighbors(c)
                     .iter()
-                    .map(|&(n, _)| sim.cores[n.index()].published)
+                    .map(|&(n, _)| sim.cores.published[n.index()])
                     .min();
                 let upper = match min_neigh {
                     Some(m) => vtime.max(m + t),
@@ -394,12 +390,14 @@ pub(crate) fn scan(sim: &mut Sim, shared: &Shared) {
         }
         // Incremental-floor and headroom caches against fresh recomputation.
         if let Some(t) = spatial_t {
-            let core = &sim.cores[i];
-            let (nb_valid, nb_cached, headroom) =
-                (core.floor_nb_valid, core.floor_nb, core.headroom_limit);
+            let (nb_valid, nb_cached, headroom) = (
+                sim.cores.floor_nb_valid[i],
+                sim.cores.floor_nb[i],
+                sim.cores.headroom_limit[i],
+            );
             let mut fresh_nb = VirtualTime::MAX;
             for &(n, _) in shared.topo.neighbors(c) {
-                fresh_nb = fresh_nb.min(sim.cores[n.index()].published);
+                fresh_nb = fresh_nb.min(sim.cores.published[n.index()]);
             }
             if nb_valid && nb_cached != fresh_nb {
                 let detail = format!("cached neighbor floor {nb_cached}, fresh {fresh_nb}");
@@ -456,11 +454,9 @@ pub(crate) fn scan(sim: &mut Sim, shared: &Shared) {
         s.regression_slack,
     );
     let floor = crate::sync::global_floor(sim);
-    let cur_max = sim
-        .cores
-        .iter()
-        .filter(|k| !k.is_idle())
-        .map(|k| k.vtime)
+    let cur_max = (0..sim.cores.len())
+        .filter(|&i| !sim.cores.is_idle(i))
+        .map(|i| sim.cores.vtime[i])
         .max();
     let (Some(cur_max), false) = (cur_max, floor == VirtualTime::MAX) else {
         return;

@@ -1,9 +1,36 @@
-//! Per-core simulator state.
+//! Per-core simulator state in struct-of-arrays layout.
+//!
+//! At the million-core scale the paper targets, per-core state is the
+//! dominant memory consumer and the per-field access pattern is highly
+//! skewed: the spatial-synchronization hot loop touches `published`,
+//! `floor_nb` and the headroom cache of *neighbors* (gather reads across
+//! core ids), while queues, ledgers and predictors are touched only by the
+//! one core holding the run token. [`Cores`] therefore stores every field
+//! as its own dense array keyed by core index, and moves the variable-size
+//! members (inboxes, resumable queues, birth ledgers) into shared pooled
+//! arenas of index-linked slots: an idle core costs a few dozen bytes of
+//! array slots and owns no heap allocations of its own.
+//!
+//! ## Pooled-arena invariants
+//!
+//! * Slots are recycled LIFO through free lists; a slot index is never
+//!   stored anywhere outside the pool's own head/tail/next links, so slot
+//!   reuse is invisible to the engine and to checkpoint digests (digests
+//!   fold lengths, times and ids — never arena indices).
+//! * The resumable queues are FIFO per core (`head`/`tail` + `next` links),
+//!   preserving the wake order the scheduler relies on for determinism.
+//! * Birth ledgers are unordered singly-linked lists: the engine only ever
+//!   takes their minimum ([`Cores::min_birth`]) or unlinks by [`BirthId`],
+//!   both order-independent.
+//! * Branch predictors are materialized lazily on first use. A core's
+//!   predictor is a pure function of `(seed, core index, cost model)` —
+//!   its RNG is `Xoshiro256StarStar::stream(seed, 0x1000_0000 + i)` — so
+//!   lazy construction is bit-identical to eager construction and idle
+//!   cores never pay for one.
 
 use crate::activity::ActivityId;
-use simany_net::Inbox;
-use simany_time::{CoreSpeed, ProbBranchPredictor, VDuration, VirtualTime};
-use std::collections::VecDeque;
+use simany_net::InboxPool;
+use simany_time::{CoreSpeed, ProbBranchPredictor, VDuration, VirtualTime, Xoshiro256StarStar};
 
 /// Identifier of a birth-ledger entry (an in-flight spawned task whose start
 /// time still bounds its parent core's drift, paper §II.A *Time drift of
@@ -11,100 +38,161 @@ use std::collections::VecDeque;
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct BirthId(pub u64);
 
-/// All engine state attached to one simulated core.
-pub struct CoreState {
-    /// The core's private virtual clock. Meaningful only while the core is
-    /// working; retains its last value when the core goes idle.
-    pub vtime: VirtualTime,
-    /// The value this core exposes to its neighbors: its clock while
+/// Sentinel for "no slot" in the pooled arenas.
+const NIL: u32 = u32::MAX;
+
+/// All engine state for every simulated core, struct-of-arrays.
+///
+/// Each public vector has one element per core, indexed by
+/// `CoreId::index()`. Hot synchronization fields come first (dense,
+/// contiguous, read across neighbor ids in the floor computations); cold
+/// per-core fields follow; variable-size state lives in pooled arenas
+/// behind accessor methods.
+pub struct Cores {
+    // --- hot synchronization fields -----------------------------------
+    /// The value each core exposes to its neighbors: its clock while
     /// working, its *shadow virtual time* while idle (paper §II.A
     /// *Non-connected sets of active cores*). Not monotone: it drops when
     /// an idle core (exposing a high shadow value) starts working again at
     /// its older frozen clock — `sync::note_published_change` handles the
     /// cache/waiter invalidation such a drop requires.
-    pub published: VirtualTime,
-    /// Speed factor (polymorphic architectures).
-    pub speed: CoreSpeed,
-    /// Activity that runs when this core is scheduled, if any.
-    pub current: Option<ActivityId>,
-    /// Woken activities waiting to become current again (FIFO).
-    pub resumables: VecDeque<ActivityId>,
-    /// Number of activities resident on this core (current + blocked +
-    /// woken). Zero together with `queue_hint == 0` means the core is idle.
-    pub resident: u32,
-    /// Runtime-declared count of queued-but-unstarted work items; the
-    /// engine calls `RuntimeHooks::on_idle` while this is non-zero and the
-    /// core has no current activity.
-    pub queue_hint: u32,
-    /// Nesting depth of held locks / critical sections. While non-zero the
-    /// synchronization policy never stalls this core (the lock waiver of
-    /// paper §II.B, *Locks and critical sections*).
-    pub lock_depth: u32,
-    /// Birth ledger: `(id, birth virtual time)` of tasks this core spawned
-    /// that have not yet landed on their destination core.
-    pub births: Vec<(BirthId, VirtualTime)>,
-    /// Incoming messages not yet processed.
-    pub inbox: Inbox,
-    /// This core's probabilistic branch predictor.
-    pub predictor: ProbBranchPredictor,
-    /// Accumulated busy virtual time (for utilization statistics).
-    pub busy: VDuration,
+    pub published: Vec<VirtualTime>,
+    /// Cached minimum over each core's neighbors' published times (the
+    /// neighbor part of the spatial floor; births are always re-read).
+    pub floor_nb: Vec<VirtualTime>,
+    /// False when `floor_nb` must be recomputed (a neighbor that may have
+    /// been the minimum rose).
+    pub floor_nb_valid: Vec<bool>,
+    /// True while a core's clock has advanced past its `published` value
+    /// without a publish (fast-path deferral). Only ever set for the core
+    /// whose activity holds the run token; flushed before the token is
+    /// yielded or any published value can be observed.
+    pub publish_pending: Vec<bool>,
     /// Scheduling flag: true while the core sits in the ready queue.
-    pub in_ready: bool,
-    /// Random-referee policy: the core currently used as referee, if any.
-    pub referee: Option<simany_topology::CoreId>,
+    pub in_ready: Vec<bool>,
     /// Fast-path bound: virtual times at or below this are guaranteed to
     /// pass the spatial sync check (`local_floor + T` at the last full
     /// check). Cleared whenever the floor may drop — a neighbor's published
     /// value decreasing or a birth being recorded — so a cached value is
     /// always a conservative lower bound on the true limit. `None` forces
     /// the next annotation through the full check.
-    pub headroom_limit: Option<VirtualTime>,
-    /// True while this core's clock has advanced past its `published` value
-    /// without a publish (fast-path deferral). Only ever set for the core
-    /// whose activity holds the run token; flushed before the token is
-    /// yielded or any published value can be observed.
-    pub publish_pending: bool,
-    /// Cached minimum over this core's neighbors' published times (the
-    /// neighbor part of the spatial floor; births are always re-read).
-    pub floor_nb: VirtualTime,
-    /// False when `floor_nb` must be recomputed (a neighbor that may have
-    /// been the minimum rose).
-    pub floor_nb_valid: bool,
-    /// The core whose waiter set this core most recently registered in
+    pub headroom_limit: Vec<Option<VirtualTime>>,
+    // --- cold per-core fields -----------------------------------------
+    /// Each core's private virtual clock. Meaningful only while the core
+    /// is working; retains its last value when the core goes idle.
+    pub vtime: Vec<VirtualTime>,
+    /// Accumulated busy virtual time (for utilization statistics).
+    pub busy: Vec<VDuration>,
+    /// Speed factor (polymorphic architectures).
+    pub speed: Vec<CoreSpeed>,
+    /// Activity that runs when each core is scheduled, if any.
+    pub current: Vec<Option<ActivityId>>,
+    /// Number of activities resident on each core (current + blocked +
+    /// woken). Zero together with `queue_hint == 0` means the core is idle.
+    pub resident: Vec<u32>,
+    /// Runtime-declared count of queued-but-unstarted work items; the
+    /// engine calls `RuntimeHooks::on_idle` while this is non-zero and the
+    /// core has no current activity.
+    pub queue_hint: Vec<u32>,
+    /// Nesting depth of held locks / critical sections. While non-zero the
+    /// synchronization policy never stalls the core (the lock waiver of
+    /// paper §II.B, *Locks and critical sections*).
+    pub lock_depth: Vec<u32>,
+    /// Random-referee policy: the core currently used as referee, if any.
+    pub referee: Vec<Option<simany_topology::CoreId>>,
+    /// The core whose waiter set each core most recently registered in
     /// (spatial: the argmin blocking neighbor; random-referee: the
     /// referee). Cleared when the entry is taken; stale list entries whose
     /// flag moved on are skipped or re-validated at take time.
-    pub waiting_on: Option<simany_topology::CoreId>,
+    pub waiting_on: Vec<Option<simany_topology::CoreId>>,
+    // --- pooled variable-size state -----------------------------------
+    /// Incoming messages not yet processed, in a shared slot arena (one
+    /// shard per host tile under parallel execution, so phase-B replay
+    /// lanes push into disjoint shards).
+    pub inboxes: InboxPool,
+    /// Head slot of each core's resumable FIFO (`NIL` when empty).
+    res_head: Vec<u32>,
+    /// Tail slot of each core's resumable FIFO (`NIL` when empty).
+    res_tail: Vec<u32>,
+    /// Resumable arena: `(activity, next slot)`.
+    res_slots: Vec<(ActivityId, u32)>,
+    /// Free list into `res_slots`.
+    res_free: Vec<u32>,
+    /// Head slot of each core's birth ledger (`NIL` when empty).
+    birth_head: Vec<u32>,
+    /// Birth arena: `(id, birth time, next slot)`.
+    birth_slots: Vec<(BirthId, VirtualTime, u32)>,
+    /// Free list into `birth_slots`.
+    birth_free: Vec<u32>,
+    /// Lazily materialized branch predictors (see module docs).
+    predictors: Vec<Option<Box<ProbBranchPredictor>>>,
+    /// Branch accuracy the predictors are built with.
+    pred_accuracy: f64,
+    /// Pipeline depth the predictors are built with.
+    pred_depth: u32,
+    /// Engine seed the predictor RNG streams derive from.
+    pred_seed: u64,
 }
 
-impl CoreState {
-    /// Fresh core state.
-    pub fn new(speed: CoreSpeed, predictor: ProbBranchPredictor) -> Self {
-        CoreState {
-            vtime: VirtualTime::ZERO,
-            published: VirtualTime::ZERO,
-            speed,
-            current: None,
-            resumables: VecDeque::new(),
-            resident: 0,
-            queue_hint: 0,
-            lock_depth: 0,
-            births: Vec::new(),
-            inbox: Inbox::new(),
-            predictor,
-            busy: VDuration::ZERO,
-            in_ready: false,
-            referee: None,
-            headroom_limit: None,
-            publish_pending: false,
-            floor_nb: VirtualTime::ZERO,
-            floor_nb_valid: false,
-            waiting_on: None,
+impl Cores {
+    /// Fresh state for `speeds.len()` cores. `inboxes` must be sized for
+    /// the same core count; predictors are derived from
+    /// `(seed, core index, accuracy, depth)` on first use.
+    pub fn new(
+        speeds: Vec<CoreSpeed>,
+        inboxes: InboxPool,
+        pred_accuracy: f64,
+        pred_depth: u32,
+        pred_seed: u64,
+    ) -> Self {
+        let n = speeds.len();
+        assert_eq!(
+            inboxes.n_cores(),
+            n,
+            "inbox pool sized for a different core count"
+        );
+        Cores {
+            published: vec![VirtualTime::ZERO; n],
+            floor_nb: vec![VirtualTime::ZERO; n],
+            floor_nb_valid: vec![false; n],
+            publish_pending: vec![false; n],
+            in_ready: vec![false; n],
+            headroom_limit: vec![None; n],
+            vtime: vec![VirtualTime::ZERO; n],
+            busy: vec![VDuration::ZERO; n],
+            speed: speeds,
+            current: vec![None; n],
+            resident: vec![0; n],
+            queue_hint: vec![0; n],
+            lock_depth: vec![0; n],
+            referee: vec![None; n],
+            waiting_on: vec![None; n],
+            inboxes,
+            res_head: vec![NIL; n],
+            res_tail: vec![NIL; n],
+            res_slots: Vec::new(),
+            res_free: Vec::new(),
+            birth_head: vec![NIL; n],
+            birth_slots: Vec::new(),
+            birth_free: Vec::new(),
+            predictors: (0..n).map(|_| None).collect(),
+            pred_accuracy,
+            pred_depth,
+            pred_seed,
         }
     }
 
-    /// True iff the core is not executing and has nothing runnable: no
+    /// Number of cores.
+    pub fn len(&self) -> usize {
+        self.vtime.len()
+    }
+
+    /// True when the machine has zero cores.
+    pub fn is_empty(&self) -> bool {
+        self.vtime.is_empty()
+    }
+
+    /// True iff core `i` is not executing and has nothing runnable: no
     /// current activity, no woken activities waiting to resume, and no
     /// queued tasks. Idle cores expose a shadow time instead of a clock.
     ///
@@ -114,44 +202,166 @@ impl CoreState {
     /// meanwhile, or it would stall its whole neighborhood on a clock that
     /// cannot advance (cf. paper §II.A, idle cores "do not have a virtual
     /// time of their own").
-    pub fn is_idle(&self) -> bool {
-        self.current.is_none() && self.resumables.is_empty() && self.queue_hint == 0
+    pub fn is_idle(&self, i: usize) -> bool {
+        self.current[i].is_none() && self.res_head[i] == NIL && self.queue_hint[i] == 0
     }
 
-    /// Earliest birth time in the ledger, if any.
-    pub fn min_birth(&self) -> Option<VirtualTime> {
-        self.births.iter().map(|&(_, t)| t).min()
+    /// Advance core `i`'s clock by `d`, accounting busy time.
+    pub fn advance(&mut self, i: usize, d: VDuration) {
+        self.vtime[i] += d;
+        self.busy[i] += d;
     }
 
-    /// Advance the clock by `d`, accounting busy time.
-    pub fn advance(&mut self, d: VDuration) {
-        self.vtime += d;
-        self.busy += d;
+    /// Jump core `i`'s clock forward to `t` if it is later (e.g. to a
+    /// message arrival time); the jumped-over span is waiting, not busy
+    /// time.
+    pub fn advance_to(&mut self, i: usize, t: VirtualTime) {
+        self.vtime[i] = self.vtime[i].max(t);
     }
 
-    /// Jump the clock forward to `t` if it is later (e.g. to a message
-    /// arrival time); the jumped-over span is waiting, not busy time.
-    pub fn advance_to(&mut self, t: VirtualTime) {
-        self.vtime = self.vtime.max(t);
+    /// Core `i`'s branch predictor, materialized on first use.
+    pub fn predictor(&mut self, i: usize) -> &mut ProbBranchPredictor {
+        let slot = &mut self.predictors[i];
+        slot.get_or_insert_with(|| {
+            Box::new(ProbBranchPredictor::new(
+                self.pred_accuracy,
+                self.pred_depth,
+                Xoshiro256StarStar::stream(self.pred_seed, 0x1000_0000 + i as u64),
+            ))
+        })
     }
 
-    /// One-line diagnostic summary (deadlock reports, watchdog snapshots).
-    pub(crate) fn debug_line(&self) -> String {
+    // --- resumable FIFO ------------------------------------------------
+
+    /// True iff core `i` has no woken activities waiting to resume.
+    pub fn res_is_empty(&self, i: usize) -> bool {
+        self.res_head[i] == NIL
+    }
+
+    /// First resumable of core `i` without removing it.
+    pub fn res_front(&self, i: usize) -> Option<ActivityId> {
+        match self.res_head[i] {
+            NIL => None,
+            h => Some(self.res_slots[h as usize].0),
+        }
+    }
+
+    /// Append `a` to core `i`'s resumable FIFO.
+    pub fn res_push_back(&mut self, i: usize, a: ActivityId) {
+        let slot = match self.res_free.pop() {
+            Some(s) => {
+                self.res_slots[s as usize] = (a, NIL);
+                s
+            }
+            None => {
+                self.res_slots.push((a, NIL));
+                (self.res_slots.len() - 1) as u32
+            }
+        };
+        match self.res_tail[i] {
+            NIL => self.res_head[i] = slot,
+            t => self.res_slots[t as usize].1 = slot,
+        }
+        self.res_tail[i] = slot;
+    }
+
+    /// Pop the first resumable of core `i`, if any.
+    pub fn res_pop_front(&mut self, i: usize) -> Option<ActivityId> {
+        match self.res_head[i] {
+            NIL => None,
+            h => {
+                let (a, next) = self.res_slots[h as usize];
+                self.res_head[i] = next;
+                if next == NIL {
+                    self.res_tail[i] = NIL;
+                }
+                self.res_free.push(h);
+                Some(a)
+            }
+        }
+    }
+
+    // --- birth ledger --------------------------------------------------
+
+    /// Record a birth `(id, t)` against core `i`.
+    pub fn birth_push(&mut self, i: usize, id: BirthId, t: VirtualTime) {
+        let head = self.birth_head[i];
+        let slot = match self.birth_free.pop() {
+            Some(s) => {
+                self.birth_slots[s as usize] = (id, t, head);
+                s
+            }
+            None => {
+                self.birth_slots.push((id, t, head));
+                (self.birth_slots.len() - 1) as u32
+            }
+        };
+        self.birth_head[i] = slot;
+    }
+
+    /// Unlink the birth with `id` from core `i`'s ledger. Returns `true`
+    /// if an entry was removed.
+    pub fn birth_remove(&mut self, i: usize, id: BirthId) -> bool {
+        let mut prev = NIL;
+        let mut cur = self.birth_head[i];
+        while cur != NIL {
+            let (bid, _, next) = self.birth_slots[cur as usize];
+            if bid == id {
+                match prev {
+                    NIL => self.birth_head[i] = next,
+                    p => self.birth_slots[p as usize].2 = next,
+                }
+                self.birth_free.push(cur);
+                return true;
+            }
+            prev = cur;
+            cur = next;
+        }
+        false
+    }
+
+    /// Number of entries in core `i`'s birth ledger.
+    pub fn birth_count(&self, i: usize) -> usize {
+        let mut n = 0;
+        let mut cur = self.birth_head[i];
+        while cur != NIL {
+            n += 1;
+            cur = self.birth_slots[cur as usize].2;
+        }
+        n
+    }
+
+    /// Earliest birth time in core `i`'s ledger, if any.
+    pub fn min_birth(&self, i: usize) -> Option<VirtualTime> {
+        let mut m: Option<VirtualTime> = None;
+        let mut cur = self.birth_head[i];
+        while cur != NIL {
+            let (_, t, next) = self.birth_slots[cur as usize];
+            m = Some(m.map_or(t, |x| x.min(t)));
+            cur = next;
+        }
+        m
+    }
+
+    /// One-line diagnostic summary of core `i` (deadlock reports, watchdog
+    /// snapshots).
+    pub(crate) fn debug_line(&self, i: usize) -> String {
+        let c = simany_topology::CoreId(i as u32);
         let mut s = format!(
             "vtime={} published={} inbox={} queued={} lock_depth={}",
-            self.vtime,
-            self.published,
-            self.inbox.len(),
-            self.queue_hint,
-            self.lock_depth
+            self.vtime[i],
+            self.published[i],
+            self.inboxes.len(c),
+            self.queue_hint[i],
+            self.lock_depth[i]
         );
-        if let Some(a) = self.inbox.earliest_arrival() {
+        if let Some(a) = self.inboxes.earliest_arrival(c) {
             s.push_str(&format!(" next_arrival={a}"));
         }
-        if let Some(w) = self.waiting_on {
+        if let Some(w) = self.waiting_on[i] {
             s.push_str(&format!(" waiting_on={w}"));
         }
-        if self.is_idle() {
+        if self.is_idle(i) {
             s.push_str(" idle");
         }
         s
@@ -161,54 +371,79 @@ impl CoreState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use simany_time::Xoshiro256StarStar;
+    use simany_net::InboxPool;
 
-    fn core() -> CoreState {
-        CoreState::new(
-            CoreSpeed::BASE,
-            ProbBranchPredictor::new(0.9, 5, Xoshiro256StarStar::seeded(1)),
+    fn cores(n: usize) -> Cores {
+        Cores::new(
+            vec![CoreSpeed::BASE; n],
+            InboxPool::new(n as u32),
+            0.9,
+            5,
+            1,
         )
     }
 
     #[test]
     fn idle_definition() {
-        let mut c = core();
-        assert!(c.is_idle());
-        c.queue_hint = 1;
-        assert!(!c.is_idle());
-        c.queue_hint = 0;
-        c.current = Some(crate::activity::ActivityId(0));
-        assert!(!c.is_idle());
-        c.current = None;
-        c.resumables.push_back(crate::activity::ActivityId(1));
-        assert!(!c.is_idle());
+        let mut cs = cores(2);
+        assert!(cs.is_idle(0));
+        cs.queue_hint[0] = 1;
+        assert!(!cs.is_idle(0));
+        cs.queue_hint[0] = 0;
+        cs.current[0] = Some(crate::activity::ActivityId(0));
+        assert!(!cs.is_idle(0));
+        cs.current[0] = None;
+        cs.res_push_back(0, crate::activity::ActivityId(1));
+        assert!(!cs.is_idle(0));
         // Blocked-only residents leave the core idle (shadow time).
-        c.resumables.clear();
-        c.resident = 1;
-        assert!(c.is_idle());
+        cs.res_pop_front(0);
+        cs.resident[0] = 1;
+        assert!(cs.is_idle(0));
     }
 
     #[test]
     fn advance_tracks_busy_time() {
-        let mut c = core();
-        c.advance(VDuration::from_cycles(10));
-        assert_eq!(c.vtime, VirtualTime::from_cycles(10));
-        assert_eq!(c.busy, VDuration::from_cycles(10));
+        let mut cs = cores(1);
+        cs.advance(0, VDuration::from_cycles(10));
+        assert_eq!(cs.vtime[0], VirtualTime::from_cycles(10));
+        assert_eq!(cs.busy[0], VDuration::from_cycles(10));
         // advance_to does not add busy time.
-        c.advance_to(VirtualTime::from_cycles(50));
-        assert_eq!(c.vtime, VirtualTime::from_cycles(50));
-        assert_eq!(c.busy, VDuration::from_cycles(10));
+        cs.advance_to(0, VirtualTime::from_cycles(50));
+        assert_eq!(cs.vtime[0], VirtualTime::from_cycles(50));
+        assert_eq!(cs.busy[0], VDuration::from_cycles(10));
         // advance_to never rewinds.
-        c.advance_to(VirtualTime::from_cycles(20));
-        assert_eq!(c.vtime, VirtualTime::from_cycles(50));
+        cs.advance_to(0, VirtualTime::from_cycles(20));
+        assert_eq!(cs.vtime[0], VirtualTime::from_cycles(50));
     }
 
     #[test]
     fn min_birth() {
-        let mut c = core();
-        assert_eq!(c.min_birth(), None);
-        c.births.push((BirthId(0), VirtualTime::from_cycles(30)));
-        c.births.push((BirthId(1), VirtualTime::from_cycles(10)));
-        assert_eq!(c.min_birth(), Some(VirtualTime::from_cycles(10)));
+        let mut cs = cores(1);
+        assert_eq!(cs.min_birth(0), None);
+        cs.birth_push(0, BirthId(0), VirtualTime::from_cycles(30));
+        cs.birth_push(0, BirthId(1), VirtualTime::from_cycles(10));
+        assert_eq!(cs.min_birth(0), Some(VirtualTime::from_cycles(10)));
+        assert_eq!(cs.birth_count(0), 2);
+        assert!(cs.birth_remove(0, BirthId(1)));
+        assert_eq!(cs.min_birth(0), Some(VirtualTime::from_cycles(30)));
+        assert!(!cs.birth_remove(0, BirthId(1)));
+        assert_eq!(cs.birth_count(0), 1);
+    }
+
+    #[test]
+    fn resumable_fifo_order_with_slot_reuse() {
+        let mut cs = cores(2);
+        cs.res_push_back(0, ActivityId(1));
+        cs.res_push_back(0, ActivityId(2));
+        cs.res_push_back(1, ActivityId(3));
+        assert_eq!(cs.res_front(0), Some(ActivityId(1)));
+        assert_eq!(cs.res_pop_front(0), Some(ActivityId(1)));
+        // The freed slot is reused without disturbing FIFO order.
+        cs.res_push_back(0, ActivityId(4));
+        assert_eq!(cs.res_pop_front(0), Some(ActivityId(2)));
+        assert_eq!(cs.res_pop_front(0), Some(ActivityId(4)));
+        assert_eq!(cs.res_pop_front(0), None);
+        assert_eq!(cs.res_pop_front(1), Some(ActivityId(3)));
+        assert!(cs.res_is_empty(1));
     }
 }

@@ -2,6 +2,63 @@
 
 use simany_net::NetStats;
 use simany_time::{VDuration, VirtualTime};
+use simany_topology::CoreId;
+
+/// How many of the busiest cores [`BusySummary`] keeps by id.
+const TOP_BUSY: usize = 8;
+
+/// Streaming summary of per-core busy virtual time.
+///
+/// Replaces the old `Vec<VDuration>` (one entry per core): at a million
+/// cores a dense vector is 8 MB of teardown allocation that every consumer
+/// then re-reduces. The engine instead folds each core's busy time into
+/// this accumulator in one pass — O(1) memory, with the top-`TOP_BUSY`
+/// busiest cores retained by id for diagnostics. Deterministic: cores are
+/// recorded in index order and ties prefer the lower core id.
+#[derive(Clone, Debug, Default)]
+pub struct BusySummary {
+    /// Cores recorded.
+    pub n_cores: u64,
+    /// Cores with nonzero busy time (work actually landed there).
+    pub active: u64,
+    /// Sum of busy time over all cores.
+    pub total: VDuration,
+    /// Largest single-core busy time.
+    pub max: VDuration,
+    /// The busiest cores as `(core, busy)`, descending; ties keep the
+    /// lower core id first. At most [`TOP_BUSY`] entries.
+    pub top: Vec<(CoreId, VDuration)>,
+}
+
+impl BusySummary {
+    /// Fold one core's busy time into the summary. Call in core-index
+    /// order for a deterministic `top` list.
+    pub fn record(&mut self, core: CoreId, busy: VDuration) {
+        self.n_cores += 1;
+        if busy.ticks() > 0 {
+            self.active += 1;
+        }
+        self.total += busy;
+        if busy > self.max {
+            self.max = busy;
+        }
+        if self.top.len() < TOP_BUSY || busy > self.top.last().unwrap().1 {
+            // Insert before the first strictly-smaller entry: equal-busy
+            // cores stay in record (= core id) order.
+            let at = self.top.partition_point(|&(_, b)| b >= busy);
+            self.top.insert(at, (core, busy));
+            self.top.truncate(TOP_BUSY);
+        }
+    }
+
+    /// Mean busy time per recorded core, in ticks (0 when empty).
+    pub fn mean_ticks(&self) -> f64 {
+        if self.n_cores == 0 {
+            return 0.0;
+        }
+        self.total.ticks() as f64 / self.n_cores as f64
+    }
+}
 
 /// Counters accumulated during one simulation run.
 #[derive(Clone, Debug, Default)]
@@ -24,8 +81,9 @@ pub struct SimStats {
     pub late_by_total: VDuration,
     /// Messages processed in order (arrival time >= receiver clock).
     pub on_time_messages: u64,
-    /// Per-core busy virtual time (time spent advancing, not waiting).
-    pub core_busy: Vec<VDuration>,
+    /// Busy virtual time summary (time spent advancing, not waiting),
+    /// streamed per core at teardown — no O(cores) vector.
+    pub busy: BusySummary,
     /// Network statistics (messages, bytes, hops, link contention).
     pub net: NetStats,
     /// Wall-clock duration of the run.
@@ -172,11 +230,7 @@ impl SimStats {
 
     /// Average busy time across cores, in cycles.
     pub fn mean_busy_cycles(&self) -> f64 {
-        if self.core_busy.is_empty() {
-            return 0.0;
-        }
-        let total: u64 = self.core_busy.iter().map(|d| d.ticks()).sum();
-        total as f64 / self.core_busy.len() as f64 / simany_time::TICKS_PER_CYCLE as f64
+        self.busy.mean_ticks() / simany_time::TICKS_PER_CYCLE as f64
     }
 
     /// Mean of the available-parallelism samples (0 when not sampled).
@@ -204,11 +258,10 @@ impl SimStats {
 
     /// Core utilization: mean busy time divided by final time (0..1).
     pub fn utilization(&self) -> f64 {
-        if self.final_vtime.ticks() == 0 {
+        if self.final_vtime.ticks() == 0 || self.busy.n_cores == 0 {
             return 0.0;
         }
-        let total: u64 = self.core_busy.iter().map(|d| d.ticks()).sum();
-        total as f64 / (self.final_vtime.ticks() as f64 * self.core_busy.len() as f64)
+        self.busy.mean_ticks() / self.final_vtime.ticks() as f64
     }
 }
 
@@ -234,12 +287,40 @@ mod tests {
 
     #[test]
     fn utilization_computation() {
+        let mut busy = BusySummary::default();
+        busy.record(CoreId(0), VDuration::from_cycles(50));
+        busy.record(CoreId(1), VDuration::from_cycles(100));
         let s = SimStats {
             final_vtime: VirtualTime::from_cycles(100),
-            core_busy: vec![VDuration::from_cycles(50), VDuration::from_cycles(100)],
+            busy,
             ..Default::default()
         };
         assert!((s.utilization() - 0.75).abs() < 1e-12);
         assert!((s.mean_busy_cycles() - 75.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn busy_summary_streams_top_cores() {
+        let mut b = BusySummary::default();
+        for i in 0..20u32 {
+            // Busy times 0, 10, 20, ..., with a tie between cores 3 and 13.
+            let cycles = if i == 13 { 30 } else { u64::from(i) * 10 };
+            b.record(CoreId(i), VDuration::from_cycles(cycles));
+        }
+        assert_eq!(b.n_cores, 20);
+        assert_eq!(b.max, VDuration::from_cycles(190));
+        assert_eq!(b.top.len(), 8);
+        assert_eq!(b.top[0], (CoreId(19), VDuration::from_cycles(190)));
+        // Descending, and the tie at 30 cycles keeps the lower id first
+        // (core 3 recorded before core 13).
+        for w in b.top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let mut tie = BusySummary::default();
+        for i in 0..4u32 {
+            tie.record(CoreId(i), VDuration::from_cycles(5));
+        }
+        assert_eq!(tie.top[0].0, CoreId(0));
+        assert_eq!(tie.top[3].0, CoreId(3));
     }
 }

@@ -24,12 +24,12 @@
 //! keep the common case O(1) — see `DESIGN.md`, *Hot path & fast-path
 //! invariants*, for the full determinism argument:
 //!
-//! * **Drift headroom** (`CoreState::headroom_limit`): a successful spatial
+//! * **Drift headroom** (`Cores::headroom_limit`): a successful spatial
 //!   check caches `local_floor + T`; annotations below the bound defer the
 //!   publish (`publish_pending`) and skip everything else. The deferral is
 //!   invisible because only the token-holding activity can observe state,
 //!   and every token yield or state read flushes first.
-//! * **Incremental floors** (`CoreState::floor_nb`): the neighbor minimum
+//! * **Incremental floors** (`Cores::floor_nb`): the neighbor minimum
 //!   is maintained at publish time and only recomputed when a neighbor that
 //!   may have been the minimum rose.
 //! * **Waiter sets** (`Sim::waiters`): a stalled core registers on its
@@ -47,7 +47,7 @@ use simany_topology::CoreId;
 /// Run core `c`'s deferred publish, if any. Call before any code that can
 /// observe published values or before the run token leaves `c`'s activity.
 pub(crate) fn flush_deferred(sim: &mut Sim, shared: &Shared, c: CoreId) {
-    if sim.cores[c.index()].publish_pending {
+    if sim.cores.publish_pending[c.index()] {
         if sim.sanitizer.is_some() {
             // The deferred advance must have stayed inside the cached
             // headroom, or the fast path skipped a stall it owed.
@@ -69,17 +69,17 @@ fn note_published_change(
     new: VirtualTime,
 ) {
     for &(m, _) in shared.topo.neighbors(x) {
-        let mc = &mut sim.cores[m.index()];
+        let i = m.index();
         if new < old {
             // A drop can only lower the minimum: the cache stays valid, but
             // any cached headroom may now overshoot the true floor.
-            if mc.floor_nb_valid && new < mc.floor_nb {
-                mc.floor_nb = new;
+            if sim.cores.floor_nb_valid[i] && new < sim.cores.floor_nb[i] {
+                sim.cores.floor_nb[i] = new;
             }
-            mc.headroom_limit = None;
-        } else if mc.floor_nb_valid && mc.floor_nb == old {
+            sim.cores.headroom_limit[i] = None;
+        } else if sim.cores.floor_nb_valid[i] && sim.cores.floor_nb[i] == old {
             // x may have been the (possibly tied) minimum; recompute lazily.
-            mc.floor_nb_valid = false;
+            sim.cores.floor_nb_valid[i] = false;
         }
     }
 }
@@ -88,26 +88,26 @@ fn note_published_change(
 /// Call after any change to `c`'s clock or idle status. Triggers stall
 /// re-checks on every core whose published value changed.
 pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
-    sim.cores[c.index()].publish_pending = false;
-    if sim.cores[c.index()].vtime > sim.max_vtime {
-        sim.max_vtime = sim.cores[c.index()].vtime;
+    sim.cores.publish_pending[c.index()] = false;
+    if sim.cores.vtime[c.index()] > sim.max_vtime {
+        sim.max_vtime = sim.cores.vtime[c.index()];
     }
     let spatial_t = match shared.config.sync {
         SyncPolicy::Spatial { t } => Some(t),
         _ => None,
     };
     let newval = match spatial_t {
-        Some(t) if sim.cores[c.index()].is_idle() => shadow_value(sim, shared, c, t),
-        _ => sim.cores[c.index()].vtime,
+        Some(t) if sim.cores.is_idle(c.index()) => shadow_value(sim, shared, c, t),
+        _ => sim.cores.vtime[c.index()],
     };
-    let oldval = sim.cores[c.index()].published;
+    let oldval = sim.cores.published[c.index()];
     if sim.sanitizer.is_some() {
         // Every slow-path clock change passes through here before the run
         // token can return to the scheduler, so measuring overshoot (and
         // floor regressions on idle-to-working drops) at publish instants
         // covers every state the periodic scan can observe.
         crate::sanitizer::note_clock(sim, shared, c);
-        if newval < oldval && !sim.cores[c.index()].is_idle() {
+        if newval < oldval && !sim.cores.is_idle(c.index()) {
             crate::sanitizer::note_floor_regression(sim, newval);
         }
     }
@@ -115,7 +115,7 @@ pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
         return;
     }
     sim.stats.publish_sweeps += 1;
-    sim.cores[c.index()].published = newval;
+    sim.cores.published[c.index()] = newval;
     sim.floor_dirty = true;
     note_published_change(sim, shared, c, oldval, newval);
 
@@ -144,22 +144,22 @@ pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
     sim.stamp[c.index()] = stamp;
     changed.push((c, oldval));
     for &(n, _) in shared.topo.neighbors(c) {
-        if sim.cores[n.index()].is_idle() {
+        if sim.cores.is_idle(n.index()) {
             work.push(n);
         }
     }
     while let Some(i) = work.pop() {
         let v = shadow_value(sim, shared, i, t);
-        let old = sim.cores[i.index()].published;
+        let old = sim.cores.published[i.index()];
         if v != old {
-            sim.cores[i.index()].published = v;
+            sim.cores.published[i.index()] = v;
             note_published_change(sim, shared, i, old, v);
             if sim.stamp[i.index()] != stamp {
                 sim.stamp[i.index()] = stamp;
                 changed.push((i, old));
             }
             for &(n, _) in shared.topo.neighbors(i) {
-                if sim.cores[n.index()].is_idle() {
+                if sim.cores.is_idle(n.index()) {
                     work.push(n);
                 }
             }
@@ -173,7 +173,7 @@ pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
     // invalidates registrations, so it sweeps all of x's neighbors — each
     // failed recheck re-registers on the now-current argmin.
     for &(x, old) in &changed {
-        let fin = sim.cores[x.index()].published;
+        let fin = sim.cores.published[x.index()];
         if fin == old {
             continue;
         }
@@ -206,8 +206,8 @@ fn take_waiters(sim: &mut Sim, shared: &Shared, x: CoreId) {
             continue;
         }
         sim.stamp[w.index()] = stamp;
-        if sim.cores[w.index()].waiting_on == Some(x) {
-            sim.cores[w.index()].waiting_on = None;
+        if sim.cores.waiting_on[w.index()] == Some(x) {
+            sim.cores.waiting_on[w.index()] = None;
         }
         // Recheck stale entries too: under RandomReferee the old watcher
         // lists rechecked every taken entry regardless of the core's
@@ -222,10 +222,10 @@ fn take_waiters(sim: &mut Sim, shared: &Shared, x: CoreId) {
 /// the most recent registration, so a repeat registration on the same
 /// target is a no-op without scanning the list).
 fn register_waiter(sim: &mut Sim, c: CoreId, target: CoreId) {
-    if sim.cores[c.index()].waiting_on == Some(target) {
+    if sim.cores.waiting_on[c.index()] == Some(target) {
         return;
     }
-    sim.cores[c.index()].waiting_on = Some(target);
+    sim.cores.waiting_on[c.index()] = Some(target);
     sim.waiters[target.index()].push(c.0);
 }
 
@@ -242,20 +242,18 @@ fn shadow_value(sim: &Sim, shared: &Shared, i: CoreId, t: VDuration) -> VirtualT
         .topo
         .neighbors(i)
         .iter()
-        .map(|&(n, _)| sim.cores[n.index()].published)
+        .map(|&(n, _)| sim.cores.published[n.index()])
         .min();
     match min_neigh {
-        Some(m) => sim.cores[i.index()]
-            .vtime
-            .max((m + t).min(sim.max_vtime + t)),
-        None => sim.cores[i.index()].vtime,
+        Some(m) => sim.cores.vtime[i.index()].max((m + t).min(sim.max_vtime + t)),
+        None => sim.cores.vtime[i.index()],
     }
 }
 
 /// If `c`'s current activity is stalled and the synchronization condition
 /// now holds, make it resumable and requeue the core.
 pub(crate) fn recheck_stall(sim: &mut Sim, shared: &Shared, c: CoreId) {
-    let Some(aid) = sim.cores[c.index()].current else {
+    let Some(aid) = sim.cores.current[c.index()] else {
         return;
     };
     if !sim.act(aid).is_stalled() {
@@ -281,17 +279,17 @@ pub(crate) fn recheck_all_stalled(sim: &mut Sim, shared: &Shared) {
 /// neighbors. The neighbor minimum comes from the incrementally maintained
 /// cache; it is recomputed only when invalidated by a rising publish.
 pub(crate) fn local_floor(sim: &mut Sim, shared: &Shared, c: CoreId) -> VirtualTime {
-    if !sim.cores[c.index()].floor_nb_valid {
+    if !sim.cores.floor_nb_valid[c.index()] {
         sim.count_floor_recompute(shared, c);
         let mut m = VirtualTime::MAX;
         for &(n, _) in shared.topo.neighbors(c) {
-            m = m.min(sim.cores[n.index()].published);
+            m = m.min(sim.cores.published[n.index()]);
         }
-        sim.cores[c.index()].floor_nb = m;
-        sim.cores[c.index()].floor_nb_valid = true;
+        sim.cores.floor_nb[c.index()] = m;
+        sim.cores.floor_nb_valid[c.index()] = true;
     }
-    let mut floor = sim.cores[c.index()].floor_nb;
-    if let Some(b) = sim.cores[c.index()].min_birth() {
+    let mut floor = sim.cores.floor_nb[c.index()];
+    if let Some(b) = sim.cores.min_birth(c.index()) {
         floor = floor.min(b);
     }
     floor
@@ -302,11 +300,11 @@ pub(crate) fn local_floor(sim: &mut Sim, shared: &Shared, c: CoreId) -> VirtualT
 /// Conservative policies.
 pub(crate) fn global_floor(sim: &Sim) -> VirtualTime {
     let mut floor = VirtualTime::MAX;
-    for core in &sim.cores {
-        if !core.is_idle() {
-            floor = floor.min(core.published);
+    for i in 0..sim.cores.len() {
+        if !sim.cores.is_idle(i) {
+            floor = floor.min(sim.cores.published[i]);
         }
-        if let Some(b) = core.min_birth() {
+        if let Some(b) = sim.cores.min_birth(i) {
             floor = floor.min(b);
         }
     }
@@ -330,10 +328,10 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
     // Lock waiver: a core holding a lock or inside a critical section is
     // temporarily exempt so it can release its resources (paper §II.B).
     // No headroom is cached here — the waiver is not a drift bound.
-    if sim.cores[c.index()].lock_depth > 0 {
+    if sim.cores.lock_depth[c.index()] > 0 {
         return true;
     }
-    let vtime = sim.cores[c.index()].vtime;
+    let vtime = sim.cores.vtime[c.index()];
     match shared.config.sync {
         SyncPolicy::Spatial { t } => {
             let floor = local_floor(sim, shared, c);
@@ -345,7 +343,7 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
             if floor == VirtualTime::MAX {
                 // No neighbors, no births: nothing to drift from, ever.
                 if fast_path_eligible(shared) {
-                    sim.cores[c.index()].headroom_limit = Some(VirtualTime::MAX);
+                    sim.cores.headroom_limit[c.index()] = Some(VirtualTime::MAX);
                 }
                 return true;
             }
@@ -353,23 +351,23 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
             sim.note_neighbor_drift(shared, c, drift);
             if drift <= t {
                 if fast_path_eligible(shared) {
-                    sim.cores[c.index()].headroom_limit = Some(floor + t);
+                    sim.cores.headroom_limit[c.index()] = Some(floor + t);
                 }
                 true
             } else {
-                sim.cores[c.index()].headroom_limit = None;
+                sim.cores.headroom_limit[c.index()] = None;
                 // Register on the argmin blocking *neighbor*, whose rise is
                 // the only publish event that can lift the neighbor
                 // minimum. A floor bound by a birth alone needs no
                 // registration: `discard_birth` rechecks directly.
-                let nb_floor = sim.cores[c.index()].floor_nb;
+                let nb_floor = sim.cores.floor_nb[c.index()];
                 if vtime.saturating_since(nb_floor) > t {
                     let argmin = shared
                         .topo
                         .neighbors(c)
                         .iter()
                         .map(|&(n, _)| n)
-                        .find(|n| sim.cores[n.index()].published == nb_floor);
+                        .find(|n| sim.cores.published[n.index()] == nb_floor);
                     if let Some(r) = argmin {
                         register_waiter(sim, c, r);
                     }
@@ -389,7 +387,7 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
             floor == VirtualTime::MAX || vtime <= floor
         }
         SyncPolicy::RandomReferee { slack } => loop {
-            match sim.cores[c.index()].referee {
+            match sim.cores.referee[c.index()] {
                 None => {
                     // Choose a random *working* core other than c. The
                     // candidate sweep reuses one scratch buffer across
@@ -398,7 +396,7 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
                     candidates.clear();
                     candidates.extend(
                         (0..sim.cores.len() as u32)
-                            .filter(|&i| i != c.0 && !sim.cores[i as usize].is_idle()),
+                            .filter(|&i| i != c.0 && !sim.cores.is_idle(i as usize)),
                     );
                     if candidates.is_empty() {
                         sim.scratch_ready = candidates;
@@ -406,16 +404,16 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
                     }
                     let pick = candidates[sim.rng.next_index(candidates.len())];
                     sim.scratch_ready = candidates;
-                    sim.cores[c.index()].referee = Some(CoreId(pick));
+                    sim.cores.referee[c.index()] = Some(CoreId(pick));
                 }
                 Some(r) => {
-                    if sim.cores[r.index()].is_idle() {
+                    if sim.cores.is_idle(r.index()) {
                         // Referee retired; pick another next iteration.
-                        sim.cores[c.index()].referee = None;
+                        sim.cores.referee[c.index()] = None;
                         continue;
                     }
-                    if vtime.saturating_since(sim.cores[r.index()].published) <= slack {
-                        sim.cores[c.index()].referee = None;
+                    if vtime.saturating_since(sim.cores.published[r.index()]) <= slack {
+                        sim.cores.referee[c.index()] = None;
                         return true;
                     }
                     // Still too far ahead: watch the referee for changes.
@@ -441,15 +439,15 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
 /// shard: the headroom cache (same values the serial check would write,
 /// since its inputs are frozen) and the max-drift statistic.
 pub(crate) fn sync_ok_frozen(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
-    if sim.cores[c.index()].lock_depth > 0 {
+    if sim.cores.lock_depth[c.index()] > 0 {
         // The waiver is not a drift bound, and inside an epoch even waiver
         // advances defer their publishes: drop any cached headroom so the
         // coordinator's flush-time sanitizer check cannot mistake them for
         // fast-path overshoot. The next real check recomputes it.
-        sim.cores[c.index()].headroom_limit = None;
+        sim.cores.headroom_limit[c.index()] = None;
         return true;
     }
-    let vtime = sim.cores[c.index()].vtime;
+    let vtime = sim.cores.vtime[c.index()];
     match shared.config.sync {
         SyncPolicy::Spatial { t } => {
             // Published values are frozen for the whole epoch, so even the
@@ -462,7 +460,7 @@ pub(crate) fn sync_ok_frozen(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool 
             let floor = local_floor(sim, shared, c);
             if floor == VirtualTime::MAX {
                 if fast_path_eligible(shared) {
-                    sim.cores[c.index()].headroom_limit = Some(VirtualTime::MAX);
+                    sim.cores.headroom_limit[c.index()] = Some(VirtualTime::MAX);
                 }
                 return true;
             }
@@ -470,11 +468,11 @@ pub(crate) fn sync_ok_frozen(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool 
             sim.note_neighbor_drift(shared, c, drift);
             if drift <= t {
                 if fast_path_eligible(shared) {
-                    sim.cores[c.index()].headroom_limit = Some(floor + t);
+                    sim.cores.headroom_limit[c.index()] = Some(floor + t);
                 }
                 true
             } else {
-                sim.cores[c.index()].headroom_limit = None;
+                sim.cores.headroom_limit[c.index()] = None;
                 false
             }
         }

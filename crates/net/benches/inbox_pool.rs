@@ -1,0 +1,107 @@
+//! Inbox microbenchmark: the old per-core-allocation layout (one
+//! heap-backed [`Inbox`] per core) against the pooled slot arena
+//! ([`InboxPool`]) on an enqueue/drain-heavy message storm.
+//!
+//! The workload is the pool's target regime: many cores, bursty traffic,
+//! queues that repeatedly fill and drain — the pattern that makes per-core
+//! `BinaryHeap`s allocate, grow and shrink once per core while the arena
+//! recycles a small shared slab through its freelist. Both layouts pop the
+//! exact same envelope sequence per core (same total order key
+//! `(arrival, seq)`), asserted once up front.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use simany_net::{Envelope, Inbox, InboxPool, MsgId, Payload};
+use simany_time::VirtualTime;
+use simany_topology::CoreId;
+use std::hint::black_box;
+
+const CORES: u32 = 4096;
+const ROUNDS: u32 = 8;
+const MSGS_PER_CORE: u32 = 6;
+
+/// Deterministic envelope stream: `ROUNDS` bursts, each delivering
+/// `MSGS_PER_CORE` messages to every core with scattered arrival times, so
+/// sorted insertion actually has to order slots. An LCG stands in for a
+/// PRNG to keep the bench dependency-free.
+fn envelopes(round: u32) -> impl Iterator<Item = (CoreId, Envelope)> {
+    let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15 ^ u64::from(round);
+    (0..CORES * MSGS_PER_CORE).map(move |i| {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let dst = CoreId(i % CORES);
+        let seq = u64::from(round) * u64::from(CORES * MSGS_PER_CORE) + u64::from(i);
+        let arrival = VirtualTime::from_cycles(u64::from(round) * 1000 + (lcg >> 52));
+        let env = Envelope {
+            id: MsgId(seq),
+            src: CoreId((i / CORES) % CORES),
+            dst,
+            sent: VirtualTime::from_cycles(u64::from(round) * 1000),
+            arrival,
+            size_bytes: 64,
+            seq,
+            payload: Payload::none(),
+        };
+        (dst, env)
+    })
+}
+
+/// Old layout: one standalone heap per core, allocated per core.
+fn run_per_core_heaps() -> u64 {
+    let mut inboxes: Vec<Inbox> = (0..CORES).map(|_| Inbox::new()).collect();
+    let mut popped = 0u64;
+    let mut check = 0u64;
+    for round in 0..ROUNDS {
+        for (dst, env) in envelopes(round) {
+            inboxes[dst.index()].push(env);
+        }
+        for inbox in inboxes.iter_mut() {
+            while let Some(env) = inbox.pop() {
+                popped += 1;
+                check = check.rotate_left(7) ^ env.arrival.cycles() ^ env.seq;
+            }
+        }
+    }
+    assert_eq!(popped, u64::from(CORES * MSGS_PER_CORE * ROUNDS));
+    check
+}
+
+/// Pooled layout: one shared arena, 8 bytes of per-core state.
+fn run_pooled_arena() -> u64 {
+    let mut pool = InboxPool::new(CORES);
+    let mut popped = 0u64;
+    let mut check = 0u64;
+    for round in 0..ROUNDS {
+        for (dst, env) in envelopes(round) {
+            pool.push(dst, env);
+        }
+        for c in 0..CORES {
+            while let Some(env) = pool.pop(CoreId(c)) {
+                popped += 1;
+                check = check.rotate_left(7) ^ env.arrival.cycles() ^ env.seq;
+            }
+        }
+    }
+    assert_eq!(popped, u64::from(CORES * MSGS_PER_CORE * ROUNDS));
+    check
+}
+
+fn bench_inbox(c: &mut Criterion) {
+    // Same messages, same per-core pop order — the layouts agree exactly
+    // (order-sensitive fold).
+    let expect = run_per_core_heaps();
+    assert_eq!(
+        expect,
+        run_pooled_arena(),
+        "pooled arena diverged from the per-core heap baseline"
+    );
+    c.bench_function("inbox/per_core_heaps", |b| {
+        b.iter(|| black_box(run_per_core_heaps()))
+    });
+    c.bench_function("inbox/pooled_arena", |b| {
+        b.iter(|| black_box(run_pooled_arena()))
+    });
+}
+
+criterion_group!(benches, bench_inbox);
+criterion_main!(benches);

@@ -27,7 +27,7 @@ pub mod inbox;
 pub mod link;
 pub mod message;
 
-pub use inbox::Inbox;
+pub use inbox::{Inbox, InboxLanes, InboxPool};
 pub use link::{LinkTraffic, NetStats};
 pub use message::{Envelope, MsgId, Payload};
 
@@ -36,7 +36,7 @@ use std::sync::Arc;
 use simany_fault::FaultPlan;
 use simany_time::prng::Xoshiro256StarStar;
 use simany_time::{VDuration, VirtualTime};
-use simany_topology::{CoreId, LinkId, LinkProps, RoutingTable, Topology};
+use simany_topology::{CoreId, LinkId, LinkProps, Routes, RoutesView, Topology};
 
 /// Tunable network cost parameters (paper §III, Architecture Variability).
 #[derive(Clone, Copy, Debug)]
@@ -121,7 +121,7 @@ struct FaultState {
 #[derive(Debug)]
 pub struct NetworkModel {
     topo: Topology,
-    routing: RoutingTable,
+    routes: Routes,
     traffic: LinkTraffic,
     params: NetworkParams,
     next_seq: u64,
@@ -157,11 +157,11 @@ impl NetworkModel {
                 "fault plan compiled against a different topology (cores)"
             );
         }
-        let routing = RoutingTable::build(&topo);
+        let routes = Routes::for_topology(&topo);
         let traffic = LinkTraffic::new(topo.n_links());
         NetworkModel {
             topo,
-            routing,
+            routes,
             traffic,
             params,
             next_seq: 0,
@@ -186,9 +186,12 @@ impl NetworkModel {
         &self.topo
     }
 
-    /// The routing table.
-    pub fn routing(&self) -> &RoutingTable {
-        &self.routing
+    /// A view over the routing tables. Dense (precomputed all-pairs) on
+    /// small machines, lazily computed per-destination rows above
+    /// [`simany_topology::DENSE_ROUTING_MAX`] cores — same routes either
+    /// way.
+    pub fn routing(&self) -> RoutesView<'_> {
+        self.routes.view(&self.topo)
     }
 
     /// Network parameters.
@@ -208,8 +211,9 @@ impl NetworkModel {
         if src == dst {
             return VDuration::ZERO;
         }
-        let hops = self.routing.path_hops(src, dst) as u64;
-        let base = self.routing.path_latency(src, dst);
+        let routing = self.routes.view(&self.topo);
+        let hops = routing.path_hops(src, dst) as u64;
+        let base = routing.path_latency(src, dst);
         let chunks = self.params.chunks(size) as u64;
         let mut extra = self.params.routing_penalty.scaled(hops);
         extra += self.params.per_chunk_time.scaled(hops * chunks);
@@ -217,7 +221,7 @@ impl NetworkModel {
         let mut cur = src;
         let mut ser = VDuration::ZERO;
         while cur != dst {
-            let link = self.routing.next_link(cur, dst).expect("connected");
+            let link = routing.next_link(cur, dst).expect("connected");
             let props = self.topo.link(link);
             ser += serialization_delay(size, props.bandwidth_bytes_per_cycle);
             cur = props.dst;
@@ -251,8 +255,8 @@ impl NetworkModel {
                 .as_ref()
                 .and_then(|p| p.epoch_routing(p.epoch_at(depart)));
             let (rt, via_epoch) = match epoch_rt {
-                Some(rt) if rt.reachable(src, dst) => (rt, true),
-                _ => (&self.routing, false),
+                Some(rt) if rt.reachable(src, dst) => (RoutesView::from_table(rt), true),
+                _ => (self.routes.view(&self.topo), false),
             };
             let chunks = self.params.chunks(size_bytes) as u64;
             let mut cur = src;
@@ -280,9 +284,10 @@ impl NetworkModel {
                 // base table everywhere else).
                 let p = plan.as_ref().expect("via_epoch implies a plan");
                 let e = p.epoch_at(depart);
+                let base = self.routes.view(&self.topo);
                 let mut cur = src;
                 while cur != dst {
-                    let l = self.routing.next_link(cur, dst).expect("connected");
+                    let l = base.next_link(cur, dst).expect("connected");
                     if p.link_dead(e, l) {
                         self.stats.rerouted += 1;
                         break;
@@ -354,7 +359,10 @@ impl NetworkModel {
                 if plan.has_message_faults() {
                     // Combine per-link fault probabilities over the route
                     // this message will take.
-                    let rt = epoch_rt.unwrap_or(&self.routing);
+                    let rt = match epoch_rt {
+                        Some(t) => RoutesView::from_table(t),
+                        None => self.routes.view(&self.topo),
+                    };
                     let mut keep_drop = 1.0f64;
                     let mut keep_corrupt = 1.0f64;
                     let mut keep_delay = 1.0f64;

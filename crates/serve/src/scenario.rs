@@ -83,6 +83,9 @@ pub struct Scenario {
     pub drift: Option<u64>,
     /// Host worker threads (1 = sequential engine).
     pub threads: u32,
+    /// Destination-sharded phase-B replay in parallel mode (bit-identical
+    /// either way; an axis so sweeps can measure its wall-clock effect).
+    pub shard_phase_b: bool,
     /// Scheduling priority: higher runs earlier; ties resolve FIFO.
     pub priority: i64,
     /// Fault-injection knobs.
@@ -103,6 +106,7 @@ impl Default for Scenario {
             sync: "spatial".into(),
             drift: None,
             threads: 1,
+            shard_phase_b: true,
             priority: 0,
             faults: FaultKnobs::default(),
         }
@@ -140,12 +144,21 @@ impl Scenario {
             "mesh" => presets::uniform_mesh_sm(self.cores),
             "mesh3d" => presets::mesh3d_sm(self.cores),
             "clustered" => presets::clustered_dm(self.cores, self.clusters),
+            "chiplet" => {
+                if self.clusters == 0 || !self.cores.is_multiple_of(self.clusters) {
+                    return Err(format!(
+                        "machine 'chiplet' needs cores ({}) divisible by clusters ({})",
+                        self.cores, self.clusters
+                    ));
+                }
+                presets::chiplet_dm(self.cores, self.clusters)
+            }
             "polymorphic" => presets::polymorphic_sm(self.cores),
             "cycle-level" => presets::cycle_level(self.cores),
             other => {
                 return Err(format!(
                     "unknown machine '{other}' (expected mesh | mesh3d | clustered | \
-                     polymorphic | cycle-level)"
+                     chiplet | polymorphic | cycle-level)"
                 ))
             }
         };
@@ -163,7 +176,11 @@ impl Scenario {
         if self.drift.is_some() || self.sync != "spatial" {
             spec.engine.sync = sync_policy(&self.sync, self.drift)?;
         }
-        spec.engine = spec.engine.with_seed(self.seed).with_threads(self.threads);
+        spec.engine = spec
+            .engine
+            .with_seed(self.seed)
+            .with_threads(self.threads)
+            .with_shard_phase_b(self.shard_phase_b);
         if self.faults.any() {
             let plan = FaultPlan::sample(&spec.topo, &self.faults.to_config(), self.seed);
             spec.engine = spec.engine.with_fault_plan(std::sync::Arc::new(plan));
@@ -186,12 +203,18 @@ impl Scenario {
         ] {
             h = fold_str(h, part);
         }
-        if self.machine == "clustered" {
+        if self.machine == "clustered" || self.machine == "chiplet" {
             h = fold_u64(h, self.clusters as u64);
         }
         h = fold_u64(h, self.cores as u64);
         h = fold_u64(h, self.scale.to_bits());
         h = fold_u64(h, self.seed);
+        // The engine digest deliberately ignores `shard_phase_b` (it is
+        // bit-identical), but a sweep axing it wants distinct points, so
+        // fold the non-default value here.
+        if !self.shard_phase_b {
+            h = fold_str(h, "shard_phase_b=off");
+        }
         Ok(h)
     }
 
@@ -220,7 +243,10 @@ impl Scenario {
             "--threads".into(),
             self.threads.to_string(),
         ];
-        if self.machine == "clustered" {
+        if !self.shard_phase_b {
+            args.extend(["--shard-phase-b".into(), "off".into()]);
+        }
+        if self.machine == "clustered" || self.machine == "chiplet" {
             args.extend(["--clusters".into(), self.clusters.to_string()]);
         }
         if self.sync != "spatial" {
@@ -311,6 +337,22 @@ mod tests {
         let mut e = Scenario::default();
         e.drift = Some(500);
         assert_ne!(a.digest().unwrap(), e.digest().unwrap());
+    }
+
+    #[test]
+    fn shard_phase_b_axis_is_distinct_and_args_roundtrip() {
+        let mut off = Scenario::default();
+        off.shard_phase_b = false;
+        // The engine digest ignores the knob (bit-identical outcome), so
+        // the scenario digest must fold it to keep sweep points distinct.
+        assert_ne!(off.digest().unwrap(), Scenario::default().digest().unwrap());
+        let args = off.to_simulate_args();
+        assert!(args.windows(2).any(|w| w == ["--shard-phase-b", "off"]));
+        assert!(!Scenario::default()
+            .to_simulate_args()
+            .iter()
+            .any(|a| a == "--shard-phase-b"));
+        assert!(!off.build_spec().unwrap().engine.shard_phase_b);
     }
 
     #[test]

@@ -357,6 +357,8 @@ impl Service {
                     "threads",
                     "final_vtime_cycles",
                     "wall_ns",
+                    "peak_rss_bytes",
+                    "cores_per_sec",
                     "work_items",
                     "sync_stalls",
                     "messages",

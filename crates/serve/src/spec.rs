@@ -41,6 +41,7 @@ const AXES: &[&str] = &[
     "sync",
     "drift",
     "threads",
+    "shard_phase_b",
     "link_fail_prob",
     "repair_after",
     "drop_prob",
@@ -222,6 +223,10 @@ fn apply_axis(s: &mut Scenario, axis: &str, v: &Json) -> Result<(), String> {
         v.as_f64()
             .ok_or_else(|| format!("axis '{axis}' wants a number, got {v:?}"))
     };
+    let want_bool = |v: &Json| {
+        v.as_bool()
+            .ok_or_else(|| format!("axis '{axis}' wants true or false, got {v:?}"))
+    };
     match axis {
         "kernel" => s.kernel = want_str(v)?,
         "machine" => s.machine = want_str(v)?,
@@ -230,6 +235,7 @@ fn apply_axis(s: &mut Scenario, axis: &str, v: &Json) -> Result<(), String> {
         "clusters" => s.clusters = want_u64(v)? as u32,
         "cores" => s.cores = want_u64(v)? as u32,
         "threads" => s.threads = want_u64(v)? as u32,
+        "shard_phase_b" => s.shard_phase_b = want_bool(v)?,
         "seed" => s.seed = want_u64(v)?,
         "drift" => s.drift = Some(want_u64(v)?),
         "repair_after" => s.faults.repair_after = Some(want_u64(v)?),
@@ -443,6 +449,16 @@ kernel = "quicksort"
         let a = parse_spec(DRIFT_SPEC).unwrap();
         let b = parse_spec(json).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_phase_b_axis_expands() {
+        let spec = "[[sweep]]\nname = \"scal\"\nthreads = [1, 4]\nshard_phase_b = [true, false]\n";
+        let scenarios = parse_spec(spec).unwrap();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(scenarios[0].label, "scal/threads=1,shard_phase_b=true");
+        assert!(scenarios[0].shard_phase_b && !scenarios[1].shard_phase_b);
+        assert!(parse_spec("[[sweep]]\nshard_phase_b = [7]\n").is_err());
     }
 
     #[test]

@@ -264,6 +264,209 @@ pub fn cluster_assignment(n: u32, n_clusters: u32) -> Vec<u32> {
     out
 }
 
+/// Parameters for multi-chip hierarchical topologies ([`chiplet_mesh`],
+/// [`cluster_of_clusters`]): the latency/bandwidth contrast between on-chip
+/// wires and the slower, narrower links that cross a chiplet or package
+/// boundary.
+#[derive(Clone, Copy, Debug)]
+pub struct ChipletParams {
+    /// Latency of links inside one chiplet (default: 1 cycle).
+    pub intra_latency: VDuration,
+    /// Latency of links between adjacent chiplets (default: 4 cycles).
+    pub inter_latency: VDuration,
+    /// Bandwidth of on-chip links (default: 128 B/cy).
+    pub intra_bandwidth: u32,
+    /// Bandwidth of inter-chip links (default: 32 B/cy — crossing a package
+    /// boundary is both slower and narrower).
+    pub inter_bandwidth: u32,
+}
+
+impl Default for ChipletParams {
+    fn default() -> Self {
+        ChipletParams {
+            intra_latency: DEFAULT_LINK_LATENCY,
+            inter_latency: VDuration::from_cycles(4),
+            intra_bandwidth: DEFAULT_LINK_BANDWIDTH,
+            inter_bandwidth: 32,
+        }
+    }
+}
+
+/// Hierarchical multi-chip mesh: a `chips_x × chips_y` grid of chiplets,
+/// each an internal `chip_w × chip_h` mesh, joined by slower inter-chip
+/// links between facing border cores.
+///
+/// Core ids are chip-major (all cores of chiplet 0, then chiplet 1, ...),
+/// so each chiplet occupies a contiguous id range; within a chiplet, local
+/// ids are row-major. The chiplet index is attached as the core's region
+/// (see [`Topology::set_regions`]), which lets the BFS partitioner keep
+/// host-parallel tiles from straddling chiplet boundaries.
+pub fn chiplet_mesh(
+    chips_x: u32,
+    chips_y: u32,
+    chip_w: u32,
+    chip_h: u32,
+    params: ChipletParams,
+) -> Topology {
+    assert!(chips_x > 0 && chips_y > 0, "need at least one chiplet");
+    assert!(chip_w > 0 && chip_h > 0, "chiplets need at least one core");
+    let per_chip = chip_w * chip_h;
+    let n = chips_x * chips_y * per_chip;
+    let mut t = Topology::new(n);
+    let chip = |cx: u32, cy: u32| cy * chips_x + cx;
+    let id = |cx: u32, cy: u32, x: u32, y: u32| CoreId(chip(cx, cy) * per_chip + y * chip_w + x);
+    for cy in 0..chips_y {
+        for cx in 0..chips_x {
+            // Internal mesh of this chiplet.
+            for y in 0..chip_h {
+                for x in 0..chip_w {
+                    if x + 1 < chip_w {
+                        t.add_link(
+                            id(cx, cy, x, y),
+                            id(cx, cy, x + 1, y),
+                            params.intra_latency,
+                            params.intra_bandwidth,
+                        );
+                    }
+                    if y + 1 < chip_h {
+                        t.add_link(
+                            id(cx, cy, x, y),
+                            id(cx, cy, x, y + 1),
+                            params.intra_latency,
+                            params.intra_bandwidth,
+                        );
+                    }
+                }
+            }
+            // Inter-chip links between facing borders.
+            if cx + 1 < chips_x {
+                for y in 0..chip_h {
+                    t.add_link(
+                        id(cx, cy, chip_w - 1, y),
+                        id(cx + 1, cy, 0, y),
+                        params.inter_latency,
+                        params.inter_bandwidth,
+                    );
+                }
+            }
+            if cy + 1 < chips_y {
+                for x in 0..chip_w {
+                    t.add_link(
+                        id(cx, cy, x, chip_h - 1),
+                        id(cx, cy + 1, x, 0),
+                        params.inter_latency,
+                        params.inter_bandwidth,
+                    );
+                }
+            }
+        }
+    }
+    let regions = (0..n).map(|i| i / per_chip).collect();
+    t.set_regions(regions);
+    t
+}
+
+/// Parameters for [`cluster_of_clusters`]: link latency at each level of
+/// the hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct HierarchyParams {
+    /// Latency inside a leaf cluster (default: 0.5 cycles).
+    pub intra_latency: VDuration,
+    /// Latency between leaf clusters of the same group (default: 4 cycles).
+    pub mid_latency: VDuration,
+    /// Latency between groups (default: 16 cycles).
+    pub outer_latency: VDuration,
+    /// Bandwidth of every link (default: 128 B/cy).
+    pub bandwidth: u32,
+}
+
+impl Default for HierarchyParams {
+    fn default() -> Self {
+        HierarchyParams {
+            intra_latency: VDuration::from_half_cycles(1),
+            mid_latency: VDuration::from_cycles(4),
+            outer_latency: VDuration::from_cycles(16),
+            bandwidth: DEFAULT_LINK_BANDWIDTH,
+        }
+    }
+}
+
+/// Cluster-of-clusters: `groups × leaves_per_group` leaf clusters, each an
+/// internal mesh of `cores_per_leaf` cores. Within a group, the hub core
+/// (local id 0) of every leaf is fully connected to every other leaf's hub
+/// at `mid_latency`; the hub of each group's first leaf is fully connected
+/// to the other group hubs at `outer_latency`.
+///
+/// Core ids are leaf-major (contiguous per leaf), and the leaf index is
+/// attached as the core's region, so partition tiles respect leaf-cluster
+/// boundaries exactly as for [`chiplet_mesh`].
+pub fn cluster_of_clusters(
+    groups: u32,
+    leaves_per_group: u32,
+    cores_per_leaf: u32,
+    params: HierarchyParams,
+) -> Topology {
+    assert!(groups > 0 && leaves_per_group > 0, "empty hierarchy");
+    assert!(cores_per_leaf > 0, "leaves need at least one core");
+    let n_leaves = groups * leaves_per_group;
+    let n = n_leaves * cores_per_leaf;
+    let mut t = Topology::new(n);
+    let leaf_base = |g: u32, l: u32| (g * leaves_per_group + l) * cores_per_leaf;
+    // Leaf-internal meshes.
+    let (w, h) = mesh_dims(cores_per_leaf);
+    for leaf in 0..n_leaves {
+        let base = leaf * cores_per_leaf;
+        let id = |x: u32, y: u32| CoreId(base + y * w + x);
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    t.add_link(
+                        id(x, y),
+                        id(x + 1, y),
+                        params.intra_latency,
+                        params.bandwidth,
+                    );
+                }
+                if y + 1 < h {
+                    t.add_link(
+                        id(x, y),
+                        id(x, y + 1),
+                        params.intra_latency,
+                        params.bandwidth,
+                    );
+                }
+            }
+        }
+    }
+    // Mid level: leaf hubs fully connected within each group.
+    for g in 0..groups {
+        for a in 0..leaves_per_group {
+            for b in (a + 1)..leaves_per_group {
+                t.add_link(
+                    CoreId(leaf_base(g, a)),
+                    CoreId(leaf_base(g, b)),
+                    params.mid_latency,
+                    params.bandwidth,
+                );
+            }
+        }
+    }
+    // Outer level: group hubs fully connected.
+    for a in 0..groups {
+        for b in (a + 1)..groups {
+            t.add_link(
+                CoreId(leaf_base(a, 0)),
+                CoreId(leaf_base(b, 0)),
+                params.outer_latency,
+                params.bandwidth,
+            );
+        }
+    }
+    let regions = (0..n).map(|i| i / cores_per_leaf).collect();
+    t.set_regions(regions);
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -412,5 +615,56 @@ mod tests {
     #[should_panic(expected = "must divide")]
     fn clustered_mesh_rejects_bad_cluster_count() {
         clustered_mesh(10, ClusterParams::paper(3));
+    }
+
+    #[test]
+    fn chiplet_mesh_structure() {
+        // 2x2 chiplets of 4x4 cores = 64 cores, 4 regions.
+        let t = chiplet_mesh(2, 2, 4, 4, ChipletParams::default());
+        assert_eq!(t.n_cores(), 64);
+        assert!(t.is_connected());
+        assert_eq!(t.n_regions(), 4);
+        // Chip-major contiguous regions.
+        assert_eq!(t.region_of(CoreId(0)), Some(0));
+        assert_eq!(t.region_of(CoreId(15)), Some(0));
+        assert_eq!(t.region_of(CoreId(16)), Some(1));
+        assert_eq!(t.region_of(CoreId(63)), Some(3));
+        // Every link within one region is intra, every cross-region link is
+        // inter (slower and narrower).
+        let p = ChipletParams::default();
+        for l in t.links() {
+            if t.region_of(l.src) == t.region_of(l.dst) {
+                assert_eq!(l.latency, p.intra_latency);
+                assert_eq!(l.bandwidth_bytes_per_cycle, p.intra_bandwidth);
+            } else {
+                assert_eq!(l.latency, p.inter_latency);
+                assert_eq!(l.bandwidth_bytes_per_cycle, p.inter_bandwidth);
+            }
+        }
+        // Inter-chip undirected edges: 2 horizontal seams x 4 rows + 2
+        // vertical seams x 4 cols = 16; times 2 directions = 32 links.
+        let inter = t
+            .links()
+            .iter()
+            .filter(|l| t.region_of(l.src) != t.region_of(l.dst))
+            .count();
+        assert_eq!(inter, 32);
+    }
+
+    #[test]
+    fn cluster_of_clusters_structure() {
+        let t = cluster_of_clusters(2, 3, 16, HierarchyParams::default());
+        assert_eq!(t.n_cores(), 96);
+        assert!(t.is_connected());
+        assert_eq!(t.n_regions(), 6);
+        let p = HierarchyParams::default();
+        // Hub-to-hub latencies at each level.
+        let mid = t.link_between(CoreId(0), CoreId(16)).unwrap();
+        assert_eq!(t.link(mid).latency, p.mid_latency);
+        let outer = t.link_between(CoreId(0), CoreId(48)).unwrap();
+        assert_eq!(t.link(outer).latency, p.outer_latency);
+        // Leaf interiors are fast.
+        let intra = t.link_between(CoreId(1), CoreId(2)).unwrap();
+        assert_eq!(t.link(intra).latency, p.intra_latency);
     }
 }

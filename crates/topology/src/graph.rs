@@ -79,6 +79,12 @@ pub struct Topology {
     /// sorted by neighbor id for determinism.
     adj: Vec<Vec<(CoreId, LinkId)>>,
     links: Vec<LinkProps>,
+    /// Optional hierarchical region (chiplet / cluster) id per core; empty
+    /// when the topology has no region structure. Regions are advisory
+    /// metadata for partitioners and reporting — they never affect routing
+    /// or timing, so attaching them cannot perturb a simulation.
+    regions: Vec<u32>,
+    n_regions: u32,
 }
 
 /// Default link latency used by builders when none is specified: 1 cycle
@@ -97,7 +103,35 @@ impl Topology {
             n_cores,
             adj: vec![Vec::new(); n_cores as usize],
             links: Vec::new(),
+            regions: Vec::new(),
+            n_regions: 0,
         }
+    }
+
+    /// Attach hierarchical region metadata: `regions[i]` is the region
+    /// (chiplet, cluster) id of core `i`. Region ids must be dense
+    /// (`0..max+1`). Regions are advisory: the BFS partitioner uses them to
+    /// keep tiles within region boundaries, nothing else reads them.
+    pub fn set_regions(&mut self, regions: Vec<u32>) {
+        assert_eq!(
+            regions.len(),
+            self.n_cores as usize,
+            "one region id per core"
+        );
+        self.n_regions = regions.iter().copied().max().map_or(0, |m| m + 1);
+        self.regions = regions;
+    }
+
+    /// Number of regions (0 when the topology has no region structure).
+    #[inline]
+    pub fn n_regions(&self) -> u32 {
+        self.n_regions
+    }
+
+    /// Region id of `core`, if the topology carries region metadata.
+    #[inline]
+    pub fn region_of(&self, core: CoreId) -> Option<u32> {
+        self.regions.get(core.index()).copied()
     }
 
     /// Number of cores.
@@ -363,6 +397,17 @@ mod tests {
     fn self_loop_rejected() {
         let mut t = Topology::new(2);
         t.add_default_link(CoreId(0), CoreId(0));
+    }
+
+    #[test]
+    fn regions_attach_and_read_back() {
+        let mut t = triangle();
+        assert_eq!(t.n_regions(), 0);
+        assert_eq!(t.region_of(CoreId(0)), None);
+        t.set_regions(vec![0, 0, 1]);
+        assert_eq!(t.n_regions(), 2);
+        assert_eq!(t.region_of(CoreId(1)), Some(0));
+        assert_eq!(t.region_of(CoreId(2)), Some(1));
     }
 
     #[test]

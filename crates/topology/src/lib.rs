@@ -29,10 +29,10 @@ pub mod partition;
 pub mod routing;
 
 pub use builders::{
-    clustered_mesh, fully_connected, hypercube, mesh_2d, mesh_3d, ring, star, torus_2d,
-    ClusterParams,
+    chiplet_mesh, cluster_of_clusters, clustered_mesh, fully_connected, hypercube, mesh_2d,
+    mesh_3d, ring, star, torus_2d, ChipletParams, ClusterParams, HierarchyParams,
 };
 pub use config::{format_topology, parse_topology, ConfigError};
 pub use graph::{CoreId, LinkId, LinkProps, Topology};
 pub use partition::{partition_bfs, Partition};
-pub use routing::RoutingTable;
+pub use routing::{LazyRoutes, Routes, RoutesView, RoutingTable, DENSE_ROUTING_MAX};

@@ -157,6 +157,195 @@ impl RoutingTable {
     }
 }
 
+/// Largest core count for which [`Routes::for_topology`] materializes the
+/// dense all-pairs [`RoutingTable`]. Above this, the O(n²) table (16 bytes
+/// per ordered pair) stops being viable — a 4096-core machine would already
+/// need ~270 MB — and routing switches to [`LazyRoutes`], which computes
+/// per-destination rows on demand. Both modes answer every query
+/// identically (same Dijkstra, same tie-breaking), so the threshold cannot
+/// affect simulation results.
+pub const DENSE_ROUTING_MAX: u32 = 2048;
+
+/// Most recently used per-destination rows kept by [`LazyRoutes`]. Each row
+/// is O(n); the cap bounds lazy-mode memory at `ROW_CACHE_CAP` rows.
+const ROW_CACHE_CAP: usize = 8;
+
+/// One per-destination routing row: for every source core, the outgoing
+/// link toward the destination, the path latency and the hop count —
+/// exactly one row of the dense [`RoutingTable`].
+#[derive(Debug)]
+struct RouteRow {
+    next: Vec<u32>,
+    dist: Vec<u64>,
+    hops: Vec<u32>,
+}
+
+/// On-demand routing for topologies too large for the dense all-pairs
+/// table: per-destination rows are computed with the *same* reverse-links
+/// Dijkstra (and the same deterministic tie-breaking) as
+/// [`RoutingTable::build`], then kept in a small MRU cache. Query results
+/// are bit-identical to the dense table's.
+#[derive(Debug)]
+pub struct LazyRoutes {
+    n: u32,
+    /// Reverse adjacency: incoming `(pred, link)` pairs per core, shared by
+    /// every row computation.
+    rev: Vec<Vec<(CoreId, LinkId)>>,
+    cache: std::sync::Mutex<RowCache>,
+}
+
+#[derive(Debug, Default)]
+struct RowCache {
+    rows: std::collections::HashMap<u32, std::sync::Arc<RouteRow>>,
+    /// Insertion order for FIFO eviction.
+    order: std::collections::VecDeque<u32>,
+}
+
+impl LazyRoutes {
+    /// Prepare lazy routing for `topo` (builds only the reverse adjacency;
+    /// no Dijkstra runs until a route is first queried).
+    pub fn new(topo: &Topology) -> Self {
+        assert!(topo.is_connected(), "cannot route a disconnected topology");
+        let n = topo.n_cores();
+        let mut rev: Vec<Vec<(CoreId, LinkId)>> = vec![Vec::new(); n as usize];
+        for (i, l) in topo.links().iter().enumerate() {
+            rev[l.dst.index()].push((l.src, LinkId(i as u32)));
+        }
+        LazyRoutes {
+            n,
+            rev,
+            cache: std::sync::Mutex::new(RowCache::default()),
+        }
+    }
+
+    fn row(&self, topo: &Topology, dst: CoreId) -> std::sync::Arc<RouteRow> {
+        let mut cache = self.cache.lock().expect("route cache poisoned");
+        if let Some(row) = cache.rows.get(&dst.0) {
+            return std::sync::Arc::clone(row);
+        }
+        let (next, dist, hops) = dijkstra_to(topo, &self.rev, dst);
+        let row = std::sync::Arc::new(RouteRow { next, dist, hops });
+        if cache.order.len() >= ROW_CACHE_CAP {
+            if let Some(evict) = cache.order.pop_front() {
+                cache.rows.remove(&evict);
+            }
+        }
+        cache.order.push_back(dst.0);
+        cache.rows.insert(dst.0, std::sync::Arc::clone(&row));
+        row
+    }
+}
+
+/// Routing for a topology, in whichever representation its size calls for:
+/// the dense all-pairs [`RoutingTable`] up to [`DENSE_ROUTING_MAX`] cores,
+/// [`LazyRoutes`] beyond. Access queries through [`Routes::view`], which
+/// pairs the representation with its topology.
+#[derive(Debug)]
+pub enum Routes {
+    /// Dense all-pairs table (small machines).
+    Dense(RoutingTable),
+    /// On-demand per-destination rows (large machines).
+    Lazy(LazyRoutes),
+}
+
+impl Routes {
+    /// Pick the representation for `topo` by size. Both representations
+    /// answer identically, so this choice is invisible to simulations.
+    pub fn for_topology(topo: &Topology) -> Self {
+        if topo.n_cores() <= DENSE_ROUTING_MAX {
+            Routes::Dense(RoutingTable::build(topo))
+        } else {
+            Routes::Lazy(LazyRoutes::new(topo))
+        }
+    }
+
+    /// A query view over these routes for `topo` (the topology they were
+    /// built from).
+    pub fn view<'a>(&'a self, topo: &'a Topology) -> RoutesView<'a> {
+        match self {
+            Routes::Dense(rt) => RoutesView {
+                inner: ViewInner::Dense(rt),
+            },
+            Routes::Lazy(lz) => RoutesView {
+                inner: ViewInner::Lazy(lz, topo),
+            },
+        }
+    }
+}
+
+/// A borrowed query handle answering next-hop/latency/hops questions,
+/// independent of the underlying representation. Obtained from
+/// [`Routes::view`] or [`RoutesView::from_table`].
+#[derive(Clone, Copy, Debug)]
+pub struct RoutesView<'a> {
+    inner: ViewInner<'a>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum ViewInner<'a> {
+    Dense(&'a RoutingTable),
+    Lazy(&'a LazyRoutes, &'a Topology),
+}
+
+impl<'a> RoutesView<'a> {
+    /// View a plain dense table (e.g. a fault epoch's rerouted table).
+    pub fn from_table(rt: &'a RoutingTable) -> Self {
+        RoutesView {
+            inner: ViewInner::Dense(rt),
+        }
+    }
+
+    /// The link to take from `src` toward `dst`; `None` when `src == dst`.
+    pub fn next_link(&self, src: CoreId, dst: CoreId) -> Option<LinkId> {
+        match self.inner {
+            ViewInner::Dense(rt) => rt.next_link(src, dst),
+            ViewInner::Lazy(lz, topo) => {
+                if src == dst {
+                    return None;
+                }
+                let v = lz.row(topo, dst).next[src.index()];
+                if v == u32::MAX {
+                    None
+                } else {
+                    Some(LinkId(v))
+                }
+            }
+        }
+    }
+
+    /// Total path latency from `src` to `dst`.
+    pub fn path_latency(&self, src: CoreId, dst: CoreId) -> VDuration {
+        match self.inner {
+            ViewInner::Dense(rt) => rt.path_latency(src, dst),
+            ViewInner::Lazy(lz, topo) => VDuration(lz.row(topo, dst).dist[src.index()]),
+        }
+    }
+
+    /// Number of hops on the route from `src` to `dst`.
+    pub fn path_hops(&self, src: CoreId, dst: CoreId) -> u32 {
+        match self.inner {
+            ViewInner::Dense(rt) => rt.path_hops(src, dst),
+            ViewInner::Lazy(lz, topo) => lz.row(topo, dst).hops[src.index()],
+        }
+    }
+
+    /// True iff a route from `src` to `dst` exists.
+    pub fn reachable(&self, src: CoreId, dst: CoreId) -> bool {
+        match self.inner {
+            ViewInner::Dense(rt) => rt.reachable(src, dst),
+            ViewInner::Lazy(lz, topo) => lz.row(topo, dst).dist[src.index()] != u64::MAX,
+        }
+    }
+
+    /// Number of cores covered.
+    pub fn n_cores(&self) -> u32 {
+        match self.inner {
+            ViewInner::Dense(rt) => rt.n_cores(),
+            ViewInner::Lazy(lz, _) => lz.n,
+        }
+    }
+}
+
 /// Dijkstra from every core *to* `dst` over incoming links. Returns, per
 /// source core: the outgoing link toward `dst`, the distance in ticks, and
 /// the hop count. Ties broken by (hops, next-hop link id) for determinism.
@@ -338,5 +527,53 @@ mod tests {
         let mut t = Topology::new(3);
         t.add_default_link(CoreId(0), CoreId(1));
         let _ = RoutingTable::build(&t);
+    }
+
+    #[test]
+    fn lazy_routes_match_dense_bit_exactly() {
+        let topo = clustered_mesh(64, ClusterParams::paper(4));
+        let dense = RoutingTable::build(&topo);
+        let lazy = Routes::Lazy(LazyRoutes::new(&topo));
+        let view = lazy.view(&topo);
+        for s in topo.cores() {
+            for d in topo.cores() {
+                assert_eq!(view.next_link(s, d), dense.next_link(s, d));
+                assert_eq!(view.path_latency(s, d), dense.path_latency(s, d));
+                assert_eq!(view.path_hops(s, d), dense.path_hops(s, d));
+                assert!(view.reachable(s, d));
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_row_cache_evicts_and_recomputes_consistently() {
+        let topo = mesh_2d(64);
+        let dense = RoutingTable::build(&topo);
+        let lazy = Routes::for_topology(&topo); // small: dense
+        assert!(matches!(lazy, Routes::Dense(_)));
+        let lz = LazyRoutes::new(&topo);
+        let routes = Routes::Lazy(lz);
+        let view = routes.view(&topo);
+        // Touch far more destinations than the cache cap, twice.
+        for _ in 0..2 {
+            for d in topo.cores() {
+                assert_eq!(
+                    view.path_latency(CoreId(0), d),
+                    dense.path_latency(CoreId(0), d)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn for_topology_switches_representation_by_size() {
+        assert!(matches!(
+            Routes::for_topology(&mesh_2d(16)),
+            Routes::Dense(_)
+        ));
+        assert!(matches!(
+            Routes::for_topology(&ring(DENSE_ROUTING_MAX + 1)),
+            Routes::Lazy(_)
+        ));
     }
 }

@@ -13,7 +13,9 @@
 
 use simany_core::EngineConfig;
 use simany_runtime::{ProgramSpec, RuntimeParams};
-use simany_topology::{clustered_mesh, mesh_2d, ClusterParams, CoreId};
+use simany_topology::{
+    chiplet_mesh, clustered_mesh, mesh_2d, ChipletParams, ClusterParams, CoreId,
+};
 
 /// The paper's large-scale sweep: "uniform 8, 64, 256 and 1024 cores 2D
 /// meshes" plus the 1-core baseline (§V, *Architecture Exploration*).
@@ -62,6 +64,29 @@ pub fn mesh3d_sm(n: u32) -> ProgramSpec {
 pub fn clustered_dm(n: u32, clusters: u32) -> ProgramSpec {
     let mut spec = uniform_mesh_dm(n);
     spec.topo = clustered_mesh(n, ClusterParams::paper(clusters));
+    spec
+}
+
+/// Hierarchical multi-chip mesh: `chips` chiplets (laid out in the
+/// most-square grid), each an internal most-square mesh of `n / chips`
+/// cores, joined by slower, narrower inter-chip links
+/// ([`ChipletParams::default`]: 4-cycle / 32 B/cy versus 1-cycle /
+/// 128 B/cy on-chip). Distributed memory — crossing the package boundary
+/// is what the topology models, and messages are how it is felt. The
+/// chiplet index is attached as each core's region, so host-parallel
+/// tiles never straddle a chiplet boundary.
+///
+/// `n` must be divisible by `chips`.
+pub fn chiplet_dm(n: u32, chips: u32) -> ProgramSpec {
+    assert!(chips > 0, "need at least one chiplet");
+    assert!(
+        n.is_multiple_of(chips),
+        "cores ({n}) must divide evenly into {chips} chiplets"
+    );
+    let (chips_x, chips_y) = simany_topology::builders::mesh_dims(chips);
+    let (chip_w, chip_h) = simany_topology::builders::mesh_dims(n / chips);
+    let mut spec = uniform_mesh_dm(n);
+    spec.topo = chiplet_mesh(chips_x, chips_y, chip_w, chip_h, ChipletParams::default());
     spec
 }
 
