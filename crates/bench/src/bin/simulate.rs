@@ -11,8 +11,10 @@
 //! `--trace`) a per-core activity timeline.
 
 use simany::core::{CoreId, MemoryTracer};
-use simany::kernels::{kernel_by_name, Scale};
+use simany::kernels::protocols::{protocol_by_name, ProtocolKernel, ProtocolMetrics};
+use simany::kernels::{kernel_by_name, DwarfKernel, KernelResult, Scale};
 use simany::prelude::*;
+use simany::stats::{LatencyDist, ResilienceReport};
 use simany_serve::Scenario;
 
 struct Args {
@@ -42,6 +44,10 @@ struct Args {
     corrupt_prob: f64,
     core_fail_prob: f64,
     fault_horizon: Option<u64>,
+    partition_at: Option<u64>,
+    partition_heal: Option<u64>,
+    churn_cores: u32,
+    churn_every: Option<u64>,
 }
 
 impl Default for Args {
@@ -73,6 +79,10 @@ impl Default for Args {
             corrupt_prob: 0.0,
             core_fail_prob: 0.0,
             fault_horizon: None,
+            partition_at: None,
+            partition_heal: None,
+            churn_cores: 0,
+            churn_every: None,
         }
     }
 }
@@ -82,6 +92,7 @@ usage: simulate [OPTIONS]
 
 options:
   --kernel NAME       quicksort | connected | dijkstra | barnes | spmxv | octree
+                      or a protocol workload: gossip | dht | quorum
   --cores N           core count (default 16)
   --machine KIND      mesh | mesh3d | clustered | chiplet | polymorphic |
                       cycle-level (default mesh)
@@ -122,6 +133,12 @@ fault injection (sampled deterministically from --seed; all default off):
   --corrupt-prob F    per-link message corruption probability
   --core-fail-prob F  probability each core (except core 0) fails
   --fault-horizon T   window in cycles for sampled failure instants
+
+scripted faults (deterministic, layered on top of the sampled plan):
+  --partition-at T    cut every link between the two index halves at T cycles
+  --partition-heal T  heal the scripted partition at T cycles
+  --churn-cores N     crash-stop N cores (never core 0), spread over the ids
+  --churn-every T     interval between churn failures (default 10000 cycles)
 ";
 
 fn parse_args() -> Args {
@@ -196,6 +213,12 @@ fn parse_args() -> Args {
             "--corrupt-prob" => args.corrupt_prob = val().parse().expect("--corrupt-prob"),
             "--core-fail-prob" => args.core_fail_prob = val().parse().expect("--core-fail-prob"),
             "--fault-horizon" => args.fault_horizon = Some(val().parse().expect("--fault-horizon")),
+            "--partition-at" => args.partition_at = Some(val().parse().expect("--partition-at")),
+            "--partition-heal" => {
+                args.partition_heal = Some(val().parse().expect("--partition-heal"))
+            }
+            "--churn-cores" => args.churn_cores = val().parse().expect("--churn-cores"),
+            "--churn-every" => args.churn_every = Some(val().parse().expect("--churn-every")),
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -233,6 +256,10 @@ fn build_scenario(args: &Args) -> Scenario {
             corrupt_prob: args.corrupt_prob,
             core_fail_prob: args.core_fail_prob,
             fault_horizon: args.fault_horizon,
+            partition_at: args.partition_at,
+            partition_heal: args.partition_heal,
+            churn_cores: args.churn_cores,
+            churn_every: args.churn_every,
         },
     }
 }
@@ -290,6 +317,7 @@ fn write_json(
     digest: u64,
     n_cores: u32,
     r: &simany::kernels::KernelResult,
+    resilience: Option<&ResilienceReport>,
 ) {
     let s = &r.out.stats;
     let peak_rss = simany_bench::peak_rss_bytes();
@@ -300,8 +328,11 @@ fn write_json(
         .map(|n| n.to_string())
         .collect::<Vec<_>>()
         .join(", ");
+    let resilience_json = resilience.map_or(String::new(), |rep| {
+        format!(",\n  \"resilience\": {}", rep.to_json())
+    });
     let json = format!(
-        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"config_digest\": \"{:016x}\",\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cores_per_sec\": {cores_per_sec:.0},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]\n}}\n",
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"config_digest\": \"{:016x}\",\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cores_per_sec\": {cores_per_sec:.0},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"net_dropped\": {},\n  \"net_corrupted\": {},\n  \"net_delayed\": {},\n  \"net_rerouted\": {},\n  \"net_unreachable\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]{resilience_json}\n}}\n",
         args.kernel,
         args.cores,
         args.machine,
@@ -331,6 +362,11 @@ fn write_json(
         s.reroutes,
         s.link_faults,
         s.core_failures,
+        s.net.dropped,
+        s.net.corrupted,
+        s.net.delayed,
+        s.net.rerouted,
+        s.net.unreachable,
         s.sanitizer_checks,
         s.sanitizer_violations,
         s.checkpoints_written,
@@ -352,13 +388,27 @@ fn write_json(
 
 fn main() {
     let args = parse_args();
-    let kernel = kernel_by_name(&args.kernel).unwrap_or_else(|| {
+    let kernel: Option<Box<dyn DwarfKernel>> = kernel_by_name(&args.kernel);
+    let protocol: Option<Box<dyn ProtocolKernel>> = if kernel.is_some() {
+        None
+    } else {
+        protocol_by_name(&args.kernel)
+    };
+    if kernel.is_none() && protocol.is_none() {
         eprintln!("unknown kernel '{}'; available:", args.kernel);
         for k in simany::kernels::all_kernels() {
             eprintln!("  {}", k.name());
         }
+        for p in simany::kernels::protocols::all_protocols() {
+            eprintln!("  {} (protocol)", p.name());
+        }
         std::process::exit(2);
-    });
+    }
+    let workload_name = kernel
+        .as_deref()
+        .map(DwarfKernel::name)
+        .or_else(|| protocol.as_deref().map(ProtocolKernel::name))
+        .unwrap();
     let scenario = build_scenario(&args);
     let mut spec = build_spec(&args, &scenario);
     let cfg_digest = simany::core::config_digest(&spec.engine);
@@ -373,26 +423,46 @@ fn main() {
 
     println!(
         "running {} on {} cores ({} / {}), scale {}, seed {}, config digest {:016x}",
-        kernel.name(),
-        n_cores,
-        args.machine,
-        args.arch,
-        args.scale,
-        args.seed,
-        cfg_digest
+        workload_name, n_cores, args.machine, args.arch, args.scale, args.seed, cfg_digest
     );
-    let r = kernel
-        .run_sim(spec, Scale(args.scale), args.seed)
-        .unwrap_or_else(|e| {
-            // Typed exit codes let a supervising process (the sweep
-            // service) tell preemption and failure classes apart.
-            if let simany::core::SimError::Preempted { at, checkpoints } = &e {
-                println!("preempted at {at:?} after {checkpoints} fresh checkpoints");
-            } else {
-                eprintln!("simulation failed: {e}");
-            }
-            std::process::exit(e.exit_code());
-        });
+    // Typed exit codes let a supervising process (the sweep service) tell
+    // preemption and failure classes apart.
+    fn bail(e: simany::core::SimError) -> ! {
+        if let simany::core::SimError::Preempted { at, checkpoints } = &e {
+            println!("preempted at {at:?} after {checkpoints} fresh checkpoints");
+        } else {
+            eprintln!("simulation failed: {e}");
+        }
+        std::process::exit(e.exit_code());
+    }
+    let (r, resilience) = if let Some(kernel) = &kernel {
+        let r = kernel
+            .run_sim(spec, Scale(args.scale), args.seed)
+            .unwrap_or_else(|e| bail(e));
+        (r, None)
+    } else {
+        let p = protocol.as_deref().unwrap();
+        let o = p
+            .run_sim(spec, Scale(args.scale), args.seed)
+            .unwrap_or_else(|e| bail(e));
+        let m: &ProtocolMetrics = &o.metrics;
+        let report = ResilienceReport {
+            protocol: p.name().to_string(),
+            expected: m.expected,
+            delivered: m.delivered,
+            payload_msgs: m.payload_msgs,
+            reissues: m.reissues,
+            degraded: m.degraded,
+            leader_changes: m.leader_changes,
+            latency: LatencyDist::from_samples(&m.latencies),
+        };
+        let r = KernelResult {
+            out: o.out,
+            verified: o.verified,
+            work_items: m.expected,
+        };
+        (r, Some(report))
+    };
 
     println!("\nvirtual time      : {} cycles", r.cycles());
     println!(
@@ -481,12 +551,35 @@ fn main() {
             "drops / retries   : {} / {}  (reroutes {})",
             s.msgs_dropped, s.msg_retries, s.reroutes
         );
+        println!(
+            "in-flight faults  : {} dropped, {} corrupted, {} delayed, {} rerouted, {} unreachable",
+            s.net.dropped, s.net.corrupted, s.net.delayed, s.net.rerouted, s.net.unreachable
+        );
+    }
+    if let Some(rep) = &resilience {
+        println!(
+            "coverage          : {:.4} ({} / {} delivered)",
+            rep.coverage(),
+            rep.delivered,
+            rep.expected
+        );
+        println!(
+            "msgs/delivery     : {:.2} ({} payload msgs, {} re-issues, {} degraded)",
+            rep.msgs_per_delivery(),
+            rep.payload_msgs,
+            rep.reissues,
+            rep.degraded
+        );
+        if rep.leader_changes > 0 {
+            println!("leaders observed  : {}", rep.leader_changes);
+        }
+        println!("latency (cycles)  : {}", rep.latency.summary());
     }
 
     println!("config digest     : {cfg_digest:016x}");
 
     if let Some(path) = &args.json {
-        write_json(path, &args, cfg_digest, n_cores, &r);
+        write_json(path, &args, cfg_digest, n_cores, &r, resilience.as_ref());
         println!("json dump         : {path}");
     }
 

@@ -44,6 +44,61 @@ pub const SAMPLE_STREAM: u64 = 0xFA01_75A3;
 /// PRNG stream index the network model uses for per-message fault draws.
 pub const NET_STREAM: u64 = 0xF_A017_04E7;
 
+/// A fault plan referenced something the topology doesn't have, or carried
+/// a nonsensical probability. Produced by [`FaultPlanBuilder::try_build`]
+/// at compile time — a plan naming an out-of-range core or link would
+/// otherwise be silently meaningless (or panic deep inside the network
+/// model at some arbitrary send).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultPlanError {
+    /// A link event or per-link probability names a link the topology
+    /// doesn't have.
+    LinkOutOfRange {
+        /// The offending link id.
+        link: LinkId,
+        /// Number of links in the topology the plan was compiled against.
+        n_links: u32,
+    },
+    /// A core-failure entry names a core the topology doesn't have.
+    CoreOutOfRange {
+        /// The offending core id.
+        core: CoreId,
+        /// Number of cores in the topology the plan was compiled against.
+        n_cores: u32,
+    },
+    /// A per-message probability is not a real number in `[0, 1]`.
+    BadProbability {
+        /// Which table the probability was destined for
+        /// (`"drop"`/`"delay"`/`"corrupt"`).
+        what: &'static str,
+        /// The link the probability was attached to.
+        link: LinkId,
+        /// The offending value.
+        p: f64,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            FaultPlanError::LinkOutOfRange { link, n_links } => write!(
+                f,
+                "fault plan names {link:?}, but the topology has only {n_links} links"
+            ),
+            FaultPlanError::CoreOutOfRange { core, n_cores } => write!(
+                f,
+                "fault plan names {core:?}, but the topology has only {n_cores} cores"
+            ),
+            FaultPlanError::BadProbability { what, link, p } => write!(
+                f,
+                "fault plan sets {what} probability {p} on {link:?}; must be in [0, 1]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
 /// One maximal virtual-time interval with a constant dead-link set.
 #[derive(Debug)]
 struct Epoch {
@@ -140,6 +195,19 @@ impl FaultPlan {
                 let at = VirtualTime::from_cycles(rng.next_below(horizon));
                 b = b.fail_core(CoreId(c), at);
             }
+        }
+        // Scripted layers (no PRNG draws: the sampled scenario above is
+        // bit-identical whether or not these are active).
+        if let Some(at) = config.partition_at {
+            b = b.partition_halves(topo, at, config.partition_heal);
+        }
+        if config.churn_cores > 0 {
+            b = b.churn(
+                topo,
+                config.churn_start,
+                config.churn_every,
+                config.churn_cores,
+            );
         }
         b.build(topo)
     }
@@ -284,6 +352,21 @@ pub struct FaultConfig {
     pub core_fail_prob: f64,
     /// Failure instants are drawn uniformly from `[0, horizon)` cycles.
     pub horizon: VirtualTime,
+    /// Scripted bisection: cut every link crossing the index-`n/2`
+    /// boundary at this instant (see
+    /// [`FaultPlanBuilder::partition_halves`]). Deterministic — layered on
+    /// top of the sampled faults without consuming any PRNG draws.
+    pub partition_at: Option<VirtualTime>,
+    /// Heal the scripted bisection at this instant (`None` = permanent).
+    pub partition_heal: Option<VirtualTime>,
+    /// Scripted crash-stop churn: fail this many cores (never core 0),
+    /// spread evenly over the id space, one every `churn_every` starting at
+    /// `churn_start` (see [`FaultPlanBuilder::churn`]).
+    pub churn_cores: u32,
+    /// First scripted churn failure instant.
+    pub churn_start: VirtualTime,
+    /// Interval between scripted churn failures.
+    pub churn_every: VDuration,
 }
 
 impl Default for FaultConfig {
@@ -297,6 +380,11 @@ impl Default for FaultConfig {
             corrupt_prob: 0.0,
             core_fail_prob: 0.0,
             horizon: VirtualTime::from_cycles(1_000_000),
+            partition_at: None,
+            partition_heal: None,
+            churn_cores: 0,
+            churn_start: VirtualTime::from_cycles(10_000),
+            churn_every: VDuration::from_cycles(10_000),
         }
     }
 }
@@ -353,19 +441,117 @@ impl FaultPlanBuilder {
         self
     }
 
+    /// Script a clean bisection: every link crossing the index-`n/2`
+    /// boundary (in both directions) goes down at `at`; with
+    /// `heal = Some(t)` they all come back at `t`. The classic
+    /// partition-then-heal scenario the resilience protocols are tested
+    /// against — deterministic, no sampling.
+    pub fn partition_halves(
+        mut self,
+        topo: &Topology,
+        at: VirtualTime,
+        heal: Option<VirtualTime>,
+    ) -> Self {
+        let half = topo.n_cores() / 2;
+        let crosses = |c: CoreId| c.0 < half;
+        for (i, l) in topo.links().iter().enumerate() {
+            if crosses(l.src) != crosses(l.dst) {
+                let link = LinkId(i as u32);
+                self = self.fail_link(link, at);
+                if let Some(h) = heal {
+                    self = self.recover_link(link, h);
+                }
+            }
+        }
+        self
+    }
+
+    /// Script crash-stop churn: permanently fail `count` cores — never
+    /// core 0 — spread evenly over the id space, one every `every` starting
+    /// at `start`. Deterministic, no sampling; combine with
+    /// [`FaultPlan::sample`]'s probabilistic knobs freely.
+    pub fn churn(
+        mut self,
+        topo: &Topology,
+        start: VirtualTime,
+        every: VDuration,
+        count: u32,
+    ) -> Self {
+        let n = topo.n_cores();
+        if n <= 1 {
+            return self;
+        }
+        for i in 0..count {
+            // Even spread over [1, n): the i-th victim of `count`.
+            let victim = 1 + (u64::from(i) * u64::from(n - 1) / u64::from(count.max(1))) as u32;
+            let at = start + VDuration::from_cycles(every.cycles() * u64::from(i));
+            self = self.fail_core(CoreId(victim.min(n - 1)), at);
+        }
+        self
+    }
+
+    /// Compile against `topo`, like [`Self::build`], but reject plans that
+    /// reference out-of-range cores or nonexistent links — or carry
+    /// non-real probabilities — with a typed [`FaultPlanError`] instead of
+    /// panicking (or silently indexing past the tables at runtime).
+    pub fn try_build(self, topo: &Topology) -> Result<FaultPlan, FaultPlanError> {
+        let n_links = topo.n_links();
+        let n_cores = topo.n_cores();
+        let check_link = |link: LinkId| {
+            if link.0 >= n_links {
+                Err(FaultPlanError::LinkOutOfRange { link, n_links })
+            } else {
+                Ok(())
+            }
+        };
+        let check_prob = |what: &'static str, link: LinkId, p: f64| {
+            if !(0.0..=1.0).contains(&p) {
+                Err(FaultPlanError::BadProbability { what, link, p })
+            } else {
+                Ok(())
+            }
+        };
+        for &(_, link, _) in &self.link_events {
+            check_link(link)?;
+        }
+        for &(link, p) in &self.drop {
+            check_link(link)?;
+            check_prob("drop", link, p)?;
+        }
+        for &(link, p, _) in &self.delay {
+            check_link(link)?;
+            check_prob("delay", link, p)?;
+        }
+        for &(link, p) in &self.corrupt {
+            check_link(link)?;
+            check_prob("corrupt", link, p)?;
+        }
+        for &(core, _) in &self.core_fail {
+            if core.0 >= n_cores {
+                return Err(FaultPlanError::CoreOutOfRange { core, n_cores });
+            }
+        }
+        Ok(self.build_validated(topo))
+    }
+
     /// Compile against `topo`: split the timeline into epochs, precompute
     /// per-epoch rerouting (and partition flags), and freeze the per-link
-    /// probability tables.
+    /// probability tables. Panics on a plan [`Self::try_build`] would
+    /// reject.
     pub fn build(self, topo: &Topology) -> FaultPlan {
+        match self.try_build(topo) {
+            Ok(plan) => plan,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn build_validated(self, topo: &Topology) -> FaultPlan {
         let n_links = topo.n_links() as usize;
         let n_cores = topo.n_cores() as usize;
 
         // Per-link event streams, time-ordered; on a tie a recovery wins
         // (down-then-up at the same instant leaves the link up).
         let mut events = self.link_events;
-        for &(_, link, _) in &events {
-            assert!(link.index() < n_links, "fault plan names unknown {link:?}");
-        }
         events.sort_by_key(|&(at, link, down)| (at, link.0, !down));
 
         // Epoch boundaries: 0 plus every distinct event time.
@@ -567,6 +753,152 @@ mod tests {
         // Core 0 is never failed by sampling.
         assert_eq!(a.core_fail_time(CoreId(0)), None);
         assert!(a.has_message_faults());
+    }
+
+    #[test]
+    fn try_build_rejects_out_of_range_references() {
+        let topo = mesh_2d(16);
+        let bad_link = LinkId(topo.n_links() + 5);
+        let err = FaultPlanBuilder::new()
+            .fail_link(bad_link, t(10))
+            .try_build(&topo)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::LinkOutOfRange {
+                link: bad_link,
+                n_links: topo.n_links()
+            }
+        );
+        let err = FaultPlanBuilder::new()
+            .drop_prob(LinkId(9999), 0.5)
+            .try_build(&topo)
+            .unwrap_err();
+        assert!(matches!(err, FaultPlanError::LinkOutOfRange { .. }));
+        let err = FaultPlanBuilder::new()
+            .fail_core(CoreId(16), t(10))
+            .try_build(&topo)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::CoreOutOfRange {
+                core: CoreId(16),
+                n_cores: 16
+            }
+        );
+        let err = FaultPlanBuilder::new()
+            .corrupt_prob(LinkId(0), f64::NAN)
+            .try_build(&topo)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::BadProbability {
+                what: "corrupt",
+                ..
+            }
+        ));
+        let err = FaultPlanBuilder::new()
+            .delay(LinkId(0), 1.5, VDuration::from_cycles(10))
+            .try_build(&topo)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            FaultPlanError::BadProbability { what: "delay", .. }
+        ));
+        // Errors render something a human can act on.
+        assert!(err.to_string().contains("delay"));
+        // The valid equivalents still build.
+        assert!(FaultPlanBuilder::new()
+            .fail_link(LinkId(0), t(10))
+            .fail_core(CoreId(15), t(10))
+            .drop_prob(LinkId(0), 1.0)
+            .try_build(&topo)
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "16 cores")]
+    fn build_panics_with_typed_message() {
+        let topo = mesh_2d(16);
+        let _ = FaultPlanBuilder::new()
+            .fail_core(CoreId(99), t(0))
+            .build(&topo);
+    }
+
+    #[test]
+    fn partition_halves_cuts_and_heals() {
+        let topo = mesh_2d(16); // halves = {0..8} vs {8..16}
+        let plan = FaultPlanBuilder::new()
+            .partition_halves(&topo, t(100), Some(t(500)))
+            .build(&topo);
+        assert_eq!(plan.epoch_count(), 3);
+        assert!(!plan.epoch_partitioned(0));
+        assert!(plan.epoch_partitioned(plan.epoch_at(t(100))));
+        assert!(!plan.epoch_partitioned(plan.epoch_at(t(500))));
+        let rt = plan.epoch_routing(plan.epoch_at(t(200))).unwrap();
+        assert!(!rt.reachable(CoreId(0), CoreId(15)));
+        assert!(rt.reachable(CoreId(0), CoreId(7)));
+        assert!(rt.reachable(CoreId(8), CoreId(15)));
+    }
+
+    #[test]
+    fn churn_schedule_spreads_and_spares_core_zero() {
+        let topo = mesh_2d(16);
+        let plan = FaultPlanBuilder::new()
+            .churn(&topo, t(1_000), VDuration::from_cycles(500), 4)
+            .build(&topo);
+        assert!(plan.has_core_faults());
+        assert_eq!(plan.core_fail_time(CoreId(0)), None);
+        let failed: Vec<u32> = (0..16)
+            .filter(|&c| plan.core_fail_time(CoreId(c)).is_some())
+            .collect();
+        assert_eq!(failed.len(), 4, "churn of 4 distinct victims: {failed:?}");
+        // One failure per period, starting at the start instant.
+        let mut times: Vec<u64> = failed
+            .iter()
+            .map(|&c| plan.core_fail_time(CoreId(c)).unwrap().cycles())
+            .collect();
+        times.sort_unstable();
+        assert_eq!(times, vec![1_000, 1_500, 2_000, 2_500]);
+    }
+
+    #[test]
+    fn sampled_scenario_unchanged_by_scripted_layers() {
+        let topo = mesh_2d(8);
+        let base = FaultConfig {
+            link_fail_prob: 0.2,
+            drop_prob: 0.02,
+            core_fail_prob: 0.1,
+            horizon: t(10_000),
+            ..FaultConfig::default()
+        };
+        let with_script = FaultConfig {
+            partition_at: Some(t(50_000)),
+            partition_heal: Some(t(60_000)),
+            churn_cores: 2,
+            churn_start: t(70_000),
+            ..base
+        };
+        let a = FaultPlan::sample(&topo, &base, 7);
+        let b = FaultPlan::sample(&topo, &with_script, 7);
+        // The sampled draws are identical: every sampled core failure and
+        // every pre-partition epoch matches.
+        for c in 0..topo.n_cores() {
+            let fa = a.core_fail_time(CoreId(c));
+            let fb = b.core_fail_time(CoreId(c));
+            if fa != fb {
+                // Only scripted churn may add failures, never change one.
+                assert!(fa.is_none() && fb.is_some());
+                assert!(fb.unwrap() >= t(70_000));
+            }
+        }
+        for e in 0..a.epoch_count() {
+            if a.boundary(e) < t(50_000) {
+                let eb = b.epoch_at(a.boundary(e));
+                assert_eq!(a.epoch_dead_links(e), b.epoch_dead_links(eb));
+            }
+        }
+        assert!(b.epoch_partitioned(b.epoch_at(t(55_000))));
     }
 
     #[test]

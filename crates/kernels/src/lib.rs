@@ -31,6 +31,7 @@ pub mod barnes_hut;
 pub mod connected;
 pub mod dijkstra;
 pub mod octree;
+pub mod protocols;
 pub mod quicksort;
 pub mod spmxv;
 pub mod workloads;

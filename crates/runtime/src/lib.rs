@@ -42,10 +42,11 @@ pub mod state;
 pub mod task_ctx;
 
 pub use msg::RtMsg;
+pub use params::RetryPolicy;
 pub use params::{DetailedTiming, RuntimeParams, SpawnPolicy};
 pub use program::{run_program, ProgramSpec, RunOutput};
 pub use runtime::TaskRuntime;
-pub use state::{CellId, GroupId, LockId, RtStats};
+pub use state::{AppMsg, CellId, GroupId, LockId, RtStats};
 pub use task_ctx::{TaskBody, TaskCtx};
 
 // Common vocabulary re-exports for kernel writers.

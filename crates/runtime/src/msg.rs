@@ -43,6 +43,10 @@ pub enum RtMsg {
         /// Whether this message consumes a PROBE reservation at the
         /// destination (false for migration forwards).
         reserved: bool,
+        /// Pinned tasks never migrate: protocol node tasks must run on the
+        /// exact core they were placed on, so both push- and pull-migration
+        /// skip them.
+        pinned: bool,
         /// Migration hops so far (bounded to stop pathological bouncing).
         hops: u32,
     },
@@ -94,6 +98,26 @@ pub enum RtMsg {
         /// Lock being released.
         lock: LockId,
     },
+    /// Application-level protocol payload (the protocol workload pack):
+    /// the run-time system delivers it into the destination core's mailbox
+    /// and wakes the registered `recv_deadline` waiter, if any.
+    App {
+        /// Sending core.
+        from: CoreId,
+        /// Protocol-defined message discriminator.
+        tag: u32,
+        /// Protocol-defined payload words.
+        data: [u64; 4],
+    },
+    /// Self-addressed deadline timer. A same-core send traverses no links,
+    /// so it bypasses every fault mechanism (drop/corrupt/delay/reroute)
+    /// and arrives at exactly the requested instant regardless of the
+    /// active fault plan; the token guards against a stale timer waking a
+    /// later wait.
+    Deadline {
+        /// Matches the waiter registration that armed this timer.
+        token: u64,
+    },
 }
 
 impl std::fmt::Debug for RtMsg {
@@ -110,6 +134,8 @@ impl std::fmt::Debug for RtMsg {
             RtMsg::LockRequest { .. } => "LOCK_REQUEST",
             RtMsg::LockAck { .. } => "LOCK_ACK",
             RtMsg::LockRelease { .. } => "LOCK_RELEASE",
+            RtMsg::App { .. } => "APP",
+            RtMsg::Deadline { .. } => "DEADLINE",
         };
         write!(f, "{name}")
     }

@@ -182,6 +182,14 @@ impl RuntimeHooks for TaskRuntime {
             s.probe_unavailable,
             s.fault_local_runs,
             s.cell_access_failures,
+            s.app_sends,
+            s.app_deliveries,
+            s.app_send_failures,
+            s.timers_set,
+            s.timer_fires,
+            s.timers_stale,
+            s.pinned_spawns,
+            s.pinned_spawn_drops,
         ] {
             put(&mut h, x);
         }
@@ -196,6 +204,26 @@ impl RuntimeHooks for TaskRuntime {
                 fold = fold.wrapping_add(eh);
             }
             put(&mut h, fold);
+            // Mailbox order is deterministic (delivery order), so fold it
+            // order-dependently; the waiter registration and token are part
+            // of the resumable state too.
+            put(&mut h, core.mailbox.len() as u64);
+            for m in &core.mailbox {
+                put(&mut h, u64::from(m.from.0));
+                put(&mut h, u64::from(m.tag));
+                for w in m.data {
+                    put(&mut h, w);
+                }
+            }
+            put(&mut h, core.recv_token);
+            match core.recv_waiter {
+                Some((aid, token)) => {
+                    put(&mut h, 1);
+                    put(&mut h, aid.0);
+                    put(&mut h, token);
+                }
+                None => put(&mut h, 0),
+            }
         }
         put(&mut h, st.next_group);
         put(&mut h, st.next_cell);
@@ -303,6 +331,7 @@ impl RuntimeHooks for TaskRuntime {
                 parent,
                 name,
                 reserved,
+                pinned,
                 hops,
             } => {
                 ops.discard_birth(parent, birth);
@@ -315,11 +344,12 @@ impl RuntimeHooks for TaskRuntime {
                 // Progressive task migration (paper §IV: tasks "migrate to
                 // other cores if the local ones are overloaded"): if this
                 // task would wait behind queued work and a neighbor looks
-                // idle, pass it along instead of enqueueing.
+                // idle, pass it along instead of enqueueing. Pinned tasks
+                // never move — their placement is the program's contract.
                 const MAX_MIGRATION_HOPS: u32 = 16;
                 let busy =
                     ops.current_activity(me).is_some() || !st.cores[me.index()].queue.is_empty();
-                if busy && hops < MAX_MIGRATION_HOPS {
+                if busy && !pinned && hops < MAX_MIGRATION_HOPS {
                     let target = ops
                         .neighbors(me)
                         .into_iter()
@@ -348,6 +378,7 @@ impl RuntimeHooks for TaskRuntime {
                                 parent: me,
                                 name,
                                 reserved: false,
+                                pinned: false,
                                 hops: hops + 1,
                             }),
                         );
@@ -362,18 +393,24 @@ impl RuntimeHooks for TaskRuntime {
                             };
                             let mut st = self.st.lock();
                             st.stats.fault_local_runs += 1;
-                            st.cores[me.index()]
-                                .queue
-                                .push_back(QueuedTask { body, group, name });
+                            st.cores[me.index()].queue.push_back(QueuedTask {
+                                body,
+                                group,
+                                name,
+                                pinned: false,
+                            });
                             ops.queue_hint_add(me, 1);
                             self.broadcast_occupancy(ops, &mut st, me);
                         }
                         return;
                     }
                 }
-                st.cores[me.index()]
-                    .queue
-                    .push_back(QueuedTask { body, group, name });
+                st.cores[me.index()].queue.push_back(QueuedTask {
+                    body,
+                    group,
+                    name,
+                    pinned,
+                });
                 ops.queue_hint_add(me, 1);
                 self.broadcast_occupancy(ops, &mut st, me);
             }
@@ -386,6 +423,7 @@ impl RuntimeHooks for TaskRuntime {
                 // the local cores are overloaded).
                 if occupancy == 0
                     && st.cores[me.index()].queue.len() > 1
+                    && st.cores[me.index()].queue.back().is_some_and(|t| !t.pinned)
                     && !ops.core_failed(from, env.arrival)
                 {
                     let task = st.cores[me.index()].queue.pop_back().expect("len > 1");
@@ -407,6 +445,7 @@ impl RuntimeHooks for TaskRuntime {
                             parent: me,
                             name: task.name,
                             reserved: false,
+                            pinned: false,
                             hops: 0,
                         }),
                     );
@@ -421,9 +460,12 @@ impl RuntimeHooks for TaskRuntime {
                         };
                         let mut st = self.st.lock();
                         st.stats.fault_local_runs += 1;
-                        st.cores[me.index()]
-                            .queue
-                            .push_back(QueuedTask { body, group, name });
+                        st.cores[me.index()].queue.push_back(QueuedTask {
+                            body,
+                            group,
+                            name,
+                            pinned: false,
+                        });
                         drop(st);
                         ops.queue_hint_add(me, 1);
                     }
@@ -553,6 +595,37 @@ impl RuntimeHooks for TaskRuntime {
                     }
                 } else {
                     ls.held = false;
+                }
+            }
+            RtMsg::App { from, tag, data } => {
+                let mut st = self.st.lock();
+                st.stats.app_deliveries += 1;
+                let core = &mut st.cores[me.index()];
+                core.mailbox
+                    .push_back(crate::state::AppMsg { from, tag, data });
+                // Wake the registered receiver (its armed timer goes stale:
+                // the token was consumed with the registration).
+                if let Some((waiter, _token)) = core.recv_waiter.take() {
+                    drop(st);
+                    let at = ops.now(me);
+                    ops.wake(waiter, Box::new(()), at);
+                }
+            }
+            RtMsg::Deadline { token } => {
+                let mut st = self.st.lock();
+                let core = &mut st.cores[me.index()];
+                match core.recv_waiter {
+                    Some((waiter, t)) if t == token => {
+                        core.recv_waiter = None;
+                        st.stats.timer_fires += 1;
+                        drop(st);
+                        let at = ops.now(me);
+                        ops.wake(waiter, Box::new(()), at);
+                    }
+                    // The wait this timer was armed for is already over
+                    // (a message arrived first, or a newer wait replaced
+                    // it): ignore.
+                    _ => st.stats.timers_stale += 1,
                 }
             }
         }

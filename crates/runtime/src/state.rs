@@ -18,11 +18,25 @@ pub struct CellId(pub u64);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct LockId(pub u64);
 
+/// An application-level message delivered to a core's protocol mailbox
+/// (the protocol workload pack's `send_app`/`recv_deadline` seam).
+#[derive(Clone, Copy, Debug)]
+pub struct AppMsg {
+    /// Sending core.
+    pub from: CoreId,
+    /// Protocol-defined message discriminator.
+    pub tag: u32,
+    /// Protocol-defined payload words.
+    pub data: [u64; 4],
+}
+
 /// A task waiting in a core's queue.
 pub(crate) struct QueuedTask {
     pub body: TaskBody,
     pub group: Option<GroupId>,
     pub name: &'static str,
+    /// Pinned tasks are excluded from pull-migration.
+    pub pinned: bool,
 }
 
 /// Per-core run-time state.
@@ -35,6 +49,13 @@ pub(crate) struct RtCore {
     /// (paper §IV: "the run-time system maintains proxies to neighbors'
     /// occupation status").
     pub proxy: HashMap<CoreId, u32>,
+    /// Application messages awaiting a `recv_deadline` on this core.
+    pub mailbox: VecDeque<AppMsg>,
+    /// The task (and its timer token) currently blocked in `recv_deadline`.
+    pub recv_waiter: Option<(ActivityId, u64)>,
+    /// Monotonic token distinguishing the live deadline timer from stale
+    /// ones still in flight.
+    pub recv_token: u64,
 }
 
 impl RtCore {
@@ -43,6 +64,9 @@ impl RtCore {
             queue: VecDeque::new(),
             reserved: 0,
             proxy: HashMap::new(),
+            mailbox: VecDeque::new(),
+            recv_waiter: None,
+            recv_token: 0,
         }
     }
 
@@ -138,6 +162,22 @@ pub struct RtStats {
     /// Cell accesses degraded to a backing-store charge because the data
     /// request could not be delivered.
     pub cell_access_failures: u64,
+    /// Application (protocol-pack) messages sent with `send_app`.
+    pub app_sends: u64,
+    /// Application messages delivered into a core mailbox.
+    pub app_deliveries: u64,
+    /// Application sends abandoned after exhausting the retry budget.
+    pub app_send_failures: u64,
+    /// Deadline timers armed by `recv_deadline`.
+    pub timers_set: u64,
+    /// Deadline timers that fired and woke their waiter.
+    pub timer_fires: u64,
+    /// Deadline timers that arrived stale (their wait was already over).
+    pub timers_stale: u64,
+    /// Pinned node tasks shipped with `spawn_pinned`.
+    pub pinned_spawns: u64,
+    /// Pinned spawns dropped because the target core was unreachable.
+    pub pinned_spawn_drops: u64,
 }
 
 /// All mutable run-time state, owned by the hooks object behind a mutex
@@ -187,6 +227,7 @@ mod tests {
             body: Box::new(|_| {}),
             group: None,
             name: "t",
+            pinned: false,
         });
         assert_eq!(c.occupancy(), 3);
     }

@@ -236,6 +236,7 @@ impl<'a> TaskCtx<'a> {
                     parent: me,
                     name,
                     reserved: true,
+                    pinned: false,
                     hops: 0,
                 }),
             );
@@ -256,11 +257,185 @@ impl<'a> TaskCtx<'a> {
                 st.stats.fault_local_runs += 1;
                 st.cores[me.index()]
                     .queue
-                    .push_back(crate::state::QueuedTask { body, group, name });
+                    .push_back(crate::state::QueuedTask {
+                        body,
+                        group,
+                        name,
+                        pinned: false,
+                    });
                 ops.queue_hint_add(me, 1);
                 rt.broadcast_occupancy(ops, &mut st, me);
             }
         });
+    }
+
+    /// Place a task on an exact core. Unlike [`Self::spawn`], the task is
+    /// *pinned* — it never migrates, and no queue reservation is made — so
+    /// a protocol node lands on precisely the core it models. If the target
+    /// is unreachable after the retry budget, the task is **dropped** (its
+    /// group counter is rolled back and `pinned_spawn_drops` counts it)
+    /// rather than run on the wrong core. Returns whether the spawn message
+    /// got through.
+    pub fn spawn_pinned(
+        &mut self,
+        target: CoreId,
+        group: Option<GroupId>,
+        name: &'static str,
+        body: TaskBody,
+    ) -> bool {
+        let rt = Arc::clone(&self.rt);
+        let me = self.core();
+        self.ec.with_ops(|ops| {
+            {
+                let mut st = rt.st.lock();
+                if let Some(g) = group {
+                    st.groups.get_mut(&g.0).expect("unknown group").active += 1;
+                }
+                st.stats.spawns += 1;
+                st.stats.pinned_spawns += 1;
+            }
+            let at = ops.now(me);
+            let birth = ops.record_birth(me, at);
+            let sent = rt.retry_send(
+                ops,
+                me,
+                target,
+                rt.params().spawn_msg_bytes,
+                at,
+                Payload::new(RtMsg::TaskSpawn {
+                    body,
+                    group,
+                    birth,
+                    parent: me,
+                    name,
+                    reserved: false,
+                    pinned: true,
+                    hops: 0,
+                }),
+            );
+            match sent {
+                Ok(_) => true,
+                Err((_, fail_t)) => {
+                    ops.discard_birth(me, birth);
+                    ops.advance_core_to(me, fail_t);
+                    let mut st = rt.st.lock();
+                    st.stats.pinned_spawn_drops += 1;
+                    let mut orphaned_joiners = Vec::new();
+                    if let Some(g) = group {
+                        let grp = st.groups.get_mut(&g.0).expect("unknown group");
+                        assert!(grp.active > 0, "group counter underflow");
+                        grp.active -= 1;
+                        if grp.active == 0 {
+                            orphaned_joiners = std::mem::take(&mut grp.joiners);
+                        }
+                    }
+                    drop(st);
+                    // No sane program joins before it finished spawning, but
+                    // keep the group sound regardless.
+                    for (joiner, _jcore) in orphaned_joiners {
+                        ops.wake(joiner, Box::new(()), fail_t);
+                    }
+                    false
+                }
+            }
+        })
+    }
+
+    // ----- protocol messaging (protocol workload pack) -----------------------
+
+    /// Send an application-level protocol message to `dst`, retrying lost
+    /// attempts with the runtime's exponential-backoff [`RetryPolicy`]
+    /// (`crate::params::RetryPolicy`). Returns `true` when some attempt got
+    /// through (the sender knows each attempt's fate at send time — the
+    /// engine's out-of-order send model). On failure this core's clock is
+    /// advanced past the final attempt, so protocol-level timeouts measured
+    /// from `now()` stay meaningful.
+    pub fn send_app(&mut self, dst: CoreId, tag: u32, data: [u64; 4]) -> bool {
+        let rt = Arc::clone(&self.rt);
+        let me = self.core();
+        let bytes = rt.params().ctrl_msg_bytes;
+        self.ec.with_ops(|ops| {
+            rt.st.lock().stats.app_sends += 1;
+            let at = ops.now(me);
+            let sent = rt.retry_send(
+                ops,
+                me,
+                dst,
+                bytes,
+                at,
+                Payload::new(RtMsg::App {
+                    from: me,
+                    tag,
+                    data,
+                }),
+            );
+            match sent {
+                Ok(_) => true,
+                Err((_, fail_t)) => {
+                    rt.st.lock().stats.app_send_failures += 1;
+                    ops.advance_core_to(me, fail_t);
+                    false
+                }
+            }
+        })
+    }
+
+    /// Pop the next mailbox message without blocking.
+    pub fn try_recv(&mut self) -> Option<crate::state::AppMsg> {
+        let me = self.core();
+        self.rt.st.lock().cores[me.index()].mailbox.pop_front()
+    }
+
+    /// Wait for an application message until `deadline` (an absolute
+    /// virtual time). Returns the message, or `None` once this core's clock
+    /// reaches the deadline with an empty mailbox.
+    ///
+    /// The timeout is a **self-addressed deadline message**: a same-core
+    /// send traverses no links, so it is immune to the fault plan and
+    /// arrives at exactly `deadline` — the protocol re-issue primitive works
+    /// identically under partitions, lossy links and core churn. A message
+    /// arriving first consumes the waiter registration; the now-stale timer
+    /// is recognized by its token and ignored.
+    pub fn recv_deadline(&mut self, deadline: VirtualTime) -> Option<crate::state::AppMsg> {
+        loop {
+            let rt = Arc::clone(&self.rt);
+            let me = self.core();
+            let my_aid = self.ec.id();
+            if let Some(m) = rt.st.lock().cores[me.index()].mailbox.pop_front() {
+                return Some(m);
+            }
+            if self.now() >= deadline {
+                return None;
+            }
+            self.ec.with_ops(|ops| {
+                let mut st = rt.st.lock();
+                let core = &mut st.cores[me.index()];
+                assert!(
+                    core.recv_waiter.is_none(),
+                    "one recv_deadline waiter per core"
+                );
+                core.recv_token += 1;
+                let token = core.recv_token;
+                core.recv_waiter = Some((my_aid, token));
+                st.stats.timers_set += 1;
+                drop(st);
+                let sent =
+                    ops.try_send_at(me, me, 0, deadline, Payload::new(RtMsg::Deadline { token }));
+                debug_assert!(sent.is_ok(), "self-send timers are infallible");
+            });
+            let _ = self.ec.block("recv");
+        }
+    }
+
+    /// True iff this core has permanently failed (crash-stop churn) by its
+    /// current virtual time. Protocol nodes use this to fall silent when
+    /// the fault plan kills their core.
+    pub fn core_failed(&mut self) -> bool {
+        let me = self.core();
+        self.ec.with_ops(|ops| {
+            let now = ops.now(me);
+            ops.core_failed(me, now)
+        })
     }
 
     /// Conditional spawn: probe, and either ship `body` to the reserved

@@ -86,6 +86,56 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Serialize back to compact JSON. Used to copy nested objects (e.g.
+    /// a `simulate` dump's `"resilience"` report) into result records
+    /// verbatim. Numbers that are whole print without a fraction, so
+    /// counters round-trip as integers.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.dump_into(&mut out);
+        out
+    }
+
+    fn dump_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(x) => {
+                if x.fract() == 0.0 && x.abs() < 9.0e15 {
+                    let _ = write!(out, "{}", *x as i64);
+                } else {
+                    let _ = write!(out, "{x}");
+                }
+            }
+            Json::Str(s) => {
+                let _ = write!(out, "\"{}\"", escape(s));
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.dump_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":", escape(k));
+                    v.dump_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
 }
 
 struct Parser<'a> {
@@ -321,5 +371,13 @@ mod tests {
         let s = "a\"b\\c\nd";
         let wrapped = format!("\"{}\"", escape(s));
         assert_eq!(Json::parse(&wrapped).unwrap().as_str(), Some(s));
+    }
+
+    #[test]
+    fn dump_roundtrips_and_keeps_integers_whole() {
+        let text = r#"{"protocol":"Gossip","coverage":0.9844,"delivered":63,"latency":{"p50":8024,"samples":[1,2,3]},"ok":true,"none":null}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.dump(), text);
+        assert_eq!(Json::parse(&v.dump()).unwrap(), v);
     }
 }

@@ -26,16 +26,27 @@ pub struct FaultKnobs {
     pub core_fail_prob: f64,
     /// Window in cycles for sampled failure instants.
     pub fault_horizon: Option<u64>,
+    /// Scripted half/half partition start, in cycles.
+    pub partition_at: Option<u64>,
+    /// Scripted partition heal instant, in cycles (`None` = permanent
+    /// once `partition_at` is set).
+    pub partition_heal: Option<u64>,
+    /// Scripted crash-stop churn: number of cores to kill (never core 0).
+    pub churn_cores: u32,
+    /// Interval between scripted churn failures, in cycles.
+    pub churn_every: Option<u64>,
 }
 
 impl FaultKnobs {
-    /// True when any fault probability is non-zero (a fault plan will be
-    /// sampled).
+    /// True when any fault probability is non-zero or a scripted layer
+    /// (partition / churn) is requested (a fault plan will be built).
     pub fn any(&self) -> bool {
         self.link_fail_prob > 0.0
             || self.drop_prob > 0.0
             || self.corrupt_prob > 0.0
             || self.core_fail_prob > 0.0
+            || self.partition_at.is_some()
+            || self.churn_cores > 0
     }
 
     /// Lower these knobs into the engine's [`FaultConfig`].
@@ -46,10 +57,16 @@ impl FaultKnobs {
             drop_prob: self.drop_prob,
             corrupt_prob: self.corrupt_prob,
             core_fail_prob: self.core_fail_prob,
+            partition_at: self.partition_at.map(VirtualTime::from_cycles),
+            partition_heal: self.partition_heal.map(VirtualTime::from_cycles),
+            churn_cores: self.churn_cores,
             ..FaultConfig::default()
         };
         if let Some(h) = self.fault_horizon {
             cfg.horizon = VirtualTime::from_cycles(h);
+        }
+        if let Some(e) = self.churn_every {
+            cfg.churn_every = VDuration::from_cycles(e);
         }
         cfg
     }
@@ -215,6 +232,37 @@ impl Scenario {
         if !self.shard_phase_b {
             h = fold_str(h, "shard_phase_b=off");
         }
+        // The engine digest folds only the fault plan's *shape* (epoch
+        // count, fault classes); two partitions at different instants — or
+        // different churn schedules — would collide. Fold the scripted
+        // knobs explicitly so every sweep point stays distinct.
+        let f = &self.faults;
+        if f.any() {
+            // Same reasoning for the sampled knobs: two drop rates (say
+            // 0.05 and 0.2) can sample plans with identical shapes, yet
+            // the runs differ. Fold the raw knob values.
+            h = fold_str(h, "fault_knobs");
+            for p in [
+                f.link_fail_prob,
+                f.drop_prob,
+                f.corrupt_prob,
+                f.core_fail_prob,
+            ] {
+                h = fold_u64(h, p.to_bits());
+            }
+            h = fold_u64(h, f.repair_after.map_or(u64::MAX, |x| x));
+            h = fold_u64(h, f.fault_horizon.map_or(u64::MAX, |x| x));
+        }
+        if let Some(t) = f.partition_at {
+            h = fold_str(h, "partition_at");
+            h = fold_u64(h, t);
+            h = fold_u64(h, f.partition_heal.map_or(u64::MAX, |x| x));
+        }
+        if f.churn_cores > 0 {
+            h = fold_str(h, "churn");
+            h = fold_u64(h, u64::from(f.churn_cores));
+            h = fold_u64(h, f.churn_every.unwrap_or(10_000));
+        }
         Ok(h)
     }
 
@@ -273,6 +321,18 @@ impl Scenario {
         }
         if let Some(t) = f.fault_horizon {
             args.extend(["--fault-horizon".into(), t.to_string()]);
+        }
+        if let Some(t) = f.partition_at {
+            args.extend(["--partition-at".into(), t.to_string()]);
+        }
+        if let Some(t) = f.partition_heal {
+            args.extend(["--partition-heal".into(), t.to_string()]);
+        }
+        if f.churn_cores > 0 {
+            args.extend(["--churn-cores".into(), f.churn_cores.to_string()]);
+        }
+        if let Some(t) = f.churn_every {
+            args.extend(["--churn-every".into(), t.to_string()]);
         }
         args
     }
@@ -353,6 +413,31 @@ mod tests {
             .iter()
             .any(|a| a == "--shard-phase-b"));
         assert!(!off.build_spec().unwrap().engine.shard_phase_b);
+    }
+
+    #[test]
+    fn scripted_fault_knobs_flow_through() {
+        let mut s = Scenario::default();
+        s.faults.partition_at = Some(5_000);
+        s.faults.partition_heal = Some(30_000);
+        s.faults.churn_cores = 3;
+        s.faults.churn_every = Some(2_000);
+        assert!(s.faults.any());
+        let spec = s.build_spec().unwrap();
+        let plan = spec.engine.fault.as_ref().expect("scripted plan installed");
+        assert!(plan.epoch_count() > 1, "partition creates link epochs");
+        assert!(plan.has_core_faults(), "churn kills cores");
+        let args = s.to_simulate_args();
+        assert!(args.windows(2).any(|w| w == ["--partition-at", "5000"]));
+        assert!(args.windows(2).any(|w| w == ["--partition-heal", "30000"]));
+        assert!(args.windows(2).any(|w| w == ["--churn-cores", "3"]));
+        assert!(args.windows(2).any(|w| w == ["--churn-every", "2000"]));
+        // Two partitions at different instants must be distinct sweep
+        // points even though the engine digest only sees the plan shape.
+        let mut t = s.clone();
+        t.faults.partition_at = Some(10_000);
+        assert_ne!(s.digest().unwrap(), t.digest().unwrap());
+        assert_ne!(s.digest().unwrap(), Scenario::default().digest().unwrap());
     }
 
     #[test]

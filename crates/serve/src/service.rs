@@ -376,6 +376,12 @@ impl Service {
                         }
                     }
                 }
+                // Protocol runs carry a nested resilience report
+                // (coverage, msgs/delivery, latency distribution) —
+                // copied verbatim so sweep results keep the whole story.
+                if let Some(rep) = run.get("resilience") {
+                    line.push_str(&format!(", \"resilience\": {}", rep.dump()));
+                }
                 if let Some(d) = s.drift {
                     line.push_str(&format!(", \"drift\": {d}"));
                 }

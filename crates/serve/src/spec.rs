@@ -48,6 +48,10 @@ const AXES: &[&str] = &[
     "corrupt_prob",
     "core_fail_prob",
     "fault_horizon",
+    "partition_at",
+    "partition_heal",
+    "churn_cores",
+    "churn_every",
 ];
 
 /// Keys allowed in a `[[sweep]]` block beyond the axes.
@@ -240,6 +244,10 @@ fn apply_axis(s: &mut Scenario, axis: &str, v: &Json) -> Result<(), String> {
         "drift" => s.drift = Some(want_u64(v)?),
         "repair_after" => s.faults.repair_after = Some(want_u64(v)?),
         "fault_horizon" => s.faults.fault_horizon = Some(want_u64(v)?),
+        "partition_at" => s.faults.partition_at = Some(want_u64(v)?),
+        "partition_heal" => s.faults.partition_heal = Some(want_u64(v)?),
+        "churn_cores" => s.faults.churn_cores = want_u64(v)? as u32,
+        "churn_every" => s.faults.churn_every = Some(want_u64(v)?),
         "scale" => s.scale = want_f64(v)?,
         "link_fail_prob" => s.faults.link_fail_prob = want_f64(v)?,
         "drop_prob" => s.faults.drop_prob = want_f64(v)?,
@@ -462,6 +470,20 @@ kernel = "quicksort"
     }
 
     #[test]
+    fn scripted_fault_axes_expand() {
+        let spec = "[[sweep]]\nname = \"part\"\nkernel = \"gossip\"\n\
+                    partition_at = [5000, 10000]\npartition_heal = 30000\n\
+                    churn_cores = 2\nchurn_every = [1000, 2000]\n";
+        let scenarios = parse_spec(spec).unwrap();
+        assert_eq!(scenarios.len(), 4);
+        assert_eq!(scenarios[0].faults.partition_at, Some(5_000));
+        assert_eq!(scenarios[0].faults.partition_heal, Some(30_000));
+        assert_eq!(scenarios[0].faults.churn_cores, 2);
+        assert_eq!(scenarios[3].faults.churn_every, Some(2_000));
+        assert!(scenarios.iter().all(|s| s.faults.any()));
+    }
+
+    #[test]
     fn unknown_keys_are_rejected() {
         assert!(parse_spec("[[sweep]]\ndrfit = [50]\n").is_err());
         assert!(parse_spec("[defaults]\ncoers = 64\n[[sweep]]\ndrift = [50]\n").is_err());
@@ -490,5 +512,25 @@ kernel = "quicksort"
         assert!(parse_toml("a = 1\na = 2\n").is_err());
         assert!(parse_toml("[a.b]\n").is_err());
         assert!(parse_toml("junk\n").is_err());
+    }
+
+    #[test]
+    fn shipped_example_specs_parse() {
+        let drift = include_str!("../../../examples/sweeps/drift.toml");
+        assert!(!parse_spec(drift).unwrap().is_empty());
+
+        // The protocol resilience sweep: 3 protocols x 3 drop rates x
+        // 3 heal times, every scenario digest-distinct (the scripted
+        // partition knobs must reach the digest, or the service would
+        // dedup different heal times into one run).
+        let protocols = include_str!("../../../examples/sweeps/protocols.toml");
+        let scenarios = parse_spec(protocols).unwrap();
+        assert_eq!(scenarios.len(), 27);
+        let digests: std::collections::HashSet<_> =
+            scenarios.iter().map(|s| s.digest().unwrap()).collect();
+        assert_eq!(digests.len(), 27);
+        assert!(scenarios.iter().all(|s| s.faults.any()));
+        let quorum = scenarios.iter().find(|s| s.kernel == "quorum").unwrap();
+        assert_eq!(quorum.faults.partition_at, Some(15_000));
     }
 }

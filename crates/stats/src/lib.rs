@@ -274,6 +274,160 @@ pub fn pct_signed(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
 }
 
+/// Summary of a latency sample set (cycles), used for the protocol
+/// resilience metrics: convergence / commit / lookup latencies under
+/// fault plans.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyDist {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean (cycles).
+    pub mean: f64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Maximum sample.
+    pub max: u64,
+}
+
+impl LatencyDist {
+    /// Summarize a sample set. An empty set yields the all-zero dist.
+    pub fn from_samples(samples: &[u64]) -> Self {
+        if samples.is_empty() {
+            return LatencyDist::default();
+        }
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        let n = s.len();
+        // Nearest-rank percentile: ceil(p/100 * n), 1-indexed.
+        let rank = |p: usize| -> u64 { s[((p * n).div_ceil(100)).clamp(1, n) - 1] };
+        LatencyDist {
+            count: n as u64,
+            mean: s.iter().map(|&x| x as f64).sum::<f64>() / n as f64,
+            p50: rank(50),
+            p90: rank(90),
+            p99: rank(99),
+            max: s[n - 1],
+        }
+    }
+
+    /// Render as a compact `p50/p90/p99/max` string.
+    pub fn summary(&self) -> String {
+        if self.count == 0 {
+            return "no samples".to_string();
+        }
+        format!(
+            "p50={} p90={} p99={} max={} (n={})",
+            self.p50, self.p90, self.p99, self.max, self.count
+        )
+    }
+
+    /// Render as a JSON object fragment.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{:.1},\"p50\":{},\"p90\":{},\"p99\":{},\"max\":{}}}",
+            self.count, self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// Per-protocol resilience report: the metrics the resilience testbed
+/// tracks for every protocol workload under a fault plan (ISSUE 9).
+#[derive(Clone, Debug)]
+pub struct ResilienceReport {
+    /// Protocol name ("Gossip", "DHT Lookup", "Quorum").
+    pub protocol: String,
+    /// Payloads the protocol set out to deliver (rumors x live nodes,
+    /// lookups issued, commands proposed).
+    pub expected: u64,
+    /// Payloads actually delivered / committed / resolved.
+    pub delivered: u64,
+    /// Application messages spent in total.
+    pub payload_msgs: u64,
+    /// Timeout-driven re-issues (lookup retries, election restarts...).
+    pub reissues: u64,
+    /// Operations that fell back to a degraded mode (flooding, ...).
+    pub degraded: u64,
+    /// Distinct leaders observed (quorum protocol; 0 otherwise).
+    pub leader_changes: u64,
+    /// End-to-end latency distribution of delivered payloads.
+    pub latency: LatencyDist,
+}
+
+impl ResilienceReport {
+    /// Delivery coverage in [0, 1]; 1.0 when nothing was expected.
+    pub fn coverage(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.expected as f64
+        }
+    }
+
+    /// Messages spent per delivered payload (cost of resilience).
+    pub fn msgs_per_delivery(&self) -> f64 {
+        if self.delivered == 0 {
+            self.payload_msgs as f64
+        } else {
+            self.payload_msgs as f64 / self.delivered as f64
+        }
+    }
+
+    /// Render as a JSON object fragment (hand-rolled; no serde in tree).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol\":\"{}\",\"expected\":{},\"delivered\":{},\"coverage\":{:.4},\
+             \"payload_msgs\":{},\"msgs_per_delivery\":{:.2},\"reissues\":{},\
+             \"degraded\":{},\"leader_changes\":{},\"latency\":{}}}",
+            self.protocol,
+            self.expected,
+            self.delivered,
+            self.coverage(),
+            self.payload_msgs,
+            self.msgs_per_delivery(),
+            self.reissues,
+            self.degraded,
+            self.leader_changes,
+            self.latency.to_json()
+        )
+    }
+
+    /// One row for the standard resilience table (see [`Self::table`]).
+    pub fn table_row(&self) -> Vec<String> {
+        vec![
+            self.protocol.clone(),
+            format!("{}/{}", self.delivered, self.expected),
+            pct(self.coverage()),
+            f2(self.msgs_per_delivery()),
+            self.reissues.to_string(),
+            self.degraded.to_string(),
+            self.leader_changes.to_string(),
+            self.latency.summary(),
+        ]
+    }
+
+    /// Build the standard resilience table over a set of reports.
+    pub fn table(reports: &[ResilienceReport]) -> Table {
+        let mut t = Table::new(&[
+            "protocol",
+            "delivered",
+            "coverage",
+            "msgs/delivery",
+            "reissues",
+            "degraded",
+            "leaders",
+            "latency (cycles)",
+        ]);
+        for r in reports {
+            t.row(r.table_row());
+        }
+        t
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,5 +540,64 @@ mod tests {
         assert_eq!(pct(0.188), "18.8%");
         assert_eq!(pct_signed(-0.644), "-64.4%");
         assert_eq!(pct_signed(0.32), "+32.0%");
+    }
+
+    #[test]
+    fn latency_dist_percentiles() {
+        let samples: Vec<u64> = (1..=100).collect();
+        let d = LatencyDist::from_samples(&samples);
+        assert_eq!(d.count, 100);
+        assert_eq!(d.p50, 50);
+        assert_eq!(d.p90, 90);
+        assert_eq!(d.p99, 99);
+        assert_eq!(d.max, 100);
+        assert!((d.mean - 50.5).abs() < 1e-9);
+
+        let single = LatencyDist::from_samples(&[7]);
+        assert_eq!(
+            (single.p50, single.p90, single.p99, single.max),
+            (7, 7, 7, 7)
+        );
+
+        let empty = LatencyDist::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.summary(), "no samples");
+    }
+
+    #[test]
+    fn resilience_report_coverage_and_json() {
+        let r = ResilienceReport {
+            protocol: "Gossip".into(),
+            expected: 64,
+            delivered: 60,
+            payload_msgs: 300,
+            reissues: 12,
+            degraded: 1,
+            leader_changes: 0,
+            latency: LatencyDist::from_samples(&[100, 200, 300]),
+        };
+        assert!((r.coverage() - 60.0 / 64.0).abs() < 1e-9);
+        assert!((r.msgs_per_delivery() - 5.0).abs() < 1e-9);
+        let json = r.to_json();
+        assert!(json.contains("\"protocol\":\"Gossip\""));
+        assert!(json.contains("\"coverage\":0.9375"));
+        assert!(json.contains("\"p99\":300"));
+
+        // Degenerate cases do not divide by zero.
+        let z = ResilienceReport {
+            protocol: "x".into(),
+            expected: 0,
+            delivered: 0,
+            payload_msgs: 5,
+            reissues: 0,
+            degraded: 0,
+            leader_changes: 0,
+            latency: LatencyDist::default(),
+        };
+        assert!((z.coverage() - 1.0).abs() < 1e-9);
+        assert!((z.msgs_per_delivery() - 5.0).abs() < 1e-9);
+
+        let t = ResilienceReport::table(&[r]);
+        assert!(t.to_markdown().contains("msgs/delivery"));
     }
 }
