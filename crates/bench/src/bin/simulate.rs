@@ -48,6 +48,8 @@ struct Args {
     partition_heal: Option<u64>,
     churn_cores: u32,
     churn_every: Option<u64>,
+    profile_picks: bool,
+    compact_ready: bool,
 }
 
 impl Default for Args {
@@ -83,6 +85,8 @@ impl Default for Args {
             partition_heal: None,
             churn_cores: 0,
             churn_every: None,
+            profile_picks: false,
+            compact_ready: false,
         }
     }
 }
@@ -114,6 +118,11 @@ options:
                       destination-sharded phase-B replay in parallel mode
                       (default on; bit-identical either way)
   --json FILE         also write wall-clock + counters as JSON to FILE
+  --profile-picks     time the pick loop's phases (floor / pop / overhead /
+                      action); observation-only, adds two clock reads per pick
+  --compact-ready     periodically drop stale lazy-deletion entries from the
+                      ready heap; deterministic per (seed, threads) but picks
+                      a DIFFERENT (equally valid) schedule than the default
 
 checkpoint / resume (see crates/core/src/checkpoint.rs for the model):
   --checkpoint-every T  write a verification checkpoint every T virtual cycles
@@ -207,6 +216,8 @@ fn parse_args() -> Args {
                     Some(val().parse().expect("--preempt-after-checkpoints"))
             }
             "--json" => args.json = Some(val()),
+            "--profile-picks" => args.profile_picks = true,
+            "--compact-ready" => args.compact_ready = true,
             "--link-fail-prob" => args.link_fail_prob = val().parse().expect("--link-fail-prob"),
             "--repair-after" => args.repair_after = Some(val().parse().expect("--repair-after")),
             "--drop-prob" => args.drop_prob = val().parse().expect("--drop-prob"),
@@ -294,7 +305,9 @@ fn build_spec(args: &Args, scenario: &Scenario) -> ProgramSpec {
     spec.engine = spec
         .engine
         .with_fast_path(args.fast_path)
-        .with_sanitize(args.sanitize);
+        .with_sanitize(args.sanitize)
+        .with_profile_picks(args.profile_picks)
+        .with_compact_ready(args.compact_ready);
     if let Some(every) = args.checkpoint_every {
         spec.engine = spec
             .engine
@@ -322,6 +335,7 @@ fn write_json(
     let s = &r.out.stats;
     let peak_rss = simany_bench::peak_rss_bytes();
     let cores_per_sec = f64::from(n_cores) / s.wall.as_secs_f64().max(1e-9);
+    let run_cores_per_sec = f64::from(n_cores) / (s.run_ns.max(1) as f64 / 1e9);
     let tiles_claimed = s
         .tiles_claimed
         .iter()
@@ -332,7 +346,7 @@ fn write_json(
         format!(",\n  \"resilience\": {}", rep.to_json())
     });
     let json = format!(
-        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"config_digest\": \"{:016x}\",\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cores_per_sec\": {cores_per_sec:.0},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"net_dropped\": {},\n  \"net_corrupted\": {},\n  \"net_delayed\": {},\n  \"net_rerouted\": {},\n  \"net_unreachable\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]{resilience_json}\n}}\n",
+        "{{\n  \"kernel\": \"{}\",\n  \"cores\": {},\n  \"machine\": \"{}\",\n  \"arch\": \"{}\",\n  \"scale\": {},\n  \"seed\": {},\n  \"config_digest\": \"{:016x}\",\n  \"fast_path\": {},\n  \"threads\": {},\n  \"wall_ns\": {},\n  \"build_ns\": {},\n  \"run_ns\": {},\n  \"peak_rss_bytes\": {peak_rss},\n  \"cores_per_sec\": {cores_per_sec:.0},\n  \"run_cores_per_sec\": {run_cores_per_sec:.0},\n  \"final_vtime_cycles\": {},\n  \"verified\": {},\n  \"work_items\": {},\n  \"tasks_started\": {},\n  \"scheduler_picks\": {},\n  \"sync_stalls\": {},\n  \"messages\": {},\n  \"bytes\": {},\n  \"late_messages\": {},\n  \"on_time_messages\": {},\n  \"fast_path_advances\": {},\n  \"full_sync_checks\": {},\n  \"publish_sweeps\": {},\n  \"floor_recomputes\": {},\n  \"floor_key_updates\": {},\n  \"ready_stale_skipped\": {},\n  \"ready_compactions\": {},\n  \"ready_compacted\": {},\n  \"prof_floor_ns\": {},\n  \"prof_pop_ns\": {},\n  \"prof_overhead_ns\": {},\n  \"prof_action_ns\": {},\n  \"msgs_dropped\": {},\n  \"msg_retries\": {},\n  \"reroutes\": {},\n  \"link_faults\": {},\n  \"core_failures\": {},\n  \"net_dropped\": {},\n  \"net_corrupted\": {},\n  \"net_delayed\": {},\n  \"net_rerouted\": {},\n  \"net_unreachable\": {},\n  \"sanitizer_checks\": {},\n  \"sanitizer_violations\": {},\n  \"checkpoints_written\": {},\n  \"checkpoint_verifications\": {},\n  \"parallel_epochs\": {},\n  \"epoch_grants\": {},\n  \"phase_a_wall_ns\": {},\n  \"phase_b_wall_ns\": {},\n  \"serial_tail_ns\": {},\n  \"frame_spins\": {},\n  \"frame_parks\": {},\n  \"sharded_replays\": {},\n  \"tiles_claimed\": [{tiles_claimed}]{resilience_json}\n}}\n",
         args.kernel,
         args.cores,
         args.machine,
@@ -343,6 +357,8 @@ fn write_json(
         args.fast_path,
         args.threads,
         s.wall.as_nanos(),
+        s.build_ns,
+        s.run_ns,
         r.cycles(),
         r.verified,
         r.work_items,
@@ -357,6 +373,14 @@ fn write_json(
         s.full_sync_checks,
         s.publish_sweeps,
         s.floor_recomputes,
+        s.floor_key_updates,
+        s.ready_stale_skipped,
+        s.ready_compactions,
+        s.ready_compacted,
+        s.prof_floor_ns,
+        s.prof_pop_ns,
+        s.prof_overhead_ns,
+        s.prof_action_ns,
         s.msgs_dropped,
         s.msg_retries,
         s.reroutes,
@@ -472,8 +496,14 @@ fn main() {
     println!("work items        : {}", r.work_items);
     println!("wall time         : {:?}", r.out.stats.wall);
     println!(
-        "throughput        : {:.0} cores/sec",
-        f64::from(n_cores) / r.out.stats.wall.as_secs_f64().max(1e-9)
+        "build / run       : {:.3}ms / {:.3}ms",
+        r.out.stats.build_ns as f64 / 1e6,
+        r.out.stats.run_ns as f64 / 1e6
+    );
+    println!(
+        "throughput        : {:.0} cores/sec ({:.0} over the run phase)",
+        f64::from(n_cores) / r.out.stats.wall.as_secs_f64().max(1e-9),
+        f64::from(n_cores) / (r.out.stats.run_ns.max(1) as f64 / 1e9)
     );
     let peak_rss = simany_bench::peak_rss_bytes();
     if peak_rss > 0 {
@@ -505,6 +535,21 @@ fn main() {
     );
     println!("core utilization  : {:.2}", r.out.stats.utilization());
     let s = &r.out.stats;
+    if s.ready_stale_skipped > 0 || s.ready_compactions > 0 {
+        println!(
+            "ready hygiene     : {} stale pops skipped, {} compactions ({} entries dropped)",
+            s.ready_stale_skipped, s.ready_compactions, s.ready_compacted
+        );
+    }
+    if s.prof_floor_ns + s.prof_pop_ns + s.prof_overhead_ns + s.prof_action_ns > 0 {
+        println!(
+            "pick-loop profile : floor {:.1}ms / pop {:.1}ms / overhead {:.1}ms / action {:.1}ms",
+            s.prof_floor_ns as f64 / 1e6,
+            s.prof_pop_ns as f64 / 1e6,
+            s.prof_overhead_ns as f64 / 1e6,
+            s.prof_action_ns as f64 / 1e6
+        );
+    }
     if args.threads > 1 {
         println!(
             "parallel epochs   : {} ({} grants on {} host threads)",

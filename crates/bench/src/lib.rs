@@ -1541,7 +1541,12 @@ pub fn peak_rss_bytes() -> u64 {
 /// through `queue_hint` so activities materialize lazily instead of
 /// allocating a million boxed closures up front. Returns the stats plus
 /// the process peak RSS (bytes) observed right after the run.
-fn scale_run(chips: u32, chip_side: u32, seed: u64) -> (simany::core::SimStats, u64) {
+fn scale_run(
+    chips: u32,
+    chip_side: u32,
+    seed: u64,
+    profile: bool,
+) -> (simany::core::SimStats, u64) {
     use simany::core::{CoreId, EngineConfig, Envelope, ExecCtx, Ops, RuntimeHooks};
 
     struct OneShot;
@@ -1574,7 +1579,8 @@ fn scale_run(chips: u32, chip_side: u32, seed: u64) -> (simany::core::SimStats, 
     let n = topo.n_cores();
     let config = EngineConfig::default()
         .with_drift_cycles(10_000)
-        .with_seed(seed);
+        .with_seed(seed)
+        .with_profile_picks(profile);
     let stats = simany::core::simulate(topo, config, std::sync::Arc::new(OneShot), move |ops| {
         for c in 0..n {
             ops.queue_hint_add(CoreId(c), 1);
@@ -1584,11 +1590,51 @@ fn scale_run(chips: u32, chip_side: u32, seed: u64) -> (simany::core::SimStats, 
     (stats, peak_rss_bytes())
 }
 
-/// PR 8 acceptance benchmark: how big can one simulation get? Runs one
+/// One measured point of the scale benchmark, with the PR 10 build/run
+/// phase split and the pick-loop profile breakdown.
+struct ScalePoint {
+    chips: u32,
+    cores: u32,
+    stats: simany::core::SimStats,
+    rss: u64,
+}
+
+impl ScalePoint {
+    fn measure(chips: u32, side: u32, seed: u64) -> Self {
+        let n = chips * chips * side * side;
+        let (stats, rss) = scale_run(chips, side, seed, true);
+        assert_eq!(
+            stats.busy.n_cores,
+            u64::from(n),
+            "busy summary lost cores at n={n}"
+        );
+        assert_eq!(stats.busy.active, u64::from(n), "a core never ran its task");
+        Self {
+            chips,
+            cores: n,
+            stats,
+            rss,
+        }
+    }
+
+    /// Throughput over the run phase only — topology/core-state setup
+    /// (`build_ns`) is excluded, so points of different sizes compare the
+    /// per-event cost rather than allocator behaviour.
+    fn run_cores_per_sec(&self) -> f64 {
+        f64::from(self.cores) / (self.stats.run_ns.max(1) as f64 / 1e9)
+    }
+
+    fn wall_cores_per_sec(&self) -> f64 {
+        f64::from(self.cores) / self.stats.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Scale benchmark (PR 8, re-run under the PR 10 pick-loop work): one
 /// small task on *every* core of hierarchical chiplet meshes up to a
-/// million cores (16×16 chiplets of 64×64), sequentially, and records
-/// wall time, throughput (cores/second) and the process peak RSS after
-/// each point. Results are dumped to `BENCH_PR8.json`.
+/// million cores (16×16 chiplets of 64×64), sequentially. Each point now
+/// records the build/run wall split and the pick-loop phase profile
+/// (`profile_picks`), so the JSON shows *where* per-event time goes as
+/// the core count grows. Results are dumped to `BENCH_PR10.json`.
 ///
 /// Points run in ascending size, so each point's peak RSS is dominated by
 /// its own footprint; the number is still process-cumulative (`VmHWM`),
@@ -1599,73 +1645,122 @@ pub fn scale_benchmark(opts: &Options) -> String {
     // of 64×64 cores = 65_536, 262_144, 1_048_576 cores.
     let points = [(4u32, 64u32), (8, 64), (16, 64)];
 
+    let measured: Vec<ScalePoint> = points
+        .iter()
+        .map(|&(chips, side)| ScalePoint::measure(chips, side, opts.seed))
+        .collect();
+
     let mut entries = String::new();
     let mut t = Table::new(&[
         "cores",
         "chiplets",
-        "wall",
-        "cores/sec",
+        "build",
+        "run",
+        "run cores/sec",
         "peak RSS",
         "bytes/core",
-        "peak live acts",
+        "stale skips",
     ]);
-    let mut last: Option<(u32, f64, u64)> = None;
-    for (i, &(chips, side)) in points.iter().enumerate() {
-        let n = chips * chips * side * side;
-        let (s, rss) = scale_run(chips, side, opts.seed);
-        let wall = s.wall.as_secs_f64().max(1e-9);
-        let cores_per_sec = f64::from(n) / wall;
-        let bytes_per_core = rss as f64 / f64::from(n);
-        assert_eq!(
-            s.busy.n_cores,
-            u64::from(n),
-            "busy summary lost cores at n={n}"
-        );
-        assert_eq!(s.busy.active, u64::from(n), "a core never ran its task");
+    for (i, p) in measured.iter().enumerate() {
+        let s = &p.stats;
+        let n = p.cores;
+        let bytes_per_core = p.rss as f64 / f64::from(n);
         entries.push_str(&format!(
             "    {{\n      \"cores\": {n},\n      \"chiplets\": {},\n      \
-             \"wall_ns\": {},\n      \"cores_per_sec\": {cores_per_sec:.0},\n      \
-             \"peak_rss_bytes\": {rss},\n      \"rss_bytes_per_core\": {bytes_per_core:.1},\n      \
+             \"wall_ns\": {},\n      \"build_ns\": {},\n      \"run_ns\": {},\n      \
+             \"cores_per_sec\": {:.0},\n      \"run_cores_per_sec\": {:.0},\n      \
+             \"peak_rss_bytes\": {},\n      \"rss_bytes_per_core\": {bytes_per_core:.1},\n      \
              \"scheduler_picks\": {},\n      \"peak_live_activities\": {},\n      \
-             \"fast_path_advances\": {},\n      \"final_vtime_cycles\": {}\n    }}{}\n",
-            chips * chips,
+             \"fast_path_advances\": {},\n      \"ready_stale_skipped\": {},\n      \
+             \"prof_floor_ns\": {},\n      \"prof_pop_ns\": {},\n      \
+             \"prof_overhead_ns\": {},\n      \"prof_action_ns\": {},\n      \
+             \"final_vtime_cycles\": {}\n    }}{}\n",
+            p.chips * p.chips,
             s.wall.as_nanos(),
+            s.build_ns,
+            s.run_ns,
+            p.wall_cores_per_sec(),
+            p.run_cores_per_sec(),
+            p.rss,
             s.scheduler_picks,
             s.peak_live_activities,
             s.fast_path_advances,
+            s.ready_stale_skipped,
+            s.prof_floor_ns,
+            s.prof_pop_ns,
+            s.prof_overhead_ns,
+            s.prof_action_ns,
             s.final_vtime.cycles(),
-            if i + 1 < points.len() { "," } else { "" },
+            if i + 1 < measured.len() { "," } else { "" },
         ));
         t.row(vec![
             n.to_string(),
-            format!("{0}x{0}", chips),
-            format!("{:?}", s.wall),
-            format!("{cores_per_sec:.0}"),
-            format!("{:.1} MB", rss as f64 / (1024.0 * 1024.0)),
+            format!("{0}x{0}", p.chips),
+            format!("{:.3}s", s.build_ns as f64 / 1e9),
+            format!("{:.3}s", s.run_ns as f64 / 1e9),
+            format!("{:.0}", p.run_cores_per_sec()),
+            format!("{:.1} MB", p.rss as f64 / (1024.0 * 1024.0)),
             format!("{bytes_per_core:.0}"),
-            s.peak_live_activities.to_string(),
+            s.ready_stale_skipped.to_string(),
         ]);
-        last = Some((n, cores_per_sec, rss));
     }
     let json = format!(
         "{{\n  \"bench\": \"memory_scale\",\n  \
-         \"note\": \"peak_rss_bytes is process-cumulative (VmHWM); points run ascending\",\n  \
+         \"note\": \"peak_rss_bytes is process-cumulative (VmHWM); points run ascending; \
+         run_cores_per_sec excludes build_ns (topology + core-state setup)\",\n  \
          \"task_annotations_per_core\": 16,\n  \"threads\": 1,\n  \"seed\": {},\n  \
          \"results\": [\n{entries}  ]\n}}\n",
         opts.seed,
     );
-    std::fs::write("BENCH_PR8.json", &json).expect("cannot write BENCH_PR8.json");
+    std::fs::write("BENCH_PR10.json", &json).expect("cannot write BENCH_PR10.json");
 
-    let (n, cps, rss) = last.expect("no scale points ran");
+    let first = measured.first().expect("no scale points ran");
+    let last = measured.last().expect("no scale points ran");
+    let ratio = first.run_cores_per_sec() / last.run_cores_per_sec().max(1e-9);
     format!(
-        "### Memory-scale benchmark (PR 8) — results written to BENCH_PR8.json\n\n\
+        "### Memory-scale benchmark (PR 10) — results written to BENCH_PR10.json\n\n\
          One task on every core of hierarchical chiplet meshes; largest point \
-         {n} cores at {cps:.0} cores/sec, peak RSS {:.1} MB \
-         ({:.0} bytes/core, process-cumulative).\n\n{}",
-        rss as f64 / (1024.0 * 1024.0),
-        rss as f64 / f64::from(n),
+         {} cores at {:.0} run-phase cores/sec, peak RSS {:.1} MB \
+         ({:.0} bytes/core, process-cumulative). Run-phase throughput at \
+         {} cores is {ratio:.2}x slower than at {} cores.\n\n{}",
+        last.cores,
+        last.run_cores_per_sec(),
+        last.rss as f64 / (1024.0 * 1024.0),
+        last.rss as f64 / f64::from(last.cores),
+        last.cores,
+        first.cores,
         t.to_markdown()
     )
+}
+
+/// CI guard against O(cores) regressions on the per-event path: runs the
+/// 65k- and 262k-core chiplet points and fails (panics, so `repro` exits
+/// nonzero) if the larger point's *run-phase* throughput drops below 60%
+/// of the smaller's. The build phase is excluded on purpose — setup cost
+/// grows with the core count by nature; the per-event cost must not.
+pub fn scale_regression_check(opts: &Options) -> String {
+    let small = ScalePoint::measure(4, 64, opts.seed);
+    let large = ScalePoint::measure(8, 64, opts.seed);
+    let (s, l) = (small.run_cores_per_sec(), large.run_cores_per_sec());
+    let ratio = l / s.max(1e-9);
+    let verdict = format!(
+        "### Scale-regression check\n\n\
+         | cores | build | run | run cores/sec |\n|---|---|---|---|\n\
+         | {} | {:.3}s | {:.3}s | {s:.0} |\n| {} | {:.3}s | {:.3}s | {l:.0} |\n\n\
+         262k/65k run-phase throughput ratio: {ratio:.2} (floor 0.60)\n",
+        small.cores,
+        small.stats.build_ns as f64 / 1e9,
+        small.stats.run_ns as f64 / 1e9,
+        large.cores,
+        large.stats.build_ns as f64 / 1e9,
+        large.stats.run_ns as f64 / 1e9,
+    );
+    assert!(
+        ratio >= 0.60,
+        "scale regression: 262k-core run-phase throughput ({l:.0} cores/sec) fell below \
+         60% of the 65k-core point's ({s:.0} cores/sec); ratio {ratio:.2}\n{verdict}"
+    );
+    verdict
 }
 
 #[cfg(test)]

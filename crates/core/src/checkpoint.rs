@@ -273,6 +273,13 @@ pub fn config_digest(config: &crate::EngineConfig) -> u64 {
     d.u64(config.max_live_activities as u64);
     d.u64(config.parallelism_sample_every);
     d.u64(u64::from(config.fast_path));
+    // Ready-heap compaction perturbs pick order, so a resume must replay
+    // under the same setting. Folded only when on, so default-off digests
+    // match checkpoints written before the knob existed. (`profile_picks`
+    // is observation-only and deliberately excluded.)
+    if config.compact_ready {
+        d.str("compact_ready");
+    }
     // Parallel host execution is its own deterministic trajectory per
     // thread count, so checkpoints resume only under a matching `threads`.
     // Folded only when parallel so sequential digests match pre-parallel

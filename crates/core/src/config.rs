@@ -100,6 +100,23 @@ pub struct EngineConfig {
     /// cores verifying these conditions to keep all cores of current
     /// multi-core host machines busy."
     pub parallelism_sample_every: u64,
+    /// Profile the sequential pick loop: accumulate wall time per loop
+    /// phase (floor maintenance, ready-queue pops, scheduler overhead,
+    /// action execution) into [`crate::SimStats`]'s `prof_*_ns` fields.
+    /// Observation only — never affects the schedule — but it puts two
+    /// clock reads on every pick, so it is off by default and meant for
+    /// ranking per-event costs at scale, not for production runs.
+    pub profile_picks: bool,
+    /// Opt-in stale-entry compaction of the lowest-vtime ready heap (see
+    /// `ReadyQueue::maybe_compact`): when lazy-deleted garbage dominates
+    /// the heap, drop the entries of unqueued cores and re-heapify.
+    /// Deterministic for a fixed `(seed, threads)` and identical across
+    /// `threads <= 1`, but it *perturbs the pick order* relative to a
+    /// non-compacting run (a dropped garbage entry can no longer trigger
+    /// an early revalidation), so it is off by default: enable it for
+    /// long-running duplicate-heavy workloads where heap growth matters
+    /// more than schedule continuity with prior releases.
+    pub compact_ready: bool,
     /// Optional fault plan (link failures, message drops/delays/corruption,
     /// core failures). `None` — and an empty plan — are bit-identical to a
     /// perfect machine. Shared with the network model via `Arc`.
@@ -189,6 +206,8 @@ impl std::fmt::Debug for EngineConfig {
             .field("tracer", &self.tracer.as_ref().map(|_| "..."))
             .field("fault", &self.fault.as_ref().map(|_| "..."))
             .field("parallelism_sample_every", &self.parallelism_sample_every)
+            .field("profile_picks", &self.profile_picks)
+            .field("compact_ready", &self.compact_ready)
             .field("fast_path", &self.fast_path)
             .field("sanitize", &self.sanitize)
             .field("watchdog_picks", &self.watchdog_picks)
@@ -217,6 +236,8 @@ impl Default for EngineConfig {
             tracer: None,
             fault: None,
             parallelism_sample_every: 0,
+            profile_picks: false,
+            compact_ready: false,
             fast_path: true,
             sanitize: false,
             watchdog_picks: Some(10_000_000),
@@ -249,6 +270,19 @@ impl EngineConfig {
     /// [`Self::fast_path`]).
     pub fn with_fast_path(mut self, on: bool) -> Self {
         self.fast_path = on;
+        self
+    }
+
+    /// Enable pick-loop phase profiling (see [`Self::profile_picks`]).
+    pub fn with_profile_picks(mut self, on: bool) -> Self {
+        self.profile_picks = on;
+        self
+    }
+
+    /// Enable stale-entry ready-heap compaction (see
+    /// [`Self::compact_ready`]).
+    pub fn with_compact_ready(mut self, on: bool) -> Self {
+        self.compact_ready = on;
         self
     }
 

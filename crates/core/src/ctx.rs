@@ -434,6 +434,7 @@ impl ExecCtx {
             });
             sim.cores.current[core.index()] = None;
             sim.floor_dirty = true;
+            sync::note_floor_key(&mut sim, core.index());
             // The core may have become idle: switch it to shadow time so
             // its neighborhood is not stalled on a frozen clock.
             sync::publish(&mut sim, &self.shared, core);

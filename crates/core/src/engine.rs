@@ -211,6 +211,17 @@ pub(crate) struct Sim {
     /// Scratch for the random-referee candidate sweep in `sync_ok`;
     /// reused across picks so the steady state allocates nothing.
     pub(crate) scratch_ready: Vec<u32>,
+    /// Incrementally-maintained global floor (tournament tree over per-core
+    /// floor keys). `Some` iff the policy queries the global floor on the
+    /// hot path (BoundedSlack / Conservative); `None` costs nothing.
+    /// Maintained via `sync::note_floor_key` at every `floor_dirty` site.
+    pub(crate) gfloor: Option<crate::floor::GlobalFloor>,
+    /// Floor-threshold wake structure for the global policies: min-heap of
+    /// `(threshold, core)` — once the global floor reaches `threshold`,
+    /// the core's stalled activity must be rechecked. Entries are lazy
+    /// (stale ones trigger harmless no-op rechecks); see
+    /// `sync::wake_stalled_by_floor`.
+    pub(crate) stall_wakes: std::collections::BinaryHeap<std::cmp::Reverse<(VirtualTime, u32)>>,
 }
 
 impl Sim {
@@ -500,6 +511,7 @@ pub(crate) fn make_current(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
     debug_assert!(sim.cores.current[c.index()].is_none());
     sim.cores.current[c.index()] = Some(aid);
     sim.floor_dirty = true;
+    sync::note_floor_key(sim, c.index());
     let woken = matches!(sim.act(aid).state, ActivityState::Woken);
     if woken {
         let wake_time = sim
@@ -556,6 +568,7 @@ pub(crate) fn start_activity_impl(
     sim.cores.resident[core.index()] += 1;
     sim.live_activities += 1;
     sim.floor_dirty = true;
+    sync::note_floor_key(sim, core.index());
     sim.stats.activities_started += 1;
     trace(shared, || TraceEvent::ActivityStart {
         t: sim.cores.vtime[core.index()],
@@ -620,6 +633,7 @@ pub(crate) fn finish_activity(sim: &mut Sim, shared: &Shared, aid: ActivityId) {
     sim.live_activities -= 1;
     // The working set changed: global-policy floors must be recomputed.
     sim.floor_dirty = true;
+    sync::note_floor_key(sim, c.index());
     let meta = act.meta.take().expect("activity meta missing at end");
     trace(shared, || TraceEvent::ActivityEnd {
         t: sim.cores.vtime[c.index()],
@@ -748,6 +762,14 @@ pub(crate) fn deadlock_report(sim: &Sim) -> String {
     use std::fmt::Write as _;
     let mut s = String::from("no runnable core but work remains;");
     let _ = write!(s, " live_activities={}", sim.live_activities);
+    // Live (distinct queued cores) vs raw (entries incl. lazy-deleted
+    // duplicates): the raw figure alone over-reports ready cores.
+    let _ = write!(
+        s,
+        " ready_queued={}/{}",
+        sim.ready.live_len(),
+        sim.ready.len()
+    );
     append_core_dump(sim, &mut s);
     s
 }
@@ -759,8 +781,12 @@ pub(crate) fn deadlock_report(sim: &Sim) -> String {
 pub(crate) fn diagnostic_snapshot(sim: &Sim) -> String {
     use std::fmt::Write as _;
     let mut s = format!(
-        "max_vtime={} live_activities={} picks={}",
-        sim.max_vtime, sim.live_activities, sim.stats.scheduler_picks
+        "max_vtime={} live_activities={} picks={} ready_queued={}/{}",
+        sim.max_vtime,
+        sim.live_activities,
+        sim.stats.scheduler_picks,
+        sim.ready.live_len(),
+        sim.ready.len()
     );
     append_core_dump(sim, &mut s);
     for (idx, ws) in sim.waiters.iter().enumerate() {
@@ -931,6 +957,14 @@ pub fn simulate(
         pinned_workers: 0,
         tile_stats: vec![crate::stats::TileStats::default(); n_tiles],
         scratch_ready: Vec::new(),
+        // All cores start idle with empty birth ledgers: every key is MAX,
+        // which is exactly `GlobalFloor::new`'s initial state.
+        gfloor: matches!(
+            config.sync,
+            SyncPolicy::BoundedSlack { .. } | SyncPolicy::Conservative
+        )
+        .then(|| crate::floor::GlobalFloor::new(n as usize)),
+        stall_wakes: std::collections::BinaryHeap::new(),
     };
     let frame = (n_tiles > 0).then(|| crate::frame::FrameSync::new(n_tiles, config.threads));
     let shared = Arc::new(Shared {
@@ -954,11 +988,19 @@ pub fn simulate(
             setup(&mut ops);
         }
 
+        // Everything up to here — topology, routing, partition, core
+        // arrays, workload setup — is construction; the pick loop is the
+        // simulation. Scale benchmarks need the two separated, or setup
+        // cost masquerades as per-event cost.
+        let build = start_wall.elapsed();
+        let run_start = std::time::Instant::now();
         sim = if shared.config.threads > 1 {
             crate::parallel::run_scheduler(&shared, sim, &mut handles, cfg_digest, resume_target)
         } else {
             run_sequential(&shared, sim, &mut handles, cfg_digest, resume_target)
         };
+        sim.stats.build_ns = build.as_nanos() as u64;
+        sim.stats.run_ns = run_start.elapsed().as_nanos() as u64;
 
         // Teardown: release every parked worker, and every frame worker
         // spinning or parked at the frame gate.
@@ -982,6 +1024,13 @@ pub fn simulate(
         return Err(f.into_error());
     }
     let mut stats = std::mem::take(&mut sim.stats);
+    // Hot-structure hygiene counters live on the structures themselves;
+    // harvest them into the stats now that the run is over.
+    stats.ready_compactions = sim.ready.compactions();
+    stats.ready_compacted = sim.ready.compaction_dropped();
+    if let Some(g) = &sim.gfloor {
+        stats.floor_key_updates = g.updates();
+    }
     // Merge the per-tile hot-path counter shards (deterministic: tile
     // order). Empty — a no-op — under the sequential engine.
     for shard in &sim.tile_stats {
@@ -1025,6 +1074,18 @@ pub fn simulate(
     Ok(stats)
 }
 
+/// Pick-loop phase profiling: fold the time since `mark` into `acc` and
+/// restart the lap. A no-op (no clock read) unless
+/// [`EngineConfig::profile_picks`] is on.
+#[inline]
+fn lap(profiling: bool, mark: &mut std::time::Instant, acc: &mut u64) {
+    if profiling {
+        let now = std::time::Instant::now();
+        *acc += now.duration_since(*mark).as_nanos() as u64;
+        *mark = now;
+    }
+}
+
 /// The sequential scheduler loop (`threads <= 1`): pick one ready core at
 /// a time and process it to completion before the next pick. Returns the
 /// guard so `simulate` can run the common teardown.
@@ -1047,6 +1108,14 @@ fn run_sequential<'a>(
                 | SyncPolicy::Conservative
                 | SyncPolicy::RandomReferee { .. }
         );
+        // BoundedSlack/Conservative stall conditions are pure threshold
+        // checks against the floor, so a floor move wakes exactly the
+        // cores whose registered threshold it crossed. RandomReferee's
+        // recheck sequence consumes the engine RNG, so it keeps the
+        // historical full sweep (any change to which cores get rechecked
+        // would change the deterministic schedule).
+        let referee_policy = matches!(shared.config.sync, SyncPolicy::RandomReferee { .. });
+        let profiling = shared.config.profile_picks;
 
         // Checkpoint/resume and watchdog bookkeeping. All of it observes
         // the machine at scheduler-time quiescence only (deferred publishes
@@ -1055,8 +1124,12 @@ fn run_sequential<'a>(
         let mut ckpt = crate::checkpoint::CheckpointDriver::new(&shared.config, resume_target);
         let mut wd_last_vtime = sim.max_vtime;
         let mut wd_last_pick: u64 = 0;
+        let mut mark = std::time::Instant::now();
 
         loop {
+            if profiling {
+                mark = std::time::Instant::now();
+            }
             if sim.failure.is_some() {
                 break;
             }
@@ -1065,9 +1138,20 @@ fn run_sequential<'a>(
             }
             if global_policy && sim.floor_dirty {
                 sim.floor_dirty = false;
-                sync::recheck_all_stalled(&mut sim, shared);
+                if referee_policy {
+                    sync::recheck_all_stalled(&mut sim, shared);
+                } else {
+                    sync::wake_stalled_by_floor(&mut sim, shared);
+                }
             }
-            // Pop a valid ready core (skipping stale entries).
+            lap(profiling, &mut mark, &mut sim.stats.prof_floor_ns);
+            // Pop a valid ready core (skipping stale entries); opt-in
+            // compaction first, when lazy-deleted garbage dominates the
+            // heap (schedule-perturbing — see `EngineConfig::compact_ready`).
+            if shared.config.compact_ready {
+                let s = &mut *sim;
+                s.ready.maybe_compact(&s.cores.in_ready);
+            }
             let mut picked = None;
             while let Some(c) = sim.ready.pop() {
                 sim.cores.in_ready[c.index()] = false;
@@ -1075,7 +1159,9 @@ fn run_sequential<'a>(
                     picked = Some(c);
                     break;
                 }
+                sim.stats.ready_stale_skipped += 1;
             }
+            lap(profiling, &mut mark, &mut sim.stats.prof_pop_ns);
             let Some(c) = picked else {
                 // O(1) quiet check: no live activity, no message in any
                 // inbox shard, no queued work anywhere.
@@ -1116,11 +1202,16 @@ fn run_sequential<'a>(
             }
             let sample_every = shared.config.parallelism_sample_every;
             if sample_every != 0 && sim.stats.scheduler_picks.is_multiple_of(sample_every) {
-                let avail = (0..sim.cores.len() as u32)
-                    .filter(|&i| is_ready(&sim, CoreId(i)))
-                    .count() as u32;
+                // Available host parallelism, O(1): distinct cores with
+                // queued ready-work plus the just-picked core. (The
+                // historical O(cores) `is_ready` sweep and this queue-
+                // derived count differ only on stale-queued cores, which
+                // are transient; the sweep does not scale to mega-core
+                // machines at any useful sample rate.)
+                let avail = sim.ready.live_len() as u32 + 1;
                 sim.stats.parallelism_samples.push(avail);
             }
+            lap(profiling, &mut mark, &mut sim.stats.prof_overhead_ns);
 
             match decide(&sim, c) {
                 Action::Message => process_message(&mut sim, shared, c),
@@ -1159,6 +1250,7 @@ fn run_sequential<'a>(
             if is_ready(&sim, c) {
                 push_ready(&mut sim, c);
             }
+            lap(profiling, &mut mark, &mut sim.stats.prof_action_ns);
         }
 
         if sim.failure.is_none() {

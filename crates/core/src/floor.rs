@@ -1,0 +1,247 @@
+//! Incrementally-maintained global virtual-time floor.
+//!
+//! The global synchronization policies (`BoundedSlack`, `Conservative`)
+//! need the machine-wide floor — the minimum over every working core's
+//! published clock and every pending birth time — up to twice per
+//! `sync_ok`. Recomputing it is an O(cores) sweep (`sync::global_floor`'s
+//! historical behavior), which at a million cores puts a full-machine scan
+//! on the per-event path.
+//!
+//! [`GlobalFloor`] replaces the sweep with a tile-level tournament tree: a
+//! reduction pyramid over one key per core with branching factor
+//! [`FANOUT`]. Each key is that core's floor contribution
+//! (`min(published-if-working, earliest pending birth)`, `MAX` if
+//! neither); level 0 holds the minimum of each 64-key block, level 1 the
+//! minimum of each 64-block group, and so on to a single root. An update
+//! recomputes at most one contiguous 64-entry block per level — a couple
+//! of cache lines each, O(fanout · log_fanout n) worst case with an early
+//! exit as soon as a level's block minimum is unchanged — and a floor
+//! query is an O(1) root read.
+//!
+//! The structure changes *cost*, never *order*: it answers exactly the
+//! same value the naive sweep would (debug builds assert this on every
+//! query — see `sync::global_floor`), so schedules are bit-identical with
+//! and without it.
+
+use simany_time::VirtualTime;
+
+/// Reduction fanout. 64 keys = 512 bytes = 8 cache lines per block scan;
+/// a million cores need just 4 levels (1M → 16k → 256 → 4 → 1).
+const FANOUT: usize = 64;
+
+/// Tournament tree over per-core floor keys. See the module docs.
+pub struct GlobalFloor {
+    /// Per-core floor contribution; `VirtualTime::MAX` when the core is
+    /// idle with no pending births.
+    keys: Vec<VirtualTime>,
+    /// Reduction pyramid: `levels[0][b]` is the min of key block `b`,
+    /// `levels[k][b]` the min of block `b` of `levels[k-1]`, and the last
+    /// level has exactly one entry — the global floor.
+    levels: Vec<Vec<VirtualTime>>,
+    /// Keys updated over the structure's lifetime (diagnostic).
+    updates: u64,
+}
+
+impl GlobalFloor {
+    /// Build the structure for `n` cores, all initially contributing
+    /// nothing (`MAX` keys — an idle machine with no births).
+    pub fn new(n: usize) -> Self {
+        let keys = vec![VirtualTime::MAX; n];
+        let mut levels = Vec::new();
+        let mut len = n;
+        loop {
+            len = len.div_ceil(FANOUT).max(1);
+            levels.push(vec![VirtualTime::MAX; len]);
+            if len == 1 {
+                break;
+            }
+        }
+        GlobalFloor {
+            keys,
+            levels,
+            updates: 0,
+        }
+    }
+
+    /// Number of cores the structure covers.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True iff built over zero cores.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Current key of core `i`.
+    pub fn key(&self, i: usize) -> VirtualTime {
+        self.keys[i]
+    }
+
+    /// Total key updates applied (diagnostic counter).
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// The global floor: minimum over all keys. O(1).
+    pub fn floor(&self) -> VirtualTime {
+        self.levels.last().expect("at least one level")[0]
+    }
+
+    /// Set core `i`'s key and repair the pyramid. Early-exits at the
+    /// first level whose block minimum is unchanged; a strictly
+    /// decreasing key never rescans at all (pure min-propagation).
+    pub fn set(&mut self, i: usize, key: VirtualTime) {
+        let old = self.keys[i];
+        if key == old {
+            return;
+        }
+        self.updates += 1;
+        self.keys[i] = key;
+        let mut block = i / FANOUT;
+        if key < self.levels[0][block] {
+            // Strict decrease: propagate the new minimum upward without
+            // any block scan.
+            self.levels[0][block] = key;
+            let mut v = key;
+            for lvl in 1..self.levels.len() {
+                block /= FANOUT;
+                if v < self.levels[lvl][block] {
+                    self.levels[lvl][block] = v;
+                } else {
+                    return;
+                }
+                v = self.levels[lvl][block];
+            }
+            return;
+        }
+        if old > self.levels[0][block] {
+            // The changed key was not its block's minimum and did not
+            // become it: nothing above can change.
+            return;
+        }
+        // The block minimum may have risen: rescan the block, then repair
+        // upward until a level's value is unchanged.
+        let mut lvl = 0;
+        loop {
+            let new_min = self.rescan(lvl, block);
+            if self.levels[lvl][block] == new_min {
+                return;
+            }
+            self.levels[lvl][block] = new_min;
+            if lvl + 1 == self.levels.len() {
+                return;
+            }
+            lvl += 1;
+            block /= FANOUT;
+        }
+    }
+
+    /// Minimum of block `b` of the level below `lvl` (the key array for
+    /// `lvl == 0`).
+    fn rescan(&self, lvl: usize, b: usize) -> VirtualTime {
+        let src: &[VirtualTime] = if lvl == 0 {
+            &self.keys
+        } else {
+            &self.levels[lvl - 1]
+        };
+        let start = b * FANOUT;
+        let end = (start + FANOUT).min(src.len());
+        src[start..end]
+            .iter()
+            .copied()
+            .fold(VirtualTime::MAX, VirtualTime::min)
+    }
+
+    /// Recompute every level from the keys (used after bulk key loads).
+    pub fn rebuild(&mut self) {
+        for lvl in 0..self.levels.len() {
+            for b in 0..self.levels[lvl].len() {
+                self.levels[lvl][b] = self.rescan(lvl, b);
+            }
+        }
+    }
+
+    /// The floor the naive O(cores) sweep over the same keys would
+    /// produce — the cross-check oracle for debug asserts and tests.
+    pub fn naive_floor(&self) -> VirtualTime {
+        self.keys
+            .iter()
+            .copied()
+            .fold(VirtualTime::MAX, VirtualTime::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simany_time::Xoshiro256StarStar;
+
+    fn t(c: u64) -> VirtualTime {
+        VirtualTime::from_cycles(c)
+    }
+
+    #[test]
+    fn empty_machine_floor_is_max() {
+        let g = GlobalFloor::new(1000);
+        assert_eq!(g.floor(), VirtualTime::MAX);
+        assert_eq!(g.floor(), g.naive_floor());
+    }
+
+    #[test]
+    fn single_key_round_trip() {
+        let mut g = GlobalFloor::new(10);
+        g.set(7, t(42));
+        assert_eq!(g.floor(), t(42));
+        g.set(7, VirtualTime::MAX);
+        assert_eq!(g.floor(), VirtualTime::MAX);
+    }
+
+    #[test]
+    fn decrease_then_rise_repairs_all_levels() {
+        // Cross a block boundary: core 0 and core 100_000 live in
+        // different level-0 and level-1 blocks.
+        let mut g = GlobalFloor::new(200_000);
+        g.set(0, t(50));
+        g.set(100_000, t(10));
+        assert_eq!(g.floor(), t(10));
+        g.set(100_000, t(90));
+        assert_eq!(g.floor(), t(50));
+        g.set(0, VirtualTime::MAX);
+        assert_eq!(g.floor(), t(90));
+    }
+
+    #[test]
+    fn random_updates_match_naive_floor() {
+        // Property: after any interleaving of key updates (drops, rises,
+        // clears), the tree's floor equals the naive full scan.
+        let mut rng = Xoshiro256StarStar::stream(7, 3);
+        for &n in &[1usize, 63, 64, 65, 4096, 5000] {
+            let mut g = GlobalFloor::new(n);
+            for step in 0..2000 {
+                let i = rng.next_index(n);
+                let key = match rng.next_index(4) {
+                    0 => VirtualTime::MAX,
+                    _ => t(rng.next_index(1_000) as u64),
+                };
+                g.set(i, key);
+                if step % 97 == 0 {
+                    assert_eq!(g.floor(), g.naive_floor(), "n={n} step={step}");
+                }
+            }
+            assert_eq!(g.floor(), g.naive_floor(), "n={n} final");
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let mut rng = Xoshiro256StarStar::stream(11, 5);
+        let mut g = GlobalFloor::new(777);
+        for _ in 0..500 {
+            g.set(rng.next_index(777), t(rng.next_index(100) as u64));
+        }
+        let incremental = g.floor();
+        g.rebuild();
+        assert_eq!(g.floor(), incremental);
+    }
+}

@@ -43,6 +43,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod ctx;
 pub mod engine;
+pub mod floor;
 pub(crate) mod frame;
 pub mod hooks;
 pub mod ops;

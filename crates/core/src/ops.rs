@@ -301,6 +301,7 @@ impl<'a> Ops<'a> {
         self.sim.cores.queue_hint[core.index()] += n;
         self.sim.total_queue_hint += u64::from(n);
         self.sim.floor_dirty = true;
+        sync::note_floor_key(self.sim, core.index());
         if was_idle {
             sync::publish(self.sim, self.shared, core);
         }
@@ -314,6 +315,7 @@ impl<'a> Ops<'a> {
         *hint -= n;
         self.sim.total_queue_hint -= u64::from(n);
         self.sim.floor_dirty = true;
+        sync::note_floor_key(self.sim, core.index());
         if self.sim.cores.is_idle(core.index()) {
             sync::publish(self.sim, self.shared, core);
         }
@@ -334,6 +336,7 @@ impl<'a> Ops<'a> {
         // A new birth can lower the spatial floor below any cached bound.
         self.sim.cores.headroom_limit[core.index()] = None;
         self.sim.floor_dirty = true;
+        sync::note_floor_key(self.sim, core.index());
         id
     }
 
@@ -343,6 +346,9 @@ impl<'a> Ops<'a> {
         let removed = self.sim.cores.birth_remove(core.index(), id);
         assert!(removed, "unknown birth id");
         self.sim.floor_dirty = true;
+        // Key update must precede the recheck: its sync check reads the
+        // incremental floor.
+        sync::note_floor_key(self.sim, core.index());
         sync::recheck_stall(self.sim, self.shared, core);
     }
 

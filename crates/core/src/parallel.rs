@@ -287,9 +287,22 @@ pub(crate) fn run_scheduler<'a>(
             }
             if global_policy && sim.floor_dirty {
                 sim.floor_dirty = false;
-                sync::recheck_all_stalled(&mut sim, shared);
+                // Mirrors the sequential loop: threshold-bucketed wakes
+                // for the pure floor policies, the RNG-order-preserving
+                // full sweep for RandomReferee.
+                if matches!(shared.config.sync, SyncPolicy::RandomReferee { .. }) {
+                    sync::recheck_all_stalled(&mut sim, shared);
+                } else {
+                    sync::wake_stalled_by_floor(&mut sim, shared);
+                }
             }
-            // Pop a valid ready core (skipping stale entries).
+            // Pop a valid ready core (skipping stale entries); opt-in
+            // compaction first, when lazy-deleted garbage dominates the
+            // heap (schedule-perturbing — see `EngineConfig::compact_ready`).
+            if shared.config.compact_ready {
+                let s = &mut *sim;
+                s.ready.maybe_compact(&s.cores.in_ready);
+            }
             let mut picked = None;
             while let Some(c) = sim.ready.pop() {
                 sim.cores.in_ready[c.index()] = false;
@@ -297,6 +310,7 @@ pub(crate) fn run_scheduler<'a>(
                     picked = Some(c);
                     break;
                 }
+                sim.stats.ready_stale_skipped += 1;
             }
             let Some(c) = picked else {
                 if !batch.is_empty() {
@@ -335,15 +349,14 @@ pub(crate) fn run_scheduler<'a>(
             }
             let sample_every = shared.config.parallelism_sample_every;
             if sample_every != 0 && sim.stats.scheduler_picks.is_multiple_of(sample_every) {
-                // Available host parallelism = cores with independently
-                // runnable work. Batch members already claimed for this
-                // epoch are running work too, so count them alongside the
-                // still-ready cores (their `Granted` state excludes them
-                // from `is_ready`, so there is no double count).
-                let avail = (0..sim.cores.len() as u32)
-                    .filter(|&i| is_ready(&sim, CoreId(i)))
-                    .count()
-                    + batch.len();
+                // Available host parallelism, O(1): distinct cores with
+                // queued ready-work, plus the just-picked core, plus the
+                // cores already claimed or deferred this epoch (those are
+                // held out of the queue until the serial phase but carry
+                // runnable work). Replaces the historical O(cores)
+                // `is_ready` sweep, which does not scale to mega-core
+                // machines at any useful sample rate.
+                let avail = sim.ready.live_len() + 1 + batch.len() + deferred.len();
                 sim.stats.parallelism_samples.push(avail as u32);
             }
 

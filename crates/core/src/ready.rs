@@ -7,8 +7,177 @@
 use crate::config::PickPolicy;
 use simany_time::{VirtualTime, Xoshiro256StarStar};
 use simany_topology::CoreId;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+
+/// Heap arity for [`VtimeHeap`]. A binary heap over a million entries is
+/// ~20 levels of pointer-chasing through a multi-megabyte array — every
+/// level a cache miss on the pop's sift-down. With 8 children per node the
+/// tree is 2.5x shallower and each level's candidate set is two adjacent
+/// cache lines, so a pop touches ~7 contiguous groups instead of ~40
+/// scattered nodes. Pop order is arity-independent (always the key-order
+/// minimum), so this is a pure locality change.
+const D: usize = 8;
+
+/// Compaction floor: never compact heaps smaller than this (the rebuild
+/// would cost more than the staleness).
+const COMPACT_MIN: usize = 64;
+
+/// Compaction trigger: compact when at least 1 in `COMPACT_RATIO` entries
+/// belongs to an unqueued core. (2 = garbage majority.)
+const COMPACT_RATIO: usize = 2;
+
+/// Implicit `D`-ary min-heap of `(time, tie-break rank, core id)` with
+/// per-core entry accounting.
+///
+/// The heap orders *entries*, not cores: a core can legitimately appear
+/// more than once (a message delivery re-pushes a queued core at a raised
+/// priority, and the earlier entries stay — see `engine::deliver`). Those
+/// extra entries are not inert: when one surfaces, the engine re-validates
+/// the core and may pick it at that entry's priority. Compaction therefore
+/// only ever drops entries of cores that are *not queued* (`in_ready`
+/// false) — entries that can only fire in the narrow window after the core
+/// is re-queued, which the engine's pop-revalidation already treats as
+/// opportunistic.
+pub struct VtimeHeap {
+    /// The entry array, heap-ordered by `(time, rank, core)`.
+    heap: Vec<(VirtualTime, u32, u32)>,
+    /// Optional tie-break rank per core (see
+    /// [`ReadyQueue::set_tiebreak_ranks`]); `None` = core id.
+    ranks: Option<Vec<u32>>,
+    /// Entries currently in `heap` per core (lazily grown).
+    qcount: Vec<u32>,
+    /// Number of distinct cores with at least one entry.
+    live: usize,
+    /// `maybe_compact` calls since the last garbage scan (amortization
+    /// counter: the O(len) scan runs at most once per len/2 calls).
+    since_check: u64,
+    /// Entries dropped by compaction over the queue's lifetime.
+    dropped: u64,
+    /// Compaction passes run.
+    compactions: u64,
+}
+
+impl VtimeHeap {
+    fn new() -> Self {
+        VtimeHeap {
+            heap: Vec::new(),
+            ranks: None,
+            qcount: Vec::new(),
+            live: 0,
+            since_check: 0,
+            dropped: 0,
+            compactions: 0,
+        }
+    }
+
+    fn rank_of(&self, core: u32) -> u32 {
+        self.ranks.as_ref().map_or(core, |r| r[core as usize])
+    }
+
+    fn count_push(&mut self, core: u32) {
+        let i = core as usize;
+        if i >= self.qcount.len() {
+            self.qcount.resize(i + 1, 0);
+        }
+        if self.qcount[i] == 0 {
+            self.live += 1;
+        }
+        self.qcount[i] += 1;
+    }
+
+    fn count_pop(&mut self, core: u32) {
+        let i = core as usize;
+        debug_assert!(self.qcount[i] > 0, "pop of uncounted core {core}");
+        self.qcount[i] -= 1;
+        if self.qcount[i] == 0 {
+            self.live -= 1;
+        }
+    }
+
+    fn push(&mut self, core: u32, at: VirtualTime) {
+        let entry = (at, self.rank_of(core), core);
+        self.count_push(core);
+        self.heap.push(entry);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn pop(&mut self) -> Option<u32> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let (_, _, core) = self.heap.pop().expect("non-empty heap");
+        self.sift_down(0);
+        self.count_pop(core);
+        Some(core)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let p = (i - 1) / D;
+            if self.heap[i] < self.heap[p] {
+                self.heap.swap(i, p);
+                i = p;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first = i * D + 1;
+            if first >= len {
+                break;
+            }
+            let last = (first + D).min(len);
+            let mut m = first;
+            for j in first + 1..last {
+                if self.heap[j] < self.heap[m] {
+                    m = j;
+                }
+            }
+            if self.heap[m] < self.heap[i] {
+                self.heap.swap(i, m);
+                i = m;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Drop the entries of cores for which `keep(core)` is false and
+    /// re-heapify. The retained entry multiset pops in the same relative
+    /// order as before (pop order is a pure function of the key multiset),
+    /// and the trigger below depends only on deterministic queue state, so
+    /// compaction can never perturb a run's schedule beyond the dropped
+    /// entries themselves.
+    fn compact(&mut self, keep: impl Fn(u32) -> bool) {
+        let before = self.heap.len();
+        self.heap.retain(|&(_, _, c)| keep(c));
+        self.dropped += (before - self.heap.len()) as u64;
+        self.compactions += 1;
+        // Recount per-core entries.
+        for q in &mut self.qcount {
+            *q = 0;
+        }
+        self.live = 0;
+        for i in 0..self.heap.len() {
+            let c = self.heap[i].2;
+            self.count_push(c);
+        }
+        // Floyd heapify: sift down every internal node, deepest first.
+        let len = self.heap.len();
+        if len > 1 {
+            let last_parent = (len - 2) / D;
+            for i in (0..=last_parent).rev() {
+                self.sift_down(i);
+            }
+        }
+    }
+}
 
 /// Ready queue with pluggable pick policy.
 ///
@@ -21,10 +190,7 @@ pub enum ReadyQueue {
     /// tile-interleaved rank (see [`ReadyQueue::set_tiebreak_ranks`]) so
     /// that equal-time cores pop alternating tiles instead of sweeping one
     /// contiguous tile end to end.
-    LowestVtime(
-        BinaryHeap<Reverse<(VirtualTime, u32, u32)>>,
-        Option<Vec<u32>>,
-    ),
+    LowestVtime(VtimeHeap),
     /// FIFO rotation.
     RoundRobin(VecDeque<CoreId>),
     /// Seeded random pick.
@@ -35,7 +201,7 @@ impl ReadyQueue {
     /// Create a queue for the given policy.
     pub fn new(policy: PickPolicy, seed: u64) -> Self {
         match policy {
-            PickPolicy::LowestVtime => ReadyQueue::LowestVtime(BinaryHeap::new(), None),
+            PickPolicy::LowestVtime => ReadyQueue::LowestVtime(VtimeHeap::new()),
             PickPolicy::RoundRobin => ReadyQueue::RoundRobin(VecDeque::new()),
             PickPolicy::Random => {
                 ReadyQueue::Random(Vec::new(), Xoshiro256StarStar::stream(seed, 0xEAD7))
@@ -50,9 +216,9 @@ impl ReadyQueue {
     /// with contiguous tiles and id tie-breaks it would pop an entire
     /// tile before seeing the next one. No-op for other pick policies.
     pub fn set_tiebreak_ranks(&mut self, ranks: Vec<u32>) {
-        if let ReadyQueue::LowestVtime(h, r) = self {
-            debug_assert!(h.is_empty(), "tie-break ranks installed after pushes");
-            *r = Some(ranks);
+        if let ReadyQueue::LowestVtime(h) = self {
+            debug_assert!(h.heap.is_empty(), "tie-break ranks installed after pushes");
+            h.ranks = Some(ranks);
         }
     }
 
@@ -70,10 +236,7 @@ impl ReadyQueue {
     /// stay deterministic under the same fixed push sequence.
     pub fn push(&mut self, core: CoreId, published: VirtualTime) {
         match self {
-            ReadyQueue::LowestVtime(h, ranks) => {
-                let key = ranks.as_ref().map_or(core.0, |r| r[core.index()]);
-                h.push(Reverse((published, key, core.0)))
-            }
+            ReadyQueue::LowestVtime(h) => h.push(core.0, published),
             ReadyQueue::RoundRobin(q) => q.push_back(core),
             ReadyQueue::Random(v, _) => v.push(core),
         }
@@ -82,7 +245,7 @@ impl ReadyQueue {
     /// Remove and return the next core per the policy.
     pub fn pop(&mut self) -> Option<CoreId> {
         match self {
-            ReadyQueue::LowestVtime(h, _) => h.pop().map(|Reverse((_, _, c))| CoreId(c)),
+            ReadyQueue::LowestVtime(h) => h.pop().map(CoreId),
             ReadyQueue::RoundRobin(q) => q.pop_front(),
             ReadyQueue::Random(v, rng) => {
                 if v.is_empty() {
@@ -97,20 +260,91 @@ impl ReadyQueue {
 
     /// True iff no entries remain.
     pub fn is_empty(&self) -> bool {
-        match self {
-            ReadyQueue::LowestVtime(h, _) => h.is_empty(),
-            ReadyQueue::RoundRobin(q) => q.is_empty(),
-            ReadyQueue::Random(v, _) => v.is_empty(),
-        }
+        self.len() == 0
     }
 
-    /// Number of entries (including possibly stale duplicates).
+    /// Raw number of *entries*, including stale duplicates — a core
+    /// re-pushed at a raised priority contributes several. Diagnostics
+    /// that want "how many cores are queued" should use
+    /// [`Self::live_len`]; this raw count only bounds memory.
     pub fn len(&self) -> usize {
         match self {
-            ReadyQueue::LowestVtime(h, _) => h.len(),
+            ReadyQueue::LowestVtime(h) => h.heap.len(),
             ReadyQueue::RoundRobin(q) => q.len(),
             ReadyQueue::Random(v, _) => v.len(),
         }
+    }
+
+    /// Number of *distinct cores* with at least one queued entry — the
+    /// honest "ready cores" figure for deadlock/diagnostic reports, which
+    /// [`Self::len`] over-reports whenever raised-priority duplicates are
+    /// in flight. O(1): maintained incrementally.
+    pub fn live_len(&self) -> usize {
+        match self {
+            ReadyQueue::LowestVtime(h) => h.live,
+            // The other policies get a duplicate only via the same
+            // delivery raise; they are niche enough that the raw length
+            // stands in (a VecDeque scan would be O(n)).
+            ReadyQueue::RoundRobin(q) => q.len(),
+            ReadyQueue::Random(v, _) => v.len(),
+        }
+    }
+
+    /// Entries dropped by stale-entry compaction so far.
+    pub fn compaction_dropped(&self) -> u64 {
+        match self {
+            ReadyQueue::LowestVtime(h) => h.dropped,
+            _ => 0,
+        }
+    }
+
+    /// Compaction passes run so far.
+    pub fn compactions(&self) -> u64 {
+        match self {
+            ReadyQueue::LowestVtime(h) => h.compactions,
+            _ => 0,
+        }
+    }
+
+    /// Stale-fraction-triggered compaction: when most entries belong to
+    /// cores that are no longer queued (`in_ready` false), drop those
+    /// entries and re-heapify. Entries of queued cores — including
+    /// raised-priority duplicates — are always retained, because the
+    /// engine's pop-revalidation can legitimately act on them. The
+    /// trigger — entry count ≥ [`COMPACT_MIN`], a garbage scan at most
+    /// once per `len/2` calls (amortized O(1)), and garbage ≥ `1 /
+    /// COMPACT_RATIO` of the entries — is a deterministic function of
+    /// queue state and call count, so a fixed (seed, threads) run
+    /// compacts at exactly the same picks every time.
+    ///
+    /// **Compaction perturbs the schedule.** A garbage entry of an
+    /// unqueued core is not inert: if the core becomes ready again at a
+    /// *worse* priority, the old entry pops first and the engine
+    /// legitimately acts on it early. Dropping such entries therefore
+    /// selects a different (equally valid, still deterministic)
+    /// interleaving. That is why the engine only calls this under the
+    /// opt-in [`crate::EngineConfig::compact_ready`] — runs that must be
+    /// schedule-identical to prior releases keep it off.
+    pub fn maybe_compact(&mut self, in_ready: &[bool]) -> bool {
+        let ReadyQueue::LowestVtime(h) = self else {
+            return false;
+        };
+        h.since_check += 1;
+        if h.heap.len() < COMPACT_MIN || h.since_check < (h.heap.len() / 2) as u64 {
+            return false;
+        }
+        // Amortized garbage scan: O(len) once per len/2 calls.
+        h.since_check = 0;
+        let garbage = h
+            .heap
+            .iter()
+            .filter(|&&(_, _, c)| !in_ready[c as usize])
+            .count();
+        if garbage * COMPACT_RATIO < h.heap.len() {
+            return false;
+        }
+        h.compact(|c| in_ready[c as usize]);
+        true
     }
 }
 
@@ -141,6 +375,28 @@ mod tests {
         q.push(CoreId(3), t(10));
         assert_eq!(q.pop(), Some(CoreId(3)));
         assert_eq!(q.pop(), Some(CoreId(5)));
+    }
+
+    #[test]
+    fn octonary_heap_matches_sorted_order_on_random_keys() {
+        // Pop order must equal full sort order of the key multiset for any
+        // arity — this is what makes the 8-ary layout a pure locality
+        // change relative to the old binary heap.
+        let mut rng = Xoshiro256StarStar::stream(99, 1);
+        let mut q = ReadyQueue::new(PickPolicy::LowestVtime, 0);
+        let mut keys: Vec<(u64, u32)> = Vec::new();
+        for c in 0..500u32 {
+            let at = rng.next_index(10_000) as u64;
+            keys.push((at, c));
+            q.push(CoreId(c), t(at));
+        }
+        keys.sort_unstable();
+        let expect: Vec<u32> = keys.into_iter().map(|(_, c)| c).collect();
+        let mut got = Vec::new();
+        while let Some(c) = q.pop() {
+            got.push(c.0);
+        }
+        assert_eq!(got, expect);
     }
 
     #[test]
@@ -186,6 +442,78 @@ mod tests {
         let a = pop_all(&forward);
         assert_eq!(a, pop_all(&reverse));
         assert_eq!(a, pop_all(&shuffled));
+    }
+
+    #[test]
+    fn live_len_counts_distinct_cores() {
+        let mut q = ReadyQueue::new(PickPolicy::LowestVtime, 0);
+        q.push(CoreId(1), t(10));
+        q.push(CoreId(2), t(20));
+        // Priority raise: same core queued again at an earlier time.
+        q.push(CoreId(1), t(5));
+        assert_eq!(q.len(), 3, "raw length counts duplicates");
+        assert_eq!(q.live_len(), 2, "live length counts distinct cores");
+        assert_eq!(q.pop(), Some(CoreId(1)), "raised entry (t=5) first");
+        assert_eq!(q.live_len(), 2, "core 1 still has its stale entry");
+        assert_eq!(q.pop(), Some(CoreId(1)), "stale entry (t=10) next");
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.pop(), Some(CoreId(2)));
+        assert_eq!(q.live_len(), 0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn compaction_drops_only_unqueued_cores() {
+        let mut q = ReadyQueue::new(PickPolicy::LowestVtime, 0);
+        let n = 256u32;
+        let mut in_ready = vec![false; n as usize];
+        for c in 0..n {
+            q.push(CoreId(c), t(u64::from(c)));
+        }
+        // Half the cores "leave" the queue logically (popped elsewhere in
+        // a real run); mark only even cores still queued.
+        for c in 0..n {
+            in_ready[c as usize] = c % 2 == 0;
+        }
+        // The garbage scan is amortized: it needs up to len/2 calls
+        // before it runs, then the garbage-majority heap compacts.
+        let compacted = (0..=n).any(|_| q.maybe_compact(&in_ready));
+        assert!(compacted, "garbage-dominated heap compacts");
+        assert_eq!(q.len(), 128);
+        assert_eq!(q.live_len(), 128);
+        assert_eq!(q.compaction_dropped(), 128);
+        assert_eq!(q.compactions(), 1);
+        // Survivors still pop in exact key order.
+        let mut prev = None;
+        while let Some(c) = q.pop() {
+            assert_eq!(c.0 % 2, 0, "only queued cores survive");
+            if let Some(p) = prev {
+                assert!(c.0 > p, "pop order preserved after compaction");
+            }
+            prev = Some(c.0);
+        }
+    }
+
+    #[test]
+    fn compaction_trigger_respects_floor_and_ratio() {
+        let mut q = ReadyQueue::new(PickPolicy::LowestVtime, 0);
+        let in_ready = vec![false; 64];
+        for c in 0..32u32 {
+            q.push(CoreId(c), t(u64::from(c)));
+        }
+        for _ in 0..1000 {
+            assert!(!q.maybe_compact(&in_ready), "below the size floor");
+        }
+        assert_eq!(q.len(), 32);
+        let mut q = ReadyQueue::new(PickPolicy::LowestVtime, 0);
+        let in_ready = vec![true; 256];
+        for c in 0..256u32 {
+            q.push(CoreId(c), t(u64::from(c)));
+        }
+        for _ in 0..1000 {
+            assert!(!q.maybe_compact(&in_ready), "all-live heap never compacts");
+        }
+        assert_eq!(q.len(), 256);
     }
 
     #[test]

@@ -120,6 +120,11 @@ pub struct Cores {
     res_free: Vec<u32>,
     /// Head slot of each core's birth ledger (`NIL` when empty).
     birth_head: Vec<u32>,
+    /// Cached earliest birth time per core (`VirtualTime::MAX` when the
+    /// ledger is empty) so floor computations never walk the list.
+    /// Maintained by `birth_push`/`birth_remove`; `min_birth` stays the
+    /// walking oracle for debug cross-checks.
+    birth_min: Vec<VirtualTime>,
     /// Birth arena: `(id, birth time, next slot)`.
     birth_slots: Vec<(BirthId, VirtualTime, u32)>,
     /// Free list into `birth_slots`.
@@ -173,6 +178,7 @@ impl Cores {
             res_slots: Vec::new(),
             res_free: Vec::new(),
             birth_head: vec![NIL; n],
+            birth_min: vec![VirtualTime::MAX; n],
             birth_slots: Vec::new(),
             birth_free: Vec::new(),
             predictors: (0..n).map(|_| None).collect(),
@@ -297,6 +303,9 @@ impl Cores {
             }
         };
         self.birth_head[i] = slot;
+        if t < self.birth_min[i] {
+            self.birth_min[i] = t;
+        }
     }
 
     /// Unlink the birth with `id` from core `i`'s ledger. Returns `true`
@@ -305,19 +314,35 @@ impl Cores {
         let mut prev = NIL;
         let mut cur = self.birth_head[i];
         while cur != NIL {
-            let (bid, _, next) = self.birth_slots[cur as usize];
+            let (bid, t, next) = self.birth_slots[cur as usize];
             if bid == id {
                 match prev {
                     NIL => self.birth_head[i] = next,
                     p => self.birth_slots[p as usize].2 = next,
                 }
                 self.birth_free.push(cur);
+                if t == self.birth_min[i] {
+                    // The cached minimum may have left: rescan the (short)
+                    // remaining list.
+                    self.birth_min[i] = self.min_birth(i).unwrap_or(VirtualTime::MAX);
+                }
                 return true;
             }
             prev = cur;
             cur = next;
         }
         false
+    }
+
+    /// Cached earliest birth time of core `i` (`VirtualTime::MAX` when the
+    /// ledger is empty). O(1); equals `min_birth(i)` at all times.
+    pub fn birth_floor(&self, i: usize) -> VirtualTime {
+        debug_assert_eq!(
+            self.birth_min[i],
+            self.min_birth(i).unwrap_or(VirtualTime::MAX),
+            "birth_min cache diverged on core {i}"
+        );
+        self.birth_min[i]
     }
 
     /// Number of entries in core `i`'s birth ledger.

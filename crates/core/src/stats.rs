@@ -88,6 +88,39 @@ pub struct SimStats {
     pub net: NetStats,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
+    /// Wall nanoseconds spent *building* the machine: topology, routing,
+    /// partition, core arrays and workload setup — everything before the
+    /// first scheduler pick. Scale benchmarks divide per-event cost out of
+    /// [`Self::run_ns`], not out of `wall`, so setup cost cannot
+    /// masquerade as per-event cost.
+    pub build_ns: u64,
+    /// Wall nanoseconds spent inside the scheduler loop (the pick loop
+    /// proper, excluding build and teardown).
+    pub run_ns: u64,
+    /// Ready-queue entries popped and discarded because their core was no
+    /// longer runnable (lazy-deletion garbage of the pick heap).
+    pub ready_stale_skipped: u64,
+    /// Times the ready queue compacted its lazy-deletion garbage (see
+    /// `ReadyQueue::maybe_compact`).
+    pub ready_compactions: u64,
+    /// Total garbage entries dropped by ready-queue compactions.
+    pub ready_compacted: u64,
+    /// Key updates applied to the incremental global-floor structure
+    /// (zero under policies that do not allocate it).
+    pub floor_key_updates: u64,
+    /// Pick-loop phase profile (populated only when
+    /// [`crate::EngineConfig::profile_picks`] is on; sequential engine
+    /// only): nanoseconds spent in floor maintenance / stall wakes.
+    pub prof_floor_ns: u64,
+    /// Profile: nanoseconds popping ready-queue entries (incl. stale
+    /// skips and compactions).
+    pub prof_pop_ns: u64,
+    /// Profile: nanoseconds of scheduler bookkeeping (checkpoint observe,
+    /// watchdog, sanitizer cadence, parallelism sampling).
+    pub prof_overhead_ns: u64,
+    /// Profile: nanoseconds executing the picked action (message
+    /// processing, activity grants and task code, idle hooks, requeue).
+    pub prof_action_ns: u64,
     /// Largest observed instantaneous neighbor drift (ticks), for checking
     /// the spatial-synchronization bound.
     pub max_neighbor_drift: VDuration,

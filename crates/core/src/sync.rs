@@ -117,6 +117,9 @@ pub(crate) fn publish(sim: &mut Sim, shared: &Shared, c: CoreId) {
     sim.stats.publish_sweeps += 1;
     sim.cores.published[c.index()] = newval;
     sim.floor_dirty = true;
+    // Global policies never run the shadow relaxation below, so this is
+    // the only published-value change the incremental floor must see.
+    note_floor_key(sim, c.index());
     note_published_change(sim, shared, c, oldval, newval);
 
     let Some(t) = spatial_t else {
@@ -298,7 +301,29 @@ pub(crate) fn local_floor(sim: &mut Sim, shared: &Shared, c: CoreId) -> VirtualT
 /// Global floor: the minimum published time over all working cores, also
 /// counting every birth-ledger entry. Used by the BoundedSlack and
 /// Conservative policies.
+///
+/// Served from the incrementally-maintained tournament tree
+/// ([`crate::floor::GlobalFloor`]) when the policy allocates one — an
+/// O(1) root read instead of an O(cores) sweep — and cross-checked
+/// against the sweep in debug builds on every query.
 pub(crate) fn global_floor(sim: &Sim) -> VirtualTime {
+    if let Some(g) = &sim.gfloor {
+        let floor = g.floor();
+        debug_assert_eq!(
+            floor,
+            global_floor_naive(sim),
+            "incremental global floor diverged from the naive sweep"
+        );
+        return floor;
+    }
+    global_floor_naive(sim)
+}
+
+/// The historical O(cores) global-floor sweep: oracle for the debug
+/// cross-check above, the microbench baseline, and the fallback when no
+/// incremental structure is allocated (RandomReferee's candidate sweep is
+/// already O(cores), so it keeps the plain scan).
+pub(crate) fn global_floor_naive(sim: &Sim) -> VirtualTime {
     let mut floor = VirtualTime::MAX;
     for i in 0..sim.cores.len() {
         if !sim.cores.is_idle(i) {
@@ -309,6 +334,71 @@ pub(crate) fn global_floor(sim: &Sim) -> VirtualTime {
         }
     }
     floor
+}
+
+/// Recompute core `i`'s contribution to the incremental global floor and
+/// store it in the tournament tree. Key = `min(published-if-working,
+/// earliest pending birth)`, `MAX` when neither applies. No-op under
+/// policies that allocate no tree (everything but BoundedSlack /
+/// Conservative). Must be called wherever a key input changes — the
+/// core's published value, its idle status, or its birth ledger; those
+/// are exactly the sites that set [`Sim::floor_dirty`].
+pub(crate) fn note_floor_key(sim: &mut Sim, i: usize) {
+    if sim.gfloor.is_none() {
+        return;
+    }
+    let mut key = sim.cores.birth_floor(i);
+    if !sim.cores.is_idle(i) {
+        key = key.min(sim.cores.published[i]);
+    }
+    sim.gfloor
+        .as_mut()
+        .expect("gfloor checked above")
+        .set(i, key);
+}
+
+/// Register stalled core `c` in the floor-threshold wake structure: once
+/// the global floor reaches `threshold`, `c`'s synchronization condition
+/// holds again and it must be rechecked. Entries are lazy — a core woken
+/// by another path leaves a stale entry behind, and the recheck it later
+/// triggers is a harmless no-op (`recheck_stall` is authoritative).
+fn register_floor_wake(sim: &mut Sim, c: CoreId, threshold: VirtualTime) {
+    sim.stall_wakes.push(std::cmp::Reverse((threshold, c.0)));
+}
+
+/// Wake exactly the stalled cores whose floor-threshold the (possibly
+/// risen) global floor has crossed, in core-id order — the same wake set,
+/// in the same order, as the historical all-core sweep
+/// ([`recheck_all_stalled`]), without touching the cores still below
+/// their bound. Thresholds only ever rise for a given stalled activity
+/// (its clock is frozen while stalled), so popped entries never need
+/// reinsertion here; a recheck that fails again re-registers itself from
+/// `sync_ok`.
+pub(crate) fn wake_stalled_by_floor(sim: &mut Sim, shared: &Shared) {
+    if sim.stall_wakes.is_empty() {
+        return;
+    }
+    let floor = global_floor(sim);
+    let mut woken = std::mem::take(&mut sim.scratch_ready);
+    woken.clear();
+    while let Some(&std::cmp::Reverse((th, c))) = sim.stall_wakes.peek() {
+        if th > floor && floor != VirtualTime::MAX {
+            break;
+        }
+        sim.stall_wakes.pop();
+        woken.push(c);
+    }
+    // Core-id order matches the old 0..n sweep; dedup collapses stale
+    // duplicate registrations to the one recheck the sweep would do.
+    woken.sort_unstable();
+    woken.dedup();
+    let mut idx = 0;
+    while idx < woken.len() {
+        recheck_stall(sim, shared, CoreId(woken[idx]));
+        idx += 1;
+    }
+    woken.clear();
+    sim.scratch_ready = woken;
 }
 
 /// Is the fast path allowed under this configuration? Ready-queue insertion
@@ -380,11 +470,23 @@ pub(crate) fn sync_ok(sim: &mut Sim, shared: &Shared, c: CoreId) -> bool {
             if floor == VirtualTime::MAX {
                 return true;
             }
-            vtime.saturating_since(floor) <= window
+            if vtime.saturating_since(floor) <= window {
+                true
+            } else {
+                // The check passes again exactly when the floor reaches
+                // vtime - window (both in ticks).
+                register_floor_wake(sim, c, VirtualTime(vtime.0.saturating_sub(window.0)));
+                false
+            }
         }
         SyncPolicy::Conservative => {
             let floor = global_floor(sim);
-            floor == VirtualTime::MAX || vtime <= floor
+            if floor == VirtualTime::MAX || vtime <= floor {
+                true
+            } else {
+                register_floor_wake(sim, c, vtime);
+                false
+            }
         }
         SyncPolicy::RandomReferee { slack } => loop {
             match sim.cores.referee[c.index()] {

@@ -1,0 +1,147 @@
+//! Property test for the incremental global floor under engine-shaped
+//! update streams.
+//!
+//! The engine maintains, per core, the floor key
+//! `min(published-if-working, earliest-pending-birth)` and pushes it into
+//! [`GlobalFloor`] whenever any input changes (publish, idle transition,
+//! birth recorded or discarded). This test replays arbitrary interleavings
+//! of exactly those events against a plain model — a key array recomputed
+//! from scratch — and asserts the incremental floor equals the O(cores)
+//! recompute after *every* event, not just at the end. The engine-side
+//! equivalent runs in every debug build via the `debug_assert_eq!` in
+//! `sync::global_floor`.
+
+use proptest::prelude::*;
+use simany_core::floor::GlobalFloor;
+use simany_time::VirtualTime;
+
+/// One engine-shaped floor-key event.
+#[derive(Clone, Debug)]
+enum Ev {
+    /// The core published a new clock value.
+    Publish(usize, u64),
+    /// The core went idle (no activity, no reservations, no queue hints).
+    Idle(usize),
+    /// The core became busy again.
+    Work(usize),
+    /// A birth was recorded on the core's ledger.
+    Birth(usize, u64),
+    /// The earliest pending birth was consumed or discarded.
+    PopBirth(usize),
+}
+
+/// Per-core model state mirroring what `sync::note_floor_key` reads.
+#[derive(Clone)]
+struct Core {
+    published: VirtualTime,
+    idle: bool,
+    births: Vec<u64>, // unsorted; min is the birth floor
+}
+
+impl Core {
+    fn key(&self) -> VirtualTime {
+        let birth = self
+            .births
+            .iter()
+            .copied()
+            .min()
+            .map_or(VirtualTime::MAX, VirtualTime);
+        let clock = if self.idle {
+            VirtualTime::MAX
+        } else {
+            self.published
+        };
+        clock.min(birth)
+    }
+}
+
+fn ev_strategy(n: usize) -> impl Strategy<Value = Ev> {
+    (0u8..5, 0..n, 0u64..1_000_000).prop_map(|(kind, i, t)| match kind {
+        0 => Ev::Publish(i, t),
+        1 => Ev::Idle(i),
+        2 => Ev::Work(i),
+        3 => Ev::Birth(i, t),
+        _ => Ev::PopBirth(i),
+    })
+}
+
+fn check_interleaving(n: usize, events: Vec<Ev>) {
+    let mut model = vec![
+        Core {
+            published: VirtualTime(0),
+            idle: true,
+            births: Vec::new(),
+        };
+        n
+    ];
+    let mut inc = GlobalFloor::new(n);
+    // Engine cores start idle with empty ledgers: every key is MAX, which
+    // is GlobalFloor's initial state too.
+    assert_eq!(inc.floor(), VirtualTime::MAX);
+
+    for ev in events {
+        let touched = match ev {
+            Ev::Publish(i, t) => {
+                model[i].published = VirtualTime(t);
+                i
+            }
+            Ev::Idle(i) => {
+                model[i].idle = true;
+                i
+            }
+            Ev::Work(i) => {
+                model[i].idle = false;
+                i
+            }
+            Ev::Birth(i, t) => {
+                model[i].births.push(t);
+                i
+            }
+            Ev::PopBirth(i) => {
+                if let Some(pos) = model[i]
+                    .births
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &t)| t)
+                    .map(|(pos, _)| pos)
+                {
+                    model[i].births.swap_remove(pos);
+                }
+                i
+            }
+        };
+        inc.set(touched, model[touched].key());
+        let naive = model
+            .iter()
+            .map(Core::key)
+            .min()
+            .unwrap_or(VirtualTime::MAX);
+        assert_eq!(
+            inc.floor(),
+            naive,
+            "incremental floor != O(cores) recompute"
+        );
+        assert_eq!(inc.floor(), inc.naive_floor(), "pyramid internally stale");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary publish/idle/birth interleavings on a small machine.
+    #[test]
+    fn incremental_floor_matches_recompute_small(
+        events in proptest::collection::vec(ev_strategy(7), 1..200)
+    ) {
+        check_interleaving(7, events);
+    }
+
+    /// Same, on a machine spanning multiple reduction blocks (FANOUT=64),
+    /// so cross-block repair paths get exercised.
+    #[test]
+    fn incremental_floor_matches_recompute_multiblock(
+        events in proptest::collection::vec(ev_strategy(130), 1..120)
+    ) {
+        check_interleaving(130, events);
+    }
+}
